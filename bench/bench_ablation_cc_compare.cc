@@ -1,0 +1,163 @@
+// Ablation (§9): "the variation of available buffer over RTT timescales
+// argues for congestion control mechanisms that can explicitly handle
+// variability in buffer."  We compare the in-region incumbent (DCTCP), the
+// loss-based fallback (Cubic), and a delay-based controller (Swift) on the
+// packet simulator under (a) a clean bulk transfer, (b) a 32-way incast,
+// and (c) a transfer whose DT buffer share is being squeezed by a bursty
+// neighbor queue in the same quadrant — the §7.3 buffer-variability regime.
+#include <iostream>
+
+#include "common.h"
+#include "net/topology.h"
+#include "workload/incast.h"
+
+using namespace msamp;
+
+namespace {
+
+struct Outcome {
+  double completion_ms;
+  double retx_kb;
+  double max_queue_kb;
+  double marked_kb;
+};
+
+const char* cc_name(transport::CcKind kind) {
+  switch (kind) {
+    case transport::CcKind::kDctcp:
+      return "dctcp";
+    case transport::CcKind::kCubic:
+      return "cubic";
+    case transport::CcKind::kSwift:
+      return "swift";
+  }
+  return "?";
+}
+
+/// Scenario (a)/(c): one 8MB transfer into server 0; when `squeeze` is on,
+/// server 4 (same quadrant) receives periodic 2MB bursts that yank the DT
+/// limit up and down underneath the measured flow.
+Outcome run_bulk(transport::CcKind kind, bool squeeze) {
+  sim::Simulator simulator;
+  net::RackConfig rack_cfg;
+  rack_cfg.num_servers = 5;
+  rack_cfg.num_remote_hosts = 2;
+  net::Rack rack(simulator, rack_cfg);
+  transport::TransportHost sender(rack.remote(0));
+  transport::TransportHost receiver(rack.server(0));
+  transport::TcpConfig tcp;
+  tcp.cc = kind;
+  transport::TcpConnection conn(simulator, 1, sender, receiver, tcp);
+
+  std::unique_ptr<transport::TransportHost> n_sender, n_receiver;
+  std::unique_ptr<transport::TcpConnection> neighbor;
+  if (squeeze) {
+    // A Cubic hog into server 4 (same MMU quadrant as server 0, 4%4==0):
+    // loss-based control fills its whole DT share, pulling the shared pool
+    // — and therefore the measured flow's limit — up and down as it
+    // oscillates through loss cycles.
+    n_sender = std::make_unique<transport::TransportHost>(rack.remote(1));
+    n_receiver = std::make_unique<transport::TransportHost>(rack.server(4));
+    transport::TcpConfig hog;
+    hog.cc = transport::CcKind::kCubic;
+    neighbor = std::make_unique<transport::TcpConnection>(
+        simulator, 2, *n_sender, *n_receiver, hog);
+    neighbor->send_app_data(48 << 20);
+  }
+
+  sim::SimTime done_at = 0;
+  conn.set_on_delivered([&](std::int64_t delivered) {
+    if (delivered >= (8 << 20)) done_at = simulator.now();
+  });
+  conn.send_app_data(8 << 20);
+  std::int64_t max_queue = 0;
+  for (sim::SimTime t = 0; t < 30 * sim::kMillisecond;
+       t += 100 * sim::kMicrosecond) {
+    simulator.run_until(t);
+    max_queue = std::max(max_queue, rack.tor().mmu().queue_len(0));
+  }
+  simulator.run();
+  return {sim::to_ms(done_at),
+          static_cast<double>(conn.stats().retx_bytes) / 1024.0,
+          static_cast<double>(max_queue) / 1024.0,
+          static_cast<double>(rack.tor().mmu().counters(0).ce_marked_bytes) /
+              1024.0};
+}
+
+/// Scenario (b): 32-way incast of 128KB each.
+Outcome run_incast(transport::CcKind kind) {
+  sim::Simulator simulator;
+  net::RackConfig rack_cfg;
+  rack_cfg.num_servers = 1;
+  rack_cfg.num_remote_hosts = 32;
+  net::Rack rack(simulator, rack_cfg);
+  transport::TransportHost receiver(rack.server(0));
+  std::vector<std::unique_ptr<transport::TransportHost>> remotes;
+  std::vector<transport::TransportHost*> senders;
+  for (int i = 0; i < 32; ++i) {
+    remotes.push_back(
+        std::make_unique<transport::TransportHost>(rack.remote(i)));
+    senders.push_back(remotes.back().get());
+  }
+  workload::IncastConfig cfg;
+  cfg.bytes_per_sender = 128 << 10;
+  cfg.tcp.cc = kind;
+  workload::IncastDriver incast(simulator, senders, receiver, 1000, cfg);
+  sim::SimTime done_at = 0;
+  incast.trigger([&] { done_at = simulator.now(); });
+  std::int64_t max_queue = 0;
+  for (sim::SimTime t = 0; t < 10 * sim::kMillisecond;
+       t += 100 * sim::kMicrosecond) {
+    simulator.run_until(t);
+    max_queue = std::max(max_queue, rack.tor().mmu().queue_len(0));
+  }
+  simulator.run();
+  return {sim::to_ms(done_at),
+          static_cast<double>(incast.total_retx_bytes()) / 1024.0,
+          static_cast<double>(max_queue) / 1024.0,
+          static_cast<double>(rack.tor().mmu().counters(0).ce_marked_bytes) /
+              1024.0};
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Ablation — congestion control under buffer variability",
+      "§9: buffer varies over RTT timescales; compare ECN-based (DCTCP), "
+      "loss-based (Cubic), and delay-based (Swift) control");
+  for (const auto& scenario :
+       {std::string("bulk 8MB"), std::string("bulk 8MB + DT squeeze"),
+        std::string("32-way incast")}) {
+    util::Table table({"cc", "completion (ms)", "retx (KB)",
+                       "max queue (KB)", "CE marked (KB)"});
+    for (auto kind :
+         {transport::CcKind::kDctcp, transport::CcKind::kCubic,
+          transport::CcKind::kSwift}) {
+      const Outcome o = scenario == "32-way incast"
+                            ? run_incast(kind)
+                            : run_bulk(kind, scenario != "bulk 8MB");
+      table.row()
+          .cell(cc_name(kind))
+          .cell(o.completion_ms, 2)
+          .cell(o.retx_kb, 1)
+          .cell(o.max_queue_kb, 1)
+          .cell(o.marked_kb, 1);
+    }
+    std::cout << "--- " << scenario << " ---\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  bench::emit_table("ablation_cc_compare",
+                    util::Table({"see sections printed above"}));
+  std::cout
+      << "Reading: DCTCP rides the 120KB ECN threshold and Swift holds an "
+         "even smaller delay-bounded queue, so neither notices the moving "
+         "DT ceiling.  Loss-based Cubic fills whatever DT allows: alone it "
+         "overshoots a ~2MB limit into retransmission storms, while the "
+         "squeezed (smaller but well-defended) share trips it earlier and "
+         "gentler — the paper's own observation that smaller, stable "
+         "buffers can serve some workloads better than larger variable "
+         "ones (§8.1/§9).\n";
+  return 0;
+}

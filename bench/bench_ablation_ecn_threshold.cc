@@ -1,0 +1,54 @@
+// Ablation (§3): the fleet uses a static 120KB ECN threshold "which offers
+// good performance across our varied workloads, though we do not claim
+// that it is optimal".  Sweep the threshold on the fluid rack: lower
+// thresholds mark earlier (more throttling, less loss, lower utilization);
+// higher thresholds let queues grow into the DT limit and lose more.
+#include <iostream>
+
+#include "common.h"
+#include "fleet/fluid_rack.h"
+
+using namespace msamp;
+
+int main() {
+  bench::header("Ablation — static ECN threshold",
+                "§3: 120KB deployed fleet-wide; the sweep shows the "
+                "loss-vs-throughput trade the operators balanced");
+  workload::RackMeta rack;
+  rack.rack_id = 1;
+  rack.region = workload::RegionId::kRegA;
+  rack.intensity = 1.9;
+  for (int s = 0; s < 92; ++s) {
+    rack.server_service.push_back(s % 3);
+    rack.server_kind.push_back(s % 3 == 0 ? workload::TaskKind::kCache
+                               : s % 3 == 1 ? workload::TaskKind::kWeb
+                                            : workload::TaskKind::kStorage);
+  }
+
+  util::Table table({"ECN threshold (KB)", "loss (KB/GB)", "marked (MB/GB)",
+                     "delivered (GB)"});
+  for (std::int64_t threshold_kb : {30, 60, 120, 240, 480, 960}) {
+    fleet::FleetConfig cfg;
+    cfg.samples_per_run = 1500;
+    cfg.warmup_ms = 100;
+    cfg.buffer.ecn_threshold = threshold_kb << 10;
+    double drops = 0, ecn = 0, bytes = 0;
+    for (std::uint64_t seed : {21u, 22u, 23u}) {
+      fleet::FluidRack fluid(rack, cfg, 6, util::Rng(seed));
+      const auto res = fluid.run();
+      drops += static_cast<double>(res.drop_bytes);
+      ecn += static_cast<double>(res.ecn_bytes);
+      bytes += static_cast<double>(res.delivered_bytes);
+    }
+    table.row()
+        .cell(static_cast<long long>(threshold_kb))
+        .cell(drops / (bytes / 1e9) / 1e3, 2)
+        .cell(ecn / (bytes / 1e9) / 1e6, 2)
+        .cell(bytes / 1e9, 2);
+  }
+  bench::emit_table("ablation_ecn_threshold", table);
+  std::cout << "\nReading: very low thresholds over-throttle (marks "
+               "everywhere), very high thresholds surrender the buffer "
+               "headroom DT needs — the deployed 120KB sits in the basin.\n";
+  return 0;
+}

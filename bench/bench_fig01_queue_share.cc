@@ -1,0 +1,70 @@
+// Figure 1: the maximum fraction of the shared buffer each queue may get,
+// T = alpha*B / (1 + alpha*S), for alpha in {0.25, 0.5, 1, 2, 4} and S
+// active queues in 0..10.  The closed form is cross-checked against the
+// packet-level MMU driven to saturation.
+#include <iostream>
+
+#include "common.h"
+#include "net/shared_buffer.h"
+
+using namespace msamp;
+
+namespace {
+
+/// Drives S queues of a fresh MMU to saturation and returns the measured
+/// per-queue share of the buffer.
+double measured_share(double alpha, int s) {
+  net::SharedBufferConfig cfg;
+  cfg.total_bytes = 8 << 20;
+  cfg.quadrants = 1;
+  cfg.reserve_per_queue = 0;
+  cfg.alpha = alpha;
+  net::SharedBuffer buf(cfg, 12);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int q = 0; q < s; ++q) progress |= buf.admit(q, 1500, false, nullptr);
+  }
+  return static_cast<double>(buf.queue_len(0)) /
+         static_cast<double>(cfg.total_bytes);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 1 — DT queue share vs active queues",
+                "alpha=1: S=1 -> 0.5, S=2 -> 0.333; higher alpha gives "
+                "larger but more variable shares; slope steepest at low S");
+
+  const double alphas[] = {0.25, 0.5, 1.0, 2.0, 4.0};
+  std::vector<util::Series> series;
+  util::Table table({"alpha", "S", "T_closed_form", "T_measured_mmu"});
+  for (double alpha : alphas) {
+    util::Series s;
+    s.name = "alpha=" + util::format_double(alpha, 2);
+    for (int queues = 0; queues <= 10; ++queues) {
+      const double t = std::min(
+          1.0, net::SharedBuffer::fixed_point_share(alpha, std::max(queues, 1)));
+      s.x.push_back(queues);
+      s.y.push_back(t);
+      if (queues >= 1 && queues <= 8) {
+        table.row()
+            .cell(alpha, 2)
+            .cell(static_cast<long long>(queues))
+            .cell(t, 4)
+            .cell(measured_share(alpha, queues), 4);
+      }
+    }
+    series.push_back(std::move(s));
+  }
+
+  util::PlotOptions opt;
+  opt.title = "Queue share T (fraction of buffer) vs # active queues S";
+  opt.x_label = "# of active queues (S)";
+  opt.y_label = "queue share T";
+  opt.y_min = 0.0;
+  opt.y_max = 1.0;
+  util::ascii_plot(std::cout, series, opt);
+  bench::emit_table("fig01_queue_share", table);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 8: average number of connections per sample, inside vs outside
+// bursts (RegA bursty server runs).  Paper: median ratio 2.7x.
+#include <iostream>
+
+#include "common.h"
+
+using namespace msamp;
+
+int main() {
+  bench::header("Figure 8 — connection counts inside/outside bursts",
+                "more connections are active inside bursts; median "
+                "difference 2.7x");
+  const auto& ds = bench::dataset();
+  std::vector<double> inside, outside, ratio;
+  for (const auto& sr : ds.server_runs) {
+    if (sr.region != 0 || !sr.bursty) continue;
+    inside.push_back(sr.conns_inside);
+    outside.push_back(sr.conns_outside);
+    if (sr.conns_outside > 0.1) {
+      ratio.push_back(sr.conns_inside / sr.conns_outside);
+    }
+  }
+  bench::print_cdf_figure(
+      "fig08_connections",
+      "CDF of avg connections per sample (RegA bursty runs)",
+      "average number of connections",
+      {bench::cdf_series("inside-burst", inside),
+       bench::cdf_series("outside-burst", outside)});
+
+  util::Table t({"metric", "measured", "paper"});
+  t.row()
+      .cell("median inside/outside connection ratio")
+      .cell(util::percentile(ratio, 50), 2)
+      .cell("2.7");
+  bench::emit_table("fig08_ratio", t);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 10: number of distinct tasks per rack, split by rack class.
+// Paper: median RegA-High rack runs 8 tasks; RegA-Typical 14; RegB 15.
+#include "common.h"
+
+using namespace msamp;
+
+int main() {
+  bench::header("Figure 10 — task diversity across racks",
+                "RegA-High racks run far fewer distinct tasks (median 8) "
+                "than RegA-Typical (14) and RegB (15)");
+  const auto& ds = bench::dataset();
+  std::vector<double> typical, high, regb;
+  for (const auto& r : ds.racks) {
+    switch (static_cast<analysis::RackClass>(r.rack_class)) {
+      case analysis::RackClass::kRegATypical:
+        typical.push_back(r.distinct_tasks);
+        break;
+      case analysis::RackClass::kRegAHigh:
+        high.push_back(r.distinct_tasks);
+        break;
+      case analysis::RackClass::kRegB:
+        regb.push_back(r.distinct_tasks);
+        break;
+    }
+  }
+  bench::print_cdf_figure("fig10_task_diversity",
+                          "CDF of distinct tasks per rack",
+                          "number of distinct tasks",
+                          {bench::cdf_series("RegA-Typical", typical),
+                           bench::cdf_series("RegA-High", high),
+                           bench::cdf_series("RegB", regb)});
+
+  util::Table t({"class", "median distinct tasks", "paper"});
+  t.row().cell("RegA-Typical").cell(util::percentile(typical, 50), 1).cell("14");
+  t.row().cell("RegA-High").cell(util::percentile(high, 50), 1).cell("8");
+  t.row().cell("RegB").cell(util::percentile(regb, 50), 1).cell("15");
+  bench::emit_table("fig10_medians", t);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 14: correlation between a rack's average contention and the total
+// ingress traffic it receives, runs bucketed by ingress volume (the paper
+// uses 1-minute switch counters; we scale the observation window's bytes
+// to a 1-minute equivalent).
+#include <cmath>
+#include <iostream>
+
+#include "common.h"
+
+using namespace msamp;
+
+int main() {
+  bench::header("Figure 14 — contention vs rack ingress volume",
+                "ingress volumes clearly correlate with average contention");
+  const auto& ds = bench::dataset();
+
+  // Scale window bytes to a 1-minute equivalent (the paper's counter
+  // granularity), then bucket by volume.
+  const double window_sec =
+      static_cast<double>(ds.config.samples_per_run) / 1000.0;
+  const double to_minute = 60.0 / window_sec;
+
+  std::vector<std::pair<double, double>> points;  // (GB per minute, contention)
+  for (const auto& rr : ds.rack_runs) {
+    if (rr.region != 0) continue;  // the paper shows RegA
+    points.push_back({rr.in_bytes * to_minute / 1e9, rr.avg_contention});
+  }
+  double max_gb = 0;
+  for (const auto& p : points) max_gb = std::max(max_gb, p.first);
+
+  const int buckets = 8;
+  util::Table table({"ingress (GB/min)", "runs", "p25", "median", "p75",
+                     "p90", "mean contention"});
+  util::Series med{"median contention", {}, {}};
+  for (int b = 0; b < buckets; ++b) {
+    const double lo = max_gb * b / buckets;
+    const double hi = max_gb * (b + 1) / buckets;
+    std::vector<double> values;
+    for (const auto& p : points) {
+      if (p.first >= lo && (p.first < hi || b == buckets - 1)) {
+        values.push_back(p.second);
+      }
+    }
+    if (values.size() < 5) continue;
+    const auto box = util::box_summary(values);
+    table.row()
+        .cell(util::format_double(lo, 1) + "-" + util::format_double(hi, 1))
+        .cell(values.size())
+        .cell(box.p25, 2)
+        .cell(box.median, 2)
+        .cell(box.p75, 2)
+        .cell(box.p90, 2)
+        .cell(box.mean, 2);
+    med.x.push_back((lo + hi) / 2);
+    med.y.push_back(box.median);
+  }
+  util::PlotOptions opt;
+  opt.title = "median avg contention per ingress-volume bucket (RegA)";
+  opt.x_label = "rack ingress (GB per minute-equivalent)";
+  opt.y_label = "avg contention";
+  opt.y_min = 0;
+  util::ascii_plot(std::cout, {med}, opt);
+  bench::emit_table("fig14_volume_correlation", table);
+
+  // Spearman-ish check: correlation of volume and contention.
+  double mean_x = 0, mean_y = 0;
+  for (const auto& p : points) {
+    mean_x += p.first;
+    mean_y += p.second;
+  }
+  mean_x /= static_cast<double>(points.size());
+  mean_y /= static_cast<double>(points.size());
+  double sxy = 0, sxx = 0, syy = 0;
+  for (const auto& p : points) {
+    sxy += (p.first - mean_x) * (p.second - mean_y);
+    sxx += (p.first - mean_x) * (p.first - mean_x);
+    syy += (p.second - mean_y) * (p.second - mean_y);
+  }
+  std::cout << "\nPearson correlation (volume, contention): "
+            << util::format_double(sxy / std::sqrt(sxx * syy), 3)
+            << " (paper: clear positive correlation)\n";
+  return 0;
+}

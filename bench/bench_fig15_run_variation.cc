@@ -1,0 +1,95 @@
+// Figure 15: contention variation within runs.  (a) each run's minimum
+// (over active samples) and p90 contention, runs sorted; (b) the DT queue
+// share implied at those two contention levels.  Paper: the median run's
+// buffer share drops 33.3% from its peak; for 15% of runs the drop is at
+// least 70%; 6.2% of runs are excluded for zero p90.
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/contention.h"
+#include "common.h"
+
+using namespace msamp;
+
+int main() {
+  bench::header("Figure 15 — contention variation within runs",
+                "median run: 33.3% buffer-share drop between min and p90 "
+                "contention; >=70% drop for 15% of runs");
+  const auto& ds = bench::dataset();
+  const double alpha = ds.config.buffer.alpha;
+
+  struct Run {
+    int min_active;
+    int p90;
+  };
+  std::vector<Run> runs;
+  long excluded = 0, total = 0;
+  for (const auto& rr : ds.rack_runs) {
+    if (rr.region != 0) continue;
+    ++total;
+    if (!rr.usable) {
+      ++excluded;
+      continue;
+    }
+    runs.push_back({rr.min_active_contention, rr.p90_contention});
+  }
+  std::sort(runs.begin(), runs.end(), [](const Run& a, const Run& b) {
+    return a.min_active != b.min_active ? a.min_active < b.min_active
+                                        : a.p90 < b.p90;
+  });
+
+  util::Series min_s{"min contention", {}, {}}, p90_s{"p90 contention", {}, {}};
+  util::Series min_share{"share at min", {}, {}},
+      p90_share{"share at p90", {}, {}};
+  std::vector<double> drops;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    min_s.x.push_back(static_cast<double>(i));
+    min_s.y.push_back(runs[i].min_active);
+    p90_s.x.push_back(static_cast<double>(i));
+    p90_s.y.push_back(runs[i].p90);
+    const double hi =
+        analysis::queue_share_at_contention(alpha, runs[i].min_active) * 100;
+    const double lo =
+        analysis::queue_share_at_contention(alpha, runs[i].p90) * 100;
+    min_share.x.push_back(static_cast<double>(i));
+    min_share.y.push_back(hi);
+    p90_share.x.push_back(static_cast<double>(i));
+    p90_share.y.push_back(lo);
+    drops.push_back(100.0 * (hi - lo) / hi);
+  }
+
+  util::PlotOptions a;
+  a.title = "(a) per-run min and p90 contention (runs sorted)";
+  a.x_label = "run id";
+  a.y_label = "contention";
+  a.y_min = 0;
+  util::ascii_plot(std::cout, {min_s, p90_s}, a);
+
+  util::PlotOptions b;
+  b.title = "(b) implied DT queue share (% of shared buffer)";
+  b.x_label = "run id";
+  b.y_label = "queue share %";
+  b.y_min = 0;
+  b.y_max = 55;
+  util::ascii_plot(std::cout, {min_share, p90_share}, b);
+
+  double ge70 = 0;
+  for (double d : drops) ge70 += d >= 70.0;
+  util::Table t({"metric", "measured", "paper"});
+  t.row()
+      .cell("median buffer-share drop within a run (%)")
+      .cell(util::percentile(drops, 50), 1)
+      .cell("33.3");
+  t.row()
+      .cell("% of runs with drop >= 70%")
+      .cell(100.0 * ge70 / std::max<double>(drops.size(), 1), 1)
+      .cell("15");
+  t.row()
+      .cell("% of runs excluded (p90 contention = 0)")
+      .cell(100.0 * static_cast<double>(excluded) /
+                static_cast<double>(std::max(total, 1L)),
+            1)
+      .cell("6.2");
+  bench::emit_table("fig15_run_variation", t);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 16: correlation between (max) burst contention and loss, per rack
+// class.  Paper: loss rises with contention within each class, but
+// RegA-Typical is far lossier than RegA-High at the same contention level.
+#include <iostream>
+
+#include "common.h"
+#include "fleet/aggregate.h"
+
+using namespace msamp;
+
+int main() {
+  bench::header("Figure 16 — contention level vs loss",
+                "% lossy bursts rises with contention per class; "
+                "RegA-Typical at contention <5 out-losses RegA-High at much "
+                "higher contention");
+  const auto& ds = bench::dataset();
+  const auto classes = fleet::build_class_map(ds);
+
+  util::Table table({"class", "contention", "bursts", "% lossy"});
+  std::vector<util::Series> series;
+  for (int c = 0; c < analysis::kNumRackClasses; ++c) {
+    const auto rack_class = static_cast<analysis::RackClass>(c);
+    const auto curve = fleet::loss_by_contention(ds, classes, rack_class,
+                                                 /*bin_width=*/3,
+                                                 /*max_contention=*/21);
+    util::Series s;
+    s.name = std::string(analysis::rack_class_name(rack_class));
+    for (const auto& bucket : curve) {
+      if (bucket.bursts < 50) continue;  // suppress noisy tiny buckets
+      s.x.push_back((bucket.lo + bucket.hi) / 2.0);
+      s.y.push_back(bucket.pct_lossy());
+      table.row()
+          .cell(s.name)
+          .cell(util::format_double(bucket.lo, 0) + "-" +
+                util::format_double(bucket.hi - 1, 0))
+          .cell(bucket.bursts)
+          .cell(bucket.pct_lossy(), 2);
+    }
+    series.push_back(std::move(s));
+  }
+  util::PlotOptions opt;
+  opt.title = "% of bursts with loss vs max contention";
+  opt.x_label = "contention";
+  opt.y_label = "% lossy";
+  opt.y_min = 0;
+  util::ascii_plot(std::cout, series, opt);
+  bench::emit_table("fig16_contention_loss", table);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 18: burst length vs loss for contended and non-contended bursts
+// (RegA-Typical racks).  Paper: loss is low for very short bursts (buffers
+// absorb them), rises sharply with length, then stabilizes/declines once
+// congestion control has time to adapt; contended bursts lose more beyond
+// ~8ms.
+#include <iostream>
+
+#include "common.h"
+#include "fleet/aggregate.h"
+
+using namespace msamp;
+
+int main() {
+  bench::header("Figure 18 — burst length vs loss (RegA-Typical)",
+                "loss rises with length then stabilizes (CC adapts); "
+                "contended bursts lose more and stabilize later");
+  const auto& ds = bench::dataset();
+  const auto classes = fleet::build_class_map(ds);
+  constexpr int kMaxLen = 16;
+  const auto non_contended = fleet::loss_by_length(
+      ds, classes, analysis::RackClass::kRegATypical,
+      fleet::BurstFilter::kNonContended, kMaxLen);
+  const auto contended = fleet::loss_by_length(
+      ds, classes, analysis::RackClass::kRegATypical,
+      fleet::BurstFilter::kContended, kMaxLen);
+
+  util::Table table({"length (ms)", "non-contended bursts", "% lossy",
+                     "contended bursts", "% lossy "});
+  util::Series nc{"non-contended", {}, {}}, co{"contended", {}, {}};
+  for (int len = 1; len <= kMaxLen; ++len) {
+    const auto& b0 = non_contended[static_cast<std::size_t>(len - 1)];
+    const auto& b1 = contended[static_cast<std::size_t>(len - 1)];
+    table.row()
+        .cell(static_cast<long long>(len))
+        .cell(b0.bursts)
+        .cell(b0.bursts >= 30 ? util::format_double(b0.pct_lossy(), 2)
+                              : std::string("-"))
+        .cell(b1.bursts)
+        .cell(b1.bursts >= 30 ? util::format_double(b1.pct_lossy(), 2)
+                              : std::string("-"));
+    if (b0.bursts >= 30) {
+      nc.x.push_back(len);
+      nc.y.push_back(b0.pct_lossy());
+    }
+    if (b1.bursts >= 30) {
+      co.x.push_back(len);
+      co.y.push_back(b1.pct_lossy());
+    }
+  }
+  util::PlotOptions opt;
+  opt.title = "% of bursts with loss vs burst length";
+  opt.x_label = "burst length (ms)";
+  opt.y_label = "% lossy";
+  opt.y_min = 0;
+  util::ascii_plot(std::cout, {nc, co}, opt);
+  bench::emit_table("fig18_length_loss", table);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 19: incast (average in-burst connection count) vs loss for
+// contended and non-contended bursts (RegA-Typical).  Paper: loss rises
+// with connection count then stabilizes; contended bursts lose 3-4x more
+// than non-contended ones.
+#include <iostream>
+
+#include "common.h"
+#include "fleet/aggregate.h"
+
+using namespace msamp;
+
+int main() {
+  bench::header("Figure 19 — incast vs loss (RegA-Typical)",
+                "loss rises with connection count then stabilizes; "
+                "contended incast bursts lose 3-4x more");
+  const auto& ds = bench::dataset();
+  const auto classes = fleet::build_class_map(ds);
+  constexpr int kBin = 10;
+  constexpr int kBins = 9;  // 0..90 connections
+  const auto non_contended = fleet::loss_by_connections(
+      ds, classes, analysis::RackClass::kRegATypical,
+      fleet::BurstFilter::kNonContended, kBin, kBins);
+  const auto contended = fleet::loss_by_connections(
+      ds, classes, analysis::RackClass::kRegATypical,
+      fleet::BurstFilter::kContended, kBin, kBins);
+
+  util::Table table({"avg connections", "non-contended", "% lossy",
+                     "contended", "% lossy "});
+  util::Series nc{"non-contended", {}, {}}, co{"contended", {}, {}};
+  double ratio_sum = 0;
+  int ratio_n = 0;
+  for (int bin = 0; bin < kBins; ++bin) {
+    const auto& b0 = non_contended[static_cast<std::size_t>(bin)];
+    const auto& b1 = contended[static_cast<std::size_t>(bin)];
+    table.row()
+        .cell(util::format_double(b0.lo, 0) + "-" +
+              util::format_double(b0.hi - 1, 0))
+        .cell(b0.bursts)
+        .cell(b0.bursts >= 30 ? util::format_double(b0.pct_lossy(), 2)
+                              : std::string("-"))
+        .cell(b1.bursts)
+        .cell(b1.bursts >= 30 ? util::format_double(b1.pct_lossy(), 2)
+                              : std::string("-"));
+    if (b0.bursts >= 30) {
+      nc.x.push_back((b0.lo + b0.hi) / 2);
+      nc.y.push_back(b0.pct_lossy());
+    }
+    if (b1.bursts >= 30) {
+      co.x.push_back((b1.lo + b1.hi) / 2);
+      co.y.push_back(b1.pct_lossy());
+    }
+    if (b0.bursts >= 30 && b1.bursts >= 30 && b0.pct_lossy() > 0) {
+      ratio_sum += b1.pct_lossy() / b0.pct_lossy();
+      ++ratio_n;
+    }
+  }
+  util::PlotOptions opt;
+  opt.title = "% of bursts with loss vs avg connections";
+  opt.x_label = "avg number of connections";
+  opt.y_label = "% lossy";
+  opt.y_min = 0;
+  util::ascii_plot(std::cout, {nc, co}, opt);
+  bench::emit_table("fig19_incast_loss", table);
+  if (ratio_n > 0) {
+    std::cout << "\nmean contended/non-contended loss ratio: "
+              << util::format_double(ratio_sum / ratio_n, 2)
+              << "x (paper: 3-4x)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "common.h"
+
+#include "fleet/aggregate.h"
+
+#include <cstdio>
+#include <iostream>
+
+namespace msamp::bench {
+
+fleet::FleetConfig bench_config() {
+  fleet::FleetConfig cfg;
+  cfg.seed = 42;
+  cfg.racks_per_region = 96;
+  cfg.servers_per_rack = 92;
+  cfg.hours = 24;
+  cfg.samples_per_run = 700;
+  return cfg;
+}
+
+const fleet::Dataset& dataset() {
+  static bool announced = false;
+  if (!announced) {
+    announced = true;
+    std::fprintf(stderr,
+                 "[bench] loading fleet dataset (generated on first use; "
+                 "cached in bench_out/fleet_dataset.bin)...\n");
+  }
+  return fleet::shared_dataset(bench_config());
+}
+
+std::unordered_map<std::uint32_t, analysis::RackClass> class_map(
+    const fleet::Dataset& ds) {
+  return fleet::build_class_map(ds);
+}
+
+analysis::RackClass burst_class(
+    const fleet::BurstRecord& burst,
+    const std::unordered_map<std::uint32_t, analysis::RackClass>& classes) {
+  return fleet::burst_class(burst, classes);
+}
+
+util::Series cdf_series(const std::string& name, std::vector<double> samples,
+                        std::size_t max_points) {
+  util::Series s;
+  s.name = name;
+  for (const auto& p : util::empirical_cdf(std::move(samples), max_points)) {
+    s.x.push_back(p.value);
+    s.y.push_back(p.percent);
+  }
+  return s;
+}
+
+void print_cdf_figure(const std::string& name, const std::string& title,
+                      const std::string& x_label,
+                      std::vector<util::Series> series) {
+  util::PlotOptions opt;
+  opt.title = title;
+  opt.x_label = x_label;
+  opt.y_label = "% (CDF)";
+  opt.y_min = 0.0;
+  opt.y_max = 100.0;
+  util::ascii_plot(std::cout, series, opt);
+
+  // Key quantiles as a table + full series as CSV.
+  util::Table table({"series", "p10", "p25", "p50", "p75", "p90", "p99"});
+  for (const auto& s : series) {
+    // Invert the CDF at the requested percentiles.
+    auto value_at = [&s](double pct) {
+      for (std::size_t i = 0; i < s.y.size(); ++i) {
+        if (s.y[i] >= pct) return s.x[i];
+      }
+      return s.x.empty() ? 0.0 : s.x.back();
+    };
+    table.row()
+        .cell(s.name)
+        .cell(value_at(10), 2)
+        .cell(value_at(25), 2)
+        .cell(value_at(50), 2)
+        .cell(value_at(75), 2)
+        .cell(value_at(90), 2)
+        .cell(value_at(99), 2);
+  }
+  emit_table(name, table);
+
+  util::Table csv({"series", "value", "percent"});
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      csv.row().cell(s.name).cell(s.x[i], 6).cell(s.y[i], 3);
+    }
+  }
+  csv.write_csv_file("bench_out/" + name + "_series.csv");
+}
+
+void emit_table(const std::string& name, const util::Table& table) {
+  table.print(std::cout);
+  table.write_csv_file("bench_out/" + name + ".csv");
+}
+
+void header(const std::string& id, const std::string& paper_claim) {
+  std::cout << "\n==== " << id << " ====\n"
+            << "paper: " << paper_claim << "\n\n";
+}
+
+}  // namespace msamp::bench

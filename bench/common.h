@@ -1,0 +1,50 @@
+// Shared infrastructure for the figure/table bench binaries: dataset
+// access (generated once, cached on disk under bench_out/), class lookup
+// maps, CDF printing, and CSV export.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/rack_classify.h"
+#include "fleet/dataset.h"
+#include "fleet/fleet_runner.h"
+#include "util/ascii_plot.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace msamp::bench {
+
+/// The scale every figure bench runs at (scaled-down fleet; see DESIGN.md).
+fleet::FleetConfig bench_config();
+
+/// The shared dataset (generated on first use, cached under bench_out/).
+const fleet::Dataset& dataset();
+
+/// rack_id -> measured RackClass for the dataset.
+std::unordered_map<std::uint32_t, analysis::RackClass> class_map(
+    const fleet::Dataset& ds);
+
+/// Resolves a burst record's class (RegB bursts are always kRegB).
+analysis::RackClass burst_class(
+    const fleet::BurstRecord& burst,
+    const std::unordered_map<std::uint32_t, analysis::RackClass>& classes);
+
+/// Prints an empirical-CDF figure: ASCII plot + downsampled value table,
+/// and writes the full series to bench_out/<name>.csv.
+void print_cdf_figure(const std::string& name, const std::string& title,
+                      const std::string& x_label,
+                      std::vector<util::Series> series);
+
+/// Writes a table to stdout and bench_out/<name>.csv.
+void emit_table(const std::string& name, const util::Table& table);
+
+/// Builds a CDF series from samples.
+util::Series cdf_series(const std::string& name, std::vector<double> samples,
+                        std::size_t max_points = 64);
+
+/// Prints the standard bench header.
+void header(const std::string& id, const std::string& paper_claim);
+
+}  // namespace msamp::bench

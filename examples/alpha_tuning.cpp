@@ -1,0 +1,75 @@
+// Alpha tuning: the §9 implication study.  Sweep the DT alpha parameter on
+// a fluid rack under a typical (mixed, incast-heavy) workload and under an
+// ML-dense workload, and compare burstiness-induced losses.  Larger alpha
+// gives each queue more room at low contention; smaller alpha keeps shares
+// stable when contention is high — exactly the trade-off §2.2 describes.
+//
+//   $ ./build/examples/alpha_tuning
+#include <iostream>
+
+#include "fleet/fluid_rack.h"
+#include "util/table.h"
+
+using namespace msamp;
+
+namespace {
+
+struct Outcome {
+  double loss_per_gb;
+  double ecn_per_gb;
+};
+
+Outcome run(double alpha, workload::TaskKind kind, double intensity) {
+  workload::RackMeta rack;
+  rack.rack_id = 1;
+  rack.region = workload::RegionId::kRegA;
+  rack.intensity = intensity;
+  rack.server_service.assign(92, 0);
+  rack.server_kind.assign(92, kind);
+
+  fleet::FleetConfig cfg;
+  cfg.samples_per_run = 1000;
+  cfg.warmup_ms = 100;
+  cfg.buffer.alpha = alpha;
+
+  // Average over a few seeds so the comparison is not one lucky draw.
+  double drops = 0, ecn = 0, bytes = 0;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    fleet::FluidRack fluid(rack, cfg, /*hour=*/6, util::Rng(seed));
+    const auto res = fluid.run();
+    drops += static_cast<double>(res.drop_bytes);
+    ecn += static_cast<double>(res.ecn_bytes);
+    bytes += static_cast<double>(res.delivered_bytes);
+  }
+  return {drops / (bytes / 1e9), ecn / (bytes / 1e9)};
+}
+
+}  // namespace
+
+int main() {
+  std::cout
+      << "DT alpha ablation on a 92-server rack (fluid model, busy hour).\n"
+         "typical = cache-style incast workload; ml-dense = adaptive ML "
+         "workload.\n\n";
+  util::Table table({"alpha", "typical loss (KB/GB)", "typical ECN (MB/GB)",
+                     "ml-dense loss (KB/GB)", "ml-dense ECN (MB/GB)"});
+  for (double alpha : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const Outcome typical = run(alpha, workload::TaskKind::kCache, 1.6);
+    const Outcome ml = run(alpha, workload::TaskKind::kMlTraining, 1.0);
+    table.row()
+        .cell(alpha, 2)
+        .cell(typical.loss_per_gb / 1e3, 2)
+        .cell(typical.ecn_per_gb / 1e6, 2)
+        .cell(ml.loss_per_gb / 1e3, 2)
+        .cell(ml.ecn_per_gb / 1e6, 2);
+  }
+  table.print(std::cout);
+  std::cout
+      << "\n§2.2/§9 takeaway: alpha matters most at low contention — the "
+         "ML-dense rack\n(persistently high contention) is barely "
+         "sensitive, while the incast-heavy rack\ntrades loss against "
+         "fairness as alpha grows.  This is why the paper argues for\n"
+         "per-rack-group buffer configurations rather than one fleet-wide "
+         "alpha.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Incast study: sweep the fan-in degree of a synchronized incast into one
+// rack server and watch what the paper's loss analysis predicts — ECN
+// absorbs small fan-ins, while large fan-ins overflow the shared buffer
+// even though each sender's window is tiny (§3, §8.2).
+//
+//   $ ./build/examples/incast_study
+#include <iostream>
+
+#include "net/topology.h"
+#include "transport/transport_host.h"
+#include "util/table.h"
+#include "workload/incast.h"
+
+using namespace msamp;
+
+namespace {
+
+struct Result {
+  int fanout;
+  double completion_ms;
+  std::int64_t retx_bytes;
+  std::uint64_t timeouts;
+  std::int64_t switch_drops;
+  std::int64_t ce_bytes;
+};
+
+Result run_incast(int fanout, std::int64_t bytes_per_sender) {
+  sim::Simulator simulator;
+  net::RackConfig rack_cfg;
+  rack_cfg.num_servers = 1;
+  rack_cfg.num_remote_hosts = fanout;
+  net::Rack rack(simulator, rack_cfg);
+
+  transport::TransportHost receiver(rack.server(0));
+  std::vector<std::unique_ptr<transport::TransportHost>> remotes;
+  std::vector<transport::TransportHost*> senders;
+  for (int i = 0; i < fanout; ++i) {
+    remotes.push_back(
+        std::make_unique<transport::TransportHost>(rack.remote(i)));
+    senders.push_back(remotes.back().get());
+  }
+
+  workload::IncastConfig cfg;
+  cfg.bytes_per_sender = bytes_per_sender;
+  workload::IncastDriver incast(simulator, senders, receiver, 1000, cfg);
+
+  sim::SimTime done_at = 0;
+  incast.trigger([&] { done_at = simulator.now(); });
+  simulator.run();
+
+  const auto& counters = rack.tor().mmu().counters(0);
+  return {fanout,
+          sim::to_ms(done_at),
+          incast.total_retx_bytes(),
+          incast.total_timeouts(),
+          counters.dropped_bytes,
+          counters.ce_marked_bytes};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Synchronized incast into one 12.5G server queue "
+               "(64KB per sender), ToR per §3:\n"
+               "16MB shared buffer, DT alpha=1, 120KB ECN threshold.\n\n";
+  util::Table table({"fan-in", "completion (ms)", "CE-marked (KB)",
+                     "switch drops (KB)", "retx (KB)", "timeouts"});
+  for (int fanout : {4, 8, 16, 32, 64, 128, 256}) {
+    const Result r = run_incast(fanout, 64 << 10);
+    table.row()
+        .cell(static_cast<long long>(r.fanout))
+        .cell(r.completion_ms, 2)
+        .cell(static_cast<double>(r.ce_bytes) / 1024.0, 1)
+        .cell(static_cast<double>(r.switch_drops) / 1024.0, 1)
+        .cell(static_cast<double>(r.retx_bytes) / 1024.0, 1)
+        .cell(static_cast<unsigned long long>(r.timeouts));
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nReading the table: moderate fan-ins are absorbed by ECN "
+         "(marks but no drops);\nheavy incast overflows the DT limit even "
+         "with one congestion window per sender —\nthe regime the paper "
+         "identifies as the dominant loss pattern.\n";
+  return 0;
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full local check: configure, build, run the test suite, then regenerate
+# every table/figure of the paper (CSV output under bench_out/).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/bench_*; do
+  echo "== $b"
+  "$b"
+done
+for e in build/examples/*; do
+  [ -x "$e" ] && { echo "== $e"; "$e" > /dev/null; }
+done
+echo "ALL CHECKS PASSED"

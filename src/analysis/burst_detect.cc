@@ -1,0 +1,37 @@
+#include "analysis/burst_detect.h"
+
+namespace msamp::analysis {
+
+std::int64_t burst_threshold_bytes(const BurstDetectConfig& config) {
+  return static_cast<std::int64_t>(
+      config.threshold_frac * sim::bytes_in(config.interval,
+                                            config.line_rate_gbps));
+}
+
+bool is_bursty_sample(const core::BucketSample& sample,
+                      const BurstDetectConfig& config) {
+  return sample.in_bytes > burst_threshold_bytes(config);
+}
+
+std::vector<Burst> detect_bursts(std::span<const core::BucketSample> series,
+                                 const BurstDetectConfig& config) {
+  const std::int64_t threshold = burst_threshold_bytes(config);
+  std::vector<Burst> bursts;
+  bool open = false;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (series[i].in_bytes > threshold) {
+      if (open) {
+        bursts.back().len += 1;
+        bursts.back().volume_bytes += series[i].in_bytes;
+      } else {
+        bursts.push_back({i, 1, series[i].in_bytes});
+        open = true;
+      }
+    } else {
+      open = false;
+    }
+  }
+  return bursts;
+}
+
+}  // namespace msamp::analysis

@@ -1,0 +1,56 @@
+#include "analysis/burst_stats.h"
+
+namespace msamp::analysis {
+
+ServerRunStats server_run_stats(std::span<const core::BucketSample> series,
+                                std::span<const Burst> bursts,
+                                const BurstDetectConfig& config) {
+  ServerRunStats out;
+  if (series.empty()) return out;
+
+  std::vector<bool> in_burst(series.size(), false);
+  for (const auto& b : bursts) {
+    for (std::size_t k = b.start; k < b.start + b.len && k < series.size(); ++k) {
+      in_burst[k] = true;
+    }
+    out.burst_in_bytes += b.volume_bytes;
+  }
+  out.num_bursts = bursts.size();
+  out.bursty = !bursts.empty();
+
+  const double capacity =
+      sim::bytes_in(config.interval, config.line_rate_gbps);
+  double util_sum = 0.0, util_in = 0.0, util_out = 0.0;
+  double conns_in = 0.0, conns_out = 0.0;
+  std::size_t n_in = 0, n_out = 0;
+  for (std::size_t k = 0; k < series.size(); ++k) {
+    const double u = static_cast<double>(series[k].in_bytes) / capacity;
+    util_sum += u;
+    out.total_in_bytes += series[k].in_bytes;
+    if (in_burst[k]) {
+      util_in += u;
+      conns_in += series[k].connections;
+      ++n_in;
+    } else {
+      util_out += u;
+      conns_out += series[k].connections;
+      ++n_out;
+    }
+  }
+  out.avg_util = util_sum / static_cast<double>(series.size());
+  if (n_in > 0) {
+    out.util_inside = util_in / static_cast<double>(n_in);
+    out.conns_inside = conns_in / static_cast<double>(n_in);
+  }
+  if (n_out > 0) {
+    out.util_outside = util_out / static_cast<double>(n_out);
+    out.conns_outside = conns_out / static_cast<double>(n_out);
+  }
+  const double run_sec = sim::to_sec(config.interval) *
+                         static_cast<double>(series.size());
+  out.bursts_per_sec =
+      run_sec > 0.0 ? static_cast<double>(bursts.size()) / run_sec : 0.0;
+  return out;
+}
+
+}  // namespace msamp::analysis

@@ -1,0 +1,32 @@
+// Per-server-run statistics (§6): utilization inside/outside bursts, burst
+// frequency, and connection counts inside/outside bursts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "analysis/burst_detect.h"
+
+namespace msamp::analysis {
+
+/// Aggregated view of one server's run.
+struct ServerRunStats {
+  bool bursty = false;          ///< at least one burst in the run
+  double avg_util = 0.0;        ///< mean ingress utilization over the run
+  double util_inside = 0.0;     ///< mean utilization within burst samples
+  double util_outside = 0.0;    ///< mean utilization outside bursts
+  double bursts_per_sec = 0.0;
+  double conns_inside = 0.0;    ///< mean estimated connections in bursts
+  double conns_outside = 0.0;
+  std::int64_t total_in_bytes = 0;
+  std::int64_t burst_in_bytes = 0;  ///< ingress bytes inside bursts
+  std::size_t num_bursts = 0;
+};
+
+/// Computes run stats given the (already detected) bursts of the series.
+ServerRunStats server_run_stats(std::span<const core::BucketSample> series,
+                                std::span<const Burst> bursts,
+                                const BurstDetectConfig& config);
+
+}  // namespace msamp::analysis

@@ -1,0 +1,84 @@
+#include "analysis/diagnose.h"
+
+#include <algorithm>
+
+#include "analysis/burst_stats.h"
+#include "analysis/contention.h"
+
+namespace msamp::analysis {
+
+std::vector<std::size_t> find_stall_artifacts(
+    std::span<const core::BucketSample> series,
+    const DiagnoseConfig& config) {
+  std::vector<std::size_t> spikes;
+  const double capacity =
+      sim::bytes_in(config.burst.interval, config.burst.line_rate_gbps);
+  const auto spike_threshold =
+      static_cast<std::int64_t>(config.stall_spike_factor * capacity);
+  int gap = 0;
+  for (std::size_t k = 0; k < series.size(); ++k) {
+    if (series[k].in_bytes == 0) {
+      ++gap;
+      continue;
+    }
+    // A bucket above line rate can only be a catch-up batch (the NIC
+    // cannot deliver faster than the wire); preceded by a silent gap it
+    // is the §4.6 kernel-stall signature.
+    if (gap >= config.stall_min_gap && series[k].in_bytes > spike_threshold) {
+      spikes.push_back(k);
+    }
+    gap = 0;
+  }
+  return spikes;
+}
+
+RackDiagnosis diagnose(const core::SyncRun& run,
+                       const DiagnoseConfig& config) {
+  RackDiagnosis out;
+  const auto contention = contention_series(run, config.burst);
+  const auto summary = summarize_contention(contention);
+  out.avg_contention = summary.avg;
+  if (!contention.empty()) {
+    const auto it = std::max_element(contention.begin(), contention.end());
+    out.worst_sample = static_cast<std::size_t>(it - contention.begin());
+    out.worst_contention = *it;
+    out.worst_queue_share =
+        queue_share_at_contention(config.dt_alpha, *it);
+  }
+
+  out.servers.reserve(run.num_servers());
+  for (std::size_t s = 0; s < run.num_servers(); ++s) {
+    const auto& series = run.series[s];
+    ServerDiagnosis diag;
+    diag.server = s;
+    const auto bursts = detect_bursts(series, config.burst);
+    const auto stats = server_run_stats(series, bursts, config.burst);
+    const auto lossy = lossy_bursts(series, bursts, config.loss);
+    diag.bursts = bursts.size();
+    diag.lossy_bursts =
+        static_cast<std::size_t>(std::count(lossy.begin(), lossy.end(), true));
+    diag.avg_util = stats.avg_util;
+    diag.conns_inside = stats.conns_inside;
+    diag.pattern = bursts.empty() ? TrafficPattern::kIdle
+                   : stats.conns_inside >= config.incast_conns
+                       ? TrafficPattern::kHeavyIncast
+                       : TrafficPattern::kFanOut;
+    diag.stall_artifacts = find_stall_artifacts(series, config);
+    out.measurement_artifacts |= !diag.stall_artifacts.empty();
+    out.servers.push_back(std::move(diag));
+  }
+
+  // Loss hotspots: top servers by lossy-burst count.
+  std::vector<std::size_t> order(out.servers.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return out.servers[a].lossy_bursts > out.servers[b].lossy_bursts;
+  });
+  for (std::size_t i = 0; i < order.size() && i < 5; ++i) {
+    if (out.servers[order[i]].lossy_bursts == 0) break;
+    out.loss_hotspots.push_back(order[i]);
+  }
+  return out;
+}
+
+}  // namespace msamp::analysis

@@ -1,0 +1,79 @@
+// Structured rack diagnosis: the §1/§4.2 troubleshooting workflow
+// ("identifying difficult traffic patterns, and troubleshooting the
+// interactions between application behavior and the network") as a library
+// function.  Given one SyncMillisampler run it reports:
+//
+//   * the worst millisecond (peak contention) and the DT share implied;
+//   * per-server roll-ups with an incast/fan-out classification from the
+//     connection sketch (§4.2: "more connections (heavy incast) as opposed
+//     to more traffic on fewer connections");
+//   * measurement artifacts: kernel-stall signatures (§4.6 — a silent gap
+//     followed by a catch-up bucket above line rate), which would
+//     otherwise read as genuine bursts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/burst_detect.h"
+#include "analysis/loss_assoc.h"
+#include "core/sync_controller.h"
+
+namespace msamp::analysis {
+
+/// How a server's in-burst connection count classifies its traffic.
+enum class TrafficPattern {
+  kIdle,        ///< no bursts
+  kFanOut,      ///< bursts carried by a handful of fat connections
+  kHeavyIncast, ///< bursts carried by tens+ of simultaneous connections
+};
+
+/// Per-server findings.
+struct ServerDiagnosis {
+  std::size_t server = 0;
+  TrafficPattern pattern = TrafficPattern::kIdle;
+  std::size_t bursts = 0;
+  std::size_t lossy_bursts = 0;
+  double avg_util = 0.0;
+  double conns_inside = 0.0;
+  /// Sample indices where a §4.6 stall artifact was detected.
+  std::vector<std::size_t> stall_artifacts;
+};
+
+/// Whole-run findings.
+struct RackDiagnosis {
+  std::size_t worst_sample = 0;   ///< peak-contention millisecond
+  int worst_contention = 0;
+  double worst_queue_share = 0.0; ///< DT share at the worst millisecond
+  double avg_contention = 0.0;
+  std::vector<ServerDiagnosis> servers;
+
+  /// Servers whose lossy-burst count is highest, descending (<= 5).
+  std::vector<std::size_t> loss_hotspots;
+  /// True if any server shows a stall artifact.
+  bool measurement_artifacts = false;
+};
+
+/// Diagnosis knobs.
+struct DiagnoseConfig {
+  BurstDetectConfig burst{};
+  LossAssocConfig loss{};
+  double dt_alpha = 1.0;
+  /// Incast threshold on mean in-burst connections.
+  double incast_conns = 30.0;
+  /// Stall artifact: at least this many consecutive all-zero samples...
+  int stall_min_gap = 2;
+  /// ...followed by a bucket above this multiple of line-rate capacity
+  /// (only offloaded catch-up batches can exceed line rate at 1ms).
+  double stall_spike_factor = 1.2;
+};
+
+/// Runs the full diagnosis.
+RackDiagnosis diagnose(const core::SyncRun& run, const DiagnoseConfig& config);
+
+/// Stall-artifact scan of a single series; exposed for tests.  Returns the
+/// sample indices of catch-up spikes.
+std::vector<std::size_t> find_stall_artifacts(
+    std::span<const core::BucketSample> series, const DiagnoseConfig& config);
+
+}  // namespace msamp::analysis

@@ -1,0 +1,43 @@
+#include "analysis/loss_assoc.h"
+
+namespace msamp::analysis {
+
+std::vector<bool> lossy_bursts(std::span<const core::BucketSample> series,
+                               std::span<const Burst> bursts,
+                               const LossAssocConfig& config) {
+  // Shift the retx series back by the RTT so repairs line up with the
+  // bursts that caused the losses.
+  std::vector<std::int64_t> retx(series.size(), 0);
+  for (std::size_t k = 0; k < series.size(); ++k) {
+    const std::int64_t shifted =
+        static_cast<std::int64_t>(k) - config.rtt_shift_samples;
+    const std::size_t at = shifted < 0 ? 0 : static_cast<std::size_t>(shifted);
+    retx[at] += series[k].in_retx_bytes;
+  }
+  // Prefix sums for O(1) window queries.
+  std::vector<std::int64_t> prefix(series.size() + 1, 0);
+  for (std::size_t k = 0; k < series.size(); ++k) {
+    prefix[k + 1] = prefix[k] + retx[k];
+  }
+
+  std::vector<bool> lossy(bursts.size(), false);
+  for (std::size_t i = 0; i < bursts.size(); ++i) {
+    const std::size_t lo = bursts[i].start;
+    std::size_t hi = bursts[i].start + bursts[i].len +
+                     static_cast<std::size_t>(config.lag_samples);
+    hi = std::min(hi, series.size());
+    // Do not attribute past the start of the next burst: its own repairs
+    // belong to it.
+    if (i + 1 < bursts.size()) hi = std::min(hi, bursts[i + 1].start);
+    if (lo < hi) lossy[i] = prefix[hi] - prefix[lo] > 0;
+  }
+  return lossy;
+}
+
+std::int64_t total_retx_bytes(std::span<const core::BucketSample> series) {
+  std::int64_t total = 0;
+  for (const auto& s : series) total += s.in_retx_bytes;
+  return total;
+}
+
+}  // namespace msamp::analysis

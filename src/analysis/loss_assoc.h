@@ -1,0 +1,33 @@
+// Loss association (§4.6, §8): Millisampler observes retransmissions when
+// losses are *repaired*, not when they occur, so retransmitted bytes are
+// shifted back in time before being attributed to a burst.  A burst is
+// "lossy" if shifted retransmission bytes land inside it (or within a short
+// trailing lag window covering timeout-based repair).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/burst_detect.h"
+
+namespace msamp::analysis {
+
+/// Attribution parameters.
+struct LossAssocConfig {
+  /// Samples to shift the retransmission series back (≈ one RTT at 1ms
+  /// buckets this is one sample).
+  int rtt_shift_samples = 1;
+  /// Extra trailing samples after a burst still attributed to it (fast
+  /// retransmit + requeue can repair several ms after the overflow).
+  int lag_samples = 8;
+};
+
+/// Marks each burst lossy/not: lossy[i] corresponds to bursts[i].
+std::vector<bool> lossy_bursts(std::span<const core::BucketSample> series,
+                               std::span<const Burst> bursts,
+                               const LossAssocConfig& config);
+
+/// Total retransmitted ingress bytes in the series.
+std::int64_t total_retx_bytes(std::span<const core::BucketSample> series);
+
+}  // namespace msamp::analysis

@@ -1,0 +1,24 @@
+#include "analysis/rack_classify.h"
+
+namespace msamp::analysis {
+
+std::string_view rack_class_name(RackClass c) {
+  switch (c) {
+    case RackClass::kRegATypical:
+      return "RegA-Typical";
+    case RackClass::kRegAHigh:
+      return "RegA-High";
+    case RackClass::kRegB:
+      return "RegB";
+  }
+  return "?";
+}
+
+RackClass classify_rack(workload::RegionId region, double busy_hour_avg,
+                        const ClassifyConfig& config) {
+  if (region == workload::RegionId::kRegB) return RackClass::kRegB;
+  return busy_hour_avg > config.high_threshold ? RackClass::kRegAHigh
+                                               : RackClass::kRegATypical;
+}
+
+}  // namespace msamp::analysis

@@ -1,0 +1,30 @@
+// Rack classification (§7.1 / §8.1): RegA's busy-hour contention is
+// bimodal, so racks split into RegA-Typical (low/moderate contention) and
+// RegA-High (ML-dense, high contention); all RegB racks form one class.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "workload/region_id.h"
+
+namespace msamp::analysis {
+
+/// The three rack classes of Table 2.
+enum class RackClass { kRegATypical = 0, kRegAHigh, kRegB };
+inline constexpr int kNumRackClasses = 3;
+
+std::string_view rack_class_name(RackClass c);
+
+/// Classification parameters: the bimodal split threshold on busy-hour
+/// average contention (Figure 9's gap sits between ~2.2 and ~7.5; the
+/// paper labels the top 20% as RegA-High).
+struct ClassifyConfig {
+  double high_threshold = 5.0;
+};
+
+/// Classifies one rack by region and busy-hour average contention.
+RackClass classify_rack(workload::RegionId region, double busy_hour_avg,
+                        const ClassifyConfig& config = {});
+
+}  // namespace msamp::analysis

@@ -1,0 +1,41 @@
+// Trace import/export: SyncMillisampler runs as portable CSV.
+//
+// The paper's authors released their (anonymized) dataset; this module lets
+// the analysis pipeline ingest externally collected per-server bucket
+// series (and export simulated ones in the same schema), decoupling the
+// §5-§8 analyses from the simulator.
+//
+// Schema (one file per sync run):
+//   # msamp-sync-trace v1 interval_ns=<int> grid_start_ns=<int>
+//   server,sample,in_bytes,in_retx_bytes,out_bytes,out_retx_bytes,
+//       in_ecn_bytes,connections            (one header row, 8 columns)
+//   0,0,1048576,0,32768,0,0,12.5
+//   ...
+// Rows may omit all-zero samples; series lengths are implied by the max
+// sample index seen (plus explicit rows), and every server listed in at
+// least one row gets a full-length series.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/sync_controller.h"
+
+namespace msamp::analysis {
+
+/// Writes `run` as CSV.  All-zero samples are skipped (sparse encoding).
+void write_sync_trace(const core::SyncRun& run, std::ostream& os);
+
+/// Convenience: writes to `path`, creating parent directories.
+bool write_sync_trace_file(const core::SyncRun& run, const std::string& path);
+
+/// Parses a trace produced by `write_sync_trace` (or hand-authored in the
+/// same schema).  Returns nullopt on malformed input.  Servers appear in
+/// first-row order; missing samples are zero.
+std::optional<core::SyncRun> read_sync_trace(std::istream& is);
+
+/// Convenience: reads from `path`.
+std::optional<core::SyncRun> read_sync_trace_file(const std::string& path);
+
+}  // namespace msamp::analysis

@@ -1,0 +1,25 @@
+#include "core/clock_model.h"
+
+#include <algorithm>
+
+namespace msamp::core {
+
+ClockModel::ClockModel(const ClockModelConfig& config, int num_hosts,
+                       util::Rng& rng) {
+  offsets_.reserve(static_cast<std::size_t>(num_hosts));
+  for (int i = 0; i < num_hosts; ++i) {
+    const double draw =
+        rng.normal(0.0, static_cast<double>(config.offset_stddev));
+    const auto clamped = std::clamp(
+        static_cast<sim::SimDuration>(draw), -config.offset_max,
+        config.offset_max);
+    offsets_.push_back(clamped);
+  }
+}
+
+ClockModel ClockModel::ideal(int num_hosts) {
+  return ClockModel(
+      std::vector<sim::SimDuration>(static_cast<std::size_t>(num_hosts), 0));
+}
+
+}  // namespace msamp::core

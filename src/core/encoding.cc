@@ -1,0 +1,121 @@
+#include "core/encoding.h"
+
+#include <cmath>
+
+namespace msamp::core {
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::optional<std::uint64_t> get_varint(const std::vector<std::uint8_t>& in,
+                                        std::size_t& pos) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (pos < in.size()) {
+    const std::uint8_t byte = in[pos++];
+    if (shift >= 63 && byte > 1) return std::nullopt;  // overflow
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+    if (shift > 63) return std::nullopt;
+  }
+  return std::nullopt;  // truncated
+}
+
+namespace {
+
+constexpr std::uint8_t kMagic = 0xc5;
+constexpr std::uint8_t kVersion = 1;
+
+bool is_zero(const BucketSample& b) {
+  return b.in_bytes == 0 && b.in_retx_bytes == 0 && b.out_bytes == 0 &&
+         b.out_retx_bytes == 0 && b.in_ecn_bytes == 0 && b.connections == 0.0;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress_run(const RunRecord& record) {
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + record.buckets.size() * 4);
+  out.push_back(kMagic);
+  out.push_back(kVersion);
+  put_varint(out, record.host);
+  put_varint(out, zigzag(record.start));
+  put_varint(out, static_cast<std::uint64_t>(record.interval));
+  put_varint(out, record.buckets.size());
+
+  std::size_t i = 0;
+  while (i < record.buckets.size()) {
+    // Token = (zero-run length, then one non-zero bucket if any remain).
+    std::size_t zrun = 0;
+    while (i + zrun < record.buckets.size() &&
+           is_zero(record.buckets[i + zrun])) {
+      ++zrun;
+    }
+    put_varint(out, zrun);
+    i += zrun;
+    if (i >= record.buckets.size()) break;
+    const BucketSample& b = record.buckets[i++];
+    put_varint(out, static_cast<std::uint64_t>(b.in_bytes));
+    put_varint(out, static_cast<std::uint64_t>(b.in_retx_bytes));
+    put_varint(out, static_cast<std::uint64_t>(b.out_bytes));
+    put_varint(out, static_cast<std::uint64_t>(b.out_retx_bytes));
+    put_varint(out, static_cast<std::uint64_t>(b.in_ecn_bytes));
+    // Connection estimates keep 3 decimal places — far beyond the
+    // sketch's own precision.
+    put_varint(out, static_cast<std::uint64_t>(
+                        std::llround(b.connections * 1000.0)));
+  }
+  return out;
+}
+
+std::optional<RunRecord> decompress_run(
+    const std::vector<std::uint8_t>& blob) {
+  std::size_t pos = 0;
+  if (blob.size() < 2 || blob[pos++] != kMagic) return std::nullopt;
+  if (blob[pos++] != kVersion) return std::nullopt;
+  RunRecord record;
+  const auto host = get_varint(blob, pos);
+  const auto start = get_varint(blob, pos);
+  const auto interval = get_varint(blob, pos);
+  const auto count = get_varint(blob, pos);
+  if (!host || !start || !interval || !count) return std::nullopt;
+  if (*interval == 0 || *count > 1u << 24) return std::nullopt;
+  record.host = static_cast<net::HostId>(*host);
+  record.start = unzigzag(*start);
+  record.interval = static_cast<sim::SimDuration>(*interval);
+  record.buckets.resize(static_cast<std::size_t>(*count));
+
+  std::size_t i = 0;
+  while (i < record.buckets.size()) {
+    const auto zrun = get_varint(blob, pos);
+    if (!zrun || *zrun > record.buckets.size() - i) return std::nullopt;
+    i += static_cast<std::size_t>(*zrun);  // zero buckets already default
+    if (i >= record.buckets.size()) break;
+    BucketSample& b = record.buckets[i++];
+    const auto in = get_varint(blob, pos);
+    const auto in_retx = get_varint(blob, pos);
+    const auto out = get_varint(blob, pos);
+    const auto out_retx = get_varint(blob, pos);
+    const auto ecn = get_varint(blob, pos);
+    const auto conns = get_varint(blob, pos);
+    if (!in || !in_retx || !out || !out_retx || !ecn || !conns) {
+      return std::nullopt;
+    }
+    b.in_bytes = static_cast<std::int64_t>(*in);
+    b.in_retx_bytes = static_cast<std::int64_t>(*in_retx);
+    b.out_bytes = static_cast<std::int64_t>(*out);
+    b.out_retx_bytes = static_cast<std::int64_t>(*out_retx);
+    b.in_ecn_bytes = static_cast<std::int64_t>(*ecn);
+    b.connections = static_cast<double>(*conns) / 1000.0;
+  }
+  if (pos != blob.size()) return std::nullopt;
+  return record;
+}
+
+}  // namespace msamp::core

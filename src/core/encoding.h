@@ -1,0 +1,42 @@
+// Compact encoding for stored run records (§4.1: runs are "compressed and
+// stored on the host for about a week").  Millisampler data is sparse —
+// most buckets on a mostly-idle server-link are zero, and counters are
+// small relative to 64 bits — so the codec combines:
+//   * LEB128 varints for all integer fields;
+//   * zero-run-length tokens for stretches of all-zero buckets.
+// A week of periodic runs compresses to a few percent of the raw size on
+// typical links, matching the "few hundred megabytes" the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/run_record.h"
+
+namespace msamp::core {
+
+/// Appends `value` as a LEB128 varint.
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value);
+
+/// Reads a varint at `pos`; returns nullopt on truncation/overflow.
+std::optional<std::uint64_t> get_varint(const std::vector<std::uint8_t>& in,
+                                        std::size_t& pos);
+
+/// ZigZag helpers for signed fields.
+constexpr std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+constexpr std::int64_t unzigzag(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// Encodes a run record compactly (zero-run + varint).
+std::vector<std::uint8_t> compress_run(const RunRecord& record);
+
+/// Decodes a `compress_run` blob; returns nullopt on malformed input.
+std::optional<RunRecord> decompress_run(const std::vector<std::uint8_t>& blob);
+
+}  // namespace msamp::core

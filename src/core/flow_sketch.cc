@@ -1,0 +1,41 @@
+#include "core/flow_sketch.h"
+
+#include <bit>
+#include <cmath>
+
+namespace msamp::core {
+namespace {
+
+// Finalizer from MurmurHash3; good avalanche for sequential flow ids.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+void FlowSketch::add(std::uint64_t flow_id) noexcept {
+  const std::uint64_t h = mix(flow_id);
+  const unsigned bit = static_cast<unsigned>(h & 127u);
+  words_[bit >> 6] |= 1ULL << (bit & 63u);
+}
+
+int FlowSketch::popcount() const noexcept {
+  return std::popcount(words_[0]) + std::popcount(words_[1]);
+}
+
+double FlowSketch::estimate() const noexcept {
+  const int zeros = kBits - popcount();
+  if (zeros == 0) {
+    // Fully saturated: report the maximum resolvable estimate.
+    return -static_cast<double>(kBits) * std::log(1.0 / kBits);
+  }
+  return -static_cast<double>(kBits) *
+         std::log(static_cast<double>(zeros) / kBits);
+}
+
+}  // namespace msamp::core

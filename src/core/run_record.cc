@@ -1,0 +1,87 @@
+#include "core/run_record.h"
+
+#include <cstring>
+
+namespace msamp::core {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4d53414d;  // "MSAM"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  const auto old = out.size();
+  out.resize(old + sizeof(T));
+  std::memcpy(out.data() + old, &value, sizeof(T));
+}
+
+template <typename T>
+bool get(const std::vector<std::uint8_t>& in, std::size_t& pos, T* value) {
+  if (pos + sizeof(T) > in.size()) return false;
+  std::memcpy(value, in.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+double RunRecord::ingress_utilization(std::size_t i,
+                                      double line_rate_gbps) const {
+  const double capacity = sim::bytes_in(interval, line_rate_gbps);
+  if (capacity <= 0.0 || i >= buckets.size()) return 0.0;
+  return static_cast<double>(buckets[i].in_bytes) / capacity;
+}
+
+std::int64_t RunRecord::total_ingress_bytes() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& b : buckets) total += b.in_bytes;
+  return total;
+}
+
+std::vector<std::uint8_t> RunRecord::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(32 + buckets.size() * 48);
+  put(out, kMagic);
+  put(out, kVersion);
+  put(out, static_cast<std::uint32_t>(host));
+  put(out, static_cast<std::int64_t>(start));
+  put(out, static_cast<std::int64_t>(interval));
+  put(out, static_cast<std::uint64_t>(buckets.size()));
+  for (const auto& b : buckets) {
+    put(out, b.in_bytes);
+    put(out, b.in_retx_bytes);
+    put(out, b.out_bytes);
+    put(out, b.out_retx_bytes);
+    put(out, b.in_ecn_bytes);
+    put(out, b.connections);
+  }
+  return out;
+}
+
+bool RunRecord::deserialize(const std::vector<std::uint8_t>& blob) {
+  std::size_t pos = 0;
+  std::uint32_t magic = 0, version = 0, host32 = 0;
+  std::int64_t start64 = 0, interval64 = 0;
+  std::uint64_t count = 0;
+  if (!get(blob, pos, &magic) || magic != kMagic) return false;
+  if (!get(blob, pos, &version) || version != kVersion) return false;
+  if (!get(blob, pos, &host32)) return false;
+  if (!get(blob, pos, &start64)) return false;
+  if (!get(blob, pos, &interval64) || interval64 <= 0) return false;
+  if (!get(blob, pos, &count)) return false;
+  if (count > (blob.size() - pos) / 48) return false;  // reject bogus sizes
+  host = static_cast<net::HostId>(host32);
+  start = start64;
+  interval = interval64;
+  buckets.assign(static_cast<std::size_t>(count), BucketSample{});
+  for (auto& b : buckets) {
+    if (!get(blob, pos, &b.in_bytes) || !get(blob, pos, &b.in_retx_bytes) ||
+        !get(blob, pos, &b.out_bytes) || !get(blob, pos, &b.out_retx_bytes) ||
+        !get(blob, pos, &b.in_ecn_bytes) || !get(blob, pos, &b.connections)) {
+      return false;
+    }
+  }
+  return pos == blob.size();
+}
+
+}  // namespace msamp::core

@@ -1,0 +1,48 @@
+// The stored artifact of one Millisampler run: start time, sampling
+// interval, and the aggregated per-bucket samples.  Run records are what
+// the user-space daemon compresses to local disk (§4.1) and what
+// SyncMillisampler's control plane fetches and aligns (§4.4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/counters.h"
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace msamp::core {
+
+/// One completed (or empty) Millisampler run on one host.
+struct RunRecord {
+  net::HostId host = net::kNoHost;
+  /// Host-clock time of the first packet; -1 if no packet arrived (the run
+  /// never started).
+  sim::SimTime start = -1;
+  sim::SimDuration interval = sim::kMillisecond;
+  std::vector<BucketSample> buckets;
+
+  bool valid() const noexcept { return start >= 0 && !buckets.empty(); }
+
+  /// Run length covered by the buckets.
+  sim::SimDuration duration() const noexcept {
+    return interval * static_cast<sim::SimDuration>(buckets.size());
+  }
+
+  /// Ingress utilization of bucket `i` as a fraction of `line_rate_gbps`.
+  double ingress_utilization(std::size_t i, double line_rate_gbps) const;
+
+  /// Total ingress bytes across all buckets.
+  std::int64_t total_ingress_bytes() const noexcept;
+
+  /// Serializes to a compact binary blob (the "compressed on local disk"
+  /// stand-in; framing + varint-free fixed-width fields).
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Parses a blob produced by `serialize`.  Returns false on malformed
+  /// input (leaving *this unspecified).
+  bool deserialize(const std::vector<std::uint8_t>& blob);
+};
+
+}  // namespace msamp::core

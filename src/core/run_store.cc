@@ -1,0 +1,112 @@
+#include "core/run_store.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace msamp::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::optional<RunRecord> load_blob(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::uint8_t> blob(size);
+  in.read(reinterpret_cast<char*>(blob.data()),
+          static_cast<std::streamsize>(size));
+  if (!in) return std::nullopt;
+  return decompress_run(blob);
+}
+
+}  // namespace
+
+RunStore::RunStore(const RunStoreConfig& config) : config_(config) {
+  std::error_code ec;
+  fs::create_directories(config_.directory, ec);
+}
+
+bool RunStore::put(const RunRecord& record) {
+  if (!record.valid()) return false;
+  char name[96];
+  std::snprintf(name, sizeof(name), "run_%020" PRId64 "_%" PRId64 ".msr",
+                record.start, record.interval);
+  const auto blob = compress_run(record);
+  std::ofstream out(fs::path(config_.directory) / name, std::ios::binary);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  return static_cast<bool>(out);
+}
+
+std::vector<RunStore::Entry> RunStore::entries() const {
+  std::vector<Entry> out;
+  std::error_code ec;
+  for (const auto& dirent : fs::directory_iterator(config_.directory, ec)) {
+    const std::string name = dirent.path().filename().string();
+    std::int64_t start = 0, interval = 0;
+    if (std::sscanf(name.c_str(), "run_%20" SCNd64 "_%" SCNd64 ".msr", &start,
+                    &interval) != 2) {
+      continue;  // foreign file
+    }
+    std::error_code size_ec;
+    const auto bytes = fs::file_size(dirent.path(), size_ec);
+    out.push_back({start, interval, dirent.path().string(),
+                   size_ec ? 0 : static_cast<std::size_t>(bytes)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.start < b.start; });
+  return out;
+}
+
+std::vector<RunRecord> RunStore::query(sim::SimTime from,
+                                       sim::SimTime to) const {
+  std::vector<RunRecord> out;
+  for (const auto& entry : entries()) {
+    if (entry.start < from || entry.start >= to) continue;
+    if (auto record = load_blob(entry.path)) out.push_back(std::move(*record));
+  }
+  return out;
+}
+
+std::optional<RunRecord> RunStore::get(sim::SimTime start) const {
+  for (const auto& entry : entries()) {
+    if (entry.start == start) return load_blob(entry.path);
+  }
+  return std::nullopt;
+}
+
+std::size_t RunStore::sweep(sim::SimTime now) {
+  std::size_t removed = 0;
+  auto all = entries();
+  std::size_t total = 0;
+  for (const auto& entry : all) total += entry.bytes;
+
+  std::error_code ec;
+  std::size_t keep_from = 0;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const bool too_old = all[i].start < now - config_.retention;
+    const bool over_budget = total > config_.max_bytes;
+    if (!too_old && !over_budget) break;
+    fs::remove(all[i].path, ec);
+    total -= all[i].bytes;
+    ++removed;
+    keep_from = i + 1;
+  }
+  (void)keep_from;
+  return removed;
+}
+
+std::size_t RunStore::size() const { return entries().size(); }
+
+std::size_t RunStore::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& entry : entries()) total += entry.bytes;
+  return total;
+}
+
+}  // namespace msamp::core

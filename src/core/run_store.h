@@ -1,0 +1,76 @@
+// On-host persistent store for Millisampler runs (§4.1-§4.2): the user-
+// space daemon compresses each completed run to local disk, keeps about a
+// week of history within a byte budget, and serves runs on demand (the
+// SyncMillisampler control plane and on-call engineers both read from it).
+//
+// Layout: one file per run under `directory`, named
+//   run_<start_ns>_<interval_ns>.msr
+// containing the compress_run() blob.  Retention is enforced by `sweep`:
+// first by age, then oldest-first down to the byte budget.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/encoding.h"
+#include "core/run_record.h"
+
+namespace msamp::core {
+
+/// Store configuration; defaults mirror the paper's "about a week, a few
+/// hundred megabytes" envelope (scaled down for simulation workloads).
+struct RunStoreConfig {
+  std::string directory = "msamp_runs";
+  /// Runs whose start is older than now - retention are deleted by sweep.
+  sim::SimDuration retention = 7LL * 24 * 3600 * sim::kSecond;
+  /// Hard cap on total stored bytes (oldest runs evicted first).
+  std::size_t max_bytes = 256 << 20;
+};
+
+/// The store.  All operations are synchronous filesystem accesses; the
+/// directory is created on first use.
+class RunStore {
+ public:
+  explicit RunStore(const RunStoreConfig& config);
+
+  /// Persists a completed run.  Returns false for invalid (never-started)
+  /// runs or on I/O failure.
+  bool put(const RunRecord& record);
+
+  /// Loads every stored run whose start time lies in [from, to), sorted by
+  /// start time.  Corrupt files are skipped.
+  std::vector<RunRecord> query(sim::SimTime from, sim::SimTime to) const;
+
+  /// Loads the single run with the given exact start time, if present.
+  std::optional<RunRecord> get(sim::SimTime start) const;
+
+  /// Applies retention: deletes runs older than `now - retention`, then
+  /// evicts oldest-first until within the byte budget.  Returns the number
+  /// of files removed.
+  std::size_t sweep(sim::SimTime now);
+
+  /// Number of stored runs.
+  std::size_t size() const;
+
+  /// Total bytes on disk.
+  std::size_t total_bytes() const;
+
+  const RunStoreConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Entry {
+    sim::SimTime start;
+    sim::SimDuration interval;
+    std::string path;
+    std::size_t bytes;
+  };
+
+  /// Scans the directory (sorted by start time).
+  std::vector<Entry> entries() const;
+
+  RunStoreConfig config_;
+};
+
+}  // namespace msamp::core

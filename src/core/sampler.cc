@@ -1,0 +1,131 @@
+#include "core/sampler.h"
+
+#include "core/encoding.h"
+
+namespace msamp::core {
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+Sampler::Sampler(sim::Simulator& simulator, net::Host& host,
+                 sim::SimDuration clock_offset, const SamplerConfig& config)
+    : simulator_(simulator),
+      host_(host),
+      clock_offset_(clock_offset),
+      config_(config),
+      filter_(config.filter) {}
+
+Sampler::~Sampler() {
+  if (active_) detach();
+  stop_periodic();
+}
+
+int Sampler::rss_cpu(const net::Packet& segment) const {
+  // RSS-style steering: a flow is pinned to one core, so the per-CPU
+  // counters of one connection never contend.
+  const std::uint64_t key =
+      segment.flow != 0
+          ? segment.flow
+          : (static_cast<std::uint64_t>(segment.src) << 32) | segment.dst;
+  return static_cast<int>(mix64(key) %
+                          static_cast<std::uint64_t>(config_.filter.num_cpus));
+}
+
+void Sampler::attach() {
+  host_.set_segment_hook([this](const net::Packet& segment, bool ingress) {
+    // Timestamp with the *host* clock; start-time skew across hosts is what
+    // SyncMillisampler's alignment has to absorb.
+    const sim::SimTime host_now = simulator_.now() + clock_offset_;
+    if (filter_.process(rss_cpu(segment), segment, ingress, host_now)) {
+      ++processed_;
+    }
+  });
+}
+
+void Sampler::detach() {
+  host_.set_segment_hook(nullptr);
+}
+
+bool Sampler::start_run(sim::SimDuration interval, RunCallback done) {
+  if (active_) return false;
+  active_ = true;
+  done_ = std::move(done);
+  attach();
+  filter_.enable(interval);
+  // User code waits the nominal run length plus a grace period, then
+  // force-stops, detaches and reads (§4.1).
+  const sim::SimDuration nominal =
+      interval * static_cast<sim::SimDuration>(config_.filter.num_buckets);
+  finish_event_ = simulator_.schedule_in(nominal + config_.grace, [this] {
+    finish_event_ = 0;
+    finish_run();
+  });
+  return true;
+}
+
+void Sampler::finish_run() {
+  filter_.disable();
+  detach();
+  RunRecord record;
+  record.host = host_.id();
+  record.start = filter_.start_time();
+  record.interval = filter_.interval();
+  record.buckets = filter_.read_aggregated();
+  history_.push_back(compress_run(record));
+  while (history_.size() > config_.history_limit) history_.pop_front();
+  if (store_ != nullptr && record.valid()) store_->put(record);
+  active_ = false;
+  if (done_) {
+    auto cb = std::move(done_);
+    done_ = nullptr;
+    cb(record);
+  }
+}
+
+void Sampler::start_periodic(sim::SimDuration period) {
+  stop_periodic();
+  periodic_period_ = period;
+  // First run immediately; each completion schedules the next.
+  const auto tick = [this](auto&& self) -> void {
+    if (!active_ && !config_.intervals.empty()) {
+      // Rotate through the configured intervals (10ms / 1ms / 100µs in
+      // the production schedule).
+      start_run(config_.intervals[next_interval_ % config_.intervals.size()],
+                nullptr);
+      ++next_interval_;
+    }
+    periodic_event_ = simulator_.schedule_in(
+        periodic_period_, [this, self]() mutable { self(self); });
+  };
+  tick(tick);
+}
+
+void Sampler::stop_periodic() {
+  if (periodic_event_ != 0) {
+    simulator_.cancel(periodic_event_);
+    periodic_event_ = 0;
+  }
+  periodic_period_ = 0;
+}
+
+RunRecord Sampler::history_run(std::size_t i) const {
+  if (i < history_.size()) {
+    if (auto record = decompress_run(history_[i])) return *record;
+  }
+  return RunRecord{};
+}
+
+std::size_t Sampler::history_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& blob : history_) total += blob.size();
+  return total;
+}
+
+}  // namespace msamp::core

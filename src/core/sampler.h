@@ -1,0 +1,110 @@
+// The user-space half of Millisampler (§4.1): attaches the tc filter to a
+// host, schedules runs, waits for completion, detaches, aggregates the
+// per-CPU counters into a RunRecord, and keeps an on-host history of
+// serialized runs (the paper keeps ~a week, compressed).
+//
+// Also supports the periodic mode in which the daemon re-schedules a run
+// every `period` ("occasional execution minimizes overhead").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+#include <functional>
+
+#include "core/clock_model.h"
+#include "core/run_record.h"
+#include "core/run_store.h"
+#include "core/tc_filter.h"
+#include "net/host.h"
+#include "sim/simulator.h"
+
+namespace msamp::core {
+
+/// Sampler daemon configuration.
+struct SamplerConfig {
+  TcFilterConfig filter;
+  /// Sampling intervals rotated across periodic runs (§4.1: the daemon
+  /// schedules 10ms, 1ms and 100µs runs; all rack-level analysis uses
+  /// 1ms).  The first entry is the default for ad-hoc runs.
+  std::vector<sim::SimDuration> intervals{sim::kMillisecond,
+                                          10 * sim::kMillisecond,
+                                          100 * sim::kMicrosecond};
+  /// Extra wall-clock wait past the nominal run duration before the user
+  /// code force-stops and reads the counters.
+  sim::SimDuration grace = 100 * sim::kMillisecond;
+  /// Number of serialized runs retained on the host.
+  std::size_t history_limit = 672;  // a week of 15-minute periodic runs
+};
+
+/// Per-host Millisampler daemon.
+class Sampler {
+ public:
+  using RunCallback = std::function<void(const RunRecord&)>;
+
+  /// `clock_offset` shifts packet timestamps into the host's own clock.
+  Sampler(sim::Simulator& simulator, net::Host& host,
+          sim::SimDuration clock_offset, const SamplerConfig& config);
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Starts one run at the given sampling interval.  Returns false if a
+  /// run is already active.  `done` fires after the counters are read.
+  bool start_run(sim::SimDuration interval, RunCallback done);
+
+  /// Begins periodic collection every `period` (first run immediately).
+  void start_periodic(sim::SimDuration period);
+  void stop_periodic();
+
+  /// True while a run is attached to the packet path.
+  bool active() const noexcept { return active_; }
+
+  /// Compressed run history, newest last (§4.1: compressed on local disk).
+  const std::deque<std::vector<std::uint8_t>>& history() const noexcept {
+    return history_;
+  }
+
+  /// Decompresses run `i` of the history (0 = oldest).
+  RunRecord history_run(std::size_t i) const;
+
+  /// Total compressed bytes held (the "few hundred megabytes per week"
+  /// budget of §4.2, scaled).
+  std::size_t history_bytes() const noexcept;
+
+  TcFilter& filter() noexcept { return filter_; }
+  net::Host& host() noexcept { return host_; }
+  sim::SimDuration clock_offset() const noexcept { return clock_offset_; }
+
+  /// Total packets inspected while enabled, for overhead accounting.
+  std::uint64_t packets_processed() const noexcept { return processed_; }
+
+  /// Attaches an on-disk store: completed runs are persisted there in
+  /// addition to the bounded in-memory history (nullptr detaches).
+  void set_store(RunStore* store) noexcept { store_ = store; }
+
+ private:
+  void attach();
+  void detach();
+  void finish_run();
+  int rss_cpu(const net::Packet& segment) const;
+
+  sim::Simulator& simulator_;
+  net::Host& host_;
+  sim::SimDuration clock_offset_;
+  SamplerConfig config_;
+  TcFilter filter_;
+
+  bool active_ = false;
+  RunCallback done_;
+  std::uint64_t finish_event_ = 0;
+  std::uint64_t periodic_event_ = 0;
+  sim::SimDuration periodic_period_ = 0;
+  std::size_t next_interval_ = 0;  ///< rotation index into config intervals
+  std::uint64_t processed_ = 0;
+  RunStore* store_ = nullptr;
+  std::deque<std::vector<std::uint8_t>> history_;
+};
+
+}  // namespace msamp::core

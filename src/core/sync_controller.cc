@@ -1,0 +1,92 @@
+#include "core/sync_controller.h"
+
+#include <algorithm>
+
+namespace msamp::core {
+
+SyncRun combine_runs(const std::vector<RunRecord>& records) {
+  SyncRun out;
+  if (records.empty()) return out;
+  out.interval = records.front().interval;
+
+  // Common window across the records that actually started: SyncMillisampler
+  // trims to the overlapping interval (§5: the average trimmed run is 1.85s
+  // of a nominal 2s).
+  sim::SimTime latest_start = -1;
+  sim::SimTime earliest_end = -1;
+  bool any = false;
+  for (const auto& r : records) {
+    if (!r.valid()) continue;
+    const sim::SimTime end = r.start + r.duration();
+    if (!any) {
+      latest_start = r.start;
+      earliest_end = end;
+      any = true;
+    } else {
+      latest_start = std::max(latest_start, r.start);
+      earliest_end = std::min(earliest_end, end);
+    }
+  }
+  if (!any || earliest_end <= latest_start) return out;
+
+  const auto n = static_cast<std::size_t>((earliest_end - latest_start) /
+                                          out.interval);
+  if (n == 0) return out;
+  out.grid_start = latest_start;
+  out.hosts.reserve(records.size());
+  out.series.reserve(records.size());
+  for (const auto& r : records) {
+    out.hosts.push_back(r.host);
+    if (r.valid()) {
+      out.series.push_back(align_series(r, out.grid_start, n));
+    } else {
+      // An idle server contributes a true all-zero series.
+      out.series.emplace_back(n);
+    }
+  }
+  return out;
+}
+
+bool SyncController::collect(sim::SimDuration interval,
+                             sim::SimDuration lead_time, Done done) {
+  if (pending_ || samplers_.empty()) return false;
+  pending_ = true;
+  done_ = std::move(done);
+  records_.clear();
+  records_.resize(samplers_.size());
+  outstanding_ = samplers_.size();
+
+  simulator_.schedule_in(lead_time, [this, interval] {
+    for (std::size_t i = 0; i < samplers_.size(); ++i) {
+      const bool ok = samplers_[i]->start_run(
+          interval, [this, i](const RunRecord& record) {
+            records_[i] = record;
+            if (--outstanding_ == 0) {
+              pending_ = false;
+              if (done_) {
+                auto cb = std::move(done_);
+                done_ = nullptr;
+                cb(combine_runs(records_));
+              }
+            }
+          });
+      if (!ok) {
+        // A periodic run was still active despite the lead time; count the
+        // server as idle rather than deadlocking the collection.
+        records_[i] = RunRecord{};
+        records_[i].host = samplers_[i]->host().id();
+        if (--outstanding_ == 0) {
+          pending_ = false;
+          if (done_) {
+            auto cb = std::move(done_);
+            done_ = nullptr;
+            cb(combine_runs(records_));
+          }
+        }
+      }
+    }
+  });
+  return true;
+}
+
+}  // namespace msamp::core

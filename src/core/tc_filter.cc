@@ -1,0 +1,115 @@
+#include "core/tc_filter.h"
+
+#include <cassert>
+
+namespace msamp::core {
+
+TcFilter::TcFilter(const TcFilterConfig& config)
+    : config_(config),
+      percpu_(static_cast<std::size_t>(config.num_cpus) *
+              static_cast<std::size_t>(config.num_buckets)) {
+  assert(config.num_cpus > 0);
+  assert(config.num_buckets > 0);
+}
+
+void TcFilter::enable(sim::SimDuration interval) {
+  assert(interval > 0);
+  for (auto& row : percpu_) row.clear();
+  interval_ = interval;
+  start_ = -1;
+  enabled_ = true;
+}
+
+bool TcFilter::process(int cpu, const net::Packet& segment, bool ingress,
+                       sim::SimTime now) {
+  if (!enabled_) return false;  // the 7ns early-out path of §4.3
+
+  // The first packet of the run latches the start time (§4.1).
+  if (start_ < 0) start_ = now;
+
+  const sim::SimTime elapsed = now - start_;
+  const auto bucket = elapsed / interval_;
+  if (bucket < 0) return false;  // clock stepped backwards; drop the sample
+  if (bucket >= config_.num_buckets) {
+    // Past the last bucket: clear the enabled flag as the completion signal
+    // and stop counting (saves future per-packet work).
+    enabled_ = false;
+    return false;
+  }
+
+  RawBucket& row = percpu_[static_cast<std::size_t>(cpu % config_.num_cpus) *
+                               static_cast<std::size_t>(config_.num_buckets) +
+                           static_cast<std::size_t>(bucket)];
+  const auto bytes = static_cast<std::uint64_t>(segment.bytes);
+  if (ingress) {
+    row.in_bytes += bytes;
+    if (segment.retx_mark) row.in_retx_bytes += bytes;
+    if (segment.ce) row.in_ecn_bytes += bytes;
+  } else {
+    row.out_bytes += bytes;
+    if (segment.retx_mark) row.out_retx_bytes += bytes;
+  }
+  if (config_.count_flows && segment.flow != 0) {
+    FlowSketch s;
+    s.set_words(row.sketch[0], row.sketch[1]);
+    s.add(segment.flow);
+    row.sketch[0] = s.word(0);
+    row.sketch[1] = s.word(1);
+  }
+  return true;
+}
+
+bool TcFilter::process_batch(int cpu, const SegmentBatch& batch,
+                             sim::SimTime now) {
+  if (!enabled_) return false;
+  if (start_ < 0) start_ = now;
+  const sim::SimTime elapsed = now - start_;
+  const auto bucket = elapsed / interval_;
+  if (bucket < 0) return false;
+  if (bucket >= config_.num_buckets) {
+    enabled_ = false;
+    return false;
+  }
+  RawBucket& row = percpu_[static_cast<std::size_t>(cpu % config_.num_cpus) *
+                               static_cast<std::size_t>(config_.num_buckets) +
+                           static_cast<std::size_t>(bucket)];
+  row.in_bytes += static_cast<std::uint64_t>(batch.in_bytes);
+  row.in_retx_bytes += static_cast<std::uint64_t>(batch.in_retx_bytes);
+  row.in_ecn_bytes += static_cast<std::uint64_t>(batch.in_ecn_bytes);
+  row.out_bytes += static_cast<std::uint64_t>(batch.out_bytes);
+  row.out_retx_bytes += static_cast<std::uint64_t>(batch.out_retx_bytes);
+  if (config_.count_flows) {
+    row.sketch[0] |= batch.sketch[0];
+    row.sketch[1] |= batch.sketch[1];
+  }
+  return true;
+}
+
+std::vector<BucketSample> TcFilter::read_aggregated() const {
+  std::vector<BucketSample> out(static_cast<std::size_t>(config_.num_buckets));
+  for (int b = 0; b < config_.num_buckets; ++b) {
+    BucketSample& s = out[static_cast<std::size_t>(b)];
+    FlowSketch sketch;
+    for (int c = 0; c < config_.num_cpus; ++c) {
+      const RawBucket& row = raw(c, b);
+      s.in_bytes += static_cast<std::int64_t>(row.in_bytes);
+      s.in_retx_bytes += static_cast<std::int64_t>(row.in_retx_bytes);
+      s.out_bytes += static_cast<std::int64_t>(row.out_bytes);
+      s.out_retx_bytes += static_cast<std::int64_t>(row.out_retx_bytes);
+      s.in_ecn_bytes += static_cast<std::int64_t>(row.in_ecn_bytes);
+      FlowSketch part;
+      part.set_words(row.sketch[0], row.sketch[1]);
+      sketch.merge(part);
+    }
+    s.connections = sketch.empty() ? 0.0 : sketch.estimate();
+  }
+  return out;
+}
+
+const RawBucket& TcFilter::raw(int cpu, int bucket) const {
+  return percpu_.at(static_cast<std::size_t>(cpu % config_.num_cpus) *
+                        static_cast<std::size_t>(config_.num_buckets) +
+                    static_cast<std::size_t>(bucket));
+}
+
+}  // namespace msamp::core

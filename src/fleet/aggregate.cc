@@ -1,0 +1,130 @@
+#include "fleet/aggregate.h"
+
+#include <algorithm>
+
+namespace msamp::fleet {
+namespace {
+
+bool passes(const BurstRecord& burst, BurstFilter filter) {
+  switch (filter) {
+    case BurstFilter::kAll:
+      return true;
+    case BurstFilter::kContended:
+      return burst.contended != 0;
+    case BurstFilter::kNonContended:
+      return burst.contended == 0;
+  }
+  return true;
+}
+
+}  // namespace
+
+ClassMap build_class_map(const Dataset& dataset) {
+  ClassMap out;
+  out.reserve(dataset.racks.size());
+  for (const auto& rack : dataset.racks) {
+    out[rack.rack_id] = static_cast<analysis::RackClass>(rack.rack_class);
+  }
+  return out;
+}
+
+analysis::RackClass burst_class(const BurstRecord& burst,
+                                const ClassMap& classes) {
+  if (burst.region == static_cast<std::uint8_t>(workload::RegionId::kRegB)) {
+    return analysis::RackClass::kRegB;
+  }
+  const auto it = classes.find(burst.rack_id);
+  return it == classes.end() ? analysis::RackClass::kRegATypical : it->second;
+}
+
+std::array<ClassBurstStats, analysis::kNumRackClasses> table2_summary(
+    const Dataset& dataset, const ClassMap& classes) {
+  std::array<ClassBurstStats, analysis::kNumRackClasses> out{};
+  for (const auto& burst : dataset.bursts) {
+    auto& stats = out[static_cast<std::size_t>(burst_class(burst, classes))];
+    ++stats.bursts;
+    stats.contended += burst.contended;
+    stats.lossy += burst.lossy;
+  }
+  return out;
+}
+
+std::vector<LossBucket> loss_by_contention(const Dataset& dataset,
+                                           const ClassMap& classes,
+                                           analysis::RackClass rack_class,
+                                           int bin_width, int max_contention) {
+  const int bins = std::max(1, max_contention / std::max(bin_width, 1));
+  std::vector<LossBucket> out(static_cast<std::size_t>(bins));
+  for (int b = 0; b < bins; ++b) {
+    out[static_cast<std::size_t>(b)].lo = b * bin_width;
+    out[static_cast<std::size_t>(b)].hi = (b + 1) * bin_width;
+  }
+  for (const auto& burst : dataset.bursts) {
+    if (burst_class(burst, classes) != rack_class) continue;
+    const int bin =
+        std::min(burst.max_contention / bin_width, bins - 1);
+    auto& bucket = out[static_cast<std::size_t>(bin)];
+    ++bucket.bursts;
+    bucket.lossy += burst.lossy;
+  }
+  return out;
+}
+
+std::vector<LossBucket> loss_by_length(const Dataset& dataset,
+                                       const ClassMap& classes,
+                                       analysis::RackClass rack_class,
+                                       BurstFilter filter, int max_len_ms) {
+  std::vector<LossBucket> out(static_cast<std::size_t>(std::max(max_len_ms, 1)));
+  for (int len = 1; len <= max_len_ms; ++len) {
+    out[static_cast<std::size_t>(len - 1)].lo = len;
+    out[static_cast<std::size_t>(len - 1)].hi = len + 1;
+  }
+  for (const auto& burst : dataset.bursts) {
+    if (burst_class(burst, classes) != rack_class || !passes(burst, filter)) {
+      continue;
+    }
+    const int len = std::clamp<int>(burst.len_ms, 1, max_len_ms);
+    auto& bucket = out[static_cast<std::size_t>(len - 1)];
+    ++bucket.bursts;
+    bucket.lossy += burst.lossy;
+  }
+  return out;
+}
+
+std::vector<LossBucket> loss_by_connections(const Dataset& dataset,
+                                            const ClassMap& classes,
+                                            analysis::RackClass rack_class,
+                                            BurstFilter filter, int bin_width,
+                                            int num_bins) {
+  std::vector<LossBucket> out(static_cast<std::size_t>(std::max(num_bins, 1)));
+  for (int b = 0; b < num_bins; ++b) {
+    out[static_cast<std::size_t>(b)].lo = b * bin_width;
+    out[static_cast<std::size_t>(b)].hi = (b + 1) * bin_width;
+  }
+  for (const auto& burst : dataset.bursts) {
+    if (burst_class(burst, classes) != rack_class || !passes(burst, filter)) {
+      continue;
+    }
+    const int bin = std::min(static_cast<int>(burst.avg_conns) / bin_width,
+                             num_bins - 1);
+    auto& bucket = out[static_cast<std::size_t>(bin)];
+    ++bucket.bursts;
+    bucket.lossy += burst.lossy;
+  }
+  return out;
+}
+
+std::vector<double> busy_hour_contention(const Dataset& dataset,
+                                         workload::RegionId region,
+                                         int busy_hour) {
+  std::vector<double> out;
+  for (const auto& rr : dataset.rack_runs) {
+    if (rr.region == static_cast<std::uint8_t>(region) &&
+        rr.hour == busy_hour) {
+      out.push_back(rr.avg_contention);
+    }
+  }
+  return out;
+}
+
+}  // namespace msamp::fleet

@@ -1,0 +1,87 @@
+// Dataset-level aggregations: the §6-§8 analyses (per-class burst/loss
+// summaries, loss-rate curves, busy-hour contention) as reusable library
+// functions.  The figure benches and the fleet_report example are thin
+// printers over these.
+#pragma once
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/rack_classify.h"
+#include "fleet/dataset.h"
+
+namespace msamp::fleet {
+
+/// rack_id -> measured class, for O(1) burst classification.
+using ClassMap = std::unordered_map<std::uint32_t, analysis::RackClass>;
+
+/// Builds the class map from the dataset's rack table.
+ClassMap build_class_map(const Dataset& dataset);
+
+/// Class of one burst record (RegB bursts are always kRegB).
+analysis::RackClass burst_class(const BurstRecord& burst,
+                                const ClassMap& classes);
+
+/// Per-class burst summary — the rows of Table 2.
+struct ClassBurstStats {
+  long bursts = 0;
+  long contended = 0;
+  long lossy = 0;
+
+  double pct_contended() const {
+    return bursts == 0 ? 0.0 : 100.0 * static_cast<double>(contended) /
+                                   static_cast<double>(bursts);
+  }
+  double pct_lossy() const {
+    return bursts == 0 ? 0.0 : 100.0 * static_cast<double>(lossy) /
+                                   static_cast<double>(bursts);
+  }
+};
+
+/// Table 2: one summary per rack class, indexed by RackClass value.
+std::array<ClassBurstStats, analysis::kNumRackClasses> table2_summary(
+    const Dataset& dataset, const ClassMap& classes);
+
+/// One bucket of a loss-rate curve.
+struct LossBucket {
+  double lo = 0.0;   ///< bucket lower edge (inclusive)
+  double hi = 0.0;   ///< bucket upper edge (exclusive; last bucket clamps)
+  long bursts = 0;
+  long lossy = 0;
+
+  double pct_lossy() const {
+    return bursts == 0 ? 0.0 : 100.0 * static_cast<double>(lossy) /
+                                   static_cast<double>(bursts);
+  }
+};
+
+/// Figure 16: % lossy bursts vs max contention for one class.
+std::vector<LossBucket> loss_by_contention(const Dataset& dataset,
+                                           const ClassMap& classes,
+                                           analysis::RackClass rack_class,
+                                           int bin_width, int max_contention);
+
+/// Contended/non-contended filter for the Figure 18/19 curves.
+enum class BurstFilter { kAll, kContended, kNonContended };
+
+/// Figure 18: % lossy bursts vs burst length (1ms bins up to max_len_ms,
+/// longer bursts clamp into the last bin) for one class.
+std::vector<LossBucket> loss_by_length(const Dataset& dataset,
+                                       const ClassMap& classes,
+                                       analysis::RackClass rack_class,
+                                       BurstFilter filter, int max_len_ms);
+
+/// Figure 19: % lossy bursts vs average in-burst connection count.
+std::vector<LossBucket> loss_by_connections(const Dataset& dataset,
+                                            const ClassMap& classes,
+                                            analysis::RackClass rack_class,
+                                            BurstFilter filter, int bin_width,
+                                            int num_bins);
+
+/// Figure 9: busy-hour average rack contentions for one region.
+std::vector<double> busy_hour_contention(const Dataset& dataset,
+                                         workload::RegionId region,
+                                         int busy_hour);
+
+}  // namespace msamp::fleet

@@ -1,0 +1,139 @@
+#include "fleet/dataset.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace msamp::fleet {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4d464c54;  // "MFLT"
+constexpr std::uint32_t kVersion = 3;
+
+struct Writer {
+  std::vector<std::uint8_t> out;
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto old = out.size();
+    out.resize(old + sizeof(T));
+    std::memcpy(out.data() + old, &v, sizeof(T));
+  }
+  template <typename T>
+  void put_vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put(static_cast<std::uint64_t>(v.size()));
+    const auto old = out.size();
+    out.resize(old + v.size() * sizeof(T));
+    if (!v.empty()) std::memcpy(out.data() + old, v.data(), v.size() * sizeof(T));
+  }
+};
+
+struct Reader {
+  const std::vector<std::uint8_t>& in;
+  std::size_t pos = 0;
+  template <typename T>
+  bool get(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos + sizeof(T) > in.size()) return false;
+    std::memcpy(v, in.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return true;
+  }
+  template <typename T>
+  bool get_vec(std::vector<T>* v) {
+    std::uint64_t n = 0;
+    if (!get(&n)) return false;
+    if (n > (in.size() - pos) / sizeof(T)) return false;
+    v->resize(static_cast<std::size_t>(n));
+    if (n != 0) {
+      std::memcpy(v->data(), in.data() + pos,
+                  static_cast<std::size_t>(n) * sizeof(T));
+      pos += static_cast<std::size_t>(n) * sizeof(T);
+    }
+    return true;
+  }
+};
+
+void put_exemplar(Writer& w, const ExemplarRun& e) {
+  w.put(e.rack_id);
+  w.put(e.avg_contention);
+  w.put(e.num_servers);
+  w.put(e.num_samples);
+  w.put_vec(e.raster);
+  w.put_vec(e.contention);
+}
+
+bool get_exemplar(Reader& r, ExemplarRun* e) {
+  return r.get(&e->rack_id) && r.get(&e->avg_contention) &&
+         r.get(&e->num_servers) && r.get(&e->num_samples) &&
+         r.get_vec(&e->raster) && r.get_vec(&e->contention);
+}
+
+}  // namespace
+
+analysis::RackClass Dataset::class_of(std::uint32_t rack_id) const {
+  for (const auto& r : racks) {
+    if (r.rack_id == rack_id) {
+      return static_cast<analysis::RackClass>(r.rack_class);
+    }
+  }
+  return analysis::RackClass::kRegATypical;
+}
+
+std::vector<std::uint8_t> Dataset::serialize() const {
+  Writer w;
+  w.put(kMagic);
+  w.put(kVersion);
+  w.put(fingerprint);
+  w.put_vec(racks);
+  w.put_vec(rack_runs);
+  w.put_vec(server_runs);
+  w.put_vec(bursts);
+  put_exemplar(w, low_contention_example);
+  put_exemplar(w, high_contention_example);
+  return std::move(w.out);
+}
+
+bool Dataset::deserialize(const std::vector<std::uint8_t>& blob) {
+  Reader r{blob};
+  std::uint32_t magic = 0, version = 0;
+  if (!r.get(&magic) || magic != kMagic) return false;
+  if (!r.get(&version) || version != kVersion) return false;
+  if (!r.get(&fingerprint)) return false;
+  if (!r.get_vec(&racks) || !r.get_vec(&rack_runs) ||
+      !r.get_vec(&server_runs) || !r.get_vec(&bursts)) {
+    return false;
+  }
+  if (!get_exemplar(r, &low_contention_example) ||
+      !get_exemplar(r, &high_contention_example)) {
+    return false;
+  }
+  return r.pos == blob.size();
+}
+
+bool Dataset::save(const std::string& path) const {
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const auto blob = serialize();
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  return static_cast<bool>(out);
+}
+
+bool Dataset::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return false;
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::uint8_t> blob(size);
+  in.read(reinterpret_cast<char*>(blob.data()),
+          static_cast<std::streamsize>(size));
+  if (!in) return false;
+  return deserialize(blob);
+}
+
+}  // namespace msamp::fleet

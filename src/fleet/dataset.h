@@ -1,0 +1,104 @@
+// The reproduction dataset: compact per-burst / per-server-run / per-rack-
+// run records distilled from every SyncMillisampler window (the raw series
+// would be the paper's 8.16B samples; the analyses of §6-§8 only need these
+// summaries).  Includes binary (de)serialization so bench binaries share
+// one generated dataset through a disk cache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/rack_classify.h"
+#include "fleet/config.h"
+#include "workload/region_id.h"
+
+namespace msamp::fleet {
+
+/// One detected burst (drives Table 2 and Figures 7, 16, 18, 19).
+struct BurstRecord {
+  std::uint32_t rack_id = 0;
+  std::uint8_t region = 0;  ///< RegionId
+  std::uint8_t hour = 0;
+  std::uint16_t len_ms = 0;
+  float volume_bytes = 0.0f;
+  std::uint16_t max_contention = 0;  ///< max over the burst's samples
+  float avg_conns = 0.0f;            ///< mean connection estimate in-burst
+  std::uint8_t contended = 0;        ///< saw contention >= 2 at any sample
+  std::uint8_t lossy = 0;            ///< retx attributed to this burst
+};
+
+/// One server's observation window (Figures 6, 8; §6 utilization stats).
+struct ServerRunRecord {
+  std::uint32_t rack_id = 0;
+  std::uint8_t region = 0;
+  std::uint8_t hour = 0;
+  std::uint8_t bursty = 0;
+  float avg_util = 0.0f;
+  float util_inside = 0.0f;
+  float util_outside = 0.0f;
+  float bursts_per_sec = 0.0f;
+  float conns_inside = 0.0f;
+  float conns_outside = 0.0f;
+};
+
+/// One rack observation window (Figures 9, 12-15, 17; Table 1).
+struct RackRunRecord {
+  std::uint32_t rack_id = 0;
+  std::uint8_t region = 0;
+  std::uint8_t hour = 0;
+  std::uint8_t usable = 0;        ///< p90 contention > 0 (§7.3 exclusion)
+  float avg_contention = 0.0f;
+  std::uint16_t min_active_contention = 0;
+  std::uint16_t p90_contention = 0;
+  std::uint16_t max_contention = 0;
+  double in_bytes = 0.0;          ///< delivered ingress volume this window
+  double drop_bytes = 0.0;        ///< switch congestion discards
+  double ecn_bytes = 0.0;
+};
+
+/// Static per-rack metadata + derived classification.
+struct RackInfo {
+  std::uint32_t rack_id = 0;
+  std::uint8_t region = 0;
+  std::uint8_t ml_dense = 0;      ///< placement ground truth
+  std::uint16_t distinct_tasks = 0;
+  float dominant_share = 0.0f;
+  float intensity = 0.0f;
+  float busy_hour_avg_contention = 0.0f;
+  std::uint8_t rack_class = 0;    ///< analysis::RackClass, measured
+};
+
+/// Raster + contention series of one exemplar run (Figure 5).
+struct ExemplarRun {
+  std::uint32_t rack_id = 0;
+  float avg_contention = 0.0f;
+  std::uint16_t num_servers = 0;
+  std::uint16_t num_samples = 0;
+  /// Row-major [server][sample] burstiness bits.
+  std::vector<std::uint8_t> raster;
+  std::vector<std::uint16_t> contention;
+};
+
+/// The full distilled dataset.
+struct Dataset {
+  std::uint64_t fingerprint = 0;  ///< FleetConfig::fingerprint() at creation
+  FleetConfig config;
+  std::vector<RackInfo> racks;
+  std::vector<RackRunRecord> rack_runs;
+  std::vector<ServerRunRecord> server_runs;
+  std::vector<BurstRecord> bursts;
+  ExemplarRun low_contention_example;
+  ExemplarRun high_contention_example;
+
+  /// Measured class of a rack (RegA-Typical / RegA-High / RegB).
+  analysis::RackClass class_of(std::uint32_t rack_id) const;
+
+  std::vector<std::uint8_t> serialize() const;
+  bool deserialize(const std::vector<std::uint8_t>& blob);
+
+  bool save(const std::string& path) const;
+  bool load(const std::string& path);
+};
+
+}  // namespace msamp::fleet

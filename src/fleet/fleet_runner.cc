@@ -1,0 +1,244 @@
+#include "fleet/fleet_runner.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+#include "analysis/burst_stats.h"
+#include "analysis/contention.h"
+#include "analysis/loss_assoc.h"
+#include "fleet/fluid_rack.h"
+#include "workload/diurnal.h"
+#include "workload/placement.h"
+
+namespace msamp::fleet {
+namespace {
+
+std::uint64_t fnv_step(std::uint64_t h, std::uint64_t v) {
+  return (h ^ v) * 0x100000001b3ULL;
+}
+
+/// Captures a Figure-5-style exemplar from a sync run.
+ExemplarRun make_exemplar(const core::SyncRun& sync,
+                          const std::vector<int>& contention,
+                          const analysis::BurstDetectConfig& cfg,
+                          std::uint32_t rack_id, float avg) {
+  ExemplarRun ex;
+  ex.rack_id = rack_id;
+  ex.avg_contention = avg;
+  ex.num_servers = static_cast<std::uint16_t>(sync.num_servers());
+  ex.num_samples = static_cast<std::uint16_t>(sync.num_samples());
+  const std::int64_t threshold = analysis::burst_threshold_bytes(cfg);
+  ex.raster.reserve(static_cast<std::size_t>(ex.num_servers) * ex.num_samples);
+  for (const auto& series : sync.series) {
+    for (const auto& s : series) {
+      ex.raster.push_back(s.in_bytes > threshold ? 1 : 0);
+    }
+  }
+  ex.contention.reserve(contention.size());
+  for (int c : contention) {
+    ex.contention.push_back(static_cast<std::uint16_t>(c));
+  }
+  return ex;
+}
+
+}  // namespace
+
+// Bump whenever the workload/placement/fluid model changes in a way that
+// alters generated data, so stale disk caches are regenerated.
+constexpr std::uint64_t kModelVersion = 9;
+
+std::uint64_t FleetConfig::fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv_step(h, kModelVersion);
+  h = fnv_step(h, seed);
+  h = fnv_step(h, static_cast<std::uint64_t>(racks_per_region));
+  h = fnv_step(h, static_cast<std::uint64_t>(servers_per_rack));
+  h = fnv_step(h, static_cast<std::uint64_t>(hours));
+  h = fnv_step(h, static_cast<std::uint64_t>(samples_per_run));
+  h = fnv_step(h, static_cast<std::uint64_t>(warmup_ms));
+  h = fnv_step(h, static_cast<std::uint64_t>(line_rate_gbps * 1000));
+  h = fnv_step(h, static_cast<std::uint64_t>(buffer.total_bytes));
+  h = fnv_step(h, static_cast<std::uint64_t>(buffer.alpha * 1000));
+  h = fnv_step(h, static_cast<std::uint64_t>(buffer.ecn_threshold));
+  h = fnv_step(h, static_cast<std::uint64_t>(filter_cpus));
+  h = fnv_step(h, static_cast<std::uint64_t>(classify.high_threshold * 100));
+  h = fnv_step(h, static_cast<std::uint64_t>(buffer.policy));
+  h = fnv_step(h, fabric.enabled ? 1u : 0u);
+  h = fnv_step(h, static_cast<std::uint64_t>(fabric.uplink_gbps));
+  h = fnv_step(h, static_cast<std::uint64_t>(fabric.smoothing * 1000));
+  return h;
+}
+
+Dataset run_fleet(const FleetConfig& config,
+                  std::function<void(double)> progress) {
+  Dataset ds;
+  ds.config = config;
+  ds.fingerprint = config.fingerprint();
+
+  util::Rng master(config.seed);
+  const analysis::BurstDetectConfig burst_cfg = config.burst_config();
+
+  // --- placements for both regions ---
+  std::vector<workload::RackMeta> racks;
+  for (const auto region : {workload::RegionId::kRegA, workload::RegionId::kRegB}) {
+    util::Rng place_rng = master.fork(static_cast<std::uint64_t>(region) + 7);
+    const auto cfg = workload::default_placement(
+        region, config.racks_per_region, config.servers_per_rack);
+    auto region_racks = workload::generate_racks(
+        cfg, static_cast<int>(racks.size()), place_rng);
+    racks.insert(racks.end(), region_racks.begin(), region_racks.end());
+  }
+  for (const auto& rack : racks) {
+    RackInfo info;
+    info.rack_id = static_cast<std::uint32_t>(rack.rack_id);
+    info.region = static_cast<std::uint8_t>(rack.region);
+    info.ml_dense = rack.ml_dense ? 1 : 0;
+    info.distinct_tasks = static_cast<std::uint16_t>(rack.distinct_tasks());
+    info.dominant_share = static_cast<float>(rack.dominant_share());
+    info.intensity = static_cast<float>(rack.intensity);
+    ds.racks.push_back(info);
+  }
+
+  bool have_low = false, have_high = false;
+  const std::size_t total_windows =
+      racks.size() * static_cast<std::size_t>(config.hours);
+  std::size_t done_windows = 0;
+
+  // --- one SyncMillisampler window per rack per hour ---
+  for (int hour = 0; hour < config.hours; ++hour) {
+    for (const auto& rack : racks) {
+      util::Rng rng(fnv_step(fnv_step(config.seed, static_cast<std::uint64_t>(
+                                                       rack.rack_id) +
+                                                       1000003),
+                             static_cast<std::uint64_t>(hour) + 17));
+      FluidRack fluid(rack, config, hour, rng);
+      FluidRackResult res = fluid.run();
+      const core::SyncRun& sync = res.sync;
+      if (sync.num_samples() == 0) continue;
+
+      const std::vector<int> contention =
+          analysis::contention_series(sync, burst_cfg);
+      const analysis::ContentionSummary cs =
+          analysis::summarize_contention(contention);
+
+      RackRunRecord rr;
+      rr.rack_id = static_cast<std::uint32_t>(rack.rack_id);
+      rr.region = static_cast<std::uint8_t>(rack.region);
+      rr.hour = static_cast<std::uint8_t>(hour);
+      rr.usable = cs.usable() ? 1 : 0;
+      rr.avg_contention = static_cast<float>(cs.avg);
+      rr.min_active_contention = static_cast<std::uint16_t>(cs.min_active);
+      rr.p90_contention = static_cast<std::uint16_t>(cs.p90);
+      rr.max_contention = static_cast<std::uint16_t>(cs.max);
+      rr.in_bytes = static_cast<double>(res.delivered_bytes);
+      rr.drop_bytes = static_cast<double>(res.drop_bytes);
+      rr.ecn_bytes = static_cast<double>(res.ecn_bytes);
+      ds.rack_runs.push_back(rr);
+
+      for (std::size_t s = 0; s < sync.num_servers(); ++s) {
+        const auto& series = sync.series[s];
+        const auto bursts = analysis::detect_bursts(series, burst_cfg);
+        const auto stats =
+            analysis::server_run_stats(series, bursts, burst_cfg);
+        ServerRunRecord sr;
+        sr.rack_id = rr.rack_id;
+        sr.region = rr.region;
+        sr.hour = rr.hour;
+        sr.bursty = stats.bursty ? 1 : 0;
+        sr.avg_util = static_cast<float>(stats.avg_util);
+        sr.util_inside = static_cast<float>(stats.util_inside);
+        sr.util_outside = static_cast<float>(stats.util_outside);
+        sr.bursts_per_sec = static_cast<float>(stats.bursts_per_sec);
+        sr.conns_inside = static_cast<float>(stats.conns_inside);
+        sr.conns_outside = static_cast<float>(stats.conns_outside);
+        ds.server_runs.push_back(sr);
+
+        if (bursts.empty()) continue;
+        const auto lossy = analysis::lossy_bursts(series, bursts, config.loss);
+        for (std::size_t b = 0; b < bursts.size(); ++b) {
+          BurstRecord rec;
+          rec.rack_id = rr.rack_id;
+          rec.region = rr.region;
+          rec.hour = rr.hour;
+          rec.len_ms = static_cast<std::uint16_t>(bursts[b].len);
+          rec.volume_bytes = static_cast<float>(bursts[b].volume_bytes);
+          int max_cont = 0;
+          double conns = 0.0;
+          for (std::size_t k = bursts[b].start;
+               k < bursts[b].start + bursts[b].len && k < contention.size();
+               ++k) {
+            max_cont = std::max(max_cont, contention[k]);
+            conns += series[k].connections;
+          }
+          rec.max_contention = static_cast<std::uint16_t>(max_cont);
+          rec.avg_conns = static_cast<float>(
+              conns / static_cast<double>(bursts[b].len));
+          rec.contended = max_cont >= 2 ? 1 : 0;
+          rec.lossy = lossy[b] ? 1 : 0;
+          ds.bursts.push_back(rec);
+        }
+      }
+
+      // Exemplars for Figure 5 (captured during the busy hour).
+      if (hour == workload::kBusyHour) {
+        const double high_cut = config.classify.high_threshold;
+        if (!have_low && cs.avg > 0.1 && cs.avg < high_cut / 4.0 &&
+            cs.max <= 4) {
+          ds.low_contention_example = make_exemplar(
+              sync, contention, burst_cfg, rr.rack_id, rr.avg_contention);
+          have_low = true;
+        }
+        if (!have_high && cs.avg > high_cut) {
+          ds.high_contention_example = make_exemplar(
+              sync, contention, burst_cfg, rr.rack_id, rr.avg_contention);
+          have_high = true;
+        }
+      }
+
+      ++done_windows;
+    }
+    if (progress) {
+      progress(static_cast<double>(done_windows) /
+               static_cast<double>(total_windows));
+    }
+  }
+
+  // --- busy-hour classification (RegA bimodal split, §7.1) ---
+  for (auto& info : ds.racks) {
+    double sum = 0.0;
+    int n = 0;
+    for (const auto& rr : ds.rack_runs) {
+      if (rr.rack_id == info.rack_id &&
+          rr.hour == static_cast<std::uint8_t>(workload::kBusyHour)) {
+        sum += rr.avg_contention;
+        ++n;
+      }
+    }
+    info.busy_hour_avg_contention =
+        n > 0 ? static_cast<float>(sum / n) : 0.0f;
+    info.rack_class = static_cast<std::uint8_t>(analysis::classify_rack(
+        static_cast<workload::RegionId>(info.region),
+        info.busy_hour_avg_contention, config.classify));
+  }
+  return ds;
+}
+
+const Dataset& shared_dataset(const FleetConfig& config,
+                              const std::string& cache_path) {
+  static std::mutex mu;
+  static std::unique_ptr<Dataset> cached;
+  std::lock_guard<std::mutex> lock(mu);
+  if (cached && cached->fingerprint == config.fingerprint()) return *cached;
+  auto ds = std::make_unique<Dataset>();
+  if (ds->load(cache_path) && ds->fingerprint == config.fingerprint()) {
+    cached = std::move(ds);
+    return *cached;
+  }
+  *ds = run_fleet(config);
+  ds->save(cache_path);
+  cached = std::move(ds);
+  return *cached;
+}
+
+}  // namespace msamp::fleet

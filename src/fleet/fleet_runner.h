@@ -1,0 +1,27 @@
+// Fleet runner: generates placements for both regions, simulates hourly
+// SyncMillisampler windows on every rack for a full day, streams each
+// window through the analysis pipeline, and assembles the distilled
+// Dataset.  `shared_dataset` adds a disk cache so all bench binaries reuse
+// one generation pass.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "fleet/dataset.h"
+
+namespace msamp::fleet {
+
+/// Generates the full dataset.  `progress` (optional) is called after each
+/// (region, hour) batch with a fraction in [0, 1].
+Dataset run_fleet(const FleetConfig& config,
+                  std::function<void(double)> progress = nullptr);
+
+/// Returns a process-wide dataset for `config`, loading it from
+/// `cache_path` when the fingerprint matches, otherwise generating and
+/// saving it.  The default path keeps bench binaries in one cache.
+const Dataset& shared_dataset(const FleetConfig& config = {},
+                              const std::string& cache_path =
+                                  "bench_out/fleet_dataset.bin");
+
+}  // namespace msamp::fleet

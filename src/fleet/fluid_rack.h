@@ -1,0 +1,84 @@
+// Millisecond-granularity fluid simulation of one rack for one observation
+// window.  Same Dynamic-Threshold arithmetic as net::SharedBuffer, applied
+// per 1ms step per queue, with:
+//   * per-queue drain at server line rate;
+//   * static-threshold ECN marking (fraction of the step the queue spent
+//     above 120KB);
+//   * drops of arrivals exceeding the DT limit, fed back to the workload
+//     (rate cut + retransmission re-arrival a few ms later);
+//   * every delivered byte pushed through a real core::TcFilter, so the
+//     output is an honest SyncMillisampler run assembled by the same
+//     combine/align/trim pipeline as the packet-level path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/sync_controller.h"
+#include "core/tc_filter.h"
+#include "fleet/config.h"
+#include "util/rng.h"
+#include "workload/burst_process.h"
+#include "workload/placement.h"
+
+namespace msamp::fleet {
+
+/// Output of one rack window.
+struct FluidRackResult {
+  core::SyncRun sync;               ///< aligned per-server measurement
+  std::int64_t offered_bytes = 0;   ///< bytes offered to the ToR downlinks
+  std::int64_t delivered_bytes = 0; ///< bytes delivered to servers
+  std::int64_t drop_bytes = 0;      ///< ToR congestion discards
+  std::int64_t ecn_bytes = 0;       ///< CE-marked delivered bytes
+  std::int64_t fabric_drop_bytes = 0;  ///< upstream fabric discards
+};
+
+/// One-shot fluid simulation of a rack observation window.
+class FluidRack {
+ public:
+  /// `hour` selects the diurnal multiplier; `rng` seeds all randomness.
+  FluidRack(const workload::RackMeta& rack, const FleetConfig& config,
+            int hour, util::Rng rng);
+
+  /// Runs warmup + sampled window and returns the combined result.
+  FluidRackResult run();
+
+ private:
+  struct Queue {
+    std::int64_t len = 0;
+    std::int64_t retx_part = 0;  ///< bytes of `len` that are retransmissions
+    std::int64_t ecn_part = 0;   ///< bytes of `len` carrying CE
+  };
+
+  void step(sim::SimTime now, bool sampling, FluidRackResult* result);
+
+  FleetConfig config_;  // by value: callers may pass temporaries
+  util::Rng rng_;
+  int num_servers_;
+  std::int64_t drain_per_ms_;
+  std::int64_t reserve_;
+  std::int64_t shared_capacity_per_quadrant_;
+  double alpha_;
+  std::int64_t ecn_threshold_;
+
+  std::vector<workload::BurstProcess> processes_;
+  std::vector<Queue> queues_;
+  std::vector<std::int64_t> shared_used_;  ///< per quadrant
+  /// Sub-ms transient occupancy per quadrant: packets of every active
+  /// queue interleave within the millisecond, so a slice of each queue's
+  /// arrivals transiently occupies shared buffer even when the ms-average
+  /// backlog is zero.  This is what couples rack contention to the DT
+  /// limit every queue actually experiences (Figure 16's mechanism).
+  std::vector<std::int64_t> quad_transient_;
+  /// Which servers were bursting last step (per-quadrant collision counts).
+  std::vector<std::uint8_t> bursting_prev_;
+  /// Last step's offered demand per server (kBurstAbsorbDt freshness).
+  std::vector<std::int64_t> prev_demand_;
+  /// Fabric stage: bytes buffered upstream per server, released next step.
+  std::vector<std::int64_t> fabric_carry_;
+  std::vector<std::unique_ptr<core::TcFilter>> filters_;
+  std::vector<sim::SimDuration> clock_offsets_;
+};
+
+}  // namespace msamp::fleet

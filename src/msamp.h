@@ -1,0 +1,70 @@
+// Umbrella header: the complete public API of the millisampler-repro
+// library.  Include this (or the individual subsystem headers) from
+// downstream code:
+//
+//   * sim/        — discrete-event engine and time units;
+//   * net/        — packets, links, NIC (GRO), shared-buffer ToR (DT+ECN),
+//                   rack topology;
+//   * transport/  — DCTCP / Cubic TCP over the simulated network;
+//   * core/       — Millisampler: tc filter, flow sketch, sampler daemon,
+//                   SyncMillisampler, run records + compression;
+//   * workload/   — task taxonomy, burst processes, placement, diurnal
+//                   profiles, validation tools;
+//   * fleet/      — fleet-scale fluid simulation, dataset, aggregations;
+//   * analysis/   — burst detection, contention, loss association,
+//                   rack classification;
+//   * util/       — RNG, statistics, tables, ASCII plots.
+#pragma once
+
+#include "analysis/burst_detect.h"
+#include "analysis/burst_stats.h"
+#include "analysis/contention.h"
+#include "analysis/diagnose.h"
+#include "analysis/loss_assoc.h"
+#include "analysis/rack_classify.h"
+#include "analysis/trace_io.h"
+#include "core/clock_model.h"
+#include "core/counters.h"
+#include "core/encoding.h"
+#include "core/flow_sketch.h"
+#include "core/interpolate.h"
+#include "core/pcap_baseline.h"
+#include "core/run_record.h"
+#include "core/run_store.h"
+#include "core/sampler.h"
+#include "core/sync_controller.h"
+#include "core/tc_filter.h"
+#include "fleet/aggregate.h"
+#include "fleet/config.h"
+#include "fleet/dataset.h"
+#include "fleet/fleet_runner.h"
+#include "fleet/fluid_rack.h"
+#include "net/host.h"
+#include "net/link.h"
+#include "net/nic.h"
+#include "net/packet.h"
+#include "net/shared_buffer.h"
+#include "net/switch.h"
+#include "net/switch_probe.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "transport/cc.h"
+#include "transport/cubic.h"
+#include "transport/dctcp.h"
+#include "transport/swift.h"
+#include "transport/tcp_connection.h"
+#include "transport/transport_host.h"
+#include "util/ascii_plot.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/burst_generator_tool.h"
+#include "workload/burst_process.h"
+#include "workload/diurnal.h"
+#include "workload/incast.h"
+#include "workload/multicast_tool.h"
+#include "workload/packet_rack_driver.h"
+#include "workload/placement.h"
+#include "workload/region_id.h"
+#include "workload/task.h"

@@ -1,0 +1,46 @@
+#include "net/host.h"
+
+namespace msamp::net {
+
+Host::Host(sim::Simulator& simulator, HostId id, const LinkConfig& egress_link,
+           const NicConfig& nic, Link::Deliver to_wire)
+    : simulator_(simulator),
+      id_(id),
+      link_(simulator, egress_link, std::move(to_wire)),
+      nic_(simulator, nic,
+           [this](const Packet& segment) { on_ingress_segment(segment); }) {}
+
+void Host::send(const Packet& packet) {
+  egress_bytes_ += packet.bytes;
+  if (hook_) hook_(packet, /*ingress=*/false);
+  link_.send(packet);
+}
+
+void Host::deliver_from_wire(const Packet& packet) {
+  if (stalled_) {
+    stall_backlog_.push_back(packet);
+    return;
+  }
+  nic_.receive(packet);
+}
+
+void Host::inject_stall(sim::SimDuration duration) {
+  if (stalled_) return;  // one stall at a time
+  stalled_ = true;
+  simulator_.schedule_in(duration, [this] {
+    stalled_ = false;
+    // The kernel catches up: the whole backlog is processed in one batch,
+    // which the tc layer timestamps "now" — the apparent burst of §4.6.
+    std::vector<Packet> backlog;
+    backlog.swap(stall_backlog_);
+    for (const Packet& packet : backlog) nic_.receive(packet);
+  });
+}
+
+void Host::on_ingress_segment(const Packet& segment) {
+  ingress_bytes_ += segment.bytes;
+  if (hook_) hook_(segment, /*ingress=*/true);
+  if (sink_) sink_(segment);
+}
+
+}  // namespace msamp::net

@@ -1,0 +1,75 @@
+// A simulated end host: egress link towards the ToR, receive-side NIC with
+// GRO, and the two observation points Millisampler's tc filter attaches to
+// (near-last step on transmit, post-GRO on receive — §4.1/§4.6).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/link.h"
+#include "net/nic.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace msamp::net {
+
+/// One host.  Transports and tools call `send`; the wire calls
+/// `deliver_from_wire`; Millisampler installs a segment hook.
+class Host {
+ public:
+  /// Observes a segment at the tc layer. `ingress` distinguishes direction.
+  using SegmentHook = std::function<void(const Packet&, bool ingress)>;
+  /// Receives ingress segments after the hook (the "TCP stack").
+  using PacketSink = std::function<void(const Packet&)>;
+
+  Host(sim::Simulator& simulator, HostId id, const LinkConfig& egress_link,
+       const NicConfig& nic, Link::Deliver to_wire);
+
+  /// Transmit path: tc hook -> egress link -> wire.
+  void send(const Packet& packet);
+
+  /// Wire -> NIC (GRO) -> tc hook -> stack.
+  void deliver_from_wire(const Packet& packet);
+
+  /// Fault injection (§4.6): simulates a kernel soft-irq stall.  For
+  /// `duration` the host processes no incoming packets; everything that
+  /// arrives queues up and is handled in one batch when the stall ends —
+  /// Millisampler sees a silent gap followed by an apparent burst, even
+  /// though the NIC received smoothly.
+  void inject_stall(sim::SimDuration duration);
+
+  /// True while a stall is in progress.
+  bool stalled() const noexcept { return stalled_; }
+
+  /// Installs/clears the Millisampler observation hook (nullptr detaches —
+  /// a detached filter costs nothing, mirroring §4.1).
+  void set_segment_hook(SegmentHook hook) { hook_ = std::move(hook); }
+
+  /// Sets the ingress packet sink (transport dispatch).
+  void set_ingress_sink(PacketSink sink) { sink_ = std::move(sink); }
+
+  HostId id() const noexcept { return id_; }
+  Link& egress_link() noexcept { return link_; }
+  Nic& nic() noexcept { return nic_; }
+
+  /// Cumulative tc-visible byte counts, for tests.
+  std::int64_t ingress_bytes() const noexcept { return ingress_bytes_; }
+  std::int64_t egress_bytes() const noexcept { return egress_bytes_; }
+
+ private:
+  void on_ingress_segment(const Packet& segment);
+
+  sim::Simulator& simulator_;
+  HostId id_;
+  Link link_;
+  Nic nic_;
+  SegmentHook hook_;
+  PacketSink sink_;
+  std::int64_t ingress_bytes_ = 0;
+  std::int64_t egress_bytes_ = 0;
+  bool stalled_ = false;
+  std::vector<Packet> stall_backlog_;
+};
+
+}  // namespace msamp::net

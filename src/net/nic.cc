@@ -1,0 +1,58 @@
+#include "net/nic.h"
+
+namespace msamp::net {
+
+Nic::Nic(sim::Simulator& simulator, const NicConfig& config,
+         DeliverSegment deliver)
+    : simulator_(simulator), config_(config), deliver_(std::move(deliver)) {}
+
+void Nic::receive(const Packet& packet) {
+  if (!config_.gro_enabled || packet.is_ack || is_multicast(packet.dst) ||
+      packet.flow == 0) {
+    flush();
+    deliver_(packet);
+    return;
+  }
+
+  if (has_pending_) {
+    const bool mergeable =
+        pending_.flow == packet.flow && packet.seq == pending_end_seq_ &&
+        pending_.bytes + packet.bytes <= config_.gro_max_bytes &&
+        // CE state must be uniform within a GRO segment or marks would be
+        // silently amplified/lost; split on a state change.
+        pending_.ce == packet.ce && pending_.retx_mark == packet.retx_mark &&
+        pending_.payload_retx == packet.payload_retx;
+    if (mergeable) {
+      pending_.bytes += packet.bytes;
+      pending_end_seq_ += packet.bytes;
+      ++coalesced_;
+      return;
+    }
+    flush();
+  }
+
+  has_pending_ = true;
+  pending_ = packet;
+  pending_end_seq_ = packet.seq + packet.bytes;
+  arm_flush_timer();
+}
+
+void Nic::flush() {
+  if (!has_pending_) return;
+  if (flush_event_ != 0) {
+    simulator_.cancel(flush_event_);
+    flush_event_ = 0;
+  }
+  has_pending_ = false;
+  deliver_(pending_);
+}
+
+void Nic::arm_flush_timer() {
+  if (flush_event_ != 0) simulator_.cancel(flush_event_);
+  flush_event_ = simulator_.schedule_in(config_.gro_flush, [this] {
+    flush_event_ = 0;
+    flush();
+  });
+}
+
+}  // namespace msamp::net

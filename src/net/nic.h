@@ -1,0 +1,58 @@
+// Receive-side NIC model with GRO (generic receive offload) coalescing.
+//
+// §4.6 of the paper notes the tc layer sees segments *after* the receiving
+// NIC's offloaded reassembly, so Millisampler may observe up to 64KB
+// "packets" — inflating apparent burstiness at 100µs granularity.  We model
+// this: consecutive in-order packets of one flow are merged into a segment
+// until the segment reaches the GRO cap, a different flow arrives, a
+// sequence gap appears, or a flush timeout passes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace msamp::net {
+
+/// GRO parameters.
+struct NicConfig {
+  std::int64_t gro_max_bytes = 64 << 10;            ///< 64KB segment cap
+  sim::SimDuration gro_flush = 8 * sim::kMicrosecond; ///< idle flush timer
+  bool gro_enabled = true;
+};
+
+/// Receive path of a host NIC; emits (possibly coalesced) segments to the
+/// host stack.  Pure ACKs and multicast packets bypass coalescing.
+class Nic {
+ public:
+  using DeliverSegment = std::function<void(const Packet&)>;
+
+  Nic(sim::Simulator& simulator, const NicConfig& config,
+      DeliverSegment deliver);
+
+  /// Packet arrived from the wire.
+  void receive(const Packet& packet);
+
+  /// Flushes any pending coalesced segment immediately.
+  void flush();
+
+  /// Number of wire packets merged away by GRO (for tests / stats).
+  std::uint64_t coalesced_packets() const noexcept { return coalesced_; }
+
+ private:
+  void arm_flush_timer();
+
+  sim::Simulator& simulator_;
+  NicConfig config_;
+  DeliverSegment deliver_;
+
+  bool has_pending_ = false;
+  Packet pending_{};
+  std::int64_t pending_end_seq_ = 0;
+  std::uint64_t flush_event_ = 0;
+  std::uint64_t coalesced_ = 0;
+};
+
+}  // namespace msamp::net

@@ -1,0 +1,127 @@
+// Shared-memory MMU with Dynamic Threshold (DT) buffer sharing and static
+// ECN marking, modeled on the ToR described in §2.1/§3 of the paper:
+//
+//   * total buffer B split into quadrants (16MB -> 4 x 4MB on the studied
+//     ASIC); an egress queue maps to exactly one quadrant;
+//   * per-queue small dedicated reserve; the remainder of each quadrant
+//     (~3.6MB) is shared across its queues;
+//   * a packet is admitted iff the queue's shared usage stays within the
+//     Choudhury-Hahne limit  T(t) = alpha * (B_shared - Q_shared(t));
+//   * packets are CE-marked when the queue length at enqueue is at or above
+//     a static ECN threshold (120KB in the Meta fleet).
+//
+// The same arithmetic (admission + fixed point T = aB/(1+aS)) is reused by
+// the millisecond-granularity fluid simulator in src/fleet.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace msamp::net {
+
+/// Buffer-sharing policy.  The studied fleet runs Dynamic Threshold
+/// (Choudhury-Hahne); the alternatives implement the §10 related-work
+/// algorithms for the ablation benches:
+///   * kStaticPartition — each queue owns an equal fixed slice;
+///   * kCompleteSharing — any queue may take all free space (no isolation);
+///   * kBurstAbsorbDt   — DT, but a queue whose arrival rate just jumped
+///     (a fresh burst) is temporarily allowed a larger alpha, per Shan et
+///     al.'s enhanced dynamic threshold.
+enum class BufferPolicy : std::uint8_t {
+  kDynamicThreshold = 0,
+  kStaticPartition,
+  kCompleteSharing,
+  kBurstAbsorbDt,
+};
+
+/// Configuration of the MMU; defaults reproduce the paper's ToR.
+struct SharedBufferConfig {
+  std::int64_t total_bytes = 16 << 20;    ///< 16 MB packet buffer
+  int quadrants = 4;                      ///< 4 x 4MB quadrants
+  std::int64_t reserve_per_queue = 16 << 10;  ///< dedicated bytes per queue
+  double alpha = 1.0;                     ///< DT alpha (Meta default)
+  std::int64_t ecn_threshold = 120 << 10; ///< static CE-mark threshold
+  BufferPolicy policy = BufferPolicy::kDynamicThreshold;
+  /// kBurstAbsorbDt: alpha multiplier granted to freshly bursting queues.
+  double burst_alpha_boost = 4.0;
+};
+
+/// Per-queue counters exported by the MMU (the "switch counters" the paper
+/// reads at 1-minute granularity for Figure 17).
+struct QueueCounters {
+  std::int64_t enqueued_bytes = 0;
+  std::int64_t dropped_bytes = 0;   ///< congestion discards, bytes
+  std::int64_t dropped_packets = 0; ///< congestion discards, packets
+  std::int64_t ce_marked_bytes = 0;
+};
+
+/// The MMU proper.  Queue ids are dense [0, num_queues).
+class SharedBuffer {
+ public:
+  SharedBuffer(const SharedBufferConfig& config, int num_queues);
+
+  /// Attempts to admit `bytes` into `queue`.  On success the queue length
+  /// grows and `*mark_ce` reports whether the packet must carry CE.
+  /// On failure (DT limit exceeded) the drop counters grow instead.
+  bool admit(int queue, std::int64_t bytes, bool ect, bool* mark_ce);
+
+  /// Removes `bytes` from `queue` (packet transmitted out the port).
+  void release(int queue, std::int64_t bytes);
+
+  /// Current DT limit T(t) for the quadrant that `queue` maps to, i.e. the
+  /// maximum shared usage a queue may reach right now.
+  std::int64_t dynamic_limit(int queue) const;
+
+  /// Current length of `queue` in bytes.
+  std::int64_t queue_len(int queue) const { return queues_.at(queue).len; }
+
+  /// Total occupancy of the shared portion of `queue`'s quadrant.
+  std::int64_t shared_occupancy(int queue) const;
+
+  /// Number of queues with nonzero length in `queue`'s quadrant.
+  int active_queues_in_quadrant(int queue) const;
+
+  /// Per-queue counters (never reset by the MMU itself).
+  const QueueCounters& counters(int queue) const {
+    return queues_.at(queue).counters;
+  }
+
+  /// Sum of discard bytes across all queues.
+  std::int64_t total_dropped_bytes() const;
+
+  int num_queues() const noexcept { return static_cast<int>(queues_.size()); }
+  const SharedBufferConfig& config() const noexcept { return config_; }
+
+  /// Quadrant a queue maps to (round-robin by queue id, as an egress queue
+  /// maps to a quadrant as a function of the port).
+  int quadrant_of(int queue) const {
+    return queue % config_.quadrants;
+  }
+
+  /// Closed-form DT fixed point: the share of the *shared* buffer one of S
+  /// saturated queues converges to, T = alpha*B / (1 + alpha*S).  Exposed
+  /// for Figure 1 and cross-checked against the MMU in tests.
+  static double fixed_point_share(double alpha, int active_queues);
+
+ private:
+  struct Queue {
+    std::int64_t len = 0;  ///< total bytes queued (reserve + shared)
+    QueueCounters counters;
+  };
+
+  /// The policy's current per-queue shared-usage cap.
+  std::int64_t policy_limit(int queue) const;
+
+  /// Bytes of `len` that count against the shared pool.
+  std::int64_t shared_part(std::int64_t len) const {
+    const std::int64_t over = len - config_.reserve_per_queue;
+    return over > 0 ? over : 0;
+  }
+
+  SharedBufferConfig config_;
+  std::int64_t shared_capacity_per_quadrant_;
+  std::vector<Queue> queues_;
+  std::vector<std::int64_t> shared_used_;  ///< per quadrant
+};
+
+}  // namespace msamp::net

@@ -1,0 +1,49 @@
+#include "net/switch_probe.h"
+
+#include <algorithm>
+
+namespace msamp::net {
+
+SwitchProbe::SwitchProbe(sim::Simulator& simulator, Switch& tor,
+                         const SwitchProbeConfig& config)
+    : simulator_(simulator), tor_(tor), config_(config) {}
+
+void SwitchProbe::start(int port) {
+  stop();
+  port_ = port;
+  samples_.clear();
+  samples_.reserve(std::min<std::size_t>(config_.max_samples, 1 << 16));
+  running_ = true;
+  tick();
+}
+
+void SwitchProbe::stop() {
+  if (event_ != 0) {
+    simulator_.cancel(event_);
+    event_ = 0;
+  }
+  running_ = false;
+}
+
+void SwitchProbe::tick() {
+  if (!running_) return;
+  samples_.push_back({simulator_.now(), tor_.mmu().queue_len(port_),
+                      tor_.mmu().shared_occupancy(port_)});
+  if (samples_.size() >= config_.max_samples) {
+    // Budget exhausted: heavy switch instrumentation cannot run forever.
+    running_ = false;
+    return;
+  }
+  event_ = simulator_.schedule_in(config_.interval, [this] {
+    event_ = 0;
+    tick();
+  });
+}
+
+std::int64_t SwitchProbe::max_queue_bytes() const {
+  std::int64_t best = 0;
+  for (const auto& s : samples_) best = std::max(best, s.queue_bytes);
+  return best;
+}
+
+}  // namespace msamp::net

@@ -1,0 +1,65 @@
+// Switch-based fine-grained monitoring — the approach the paper contrasts
+// with Millisampler (§2.3; Zhang et al. collect 10-100µs ToR statistics).
+// Faithful to its limitations: the probe samples the queue depth of ONE
+// egress port at a time (the cited study "samples only a single port at a
+// time"), with a bounded sample budget reflecting the cost of heavy switch
+// instrumentation.  Used by tests and by the host-vs-switch cross-check
+// bench to show the two views agree where they overlap — and that only the
+// host view scales to every server at once.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/switch.h"
+#include "sim/simulator.h"
+
+namespace msamp::net {
+
+/// Probe parameters.
+struct SwitchProbeConfig {
+  sim::SimDuration interval = 25 * sim::kMicrosecond;
+  std::size_t max_samples = 80000;  ///< hard budget per collection
+};
+
+/// One queue-depth observation.
+struct SwitchProbeSample {
+  sim::SimTime at = 0;
+  std::int64_t queue_bytes = 0;
+  std::int64_t shared_occupancy = 0;  ///< the port's quadrant occupancy
+};
+
+/// The probe.  One port at a time; restart to move ports.
+class SwitchProbe {
+ public:
+  SwitchProbe(sim::Simulator& simulator, Switch& tor,
+              const SwitchProbeConfig& config);
+
+  /// Starts sampling `port`.  Any previous collection is discarded.
+  void start(int port);
+
+  /// Stops sampling (samples remain readable).
+  void stop();
+
+  bool running() const noexcept { return running_; }
+  int port() const noexcept { return port_; }
+  const std::vector<SwitchProbeSample>& samples() const noexcept {
+    return samples_;
+  }
+
+  /// Max queue depth observed in the current collection.
+  std::int64_t max_queue_bytes() const;
+
+ private:
+  void tick();
+
+  sim::Simulator& simulator_;
+  Switch& tor_;
+  SwitchProbeConfig config_;
+  bool running_ = false;
+  int port_ = 0;
+  std::uint64_t event_ = 0;
+  std::vector<SwitchProbeSample> samples_;
+};
+
+}  // namespace msamp::net

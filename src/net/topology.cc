@@ -1,0 +1,52 @@
+#include "net/topology.h"
+
+namespace msamp::net {
+
+Rack::Rack(sim::Simulator& simulator, const RackConfig& config)
+    : simulator_(simulator), config_(config) {
+  switch_ = std::make_unique<Switch>(simulator_, config_.tor,
+                                     config_.num_servers);
+
+  // Local servers: egress goes straight to the switch; the switch's
+  // downlink port delivers back into the server NIC.
+  servers_.reserve(static_cast<std::size_t>(config_.num_servers));
+  for (int i = 0; i < config_.num_servers; ++i) {
+    const auto id = static_cast<HostId>(i);
+    auto host = std::make_unique<Host>(
+        simulator_, id, config_.server_link, config_.nic,
+        [this](const Packet& pkt) { switch_->receive(pkt); });
+    Host* raw = host.get();
+    switch_->attach_port(i, id,
+                         [raw](const Packet& pkt) { raw->deliver_from_wire(pkt); });
+    servers_.push_back(std::move(host));
+  }
+
+  // Remote hosts: their egress link includes the fabric propagation; the
+  // switch's uplink sink routes returning packets to them.
+  remotes_.reserve(static_cast<std::size_t>(config_.num_remote_hosts));
+  for (int i = 0; i < config_.num_remote_hosts; ++i) {
+    const HostId id = kRemoteBase + static_cast<HostId>(i);
+    auto host = std::make_unique<Host>(
+        simulator_, id, config_.remote_link, config_.nic,
+        [this](const Packet& pkt) { switch_->receive(pkt); });
+    remotes_.push_back(std::move(host));
+  }
+  switch_->set_uplink([this](const Packet& pkt) {
+    if (Host* h = host(pkt.dst)) h->deliver_from_wire(pkt);
+  });
+}
+
+Host* Rack::host(HostId id) {
+  if (id < servers_.size()) return servers_[id].get();
+  if (id >= kRemoteBase) {
+    const std::size_t idx = id - kRemoteBase;
+    if (idx < remotes_.size()) return remotes_[idx].get();
+  }
+  return nullptr;
+}
+
+void Rack::subscribe_multicast(HostId group, int server_index) {
+  switch_->subscribe_multicast(group, server_index);
+}
+
+}  // namespace msamp::net

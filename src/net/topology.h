@@ -1,0 +1,66 @@
+// Rack topology builder: wires N local servers and M remote hosts to a ToR
+// switch, reproducing the §3 setup (12.5G server links mapped to individual
+// MMU queues; remote senders reached through an uncongested fabric).
+//
+// Host id convention: local servers are [0, num_servers); remote hosts are
+// [kRemoteBase, kRemoteBase + num_remote_hosts).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/host.h"
+#include "net/switch.h"
+#include "sim/simulator.h"
+
+namespace msamp::net {
+
+/// First remote host id.
+inline constexpr HostId kRemoteBase = 100000;
+
+/// Rack parameters.
+struct RackConfig {
+  int num_servers = 8;
+  int num_remote_hosts = 16;
+  SwitchConfig tor;
+  LinkConfig server_link{.gbps = 12.5,
+                         .propagation = 2 * sim::kMicrosecond,
+                         .queue_limit_bytes = 4 << 20};
+  /// Remote host NIC link; propagation covers half the fabric path.
+  LinkConfig remote_link{.gbps = 25.0,
+                         .propagation = 18 * sim::kMicrosecond,
+                         .queue_limit_bytes = 8 << 20};
+  NicConfig nic;
+};
+
+/// A fully wired rack.  Owns the switch and all hosts.
+class Rack {
+ public:
+  Rack(sim::Simulator& simulator, const RackConfig& config);
+
+  /// Host lookup by id (local or remote). Returns nullptr if unknown.
+  Host* host(HostId id);
+
+  /// Local server by index.
+  Host& server(int index) { return *servers_.at(static_cast<std::size_t>(index)); }
+  /// Remote host by index.
+  Host& remote(int index) { return *remotes_.at(static_cast<std::size_t>(index)); }
+
+  int num_servers() const noexcept { return static_cast<int>(servers_.size()); }
+  int num_remotes() const noexcept { return static_cast<int>(remotes_.size()); }
+
+  Switch& tor() noexcept { return *switch_; }
+  const RackConfig& config() const noexcept { return config_; }
+
+  /// Subscribes server `index` to a rack-local multicast group.
+  void subscribe_multicast(HostId group, int server_index);
+
+ private:
+  sim::Simulator& simulator_;
+  RackConfig config_;
+  std::unique_ptr<Switch> switch_;
+  std::vector<std::unique_ptr<Host>> servers_;
+  std::vector<std::unique_ptr<Host>> remotes_;
+};
+
+}  // namespace msamp::net

@@ -1,0 +1,57 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+namespace msamp::sim {
+
+std::uint64_t Simulator::schedule_at(SimTime when, Callback cb) {
+  if (when < now_) when = now_;
+  const std::uint64_t id = next_seq_++;
+  queue_.push(Event{when, id, std::move(cb)});
+  return id;
+}
+
+bool Simulator::cancel(std::uint64_t id) {
+  if (id == 0 || id >= next_seq_) return false;
+  // Tombstone: the event stays in the heap and is skipped on pop.  The
+  // cancelled list is kept sorted for O(log n) membership tests.
+  const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id);
+  if (it != cancelled_.end() && *it == id) return false;
+  cancelled_.insert(it, id);
+  return true;
+}
+
+void Simulator::run_until(SimTime limit) {
+  while (!queue_.empty() && queue_.top().when <= limit) {
+    Event ev = queue_.top();
+    queue_.pop();
+    const auto it =
+        std::lower_bound(cancelled_.begin(), cancelled_.end(), ev.seq);
+    if (it != cancelled_.end() && *it == ev.seq) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.when;
+    ++dispatched_;
+    ev.cb();
+  }
+  if (now_ < limit) now_ = limit;
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    const auto it =
+        std::lower_bound(cancelled_.begin(), cancelled_.end(), ev.seq);
+    if (it != cancelled_.end() && *it == ev.seq) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.when;
+    ++dispatched_;
+    ev.cb();
+  }
+}
+
+}  // namespace msamp::sim

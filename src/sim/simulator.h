@@ -1,0 +1,69 @@
+// Minimal discrete-event simulator: a clock plus a priority queue of
+// callbacks.  The packet-level rack simulator (src/net, src/transport) and
+// the validation tools (src/workload) are built on it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace msamp::sim {
+
+/// Discrete-event scheduler.  Single-threaded; events at equal timestamps
+/// fire in scheduling (FIFO) order so runs are fully deterministic.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time.
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules `cb` to run at absolute time `when` (clamped to `now()`).
+  /// Returns an id usable with `cancel`.
+  std::uint64_t schedule_at(SimTime when, Callback cb);
+
+  /// Schedules `cb` to run `delay` from now.
+  std::uint64_t schedule_in(SimDuration delay, Callback cb) {
+    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(cb));
+  }
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is
+  /// a no-op. Returns true if the event was pending.
+  bool cancel(std::uint64_t id);
+
+  /// Runs events until the queue is empty or `limit` is reached (whichever
+  /// first); the clock ends at the last fired event (or `limit`).
+  void run_until(SimTime limit);
+
+  /// Runs all pending events.
+  void run();
+
+  /// Number of events waiting (including cancelled tombstones).
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Total events dispatched, for tests and perf accounting.
+  std::uint64_t dispatched() const noexcept { return dispatched_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // FIFO tiebreaker + cancellation handle
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t dispatched_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<std::uint64_t> cancelled_;  // sorted lazily on lookup
+};
+
+}  // namespace msamp::sim

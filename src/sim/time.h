@@ -1,0 +1,45 @@
+// Simulation time: 64-bit signed nanoseconds since the start of the
+// simulation.  All layers (packet sim, fluid sim, sampler) share this unit
+// so that Millisampler's bucket arithmetic is identical everywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace msamp::sim {
+
+/// Nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// Duration in nanoseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1'000;
+inline constexpr SimDuration kMillisecond = 1'000'000;
+inline constexpr SimDuration kSecond = 1'000'000'000;
+
+/// Converts a duration to (fractional) milliseconds, for reporting.
+constexpr double to_ms(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Converts a duration to (fractional) seconds, for reporting.
+constexpr double to_sec(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Bytes transferable in `d` at `gbps` gigabits per second.
+constexpr double bytes_in(SimDuration d, double gbps) noexcept {
+  return gbps * 1e9 / 8.0 * to_sec(d);
+}
+
+/// Time to serialize `bytes` at `gbps` gigabits per second (rounded to the
+/// nearest nanosecond; plain truncation would turn 960.0ns into 959ns when
+/// the division lands a hair below the exact value).
+constexpr SimDuration serialize_time(std::int64_t bytes, double gbps) noexcept {
+  return static_cast<SimDuration>(static_cast<double>(bytes) * 8.0 /
+                                      (gbps * 1e9) * 1e9 +
+                                  0.5);
+}
+
+}  // namespace msamp::sim

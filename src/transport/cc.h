@@ -1,0 +1,58 @@
+// Congestion-control interface shared by DCTCP and Cubic.  The connection
+// owns the window bookkeeping; the controller owns the cwnd policy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/time.h"
+
+namespace msamp::transport {
+
+/// Congestion controller for one connection.  All sizes are bytes.
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  /// New data was cumulatively acknowledged.  `ece` is true when the ACK
+  /// echoed a CE mark (DCTCP per-packet echo); `rtt` is the latest sample.
+  virtual void on_ack(std::int64_t acked_bytes, bool ece, sim::SimTime now,
+                      sim::SimDuration rtt) = 0;
+
+  /// Loss detected by duplicate ACKs (fast retransmit).
+  virtual void on_loss(sim::SimTime now) = 0;
+
+  /// Retransmission timeout fired.
+  virtual void on_timeout(sim::SimTime now) = 0;
+
+  /// Current congestion window in bytes (never below one MSS).
+  virtual std::int64_t cwnd() const = 0;
+
+  /// Whether the transport negotiates ECN (sets ECT on data packets).
+  virtual bool ecn_capable() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Which controller a connection uses.  In the studied fleet, in-region
+/// traffic runs DCTCP and inter-region traffic runs Cubic (§3); Swift is
+/// the delay-based extension motivated by §9.
+enum class CcKind { kDctcp, kCubic, kSwift };
+
+/// Shared controller tunables.
+struct CcConfig {
+  std::int64_t mss = 1460;
+  std::int64_t init_cwnd = 10 * 1460;
+  std::int64_t max_cwnd = 64 << 20;
+  /// DCTCP EWMA gain g (RFC 8257 suggests 1/16).
+  double dctcp_gain = 1.0 / 16.0;
+  /// Cubic scaling constant C and multiplicative decrease beta.
+  double cubic_c = 0.4;
+  double cubic_beta = 0.7;
+};
+
+/// Factory for the configured controller kind.
+std::unique_ptr<CongestionControl> make_congestion_control(
+    CcKind kind, const CcConfig& config);
+
+}  // namespace msamp::transport

@@ -1,0 +1,61 @@
+#include "transport/cubic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace msamp::transport {
+
+Cubic::Cubic(const CcConfig& config)
+    : config_(config),
+      cwnd_(config.init_cwnd),
+      ssthresh_(config.max_cwnd),
+      w_max_segments_(static_cast<double>(config.init_cwnd) /
+                      static_cast<double>(config.mss)) {}
+
+void Cubic::clamp() {
+  cwnd_ = std::clamp(cwnd_, config_.mss, config_.max_cwnd);
+}
+
+void Cubic::on_ack(std::int64_t acked_bytes, bool /*ece*/, sim::SimTime now,
+                   sim::SimDuration /*rtt*/) {
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += acked_bytes;
+    clamp();
+    return;
+  }
+  if (epoch_start_ < 0) epoch_start_ = now;
+  const double t = sim::to_sec(now - epoch_start_);
+  // K = cbrt(W_max * (1 - beta) / C); W(t) = C (t - K)^3 + W_max, in
+  // segments, converted back to bytes as the target window.
+  const double k =
+      std::cbrt(w_max_segments_ * (1.0 - config_.cubic_beta) / config_.cubic_c);
+  const double target_segments =
+      config_.cubic_c * (t - k) * (t - k) * (t - k) + w_max_segments_;
+  const auto target =
+      static_cast<std::int64_t>(target_segments * static_cast<double>(config_.mss));
+  if (target > cwnd_) {
+    // Approach the cubic target gradually (at most one MSS per ack).
+    cwnd_ += std::min<std::int64_t>(config_.mss, target - cwnd_);
+  } else {
+    // Reno-friendly region: grow ~one MSS per RTT.
+    cwnd_ += config_.mss * acked_bytes / std::max<std::int64_t>(cwnd_, 1);
+  }
+  clamp();
+}
+
+void Cubic::on_loss(sim::SimTime now) {
+  w_max_segments_ = static_cast<double>(cwnd_) / static_cast<double>(config_.mss);
+  cwnd_ = static_cast<std::int64_t>(static_cast<double>(cwnd_) * config_.cubic_beta);
+  ssthresh_ = cwnd_;
+  epoch_start_ = now;
+  clamp();
+}
+
+void Cubic::on_timeout(sim::SimTime now) {
+  w_max_segments_ = static_cast<double>(cwnd_) / static_cast<double>(config_.mss);
+  ssthresh_ = std::max(cwnd_ / 2, 2 * config_.mss);
+  cwnd_ = config_.mss;
+  epoch_start_ = now;
+}
+
+}  // namespace msamp::transport

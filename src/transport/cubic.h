@@ -1,0 +1,34 @@
+// CUBIC (RFC 9438, simplified): window grows as a cubic function of time
+// since the last decrease.  Used by the smaller volume of inter-region
+// traffic in the studied fleet (§3); included for completeness and for the
+// alpha_tuning example's non-ECN baseline.
+#pragma once
+
+#include "transport/cc.h"
+
+namespace msamp::transport {
+
+/// CUBIC controller (no ECN; reacts to loss only).
+class Cubic final : public CongestionControl {
+ public:
+  explicit Cubic(const CcConfig& config);
+
+  void on_ack(std::int64_t acked_bytes, bool ece, sim::SimTime now,
+              sim::SimDuration rtt) override;
+  void on_loss(sim::SimTime now) override;
+  void on_timeout(sim::SimTime now) override;
+  std::int64_t cwnd() const override { return cwnd_; }
+  bool ecn_capable() const override { return false; }
+  const char* name() const override { return "cubic"; }
+
+ private:
+  void clamp();
+
+  CcConfig config_;
+  std::int64_t cwnd_;
+  std::int64_t ssthresh_;
+  double w_max_segments_;       // window before last decrease, in segments
+  sim::SimTime epoch_start_ = -1;
+};
+
+}  // namespace msamp::transport

@@ -1,0 +1,67 @@
+#include "transport/dctcp.h"
+
+#include <algorithm>
+
+namespace msamp::transport {
+
+Dctcp::Dctcp(const CcConfig& config)
+    : config_(config),
+      cwnd_(config.init_cwnd),
+      ssthresh_(config.max_cwnd),
+      window_size_(config.init_cwnd) {}
+
+void Dctcp::clamp() {
+  cwnd_ = std::clamp(cwnd_, config_.mss, config_.max_cwnd);
+}
+
+void Dctcp::on_ack(std::int64_t acked_bytes, bool ece, sim::SimTime /*now*/,
+                   sim::SimDuration /*rtt*/) {
+  window_acked_ += acked_bytes;
+  if (ece) window_marked_ += acked_bytes;
+
+  // Window growth: slow start doubles per RTT; congestion avoidance adds
+  // one MSS per cwnd of acked bytes.
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += acked_bytes;
+  } else {
+    ca_accum_ += acked_bytes;
+    if (ca_accum_ >= cwnd_) {
+      ca_accum_ -= cwnd_;
+      cwnd_ += config_.mss;
+    }
+  }
+  clamp();
+
+  // End of observation window: fold the marked fraction into alpha and, if
+  // anything was marked, apply the proportional decrease once per window.
+  if (window_acked_ >= window_size_) {
+    const double fraction =
+        static_cast<double>(window_marked_) /
+        static_cast<double>(std::max<std::int64_t>(window_acked_, 1));
+    alpha_ = (1.0 - config_.dctcp_gain) * alpha_ + config_.dctcp_gain * fraction;
+    if (window_marked_ > 0) {
+      cwnd_ -= static_cast<std::int64_t>(static_cast<double>(cwnd_) * alpha_ / 2.0);
+      ssthresh_ = cwnd_;
+      clamp();
+    }
+    window_acked_ = 0;
+    window_marked_ = 0;
+    window_size_ = cwnd_;
+  }
+}
+
+void Dctcp::on_loss(sim::SimTime /*now*/) {
+  ssthresh_ = std::max(cwnd_ / 2, config_.mss);
+  cwnd_ = ssthresh_;
+  clamp();
+}
+
+void Dctcp::on_timeout(sim::SimTime /*now*/) {
+  ssthresh_ = std::max(cwnd_ / 2, 2 * config_.mss);
+  cwnd_ = config_.mss;
+  window_acked_ = 0;
+  window_marked_ = 0;
+  window_size_ = cwnd_;
+}
+
+}  // namespace msamp::transport

@@ -1,0 +1,42 @@
+// DCTCP (RFC 8257): estimate the fraction of CE-marked bytes per window and
+// scale cwnd down proportionally, giving the RTT-timescale feedback loop
+// whose limits (§2.2: it cannot absorb sub-RTT bursts) drive the paper's
+// loss analysis.
+#pragma once
+
+#include "transport/cc.h"
+
+namespace msamp::transport {
+
+/// DCTCP controller.
+class Dctcp final : public CongestionControl {
+ public:
+  explicit Dctcp(const CcConfig& config);
+
+  void on_ack(std::int64_t acked_bytes, bool ece, sim::SimTime now,
+              sim::SimDuration rtt) override;
+  void on_loss(sim::SimTime now) override;
+  void on_timeout(sim::SimTime now) override;
+  std::int64_t cwnd() const override { return cwnd_; }
+  bool ecn_capable() const override { return true; }
+  const char* name() const override { return "dctcp"; }
+
+  /// Current marking-fraction estimate (the DCTCP "alpha"), for tests.
+  double alpha() const noexcept { return alpha_; }
+
+ private:
+  void clamp();
+
+  CcConfig config_;
+  std::int64_t cwnd_;
+  std::int64_t ssthresh_;
+  double alpha_ = 1.0;  // start conservative, as the RFC recommends
+
+  // Per-window mark accounting: a window ends after cwnd bytes are acked.
+  std::int64_t window_acked_ = 0;
+  std::int64_t window_marked_ = 0;
+  std::int64_t window_size_;
+  std::int64_t ca_accum_ = 0;  // congestion-avoidance byte accumulator
+};
+
+}  // namespace msamp::transport

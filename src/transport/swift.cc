@@ -1,0 +1,56 @@
+#include "transport/swift.h"
+
+#include <algorithm>
+
+namespace msamp::transport {
+
+Swift::Swift(const CcConfig& config, const SwiftConfig& swift)
+    : config_(config), swift_(swift), cwnd_(config.init_cwnd) {}
+
+void Swift::clamp() {
+  cwnd_ = std::clamp(cwnd_, config_.mss, config_.max_cwnd);
+}
+
+void Swift::on_ack(std::int64_t acked_bytes, bool /*ece*/, sim::SimTime now,
+                   sim::SimDuration rtt) {
+  if (rtt <= 0) return;
+  if (min_rtt_ == 0 || rtt < min_rtt_) min_rtt_ = rtt;
+  // The delay target sits above the base RTT: queueing delay is what we
+  // control, propagation is not actionable.
+  const sim::SimDuration target = min_rtt_ + swift_.target_delay;
+
+  if (rtt <= target) {
+    // Additive increase, scaled so one full acked window adds ai MSS.
+    cwnd_ += static_cast<std::int64_t>(
+        swift_.additive_increase * static_cast<double>(config_.mss) *
+        static_cast<double>(acked_bytes) /
+        static_cast<double>(std::max<std::int64_t>(cwnd_, 1)));
+    clamp();
+    return;
+  }
+
+  // Above target: multiplicative decrease proportional to the excess
+  // delay, at most once per RTT so sub-RTT ack trains don't stack cuts.
+  if (last_decrease_ >= 0 && now - last_decrease_ < rtt) return;
+  last_decrease_ = now;
+  const double excess = static_cast<double>(rtt - target) /
+                        static_cast<double>(rtt);
+  const double factor =
+      std::max(1.0 - swift_.beta * excess, 1.0 - swift_.max_mdf);
+  cwnd_ = static_cast<std::int64_t>(static_cast<double>(cwnd_) * factor);
+  clamp();
+}
+
+void Swift::on_loss(sim::SimTime now) {
+  last_decrease_ = now;
+  cwnd_ = static_cast<std::int64_t>(static_cast<double>(cwnd_) *
+                                    (1.0 - swift_.max_mdf));
+  clamp();
+}
+
+void Swift::on_timeout(sim::SimTime now) {
+  last_decrease_ = now;
+  cwnd_ = config_.mss;
+}
+
+}  // namespace msamp::transport

@@ -1,0 +1,56 @@
+// Swift-style delay-based congestion control (Kumar et al., SIGCOMM 2020,
+// cited by the paper's related work).  The §9 implications call for
+// congestion control that "can explicitly handle variability in buffer";
+// a delay-target controller reacts to queueing itself rather than to ECN
+// marks at a fixed threshold, so its operating point follows the DT limit
+// as contention moves it.  Included as an extension for the cc-comparison
+// ablation (bench_ablation_cc_compare).
+//
+// Simplified AIMD-on-delay rules per acked window:
+//   rtt <= target:  cwnd += ai * (acked/cwnd) * mss        (additive inc.)
+//   rtt >  target:  cwnd *= max(1 - beta*(rtt-target)/rtt, 1 - max_mdf)
+// with a loss/timeout fallback like any TCP.
+#pragma once
+
+#include "transport/cc.h"
+
+namespace msamp::transport {
+
+/// Swift-specific tunables.
+struct SwiftConfig {
+  sim::SimDuration target_delay = 80 * sim::kMicrosecond;
+  double additive_increase = 1.0;  ///< MSS per RTT when under target
+  double beta = 0.8;               ///< strength of the delay response
+  double max_mdf = 0.5;            ///< max multiplicative decrease per RTT
+};
+
+/// The controller.
+class Swift final : public CongestionControl {
+ public:
+  Swift(const CcConfig& config, const SwiftConfig& swift);
+  explicit Swift(const CcConfig& config) : Swift(config, SwiftConfig{}) {}
+
+  void on_ack(std::int64_t acked_bytes, bool ece, sim::SimTime now,
+              sim::SimDuration rtt) override;
+  void on_loss(sim::SimTime now) override;
+  void on_timeout(sim::SimTime now) override;
+  std::int64_t cwnd() const override { return cwnd_; }
+  /// Swift does not need ECN, but setting ECT is harmless and lets mixed
+  /// deployments keep marking; we run it ECN-blind (ece ignored).
+  bool ecn_capable() const override { return false; }
+  const char* name() const override { return "swift"; }
+
+  const SwiftConfig& swift_config() const noexcept { return swift_; }
+
+ private:
+  void clamp();
+
+  CcConfig config_;
+  SwiftConfig swift_;
+  std::int64_t cwnd_;
+  /// At most one multiplicative decrease per RTT (Swift's pacing of cuts).
+  sim::SimTime last_decrease_ = -1;
+  sim::SimDuration min_rtt_ = 0;  ///< lowest sample seen (base RTT estimate)
+};
+
+}  // namespace msamp::transport

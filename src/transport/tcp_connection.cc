@@ -1,0 +1,234 @@
+#include "transport/tcp_connection.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "transport/cubic.h"
+#include "transport/dctcp.h"
+#include "transport/swift.h"
+
+namespace msamp::transport {
+
+std::unique_ptr<CongestionControl> make_congestion_control(
+    CcKind kind, const CcConfig& config) {
+  switch (kind) {
+    case CcKind::kCubic:
+      return std::make_unique<Cubic>(config);
+    case CcKind::kSwift:
+      return std::make_unique<Swift>(config);
+    case CcKind::kDctcp:
+      break;
+  }
+  return std::make_unique<Dctcp>(config);
+}
+
+TcpConnection::TcpConnection(sim::Simulator& simulator, net::FlowId flow,
+                             TransportHost& sender, TransportHost& receiver,
+                             const TcpConfig& config)
+    : simulator_(simulator),
+      flow_(flow),
+      sender_(sender),
+      receiver_(receiver),
+      config_(config),
+      cc_(make_congestion_control(config.cc, config.cc_config)) {
+  sender_.register_flow(flow_, [this](const net::Packet& pkt) {
+    if (pkt.is_ack) on_ack_packet(pkt);
+  });
+  receiver_.register_flow(flow_, [this](const net::Packet& pkt) {
+    if (!pkt.is_ack) on_data_segment(pkt);
+  });
+}
+
+TcpConnection::~TcpConnection() {
+  cancel_rto();
+  sender_.unregister_flow(flow_);
+  receiver_.unregister_flow(flow_);
+}
+
+void TcpConnection::send_app_data(std::int64_t bytes) {
+  assert(bytes >= 0);
+  app_limit_ += bytes;
+  try_send();
+}
+
+void TcpConnection::try_send() {
+  const std::int64_t window = cc_->cwnd();
+  while (snd_nxt_ < app_limit_ && snd_nxt_ - snd_una_ < window) {
+    const std::int64_t room =
+        std::min(window - (snd_nxt_ - snd_una_), app_limit_ - snd_nxt_);
+    const std::int64_t seg = std::min<std::int64_t>(config_.cc_config.mss, room);
+    if (seg <= 0) break;
+    emit_segment(snd_nxt_, seg, /*is_retx=*/false);
+    snd_nxt_ += seg;
+  }
+  if (outstanding() > 0 && rto_event_ == 0) arm_rto();
+}
+
+void TcpConnection::emit_segment(std::int64_t seq, std::int64_t bytes,
+                                 bool is_retx) {
+  net::Packet pkt;
+  pkt.flow = flow_;
+  pkt.src = sender_.host().id();
+  pkt.dst = receiver_.host().id();
+  pkt.bytes = static_cast<std::int32_t>(bytes);
+  pkt.seq = seq;
+  pkt.sent_at = simulator_.now();
+  pkt.ect = cc_->ecn_capable();
+  pkt.payload_retx = is_retx;
+  // The Meta instrumentation bit (§4.2): set on the next outgoing packet
+  // after the stack performs a timeout or fast retransmission.
+  if (pending_retx_mark_ || is_retx) {
+    pkt.retx_mark = true;
+    pending_retx_mark_ = false;
+  }
+  stats_.sent_bytes += bytes;
+  if (is_retx) stats_.retx_bytes += bytes;
+  sender_.host().send(pkt);
+}
+
+void TcpConnection::retransmit_head() {
+  const std::int64_t seg = std::min<std::int64_t>(
+      config_.cc_config.mss, app_limit_ - snd_una_);
+  if (seg <= 0) return;
+  pending_retx_mark_ = true;
+  emit_segment(snd_una_, seg, /*is_retx=*/true);
+}
+
+sim::SimDuration TcpConnection::current_rto() const {
+  sim::SimDuration rto = config_.initial_rto;
+  if (srtt_ > 0) rto = srtt_ + 4 * rttvar_;
+  rto = std::max(rto, config_.min_rto);
+  return rto << std::min(rto_backoff_, 10);
+}
+
+void TcpConnection::arm_rto() {
+  cancel_rto();
+  rto_event_ = simulator_.schedule_in(current_rto(), [this] {
+    rto_event_ = 0;
+    on_rto();
+  });
+}
+
+void TcpConnection::cancel_rto() {
+  if (rto_event_ != 0) {
+    simulator_.cancel(rto_event_);
+    rto_event_ = 0;
+  }
+}
+
+void TcpConnection::on_rto() {
+  if (outstanding() <= 0) return;
+  ++stats_.timeouts;
+  ++rto_backoff_;
+  cc_->on_timeout(simulator_.now());
+  in_recovery_ = false;
+  dup_acks_ = 0;
+  // Go-back-N from the last cumulative ack; later segments will be resent
+  // as the window reopens.
+  snd_nxt_ = snd_una_;
+  retransmit_head();
+  snd_nxt_ = std::max(snd_nxt_, snd_una_ + std::min<std::int64_t>(
+                                    config_.cc_config.mss,
+                                    app_limit_ - snd_una_));
+  arm_rto();
+}
+
+void TcpConnection::on_ack_packet(const net::Packet& ack) {
+  ++stats_.acks_received;
+  if (ack.ece) ++stats_.ece_acks;
+
+  if (ack.ack > snd_una_) {
+    const std::int64_t acked = ack.ack - snd_una_;
+    snd_una_ = ack.ack;
+    dup_acks_ = 0;
+    rto_backoff_ = 0;
+
+    // RTT sample from the echoed transmit timestamp (RFC 6298 smoothing).
+    const sim::SimDuration sample = simulator_.now() - ack.sent_at;
+    if (sample > 0) {
+      if (srtt_ == 0) {
+        srtt_ = sample;
+        rttvar_ = sample / 2;
+      } else {
+        const sim::SimDuration err =
+            sample > srtt_ ? sample - srtt_ : srtt_ - sample;
+        rttvar_ = (3 * rttvar_ + err) / 4;
+        srtt_ = (7 * srtt_ + sample) / 8;
+      }
+    }
+
+    cc_->on_ack(acked, ack.ece, simulator_.now(), sample);
+
+    if (in_recovery_) {
+      if (snd_una_ >= recover_) {
+        in_recovery_ = false;
+      } else {
+        // NewReno partial ack: the next hole is known lost; resend it now.
+        retransmit_head();
+      }
+    }
+
+    if (outstanding() > 0) {
+      arm_rto();
+    } else {
+      cancel_rto();
+    }
+    try_send();
+    return;
+  }
+
+  // Duplicate ACK.
+  if (outstanding() > 0 && ack.ack == snd_una_) {
+    ++dup_acks_;
+    if (dup_acks_ == config_.dupack_threshold && !in_recovery_) {
+      in_recovery_ = true;
+      recover_ = snd_nxt_;
+      ++stats_.fast_retransmits;
+      cc_->on_loss(simulator_.now());
+      retransmit_head();
+      arm_rto();
+    }
+  }
+}
+
+void TcpConnection::on_data_segment(const net::Packet& segment) {
+  const std::int64_t seg_end = segment.seq + segment.bytes;
+  const std::int64_t before = rcv_nxt_;
+
+  if (segment.seq <= rcv_nxt_ && seg_end > rcv_nxt_) {
+    rcv_nxt_ = seg_end;
+    // Absorb any buffered out-of-order data that is now contiguous.
+    auto it = ooo_.begin();
+    while (it != ooo_.end() && it->first <= rcv_nxt_) {
+      rcv_nxt_ = std::max(rcv_nxt_, it->second);
+      it = ooo_.erase(it);
+    }
+  } else if (segment.seq > rcv_nxt_) {
+    // Buffer the hole-following segment (coalesce overlapping intervals).
+    auto [it, inserted] = ooo_.try_emplace(segment.seq, seg_end);
+    if (!inserted) it->second = std::max(it->second, seg_end);
+  }
+  // else: fully duplicate segment; just re-ack.
+
+  if (rcv_nxt_ > before) {
+    stats_.delivered_bytes += rcv_nxt_ - before;
+    if (on_delivered_) on_delivered_(stats_.delivered_bytes);
+  }
+  // DCTCP-style immediate ACK echoing this segment's CE bit.
+  send_ack(segment.ce, segment.sent_at);
+}
+
+void TcpConnection::send_ack(bool ece, sim::SimTime echo) {
+  net::Packet ack;
+  ack.flow = flow_;
+  ack.src = receiver_.host().id();
+  ack.dst = sender_.host().id();
+  ack.bytes = 64;
+  ack.ack = rcv_nxt_;
+  ack.is_ack = true;
+  ack.ece = ece;
+  ack.sent_at = echo;
+  receiver_.host().send(ack);
+}
+
+}  // namespace msamp::transport

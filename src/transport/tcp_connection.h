@@ -1,0 +1,124 @@
+// A simplified but behaviorally faithful TCP connection for the packet
+// simulator:
+//
+//   * byte-stream sender with congestion window from a pluggable controller
+//     (DCTCP or Cubic), slow start, NewReno fast retransmit / partial-ack
+//     recovery, and an exponentially backed-off RTO;
+//   * receiver with out-of-order buffering, cumulative ACKs, and DCTCP-style
+//     per-packet CE echo (ECE on the ACK for each CE-marked segment);
+//   * the Meta retransmission marker (§4.2): when the stack retransmits, the
+//     next outgoing packet carries a header bit that Millisampler counts as
+//     retransmitted bytes.
+//
+// One TcpConnection owns both endpoints; all traffic still traverses the
+// simulated network (host links, ToR MMU, fabric).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "transport/cc.h"
+#include "transport/transport_host.h"
+
+namespace msamp::transport {
+
+/// Connection tunables.
+struct TcpConfig {
+  CcKind cc = CcKind::kDctcp;
+  CcConfig cc_config{.max_cwnd = 4 << 20};
+  /// Minimum / initial retransmission timeout (data-center tuned).
+  sim::SimDuration min_rto = 5 * sim::kMillisecond;
+  sim::SimDuration initial_rto = 10 * sim::kMillisecond;
+  int dupack_threshold = 3;
+};
+
+/// Counters exposed for analysis and tests.
+struct TcpStats {
+  std::int64_t sent_bytes = 0;        ///< data bytes put on the wire (incl. retx)
+  std::int64_t delivered_bytes = 0;   ///< bytes delivered in order to the app
+  std::int64_t retx_bytes = 0;        ///< retransmitted payload bytes
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t ece_acks = 0;         ///< ACKs carrying an ECE echo
+};
+
+/// A unidirectional data connection from a sender host to a receiver host.
+class TcpConnection {
+ public:
+  /// Called with the cumulative delivered byte count after each in-order
+  /// delivery at the receiver.
+  using DeliveredCallback = std::function<void(std::int64_t)>;
+
+  TcpConnection(sim::Simulator& simulator, net::FlowId flow,
+                TransportHost& sender, TransportHost& receiver,
+                const TcpConfig& config);
+  ~TcpConnection();
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Appends `bytes` to the application stream; transmission starts (or
+  /// resumes) immediately, window permitting.
+  void send_app_data(std::int64_t bytes);
+
+  void set_on_delivered(DeliveredCallback cb) { on_delivered_ = std::move(cb); }
+
+  /// True when everything written so far has been cumulatively acked.
+  bool idle() const noexcept { return snd_una_ == app_limit_; }
+
+  std::int64_t cwnd() const { return cc_->cwnd(); }
+  std::int64_t outstanding() const noexcept { return snd_nxt_ - snd_una_; }
+  const TcpStats& stats() const noexcept { return stats_; }
+  net::FlowId flow() const noexcept { return flow_; }
+  const CongestionControl& congestion_control() const { return *cc_; }
+
+ private:
+  // --- sender side ---
+  void try_send();
+  void emit_segment(std::int64_t seq, std::int64_t bytes, bool is_retx);
+  void on_ack_packet(const net::Packet& ack);
+  void retransmit_head();
+  void arm_rto();
+  void cancel_rto();
+  void on_rto();
+  sim::SimDuration current_rto() const;
+
+  // --- receiver side ---
+  void on_data_segment(const net::Packet& segment);
+  void send_ack(bool ece, sim::SimTime echo);
+
+  sim::Simulator& simulator_;
+  net::FlowId flow_;
+  TransportHost& sender_;
+  TransportHost& receiver_;
+  TcpConfig config_;
+  std::unique_ptr<CongestionControl> cc_;
+
+  // Sender state.
+  std::int64_t app_limit_ = 0;  ///< total bytes the app has written
+  std::int64_t snd_una_ = 0;
+  std::int64_t snd_nxt_ = 0;
+  std::int64_t recover_ = 0;
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  bool pending_retx_mark_ = false;
+  std::uint64_t rto_event_ = 0;
+  int rto_backoff_ = 0;
+  // RTT estimation (RFC 6298).
+  sim::SimDuration srtt_ = 0;
+  sim::SimDuration rttvar_ = 0;
+
+  // Receiver state: rcv_nxt plus an interval map of out-of-order data.
+  std::int64_t rcv_nxt_ = 0;
+  std::map<std::int64_t, std::int64_t> ooo_;  // seq -> end_seq
+
+  TcpStats stats_;
+  DeliveredCallback on_delivered_;
+};
+
+}  // namespace msamp::transport

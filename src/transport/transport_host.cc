@@ -1,0 +1,24 @@
+#include "transport/transport_host.h"
+
+namespace msamp::transport {
+
+TransportHost::TransportHost(net::Host& host) : host_(host) {
+  host_.set_ingress_sink([this](const net::Packet& segment) {
+    const auto it = flows_.find(segment.flow);
+    if (it != flows_.end()) {
+      it->second(segment);
+    } else if (default_handler_) {
+      default_handler_(segment);
+    }
+  });
+}
+
+void TransportHost::register_flow(net::FlowId flow, Handler handler) {
+  flows_[flow] = std::move(handler);
+}
+
+void TransportHost::unregister_flow(net::FlowId flow) {
+  flows_.erase(flow);
+}
+
+}  // namespace msamp::transport

@@ -1,0 +1,42 @@
+// Per-host transport dispatcher: routes ingress segments to connection
+// endpoints (by flow id) or to raw handlers (measurement tools).  One
+// TransportHost wraps one net::Host.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/host.h"
+#include "net/packet.h"
+
+namespace msamp::transport {
+
+/// Transport-layer demultiplexer for one host.
+class TransportHost {
+ public:
+  using Handler = std::function<void(const net::Packet&)>;
+
+  explicit TransportHost(net::Host& host);
+
+  /// Registers a handler for a flow id; replaces any existing one.
+  void register_flow(net::FlowId flow, Handler handler);
+
+  /// Removes a flow handler.
+  void unregister_flow(net::FlowId flow);
+
+  /// Handler for segments whose flow id has no registration (tools,
+  /// multicast receivers). Optional.
+  void set_default_handler(Handler handler) {
+    default_handler_ = std::move(handler);
+  }
+
+  net::Host& host() noexcept { return host_; }
+
+ private:
+  net::Host& host_;
+  std::unordered_map<net::FlowId, Handler> flows_;
+  Handler default_handler_;
+};
+
+}  // namespace msamp::transport

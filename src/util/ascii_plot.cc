@@ -1,0 +1,146 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/table.h"
+
+namespace msamp::util {
+namespace {
+
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  void include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  void finalize() {
+    if (lo > hi) {
+      lo = 0.0;
+      hi = 1.0;
+    }
+    if (lo == hi) {
+      lo -= 0.5;
+      hi += 0.5;
+    }
+  }
+};
+
+}  // namespace
+
+void ascii_plot(std::ostream& os, const std::vector<Series>& series,
+                const PlotOptions& options) {
+  const int w = std::max(options.width, 8);
+  const int h = std::max(options.height, 4);
+
+  Range xr, yr;
+  if (options.x_min <= options.x_max) {
+    xr.lo = options.x_min;
+    xr.hi = options.x_max;
+  } else {
+    for (const auto& s : series)
+      for (double v : s.x) xr.include(v);
+  }
+  if (options.y_min <= options.y_max) {
+    yr.lo = options.y_min;
+    yr.hi = options.y_max;
+  } else {
+    for (const auto& s : series)
+      for (double v : s.y) yr.include(v);
+  }
+  xr.finalize();
+  yr.finalize();
+
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+  auto to_col = [&](double x) {
+    const double f = (x - xr.lo) / (xr.hi - xr.lo);
+    return static_cast<int>(std::lround(f * (w - 1)));
+  };
+  auto to_row = [&](double y) {
+    const double f = (y - yr.lo) / (yr.hi - yr.lo);
+    return (h - 1) - static_cast<int>(std::lround(f * (h - 1)));
+  };
+  auto put = [&](int col, int row, char g) {
+    if (col < 0 || col >= w || row < 0 || row >= h) return;
+    grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = g;
+  };
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const auto& s = series[si];
+    const char g = kGlyphs[si % sizeof(kGlyphs)];
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      put(to_col(s.x[i]), to_row(s.y[i]), g);
+      if (i + 1 < n) {
+        // Interpolate so the series reads as a line, not scattered dots.
+        const int c0 = to_col(s.x[i]), c1 = to_col(s.x[i + 1]);
+        const int steps = std::abs(c1 - c0);
+        for (int k = 1; k < steps; ++k) {
+          const double t = static_cast<double>(k) / steps;
+          put(to_col(s.x[i] + t * (s.x[i + 1] - s.x[i])),
+              to_row(s.y[i] + t * (s.y[i + 1] - s.y[i])), g);
+        }
+      }
+    }
+  }
+
+  if (!options.title.empty()) os << options.title << '\n';
+  const std::string ylab_hi = format_double(yr.hi, 2);
+  const std::string ylab_lo = format_double(yr.lo, 2);
+  const std::size_t margin = std::max(ylab_hi.size(), ylab_lo.size()) + 1;
+  for (int r = 0; r < h; ++r) {
+    std::string label;
+    if (r == 0) label = ylab_hi;
+    else if (r == h - 1) label = ylab_lo;
+    os << std::string(margin - label.size(), ' ') << label << '|'
+       << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(margin, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-')
+     << '\n';
+  const std::string xlab_lo = format_double(xr.lo, 2);
+  const std::string xlab_hi = format_double(xr.hi, 2);
+  os << std::string(margin + 1, ' ') << xlab_lo
+     << std::string(static_cast<std::size_t>(std::max(
+            1, w - static_cast<int>(xlab_lo.size() + xlab_hi.size()))), ' ')
+     << xlab_hi << '\n';
+  if (!options.x_label.empty() || !options.y_label.empty()) {
+    os << std::string(margin + 1, ' ') << "x: " << options.x_label
+       << "   y: " << options.y_label << '\n';
+  }
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << "  " << kGlyphs[si % sizeof(kGlyphs)] << " = " << series[si].name
+       << '\n';
+  }
+}
+
+void ascii_raster(std::ostream& os, const std::vector<std::vector<bool>>& active,
+                  const std::string& title, int max_width) {
+  if (!title.empty()) os << title << '\n';
+  if (active.empty()) return;
+  std::size_t cols = 0;
+  for (const auto& r : active) cols = std::max(cols, r.size());
+  if (cols == 0) return;
+  // Down-sample columns to fit the terminal: a cell is marked if any sample
+  // in its span is active.
+  const auto width = static_cast<std::size_t>(std::max(max_width, 8));
+  const std::size_t span = (cols + width - 1) / width;
+  for (std::size_t row = 0; row < active.size(); ++row) {
+    os << (row < 10 ? " " : "") << row << " |";
+    for (std::size_t c = 0; c < cols; c += span) {
+      bool any = false;
+      for (std::size_t k = c; k < std::min(c + span, active[row].size()); ++k) {
+        any = any || active[row][k];
+      }
+      os << (any ? '#' : '.');
+    }
+    os << '\n';
+  }
+  os << "    (" << cols << " samples, " << span << " per column)\n";
+}
+
+}  // namespace msamp::util

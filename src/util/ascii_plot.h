@@ -1,0 +1,43 @@
+// Terminal plotting for the bench binaries: multi-series line charts (used
+// for the paper's CDFs and loss curves) drawn on a character grid.  The
+// benches print these so a human can eyeball the reproduced figure shapes
+// next to the numeric tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace msamp::util {
+
+/// One named series of (x, y) points to plot.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Plot configuration; defaults fit an 80-column terminal.
+struct PlotOptions {
+  int width = 72;       ///< plot area columns
+  int height = 20;      ///< plot area rows
+  std::string title;    ///< printed above the plot
+  std::string x_label;  ///< printed below the x axis
+  std::string y_label;  ///< printed beside the y axis
+  /// Force axis ranges; when min > max (default) ranges auto-fit the data.
+  double x_min = 1.0, x_max = 0.0;
+  double y_min = 1.0, y_max = 0.0;
+};
+
+/// Renders the series onto a character grid, one glyph per series
+/// ('*', '+', 'o', 'x', ...), with a legend. Series are drawn with linear
+/// interpolation between consecutive points so sparse series read as lines.
+void ascii_plot(std::ostream& os, const std::vector<Series>& series,
+                const PlotOptions& options);
+
+/// Renders a raster/strip chart (Figure 5 style): rows are entities (queue
+/// ids), columns time buckets; a mark where `active[row][col]` is true.
+void ascii_raster(std::ostream& os, const std::vector<std::vector<bool>>& active,
+                  const std::string& title, int max_width = 72);
+
+}  // namespace msamp::util

@@ -1,0 +1,106 @@
+// Streaming and batch statistics used by the analysis pipeline and by every
+// figure bench: Welford moments, exact percentiles on collected samples,
+// empirical CDFs, box-plot summaries and fixed-width histograms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace msamp::util {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class StreamingStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel-friendly).
+  void merge(const StreamingStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  /// Population variance; 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return n_ == 0 ? 0.0 : max_; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact percentile of a sample set with linear interpolation between order
+/// statistics. `p` is in [0, 100]. Returns 0 for an empty sample.
+/// The input is copied; use `percentile_inplace` to avoid the copy.
+double percentile(std::vector<double> samples, double p);
+
+/// As `percentile`, but sorts the caller's buffer in place.
+double percentile_inplace(std::vector<double>& samples, double p);
+
+/// Five-number summary plus mean, as used for the diurnal box plots
+/// (Figures 13 and 14 in the paper).
+struct BoxSummary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+/// Computes a BoxSummary; sorts the buffer in place.
+BoxSummary box_summary(std::vector<double>& samples);
+
+/// One point of an empirical CDF: `percent` of samples are <= `value`.
+struct CdfPoint {
+  double value = 0.0;
+  double percent = 0.0;
+};
+
+/// Empirical CDF of the samples, downsampled to at most `max_points`
+/// evenly-spaced quantiles (the figure benches print these series).
+std::vector<CdfPoint> empirical_cdf(std::vector<double> samples,
+                                    std::size_t max_points = 100);
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
+/// first/last bin. Used to bucket bursts by length/connection count for
+/// Figures 16, 18 and 19.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const noexcept { return total_; }
+  /// Center value of the bin, for plotting.
+  double bin_center(std::size_t bin) const;
+  /// Lower edge of the bin.
+  double bin_lo(std::size_t bin) const;
+  double bin_width() const noexcept { return width_; }
+  /// Bin index a value falls into (after clamping).
+  std::size_t bin_index(double x) const noexcept;
+
+ private:
+  double lo_;
+  double width_;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Ratio helper that is 0 when the denominator is 0 (loss-percentage math).
+double safe_ratio(double num, double den) noexcept;
+
+}  // namespace msamp::util

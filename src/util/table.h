@@ -1,0 +1,66 @@
+// Tabular output used by every bench binary: aligned console tables plus
+// optional CSV export, so each bench prints the same rows/series the paper
+// reports and leaves a machine-readable copy behind.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace msamp::util {
+
+/// A simple column-aligned table. Cells are strings; numeric helpers format
+/// with sensible defaults.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent `cell` calls fill it left to right.
+  Table& row();
+
+  /// Appends a preformatted cell to the current row.
+  Table& cell(std::string value);
+
+  /// Appends a formatted numeric cell (fixed, `precision` decimals).
+  Table& cell(double value, int precision = 2);
+
+  /// Appends an integer cell.
+  Table& cell(long long value);
+  Table& cell(unsigned long long value);
+  Table& cell(int value) { return cell(static_cast<long long>(value)); }
+  Table& cell(long value) { return cell(static_cast<long long>(value)); }
+  Table& cell(std::size_t value) {
+    return cell(static_cast<unsigned long long>(value));
+  }
+
+  /// Convenience: appends a full row at once.
+  Table& add_row(std::initializer_list<std::string> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return headers_.size(); }
+
+  /// Writes the table with aligned columns and a header separator.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void write_csv(std::ostream& os) const;
+
+  /// Writes CSV to `path`; creates parent directories if missing.
+  /// Returns false (without throwing) if the file cannot be opened.
+  bool write_csv_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` decimals (shared by Table and plots).
+std::string format_double(double value, int precision);
+
+/// Formats a byte count human-readably (e.g. "1.8MB"), as the paper quotes
+/// burst volumes.
+std::string format_bytes(double bytes);
+
+}  // namespace msamp::util

@@ -1,0 +1,49 @@
+#include "workload/burst_generator_tool.h"
+
+namespace msamp::workload {
+
+BurstGeneratorTool::BurstGeneratorTool(
+    sim::Simulator& simulator, transport::TransportHost& client,
+    transport::TransportHost& server, net::FlowId data_flow,
+    net::FlowId request_flow, const BurstGeneratorConfig& config,
+    sim::SimDuration client_clock_offset)
+    : simulator_(simulator),
+      client_(client),
+      server_(server),
+      request_flow_(request_flow),
+      config_(config),
+      clock_offset_(client_clock_offset) {
+  // Long-lived data connection server -> client that carries the bursts.
+  connection_ = std::make_unique<transport::TcpConnection>(
+      simulator_, data_flow, server_, client_, config_.tcp);
+  // The server reacts to request packets by writing one burst volume into
+  // the connection.
+  server_.register_flow(request_flow_, [this](const net::Packet& pkt) {
+    if (!pkt.is_ack) connection_->send_app_data(config_.burst_volume);
+  });
+}
+
+void BurstGeneratorTool::start(sim::SimTime until) {
+  until_ = until;
+  // Fire the first request at the next period boundary of the client's
+  // local clock, so co-located clients with synchronized clocks request
+  // near-simultaneously.
+  const sim::SimTime local_now = simulator_.now() + clock_offset_;
+  const sim::SimDuration to_boundary =
+      config_.period - (local_now % config_.period);
+  simulator_.schedule_in(to_boundary, [this] { send_request(); });
+}
+
+void BurstGeneratorTool::send_request() {
+  if (simulator_.now() >= until_) return;
+  ++requested_;
+  net::Packet req;
+  req.flow = request_flow_;
+  req.src = client_.host().id();
+  req.dst = server_.host().id();
+  req.bytes = 100;
+  client_.host().send(req);
+  simulator_.schedule_in(config_.period, [this] { send_request(); });
+}
+
+}  // namespace msamp::workload

@@ -1,0 +1,102 @@
+// Per-server millisecond-granularity traffic generator with closed-loop
+// feedback, used by the fleet-scale fluid simulator.
+//
+// Each server alternates between background traffic and bursts (arrivals ~
+// Poisson, lengths ~ lognormal, offered intensity ~ uniform, all from the
+// task's TrafficProfile).  An aggregate "rate factor" stands in for the
+// combined DCTCP behavior of the server's senders:
+//
+//   * ECN marks scale the factor down proportionally to the marked
+//     fraction, weighted by the task's adaptivity (the §8.2 mechanism that
+//     lets long bursts adapt while mid-length ones overflow first);
+//   * drops halve the factor and schedule the dropped bytes for
+//     re-arrival a few milliseconds later as retransmissions (which is
+//     what Millisampler's in_retx counter observes, §4.6);
+//   * heavy incast imposes a demand floor — with many senders, even one
+//     congestion window each exceeds the queue's drain rate (§3, §8.2).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "core/flow_sketch.h"
+#include "util/rng.h"
+#include "workload/task.h"
+
+namespace msamp::workload {
+
+/// Environment parameters for a burst process.
+struct BurstProcessConfig {
+  double line_rate_gbps = 12.5;
+  double rtt_ms = 0.1;          ///< in-rack RTT, for the incast floor
+  std::int64_t mss = 1460;
+  double diurnal = 1.0;         ///< hour-of-day multiplier
+  double intensity = 1.0;       ///< rack load scalar (scales burst rate)
+};
+
+/// Demand produced for one 1ms step.
+struct StepDemand {
+  std::int64_t bytes = 0;       ///< offered toward the ToR queue
+  std::int64_t retx_bytes = 0;  ///< portion of `bytes` that is retransmitted data
+  double conns = 0.0;           ///< ground-truth active connection count
+  std::uint64_t sketch[2] = {0, 0};  ///< flow sketch of the active set
+  bool in_burst = false;        ///< ground truth (analysis uses measured util)
+  /// How smoothly the senders pace packets (the task's adaptivity):
+  /// adapted DCTCP senders spread packets across the RTT and rarely
+  /// collide in the buffer, oblivious incast clumps do.
+  double smoothness = 0.5;
+};
+
+/// The generator.  One instance per server per observation window.
+class BurstProcess {
+ public:
+  /// `flow_base` makes connection ids unique across servers.
+  BurstProcess(const TrafficProfile& profile, const BurstProcessConfig& config,
+               std::uint64_t flow_base, util::Rng rng);
+
+  /// Starts an observation window: draws whether the server is in its
+  /// active regime, resets transient state (but not the persistent rate
+  /// factor of adaptive tasks).
+  void begin_run();
+
+  /// Advances one millisecond and returns the offered demand.
+  StepDemand step();
+
+  /// Feedback from the fluid switch for the previous step: fraction of the
+  /// server's delivered bytes that were CE-marked, and bytes dropped at
+  /// the ToR queue.  Applied with one step of delay (~ several RTTs).
+  void on_feedback(double marked_fraction, std::int64_t dropped_bytes);
+
+  /// Current aggregate rate factor (tests / diagnostics).
+  double rate_factor() const noexcept { return rate_factor_; }
+  bool in_burst() const noexcept { return burst_remaining_ms_ > 0; }
+  bool active_regime() const noexcept { return active_regime_; }
+
+ private:
+  void rebuild_flow_set(double mean_conns);
+  void maybe_start_burst();
+  std::int64_t line_bytes_per_ms() const;
+
+  TrafficProfile profile_;
+  BurstProcessConfig config_;
+  std::uint64_t flow_base_;
+  util::Rng rng_;
+
+  bool active_regime_ = true;
+  double run_rate_mult_ = 1.0;  ///< per-window burst-rate multiplier
+  int burst_remaining_ms_ = 0;
+  double burst_intensity_ = 0.0;  ///< fraction of line rate this burst
+  double rate_factor_ = 1.0;
+  double pending_marked_ = 0.0;
+  std::int64_t pending_dropped_ = 0;
+
+  int conns_current_ = 0;
+  core::FlowSketch flow_sketch_;
+  std::uint64_t next_flow_salt_ = 0;
+
+  int step_index_ = 0;
+  /// Retransmissions awaiting re-arrival: (due step, bytes).
+  std::deque<std::pair<int, std::int64_t>> retx_pipeline_;
+};
+
+}  // namespace msamp::workload

@@ -1,0 +1,23 @@
+#include "workload/diurnal.h"
+
+namespace msamp::workload {
+namespace {
+
+// Hourly multipliers, hand-shaped to the paper's Figure 13: RegA rises
+// sharply into hours 4-10 (ML training waves plus user morning traffic),
+// RegB has a smoother swing peaking late in the local day.
+constexpr double kRegA[24] = {
+    0.86, 0.84, 0.84, 0.88, 1.05, 1.12, 1.18, 1.20, 1.18, 1.15, 1.10, 1.02,
+    0.97, 0.94, 0.92, 0.92, 0.93, 0.95, 0.97, 0.99, 1.00, 0.97, 0.92, 0.88};
+constexpr double kRegB[24] = {
+    0.90, 0.86, 0.84, 0.83, 0.84, 0.87, 0.92, 0.97, 1.01, 1.05, 1.08, 1.10,
+    1.11, 1.12, 1.13, 1.14, 1.14, 1.13, 1.11, 1.08, 1.04, 1.00, 0.96, 0.92};
+
+}  // namespace
+
+double diurnal_multiplier(RegionId region, int hour) {
+  const int h = ((hour % 24) + 24) % 24;
+  return region == RegionId::kRegA ? kRegA[h] : kRegB[h];
+}
+
+}  // namespace msamp::workload

@@ -1,0 +1,19 @@
+// Diurnal load profiles (§7.2): hour-of-day multipliers applied to burst
+// rates and background utilization.  RegA's ML-heavy load peaks between
+// hours 4 and 10 (the paper measures a 27.6% contention increase there);
+// RegB shows a broader, evening-leaning diurnal swing.
+#pragma once
+
+#include "workload/region_id.h"
+
+namespace msamp::workload {
+
+/// Load multiplier for `region` at local `hour` (0-23).  Averages ~1.0
+/// across the day; shape differs per region.
+double diurnal_multiplier(RegionId region, int hour);
+
+/// The busy hour the paper uses for the cross-rack contention CDF
+/// (6am-7am local time, §7.1).
+inline constexpr int kBusyHour = 6;
+
+}  // namespace msamp::workload

@@ -1,0 +1,58 @@
+#include "workload/incast.h"
+
+namespace msamp::workload {
+
+IncastDriver::IncastDriver(sim::Simulator& simulator,
+                           std::vector<transport::TransportHost*> senders,
+                           transport::TransportHost& receiver,
+                           net::FlowId first_flow, const IncastConfig& config)
+    : config_(config) {
+  connections_.reserve(senders.size());
+  round_target_.assign(senders.size(), 0);
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    auto conn = std::make_unique<transport::TcpConnection>(
+        simulator, first_flow + i, *senders[i], receiver, config_.tcp);
+    const std::size_t idx = i;
+    conn->set_on_delivered([this, idx](std::int64_t delivered) {
+      if (done_ && delivered >= round_target_[idx]) {
+        round_target_[idx] = INT64_MAX;  // count each connection once
+        if (--outstanding_ == 0) {
+          auto cb = std::move(done_);
+          done_ = nullptr;
+          cb();
+        }
+      }
+    });
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void IncastDriver::trigger(std::function<void()> done) {
+  done_ = std::move(done);
+  outstanding_ = connections_.size();
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    round_target_[i] =
+        connections_[i]->stats().delivered_bytes + config_.bytes_per_sender;
+    connections_[i]->send_app_data(config_.bytes_per_sender);
+  }
+}
+
+std::int64_t IncastDriver::total_delivered() const {
+  std::int64_t total = 0;
+  for (const auto& c : connections_) total += c->stats().delivered_bytes;
+  return total;
+}
+
+std::int64_t IncastDriver::total_retx_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& c : connections_) total += c->stats().retx_bytes;
+  return total;
+}
+
+std::uint64_t IncastDriver::total_timeouts() const {
+  std::uint64_t total = 0;
+  for (const auto& c : connections_) total += c->stats().timeouts;
+  return total;
+}
+
+}  // namespace msamp::workload

@@ -1,0 +1,32 @@
+#include "workload/multicast_tool.h"
+
+namespace msamp::workload {
+
+MulticastTool::MulticastTool(sim::Simulator& simulator, net::Host& sender,
+                             const MulticastToolConfig& config)
+    : simulator_(simulator), sender_(sender), config_(config) {}
+
+void MulticastTool::start(sim::SimTime until) {
+  until_ = until;
+  send_burst();
+}
+
+void MulticastTool::send_burst() {
+  if (simulator_.now() >= until_) return;
+  ++bursts_;
+  const sim::SimDuration spacing =
+      sim::serialize_time(config_.packet_bytes, config_.pace_gbps);
+  for (int i = 0; i < config_.packets_per_burst; ++i) {
+    simulator_.schedule_in(spacing * i, [this] {
+      net::Packet pkt;
+      pkt.flow = 0;  // raw tool traffic
+      pkt.src = sender_.id();
+      pkt.dst = config_.group;
+      pkt.bytes = config_.packet_bytes;
+      sender_.send(pkt);
+    });
+  }
+  simulator_.schedule_in(config_.period, [this] { send_burst(); });
+}
+
+}  // namespace msamp::workload

@@ -1,0 +1,136 @@
+#include "workload/packet_rack_driver.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace msamp::workload {
+
+PacketRackDriver::PacketRackDriver(sim::Simulator& simulator, net::Rack& rack,
+                                   const PacketRackDriverConfig& config,
+                                   util::Rng rng)
+    : simulator_(simulator), rack_(rack), config_(config), rng_(rng) {
+  const int servers = rack.num_servers();
+  for (int s = 0; s < servers; ++s) {
+    server_hosts_.push_back(
+        std::make_unique<transport::TransportHost>(rack.server(s)));
+  }
+  for (int r = 0; r < rack.num_remotes(); ++r) {
+    remote_hosts_.push_back(
+        std::make_unique<transport::TransportHost>(rack.remote(r)));
+  }
+
+  servers_.resize(static_cast<std::size_t>(servers));
+  for (int s = 0; s < servers; ++s) {
+    ServerState& state = servers_[static_cast<std::size_t>(s)];
+    state.task = s < static_cast<int>(config_.server_tasks.size())
+                     ? config_.server_tasks[static_cast<std::size_t>(s)]
+                     : TaskKind::kQuiet;
+    const TrafficProfile& profile = profile_for(state.task);
+    state.active_regime = rng_.bernoulli(profile.active_run_prob);
+    state.rate_mult = rng_.lognormal(-0.55, 0.95);
+    state.host = server_hosts_[static_cast<std::size_t>(s)].get();
+    // Standing pool sized for the burst fan-in; remote senders cycled.
+    const int pool_size = std::max(
+        1, std::min(static_cast<int>(profile.conns_inside),
+                    config_.senders_per_server * rack_.num_remotes()));
+    for (int c = 0; c < pool_size; ++c) {
+      auto& sender = *remote_hosts_[static_cast<std::size_t>(
+          (s * 13 + c) % rack_.num_remotes())];
+      state.pool.push_back(std::make_unique<transport::TcpConnection>(
+          simulator_, next_flow_++, sender, *state.host, config_.tcp));
+    }
+  }
+}
+
+PacketRackDriver::~PacketRackDriver() = default;
+
+void PacketRackDriver::start(sim::SimTime until) {
+  until_ = until;
+  for (int s = 0; s < rack_.num_servers(); ++s) {
+    schedule_next_burst(s);
+    schedule_background(s);
+  }
+}
+
+void PacketRackDriver::schedule_next_burst(int server) {
+  ServerState& state = servers_[static_cast<std::size_t>(server)];
+  const TrafficProfile& profile = profile_for(state.task);
+  double rate_hz = profile.burst_rate_hz * config_.diurnal *
+                   config_.intensity * state.rate_mult;
+  if (!state.active_regime) rate_hz *= 0.02;
+  rate_hz = std::max(rate_hz, 1e-3);
+  const auto gap = static_cast<sim::SimDuration>(
+      rng_.exponential(rate_hz) * static_cast<double>(sim::kSecond));
+  simulator_.schedule_in(gap, [this, server] {
+    if (simulator_.now() >= until_) return;
+    issue_burst(server);
+    schedule_next_burst(server);
+  });
+}
+
+void PacketRackDriver::issue_burst(int server) {
+  ServerState& state = servers_[static_cast<std::size_t>(server)];
+  const TrafficProfile& profile = profile_for(state.task);
+  ++bursts_;
+  // Burst volume = intensity x length at line rate, split across the
+  // fan-in; TCP dynamics then decide the actual delivery shape.
+  const double len_ms =
+      rng_.lognormal(profile.burst_len_mu, profile.burst_len_sigma);
+  const double u = rng_.uniform();
+  const double burst_intensity =
+      profile.intensity_lo +
+      (profile.intensity_hi - profile.intensity_lo) * u * u * u * u;
+  const double line_bytes_per_ms = 12.5e9 / 8.0 / 1000.0;
+  const auto volume = static_cast<std::int64_t>(
+      std::max(1.0, len_ms) * burst_intensity * line_bytes_per_ms);
+  const auto fan_in = std::max<std::size_t>(
+      1, std::min(state.pool.size(),
+                  static_cast<std::size_t>(rng_.poisson(
+                      std::max(profile.conns_inside, 1.0)))));
+  const std::int64_t per_sender =
+      std::max<std::int64_t>(1, volume / static_cast<std::int64_t>(fan_in));
+  for (std::size_t c = 0; c < fan_in; ++c) {
+    state.pool[c]->send_app_data(per_sender);
+  }
+}
+
+void PacketRackDriver::schedule_background(int server) {
+  ServerState& state = servers_[static_cast<std::size_t>(server)];
+  const TrafficProfile& profile = profile_for(state.task);
+  // Background trickle: small responses on one pool connection, sized so
+  // the average matches background_util.
+  const double line_bps = 12.5e9 / 8.0;
+  const double bg_bytes_per_sec = line_bps * profile.background_util *
+                                  config_.diurnal *
+                                  std::min(config_.intensity, 2.0);
+  const std::int64_t chunk = 16 << 10;
+  const double rate_hz = std::max(bg_bytes_per_sec / static_cast<double>(chunk), 1.0);
+  const auto gap = static_cast<sim::SimDuration>(
+      rng_.exponential(rate_hz) * static_cast<double>(sim::kSecond));
+  simulator_.schedule_in(gap, [this, server, chunk] {
+    if (simulator_.now() >= until_) return;
+    ServerState& st = servers_[static_cast<std::size_t>(server)];
+    st.pool[rng_.uniform_int(st.pool.size())]->send_app_data(chunk);
+    schedule_background(server);
+  });
+}
+
+std::int64_t PacketRackDriver::total_delivered() const {
+  std::int64_t total = 0;
+  for (const auto& state : servers_) {
+    for (const auto& conn : state.pool) {
+      total += conn->stats().delivered_bytes;
+    }
+  }
+  return total;
+}
+
+std::int64_t PacketRackDriver::total_retx_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& state : servers_) {
+    for (const auto& conn : state.pool) total += conn->stats().retx_bytes;
+  }
+  return total;
+}
+
+}  // namespace msamp::workload

@@ -1,0 +1,88 @@
+// Packet-level rack workload driver: the same task-profile workloads the
+// fluid simulator integrates per millisecond, realized as actual TCP
+// connections over the packet simulator.  Every server gets a pool of
+// long-lived DCTCP connections from remote hosts; bursts are fan-in
+// request waves (conns_inside connections each carrying a share of the
+// burst volume), background is a trickle on the standing pool.
+//
+// Used by the fluid-vs-packet cross-check (bench_crosscheck_fluid_vs_packet)
+// to show the fleet-scale model's statistics are consistent with real
+// transport dynamics, and available as an honest (if slower) rack workload
+// for experiments that need packet-level fidelity.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/topology.h"
+#include "transport/tcp_connection.h"
+#include "transport/transport_host.h"
+#include "util/rng.h"
+#include "workload/task.h"
+
+namespace msamp::workload {
+
+/// Driver parameters.
+struct PacketRackDriverConfig {
+  /// Tasks per server (size must equal the rack's server count).
+  std::vector<TaskKind> server_tasks;
+  /// Rack load scalar, like RackMeta::intensity.
+  double intensity = 1.0;
+  /// Hour-of-day multiplier.
+  double diurnal = 1.0;
+  /// Remote hosts available as senders (cycled across connections).
+  int senders_per_server = 8;
+  transport::TcpConfig tcp;
+};
+
+/// The driver.  Construct after the rack; call start() to begin generating
+/// and let the simulator run.
+class PacketRackDriver {
+ public:
+  PacketRackDriver(sim::Simulator& simulator, net::Rack& rack,
+                   const PacketRackDriverConfig& config, util::Rng rng);
+  ~PacketRackDriver();
+
+  PacketRackDriver(const PacketRackDriver&) = delete;
+  PacketRackDriver& operator=(const PacketRackDriver&) = delete;
+
+  /// Starts background and burst generation until `until` (absolute time).
+  void start(sim::SimTime until);
+
+  /// Total bytes delivered to all servers so far.
+  std::int64_t total_delivered() const;
+
+  /// Total retransmitted bytes across all connections.
+  std::int64_t total_retx_bytes() const;
+
+  /// Number of burst waves issued.
+  std::uint64_t bursts_issued() const noexcept { return bursts_; }
+
+ private:
+  struct ServerState {
+    TaskKind task;
+    bool active_regime = true;
+    double rate_mult = 1.0;
+    transport::TransportHost* host = nullptr;
+    /// Standing connection pool (background + burst carriers).
+    std::vector<std::unique_ptr<transport::TcpConnection>> pool;
+  };
+
+  void schedule_next_burst(int server);
+  void issue_burst(int server);
+  void schedule_background(int server);
+
+  sim::Simulator& simulator_;
+  net::Rack& rack_;
+  PacketRackDriverConfig config_;
+  util::Rng rng_;
+  sim::SimTime until_ = 0;
+  std::uint64_t bursts_ = 0;
+  net::FlowId next_flow_ = 50000;
+
+  std::vector<std::unique_ptr<transport::TransportHost>> server_hosts_;
+  std::vector<std::unique_ptr<transport::TransportHost>> remote_hosts_;
+  std::vector<ServerState> servers_;
+};
+
+}  // namespace msamp::workload

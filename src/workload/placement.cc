@@ -1,0 +1,174 @@
+#include "workload/placement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace msamp::workload {
+
+int RackMeta::distinct_tasks() const {
+  std::vector<int> ids = server_service;
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return static_cast<int>(ids.size());
+}
+
+double RackMeta::dominant_share() const {
+  if (server_service.empty()) return 0.0;
+  std::unordered_map<int, int> counts;
+  int best = 0;
+  for (int s : server_service) best = std::max(best, ++counts[s]);
+  return static_cast<double>(best) /
+         static_cast<double>(server_service.size());
+}
+
+PlacementConfig default_placement(RegionId region, int num_racks,
+                                  int servers_per_rack) {
+  PlacementConfig cfg;
+  cfg.region = region;
+  cfg.num_racks = num_racks;
+  cfg.servers_per_rack = servers_per_rack;
+  if (region == RegionId::kRegB) {
+    // RegB: no dense ML co-location, but a per-rack ML lean that spreads
+    // average contention fairly uniformly (Fig 9), slightly more services
+    // per rack (Fig 10) and a wider intensity spread.
+    cfg.ml_dense_fraction = 0.0;
+    cfg.ml_lean_max = 0.55;
+    cfg.distinct_mean = 15.0;
+    cfg.intensity_mu = 0.3;
+    cfg.intensity_sigma = 0.6;
+    // RegB's service mix leans more on adaptive storage/batch tasks and a
+    // few more ML services: high contention with comparatively fewer
+    // collision-prone incast bursts (Table 2: RegB is less lossy than
+    // RegA-Typical despite more contention).
+    cfg.pool_weights[0] = 0.08;
+    cfg.pool_weights[1] = 0.20;  // web
+    cfg.pool_weights[2] = 0.18;  // cache
+    cfg.pool_weights[3] = 0.26;  // storage
+    cfg.pool_weights[4] = 0.18;  // batch
+  }
+  return cfg;
+}
+
+namespace {
+
+/// Builds the region service pool according to the kind weights.
+std::vector<Service> build_pool(const PlacementConfig& cfg, util::Rng& rng) {
+  std::vector<Service> pool;
+  pool.reserve(static_cast<std::size_t>(cfg.pool_services));
+  double total = 0.0;
+  for (double w : cfg.pool_weights) total += w;
+  for (int i = 0; i < cfg.pool_services; ++i) {
+    double u = rng.uniform() * total;
+    int kind = 0;
+    for (; kind < kNumTaskKinds - 1; ++kind) {
+      u -= cfg.pool_weights[kind];
+      if (u <= 0.0) break;
+    }
+    pool.push_back({i, static_cast<TaskKind>(kind)});
+  }
+  return pool;
+}
+
+}  // namespace
+
+std::vector<RackMeta> generate_racks(const PlacementConfig& cfg,
+                                     int first_rack_id, util::Rng& rng) {
+  std::vector<Service> pool = build_pool(cfg, rng);
+  // The single fleet-wide ML service that placement densely co-locates
+  // (the paper found the top task of every RegA-High rack was the same
+  // ML task), plus the serving-flavor ML service used for the RegB lean.
+  // Both get dedicated ids above the pool.
+  const Service ml_service{cfg.pool_services, TaskKind::kMlTraining};
+  const Service ml_serving{cfg.pool_services + 1, TaskKind::kMlInference};
+
+  std::vector<RackMeta> racks;
+  racks.reserve(static_cast<std::size_t>(cfg.num_racks));
+  const int num_dense = static_cast<int>(
+      std::lround(cfg.ml_dense_fraction * cfg.num_racks));
+
+  for (int r = 0; r < cfg.num_racks; ++r) {
+    RackMeta rack;
+    rack.rack_id = first_rack_id + r;
+    rack.region = cfg.region;
+    rack.ml_dense = r < num_dense;  // shuffled below
+    rack.intensity = rng.lognormal(cfg.intensity_mu, cfg.intensity_sigma);
+    rack.server_service.resize(static_cast<std::size_t>(cfg.servers_per_rack));
+    rack.server_kind.resize(static_cast<std::size_t>(cfg.servers_per_rack));
+
+    const int n = cfg.servers_per_rack;
+    int next_server = 0;
+
+    if (rack.ml_dense) {
+      // ML-dense rack: the ML service takes 60-100% of the servers.
+      const double share = rng.uniform(cfg.ml_share_lo, cfg.ml_share_hi);
+      const int ml_servers = std::clamp(
+          static_cast<int>(std::lround(share * n)), 1, n);
+      for (; next_server < ml_servers; ++next_server) {
+        rack.server_service[static_cast<std::size_t>(next_server)] =
+            ml_service.id;
+        rack.server_kind[static_cast<std::size_t>(next_server)] =
+            ml_service.kind;
+      }
+    }
+
+    // Remaining servers: draw a set of distinct services, then assign with
+    // exponential weights so one service dominates moderately (~25% of
+    // servers for the median typical rack).
+    const int remaining = n - next_server;
+    if (remaining > 0) {
+      int distinct = std::clamp(
+          static_cast<int>(std::lround(
+              rng.normal(cfg.distinct_mean, cfg.distinct_sd))),
+          cfg.distinct_min, cfg.distinct_max);
+      if (rack.ml_dense) distinct = std::max(3, distinct / 2);
+      distinct = std::min(distinct, remaining);
+
+      // RegB-style ML lean: some of the remaining servers run the shared
+      // ML service without dense co-location.
+      int lean_servers = 0;
+      if (cfg.ml_lean_max > 0.0) {
+        lean_servers = static_cast<int>(
+            std::lround(rng.uniform(0.0, cfg.ml_lean_max) * remaining));
+      }
+
+      std::vector<Service> chosen;
+      chosen.reserve(static_cast<std::size_t>(distinct));
+      for (int i = 0; i < distinct; ++i) {
+        chosen.push_back(pool[rng.uniform_int(pool.size())]);
+      }
+      std::vector<double> weights(chosen.size());
+      double wtotal = 0.0;
+      for (auto& w : weights) {
+        w = rng.exponential(1.0);
+        wtotal += w;
+      }
+      for (int s = 0; s < remaining; ++s) {
+        const std::size_t idx = static_cast<std::size_t>(next_server + s);
+        if (s < lean_servers) {
+          rack.server_service[idx] = ml_serving.id;
+          rack.server_kind[idx] = ml_serving.kind;
+          continue;
+        }
+        double u = rng.uniform() * wtotal;
+        std::size_t pick = 0;
+        for (; pick + 1 < weights.size(); ++pick) {
+          u -= weights[pick];
+          if (u <= 0.0) break;
+        }
+        rack.server_service[idx] = chosen[pick].id;
+        rack.server_kind[idx] = chosen[pick].kind;
+      }
+    }
+    racks.push_back(std::move(rack));
+  }
+
+  // Shuffle so ML-dense racks are not clustered at low rack ids.
+  rng.shuffle(racks);
+  for (int r = 0; r < cfg.num_racks; ++r) {
+    racks[static_cast<std::size_t>(r)].rack_id = first_rack_id + r;
+  }
+  return racks;
+}
+
+}  // namespace msamp::workload

@@ -1,0 +1,81 @@
+// Service placement (§7.1): which task (service instance) runs on each
+// server of each rack.  The generator reproduces the placement patterns the
+// paper measures:
+//
+//   * RegA: ~80% "typical" racks with a diverse service mix (median 14
+//     distinct tasks; the dominant task holds ~25% of servers) and ~20%
+//     ML-dense racks where ONE machine-learning service occupies 60-100%
+//     of the servers (median 8 distinct tasks) — the cause of the bimodal
+//     contention distribution;
+//   * RegB: uniformly diverse racks (median 15 distinct tasks, moderate
+//     dominant share) with a per-rack ML lean that spreads contention
+//     fairly evenly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/region_id.h"
+#include "workload/task.h"
+
+namespace msamp::workload {
+
+/// One service instance (a "task" in the paper's terminology).
+struct Service {
+  int id = 0;
+  TaskKind kind = TaskKind::kQuiet;
+};
+
+/// Placement + load metadata for one rack.
+struct RackMeta {
+  int rack_id = 0;                  ///< global rack index
+  RegionId region = RegionId::kRegA;
+  bool ml_dense = false;            ///< ground-truth RegA-High style rack
+  std::vector<int> server_service;  ///< service id per server
+  std::vector<TaskKind> server_kind;///< task kind per server
+  double intensity = 1.0;           ///< per-rack load scalar
+
+  /// Number of distinct services on the rack (Figure 10's metric).
+  int distinct_tasks() const;
+  /// Fraction of servers running the most common service (Figure 11).
+  double dominant_share() const;
+};
+
+/// Region-level placement knobs; defaults reproduce the paper's patterns.
+struct PlacementConfig {
+  RegionId region = RegionId::kRegA;
+  int num_racks = 96;
+  int servers_per_rack = 92;
+
+  /// Size and composition of the region's service pool.  Weights index
+  /// TaskKind order: {ml, web, cache, storage, batch, quiet}.
+  int pool_services = 160;
+  double pool_weights[kNumTaskKinds] = {0.04, 0.28, 0.24, 0.2, 0.14, 0.10};
+
+  /// Fraction of racks that are ML-dense (RegA-style co-location).
+  double ml_dense_fraction = 0.20;
+  /// ML-dense dominant share range (fraction of servers on the ML task).
+  double ml_share_lo = 0.60, ml_share_hi = 1.0;
+
+  /// Distinct services per typical rack ~ clamped Normal(mean, sd).
+  double distinct_mean = 14.0, distinct_sd = 4.0;
+  int distinct_min = 5, distinct_max = 32;
+
+  /// Per-rack intensity scalar ~ lognormal(mu, sigma).
+  double intensity_mu = 0.25, intensity_sigma = 0.45;
+
+  /// RegB-style spread: each (non-ML-dense) rack gets an ML server share
+  /// drawn uniformly in [0, ml_lean_max].
+  double ml_lean_max = 0.0;
+};
+
+/// Paper-shaped defaults for each region.
+PlacementConfig default_placement(RegionId region, int num_racks,
+                                  int servers_per_rack);
+
+/// Generates all racks of a region.  `first_rack_id` offsets global ids.
+std::vector<RackMeta> generate_racks(const PlacementConfig& config,
+                                     int first_rack_id, util::Rng& rng);
+
+}  // namespace msamp::workload

@@ -1,0 +1,16 @@
+// Region identifiers for the two measured regions.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace msamp::workload {
+
+/// The two data-center regions of the study (§5).
+enum class RegionId : std::uint8_t { kRegA = 0, kRegB = 1 };
+
+inline constexpr std::string_view region_name(RegionId r) {
+  return r == RegionId::kRegA ? "RegA" : "RegB";
+}
+
+}  // namespace msamp::workload

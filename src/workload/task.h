@@ -1,0 +1,79 @@
+// Task (service) taxonomy and per-task traffic profiles.
+//
+// In the studied fleet each server typically runs a single task, and rack-
+// level traffic behavior follows from which tasks placement puts together
+// (§7.1).  We model a small catalog of task archetypes whose parameters
+// encode the mechanisms the paper identifies:
+//
+//   * ML training       — frequent, long, adaptive, few-flow bursts; dense
+//                         co-location of this task creates the RegA-High
+//                         racks (high but stable contention, lower loss);
+//   * ML inference      — RegB's spread-out ML flavor: episodic but intense;
+//   * web / cache       — short high-incast bursts with poor in-burst
+//                         adaptation: the loss-prone regime of §8;
+//   * storage / batch   — intermediate profiles;
+//   * quiet             — mostly-idle servers (the fleet median link
+//                         utilization is 6.4%).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace msamp::workload {
+
+/// Task archetypes.
+enum class TaskKind : std::uint8_t {
+  kMlTraining = 0,
+  kWeb,
+  kCache,
+  kStorage,
+  kBatch,
+  kQuiet,
+  /// RegB-style ML serving: active in fewer windows than training, but
+  /// bursting hard when active — spreads contention without inflating the
+  /// bursty-server-run share.
+  kMlInference,
+};
+inline constexpr int kNumTaskKinds = 7;
+
+/// Per-task traffic parameters consumed by BurstProcess.  Rates are for the
+/// busy hour; the diurnal profile scales them by hour of day.
+struct TrafficProfile {
+  /// Mean burst arrivals per second when the server is in its active
+  /// regime.
+  double burst_rate_hz = 5.0;
+  /// Burst duration ~ lognormal(mu, sigma), in milliseconds.
+  double burst_len_mu = 0.7;     // exp(0.7) ~ 2ms median
+  double burst_len_sigma = 0.7;
+  /// Offered arrival rate at the ToR queue during a burst, as a multiple
+  /// of the server line rate, drawn uniformly in [lo, hi] per burst.
+  /// Values above 1 model fabric-side arrival outrunning the 12.5G
+  /// downlink drain — the regime that actually builds queues (§3).
+  double intensity_lo = 0.55;
+  double intensity_hi = 1.0;
+  /// Mean link utilization outside bursts (fraction of line rate).
+  double background_util = 0.05;
+  /// Mean number of concurrent connections outside / inside bursts.
+  double conns_outside = 8.0;
+  double conns_inside = 25.0;
+  /// How well the endpoints adapt to ECN within a burst (0 = oblivious,
+  /// 1 = ideal DCTCP).  Low-adaptivity tasks are the ones whose mid-length
+  /// bursts overflow the buffer before feedback takes hold (§8.2).
+  /// Adaptivity >= 0.7 additionally makes the aggregate rate factor
+  /// persist across bursts (long-running adapted senders, the RegA-High
+  /// mechanism); otherwise each burst starts at full offered rate.
+  double adaptivity = 0.5;
+  /// Probability that the server is in its active (bursty) regime during a
+  /// given ~2s observation window; otherwise only background traffic.
+  double active_run_prob = 0.5;
+};
+
+/// Profile for a task kind (fleet defaults; see task.cc for calibration
+/// notes).
+const TrafficProfile& profile_for(TaskKind kind);
+
+/// Human-readable task name.
+std::string_view task_name(TaskKind kind);
+
+}  // namespace msamp::workload

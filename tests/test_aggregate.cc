@@ -1,0 +1,178 @@
+// Tests for the dataset-level aggregation library (fleet/aggregate).
+#include "fleet/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace msamp::fleet {
+namespace {
+
+BurstRecord burst(std::uint32_t rack, int region, int len, double conns,
+                  int max_contention, bool lossy) {
+  BurstRecord b;
+  b.rack_id = rack;
+  b.region = static_cast<std::uint8_t>(region);
+  b.len_ms = static_cast<std::uint16_t>(len);
+  b.avg_conns = static_cast<float>(conns);
+  b.max_contention = static_cast<std::uint16_t>(max_contention);
+  b.contended = max_contention >= 2 ? 1 : 0;
+  b.lossy = lossy ? 1 : 0;
+  return b;
+}
+
+Dataset make_dataset() {
+  Dataset ds;
+  // Rack 1: RegA typical; rack 2: RegA high; rack 3: RegB.
+  for (std::uint32_t id : {1u, 2u, 3u}) {
+    RackInfo info;
+    info.rack_id = id;
+    info.region = id == 3 ? 1 : 0;
+    info.rack_class = static_cast<std::uint8_t>(
+        id == 2 ? analysis::RackClass::kRegAHigh
+                : (id == 3 ? analysis::RackClass::kRegB
+                           : analysis::RackClass::kRegATypical));
+    ds.racks.push_back(info);
+  }
+  // Typical: 4 bursts (1 lossy, 2 contended).
+  ds.bursts.push_back(burst(1, 0, 1, 5, 1, false));
+  ds.bursts.push_back(burst(1, 0, 3, 25, 4, true));
+  ds.bursts.push_back(burst(1, 0, 8, 55, 6, false));
+  ds.bursts.push_back(burst(1, 0, 2, 10, 1, false));
+  // High: 2 bursts, all contended, none lossy.
+  ds.bursts.push_back(burst(2, 0, 5, 8, 12, false));
+  ds.bursts.push_back(burst(2, 0, 6, 9, 15, false));
+  // RegB: 1 contended lossy burst.
+  ds.bursts.push_back(burst(3, 1, 4, 40, 7, true));
+
+  // Rack runs across two hours, region split.
+  for (int hour : {5, 6}) {
+    for (std::uint32_t id : {1u, 2u, 3u}) {
+      RackRunRecord rr;
+      rr.rack_id = id;
+      rr.region = id == 3 ? 1 : 0;
+      rr.hour = static_cast<std::uint8_t>(hour);
+      rr.avg_contention = static_cast<float>(id) + (hour == 6 ? 0.5f : 0.0f);
+      ds.rack_runs.push_back(rr);
+    }
+  }
+  return ds;
+}
+
+TEST(Aggregate, ClassMapAndBurstClass) {
+  const Dataset ds = make_dataset();
+  const ClassMap classes = build_class_map(ds);
+  EXPECT_EQ(classes.at(1), analysis::RackClass::kRegATypical);
+  EXPECT_EQ(classes.at(2), analysis::RackClass::kRegAHigh);
+  EXPECT_EQ(burst_class(ds.bursts[0], classes),
+            analysis::RackClass::kRegATypical);
+  EXPECT_EQ(burst_class(ds.bursts[4], classes),
+            analysis::RackClass::kRegAHigh);
+  EXPECT_EQ(burst_class(ds.bursts[6], classes), analysis::RackClass::kRegB);
+  // Unknown RegA rack defaults to typical.
+  BurstRecord stray = ds.bursts[0];
+  stray.rack_id = 999;
+  EXPECT_EQ(burst_class(stray, classes), analysis::RackClass::kRegATypical);
+}
+
+TEST(Aggregate, Table2Summary) {
+  const Dataset ds = make_dataset();
+  const auto summary = table2_summary(ds, build_class_map(ds));
+  const auto& typical =
+      summary[static_cast<std::size_t>(analysis::RackClass::kRegATypical)];
+  EXPECT_EQ(typical.bursts, 4);
+  EXPECT_EQ(typical.contended, 2);
+  EXPECT_EQ(typical.lossy, 1);
+  EXPECT_DOUBLE_EQ(typical.pct_contended(), 50.0);
+  EXPECT_DOUBLE_EQ(typical.pct_lossy(), 25.0);
+  const auto& high =
+      summary[static_cast<std::size_t>(analysis::RackClass::kRegAHigh)];
+  EXPECT_EQ(high.bursts, 2);
+  EXPECT_DOUBLE_EQ(high.pct_contended(), 100.0);
+  EXPECT_DOUBLE_EQ(high.pct_lossy(), 0.0);
+  const auto& regb =
+      summary[static_cast<std::size_t>(analysis::RackClass::kRegB)];
+  EXPECT_EQ(regb.bursts, 1);
+  EXPECT_DOUBLE_EQ(regb.pct_lossy(), 100.0);
+}
+
+TEST(Aggregate, EmptyStatsAreZero) {
+  ClassBurstStats empty;
+  EXPECT_DOUBLE_EQ(empty.pct_contended(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.pct_lossy(), 0.0);
+}
+
+TEST(Aggregate, LossByContention) {
+  const Dataset ds = make_dataset();
+  const auto curve = loss_by_contention(ds, build_class_map(ds),
+                                        analysis::RackClass::kRegATypical,
+                                        /*bin_width=*/3, /*max=*/9);
+  ASSERT_EQ(curve.size(), 3u);
+  // Contention 1,1 -> bin 0; 4 -> bin 1; 6 -> bin 2.
+  EXPECT_EQ(curve[0].bursts, 2);
+  EXPECT_EQ(curve[0].lossy, 0);
+  EXPECT_EQ(curve[1].bursts, 1);
+  EXPECT_EQ(curve[1].lossy, 1);
+  EXPECT_DOUBLE_EQ(curve[1].pct_lossy(), 100.0);
+  EXPECT_EQ(curve[2].bursts, 1);
+}
+
+TEST(Aggregate, LossByContentionClampsOverflow) {
+  const Dataset ds = make_dataset();
+  const auto curve =
+      loss_by_contention(ds, build_class_map(ds),
+                         analysis::RackClass::kRegAHigh, 3, 9);
+  // Contentions 12 and 15 clamp into the last bin.
+  EXPECT_EQ(curve.back().bursts, 2);
+}
+
+TEST(Aggregate, LossByLengthAndFilter) {
+  const Dataset ds = make_dataset();
+  const ClassMap classes = build_class_map(ds);
+  const auto all = loss_by_length(ds, classes,
+                                  analysis::RackClass::kRegATypical,
+                                  BurstFilter::kAll, 10);
+  ASSERT_EQ(all.size(), 10u);
+  EXPECT_EQ(all[0].bursts, 1);  // the 1ms burst
+  EXPECT_EQ(all[2].bursts, 1);  // the 3ms lossy burst
+  EXPECT_EQ(all[2].lossy, 1);
+
+  const auto contended = loss_by_length(
+      ds, classes, analysis::RackClass::kRegATypical,
+      BurstFilter::kContended, 10);
+  EXPECT_EQ(contended[0].bursts, 0);  // the 1ms burst was not contended
+  EXPECT_EQ(contended[2].bursts, 1);
+
+  const auto non = loss_by_length(ds, classes,
+                                  analysis::RackClass::kRegATypical,
+                                  BurstFilter::kNonContended, 10);
+  EXPECT_EQ(non[0].bursts, 1);
+  EXPECT_EQ(non[2].bursts, 0);
+}
+
+TEST(Aggregate, LossByConnections) {
+  const Dataset ds = make_dataset();
+  const auto curve = loss_by_connections(
+      ds, build_class_map(ds), analysis::RackClass::kRegATypical,
+      BurstFilter::kAll, /*bin_width=*/10, /*num_bins=*/6);
+  ASSERT_EQ(curve.size(), 6u);
+  EXPECT_EQ(curve[0].bursts, 1);  // conns 5
+  EXPECT_EQ(curve[1].bursts, 1);  // conns 10
+  EXPECT_EQ(curve[2].bursts, 1);  // conns 25
+  EXPECT_EQ(curve[2].lossy, 1);
+  EXPECT_EQ(curve[5].bursts, 1);  // conns 55 clamps into last bin
+}
+
+TEST(Aggregate, BusyHourContention) {
+  const Dataset ds = make_dataset();
+  const auto rega =
+      busy_hour_contention(ds, workload::RegionId::kRegA, 6);
+  ASSERT_EQ(rega.size(), 2u);  // racks 1 and 2
+  EXPECT_FLOAT_EQ(static_cast<float>(rega[0]), 1.5f);
+  EXPECT_FLOAT_EQ(static_cast<float>(rega[1]), 2.5f);
+  const auto regb =
+      busy_hour_contention(ds, workload::RegionId::kRegB, 6);
+  ASSERT_EQ(regb.size(), 1u);
+  EXPECT_FLOAT_EQ(static_cast<float>(regb[0]), 3.5f);
+}
+
+}  // namespace
+}  // namespace msamp::fleet

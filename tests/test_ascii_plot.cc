@@ -1,0 +1,93 @@
+// Tests for the terminal plotting helpers.
+#include "util/ascii_plot.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace msamp::util {
+namespace {
+
+TEST(AsciiPlot, RendersSeriesGlyphsAndLegend) {
+  Series s{"line", {0, 1, 2, 3}, {0, 1, 2, 3}};
+  PlotOptions opt;
+  opt.title = "ramp";
+  opt.x_label = "x";
+  opt.y_label = "y";
+  std::ostringstream os;
+  ascii_plot(os, {s}, opt);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("ramp"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("* = line"), std::string::npos);
+  EXPECT_NE(out.find("x: x"), std::string::npos);
+}
+
+TEST(AsciiPlot, MultipleSeriesDistinctGlyphs) {
+  Series a{"a", {0, 1}, {0, 0}};
+  Series b{"b", {0, 1}, {1, 1}};
+  std::ostringstream os;
+  ascii_plot(os, {a, b}, {});
+  const std::string out = os.str();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptySeriesNoCrash) {
+  std::ostringstream os;
+  ascii_plot(os, {}, {});
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(AsciiPlot, ConstantSeriesNoCrash) {
+  Series s{"flat", {1, 2, 3}, {5, 5, 5}};
+  std::ostringstream os;
+  ascii_plot(os, {s}, {});
+  EXPECT_NE(os.str().find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, ForcedRanges) {
+  Series s{"dot", {0.5}, {0.5}};
+  PlotOptions opt;
+  opt.x_min = 0;
+  opt.x_max = 1;
+  opt.y_min = 0;
+  opt.y_max = 1;
+  std::ostringstream os;
+  ascii_plot(os, {s}, opt);
+  EXPECT_NE(os.str().find("1.00"), std::string::npos);
+  EXPECT_NE(os.str().find("0.00"), std::string::npos);
+}
+
+TEST(AsciiRaster, MarksActiveCells) {
+  std::vector<std::vector<bool>> active(2, std::vector<bool>(10, false));
+  active[0][3] = true;
+  std::ostringstream os;
+  ascii_raster(os, active, "raster", 72);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("raster"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('.'), std::string::npos);
+}
+
+TEST(AsciiRaster, DownsamplesWideInput) {
+  std::vector<std::vector<bool>> active(1, std::vector<bool>(1000, false));
+  active[0][999] = true;
+  std::ostringstream os;
+  ascii_raster(os, active, "", 50);
+  // Output row must fit roughly within the width budget.
+  const std::string out = os.str();
+  const auto first_nl = out.find('\n');
+  EXPECT_LT(first_nl, 70u);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(AsciiRaster, EmptyNoCrash) {
+  std::ostringstream os;
+  ascii_raster(os, {}, "t", 10);
+  ascii_raster(os, {{}}, "t", 10);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace msamp::util

@@ -1,0 +1,102 @@
+// Tests for burst detection (§5 definition: consecutive samples above 50%
+// of line rate).
+#include "analysis/burst_detect.h"
+
+#include <gtest/gtest.h>
+
+namespace msamp::analysis {
+namespace {
+
+std::vector<core::BucketSample> series(std::vector<std::int64_t> in_bytes) {
+  std::vector<core::BucketSample> out(in_bytes.size());
+  for (std::size_t i = 0; i < in_bytes.size(); ++i) {
+    out[i].in_bytes = in_bytes[i];
+  }
+  return out;
+}
+
+constexpr std::int64_t kLine = 1562500;  // 12.5Gb/s for 1ms
+
+TEST(BurstDetect, ThresholdIsHalfLineRate) {
+  BurstDetectConfig cfg;
+  EXPECT_EQ(burst_threshold_bytes(cfg), kLine / 2);
+}
+
+TEST(BurstDetect, ThresholdScalesWithInterval) {
+  BurstDetectConfig cfg;
+  cfg.interval = 100 * sim::kMicrosecond;
+  EXPECT_EQ(burst_threshold_bytes(cfg), kLine / 20);
+}
+
+TEST(BurstDetect, SampleClassification) {
+  BurstDetectConfig cfg;
+  core::BucketSample below, above;
+  below.in_bytes = kLine / 2;      // exactly at threshold: NOT bursty
+  above.in_bytes = kLine / 2 + 1;
+  EXPECT_FALSE(is_bursty_sample(below, cfg));
+  EXPECT_TRUE(is_bursty_sample(above, cfg));
+}
+
+TEST(BurstDetect, EmptySeries) {
+  EXPECT_TRUE(detect_bursts({}, BurstDetectConfig{}).empty());
+}
+
+TEST(BurstDetect, NoBurstsBelowThreshold) {
+  const auto s = series({100, 200, kLine / 2, 0});
+  EXPECT_TRUE(detect_bursts(s, BurstDetectConfig{}).empty());
+}
+
+TEST(BurstDetect, SingleSampleBurst) {
+  const auto s = series({0, kLine, 0});
+  const auto bursts = detect_bursts(s, BurstDetectConfig{});
+  ASSERT_EQ(bursts.size(), 1u);
+  EXPECT_EQ(bursts[0].start, 1u);
+  EXPECT_EQ(bursts[0].len, 1u);
+  EXPECT_EQ(bursts[0].volume_bytes, kLine);
+}
+
+TEST(BurstDetect, ConsecutiveSamplesMerge) {
+  const auto s = series({0, kLine, kLine - 1000, kLine, 0});
+  const auto bursts = detect_bursts(s, BurstDetectConfig{});
+  ASSERT_EQ(bursts.size(), 1u);
+  EXPECT_EQ(bursts[0].start, 1u);
+  EXPECT_EQ(bursts[0].len, 3u);
+  EXPECT_EQ(bursts[0].volume_bytes, 3 * kLine - 1000);
+}
+
+TEST(BurstDetect, GapSplitsBursts) {
+  const auto s = series({kLine, 0, kLine, kLine});
+  const auto bursts = detect_bursts(s, BurstDetectConfig{});
+  ASSERT_EQ(bursts.size(), 2u);
+  EXPECT_EQ(bursts[0].start, 0u);
+  EXPECT_EQ(bursts[0].len, 1u);
+  EXPECT_EQ(bursts[1].start, 2u);
+  EXPECT_EQ(bursts[1].len, 2u);
+}
+
+TEST(BurstDetect, BurstAtSeriesEnd) {
+  const auto s = series({0, 0, kLine, kLine});
+  const auto bursts = detect_bursts(s, BurstDetectConfig{});
+  ASSERT_EQ(bursts.size(), 1u);
+  EXPECT_EQ(bursts[0].start, 2u);
+  EXPECT_EQ(bursts[0].len, 2u);
+}
+
+TEST(BurstDetect, CustomThresholdFraction) {
+  BurstDetectConfig cfg;
+  cfg.threshold_frac = 0.9;
+  const auto s = series({kLine * 8 / 10, kLine * 95 / 100});
+  const auto bursts = detect_bursts(s, cfg);
+  ASSERT_EQ(bursts.size(), 1u);
+  EXPECT_EQ(bursts[0].start, 1u);
+}
+
+TEST(BurstDetect, WholeSeriesBursting) {
+  const auto s = series({kLine, kLine, kLine});
+  const auto bursts = detect_bursts(s, BurstDetectConfig{});
+  ASSERT_EQ(bursts.size(), 1u);
+  EXPECT_EQ(bursts[0].len, 3u);
+}
+
+}  // namespace
+}  // namespace msamp::analysis

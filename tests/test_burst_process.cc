@@ -1,0 +1,208 @@
+// Tests for the per-server millisecond traffic generator.
+#include "workload/burst_process.h"
+
+#include <gtest/gtest.h>
+
+namespace msamp::workload {
+namespace {
+
+BurstProcessConfig cfg() {
+  BurstProcessConfig c;
+  c.line_rate_gbps = 12.5;
+  c.rtt_ms = 0.1;
+  c.mss = 1460;
+  return c;
+}
+
+TrafficProfile always_active() {
+  TrafficProfile p = profile_for(TaskKind::kWeb);
+  p.active_run_prob = 1.0;
+  return p;
+}
+
+TEST(BurstProcess, DemandNonNegative) {
+  BurstProcess bp(always_active(), cfg(), 1, util::Rng(1));
+  for (int i = 0; i < 2000; ++i) {
+    const StepDemand d = bp.step();
+    EXPECT_GE(d.bytes, 0);
+    EXPECT_GE(d.retx_bytes, 0);
+    EXPECT_LE(d.retx_bytes, d.bytes);
+    EXPECT_GE(d.conns, 1.0);
+  }
+}
+
+TEST(BurstProcess, ProducesBurstsWhenActive) {
+  BurstProcess bp(always_active(), cfg(), 1, util::Rng(2));
+  int burst_steps = 0;
+  for (int i = 0; i < 5000; ++i) burst_steps += bp.step().in_burst;
+  EXPECT_GT(burst_steps, 10);
+  EXPECT_LT(burst_steps, 4000);
+}
+
+TEST(BurstProcess, InactiveRegimeRarelyBursts) {
+  TrafficProfile p = profile_for(TaskKind::kWeb);
+  p.active_run_prob = 0.0;
+  BurstProcess bp(p, cfg(), 1, util::Rng(3));
+  int burst_steps = 0;
+  for (int i = 0; i < 3000; ++i) burst_steps += bp.step().in_burst;
+  EXPECT_LT(burst_steps, 150);
+}
+
+TEST(BurstProcess, MoreConnectionsInsideBursts) {
+  BurstProcess bp(always_active(), cfg(), 1, util::Rng(4));
+  double conns_in = 0, conns_out = 0;
+  int n_in = 0, n_out = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const StepDemand d = bp.step();
+    if (d.in_burst) {
+      conns_in += d.conns;
+      ++n_in;
+    } else {
+      conns_out += d.conns;
+      ++n_out;
+    }
+  }
+  ASSERT_GT(n_in, 0);
+  ASSERT_GT(n_out, 0);
+  EXPECT_GT(conns_in / n_in, 1.5 * (conns_out / n_out));
+}
+
+TEST(BurstProcess, SketchMatchesConnectionScale) {
+  BurstProcess bp(always_active(), cfg(), 1, util::Rng(5));
+  for (int i = 0; i < 100; ++i) {
+    const StepDemand d = bp.step();
+    core::FlowSketch s;
+    s.set_words(d.sketch[0], d.sketch[1]);
+    if (d.conns > 0) {
+      EXPECT_GT(s.popcount(), 0);
+      EXPECT_NEAR(s.estimate(), d.conns, d.conns * 0.5 + 3.0);
+    }
+  }
+}
+
+TEST(BurstProcess, MarksReduceRateFactor) {
+  TrafficProfile p = always_active();
+  p.adaptivity = 0.9;
+  BurstProcess bp(p, cfg(), 1, util::Rng(6));
+  bp.step();
+  const double before = bp.rate_factor();
+  bp.on_feedback(/*marked=*/1.0, /*dropped=*/0);
+  bp.step();
+  EXPECT_LT(bp.rate_factor(), before);
+}
+
+TEST(BurstProcess, LowAdaptivityReactsWeakly) {
+  TrafficProfile strong = always_active();
+  strong.adaptivity = 0.95;
+  TrafficProfile weak = always_active();
+  weak.adaptivity = 0.05;
+  BurstProcess a(strong, cfg(), 1, util::Rng(7));
+  BurstProcess b(weak, cfg(), 1, util::Rng(7));
+  a.step();
+  b.step();
+  for (int i = 0; i < 5; ++i) {
+    a.on_feedback(1.0, 0);
+    b.on_feedback(1.0, 0);
+    a.step();
+    b.step();
+  }
+  EXPECT_LT(a.rate_factor(), b.rate_factor());
+}
+
+TEST(BurstProcess, DropsComeBackAsRetransmissions) {
+  BurstProcess bp(always_active(), cfg(), 1, util::Rng(8));
+  bp.step();
+  bp.on_feedback(0.0, /*dropped=*/500000);
+  std::int64_t retx_seen = 0;
+  for (int i = 0; i < 20; ++i) retx_seen += bp.step().retx_bytes;
+  EXPECT_EQ(retx_seen, 500000);
+}
+
+TEST(BurstProcess, RetxArrivesWithLag) {
+  BurstProcess bp(always_active(), cfg(), 1, util::Rng(9));
+  bp.step();
+  bp.on_feedback(0.0, 100000);
+  // The very next step cannot already carry the retransmission (>= 2ms lag).
+  const StepDemand d1 = bp.step();
+  EXPECT_EQ(d1.retx_bytes, 0);
+  const StepDemand d2 = bp.step();
+  EXPECT_EQ(d2.retx_bytes, 0);
+}
+
+TEST(BurstProcess, RateFactorRecovers) {
+  BurstProcess bp(always_active(), cfg(), 1, util::Rng(10));
+  bp.step();
+  bp.on_feedback(0.0, 1000000);
+  bp.step();  // halves
+  const double low = bp.rate_factor();
+  for (int i = 0; i < 100; ++i) bp.step();
+  EXPECT_GT(bp.rate_factor(), low);
+  EXPECT_LE(bp.rate_factor(), 1.0);
+}
+
+TEST(BurstProcess, IncastFloorKeepsDemandHigh) {
+  // A profile with massive incast cannot throttle below the floor.
+  TrafficProfile p = always_active();
+  p.conns_inside = 200.0;
+  p.burst_rate_hz = 1000.0;  // burst immediately and continuously
+  p.adaptivity = 1.0;
+  BurstProcess bp(p, cfg(), 1, util::Rng(11));
+  // Hammer with marks; demand during bursts must stay near the floor
+  // (200 conns * 1460B / 0.1ms ~ 2.9MB/ms, capped by offered intensity).
+  std::int64_t min_burst_demand = INT64_MAX;
+  for (int i = 0; i < 200; ++i) {
+    bp.on_feedback(1.0, 0);
+    const StepDemand d = bp.step();
+    if (d.in_burst) min_burst_demand = std::min(min_burst_demand, d.bytes);
+  }
+  ASSERT_NE(min_burst_demand, INT64_MAX);
+  EXPECT_GT(min_burst_demand, 600000);  // far above a fully-throttled rate
+}
+
+TEST(BurstProcess, SmoothnessReflectsAdaptivity) {
+  TrafficProfile p = always_active();
+  p.adaptivity = 0.77;
+  BurstProcess bp(p, cfg(), 1, util::Rng(12));
+  EXPECT_DOUBLE_EQ(bp.step().smoothness, 0.77);
+}
+
+TEST(BurstProcess, DeterministicForSeed) {
+  BurstProcess a(always_active(), cfg(), 1, util::Rng(13));
+  BurstProcess b(always_active(), cfg(), 1, util::Rng(13));
+  for (int i = 0; i < 500; ++i) {
+    const StepDemand da = a.step();
+    const StepDemand db = b.step();
+    EXPECT_EQ(da.bytes, db.bytes);
+    EXPECT_EQ(da.in_burst, db.in_burst);
+  }
+}
+
+TEST(BurstProcess, BeginRunResetsTransients) {
+  BurstProcess bp(always_active(), cfg(), 1, util::Rng(14));
+  bp.step();
+  bp.on_feedback(0.0, 999999);
+  bp.begin_run();
+  // Pending retransmissions die with the window (new connections).
+  std::int64_t retx = 0;
+  for (int i = 0; i < 20; ++i) retx += bp.step().retx_bytes;
+  EXPECT_EQ(retx, 0);
+}
+
+TEST(BurstProcess, DiurnalScalesBurstFrequency) {
+  BurstProcessConfig lo = cfg();
+  lo.diurnal = 0.3;
+  BurstProcessConfig hi = cfg();
+  hi.diurnal = 3.0;
+  TrafficProfile p = always_active();
+  int lo_bursts = 0, hi_bursts = 0;
+  BurstProcess a(p, lo, 1, util::Rng(15));
+  BurstProcess b(p, hi, 1, util::Rng(15));
+  for (int i = 0; i < 10000; ++i) {
+    lo_bursts += a.step().in_burst;
+    hi_bursts += b.step().in_burst;
+  }
+  EXPECT_GT(hi_bursts, 2 * lo_bursts);
+}
+
+}  // namespace
+}  // namespace msamp::workload

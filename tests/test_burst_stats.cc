@@ -1,0 +1,86 @@
+// Tests for per-server-run statistics (§6).
+#include "analysis/burst_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace msamp::analysis {
+namespace {
+
+constexpr std::int64_t kLine = 1562500;
+
+std::vector<core::BucketSample> series(
+    std::vector<std::pair<std::int64_t, double>> samples) {
+  std::vector<core::BucketSample> out(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    out[i].in_bytes = samples[i].first;
+    out[i].connections = samples[i].second;
+  }
+  return out;
+}
+
+TEST(BurstStats, EmptySeries) {
+  const auto s = server_run_stats({}, {}, BurstDetectConfig{});
+  EXPECT_FALSE(s.bursty);
+  EXPECT_EQ(s.total_in_bytes, 0);
+}
+
+TEST(BurstStats, NonBurstyRun) {
+  const auto ser = series({{1000, 2}, {2000, 3}});
+  const auto bursts = detect_bursts(ser, BurstDetectConfig{});
+  const auto s = server_run_stats(ser, bursts, BurstDetectConfig{});
+  EXPECT_FALSE(s.bursty);
+  EXPECT_EQ(s.num_bursts, 0u);
+  EXPECT_DOUBLE_EQ(s.bursts_per_sec, 0.0);
+  EXPECT_EQ(s.total_in_bytes, 3000);
+  EXPECT_DOUBLE_EQ(s.util_inside, 0.0);
+  EXPECT_GT(s.util_outside, 0.0);
+}
+
+TEST(BurstStats, InsideOutsideSplit) {
+  const auto ser = series({
+      {1000, 2.0},    // outside
+      {kLine, 20.0},  // burst
+      {kLine, 30.0},  // burst
+      {2000, 4.0},    // outside
+  });
+  const auto bursts = detect_bursts(ser, BurstDetectConfig{});
+  const auto s = server_run_stats(ser, bursts, BurstDetectConfig{});
+  EXPECT_TRUE(s.bursty);
+  EXPECT_EQ(s.num_bursts, 1u);
+  EXPECT_NEAR(s.util_inside, 1.0, 0.01);
+  EXPECT_NEAR(s.util_outside, 1500.0 / kLine, 1e-6);
+  EXPECT_DOUBLE_EQ(s.conns_inside, 25.0);
+  EXPECT_DOUBLE_EQ(s.conns_outside, 3.0);
+  EXPECT_EQ(s.burst_in_bytes, 2 * kLine);
+  EXPECT_EQ(s.total_in_bytes, 2 * kLine + 3000);
+}
+
+TEST(BurstStats, BurstsPerSecond) {
+  // 4 bursts in a 1000-sample (1s) run.
+  std::vector<std::pair<std::int64_t, double>> raw(1000, {0, 1.0});
+  for (std::size_t at : {10u, 200u, 500u, 900u}) raw[at] = {kLine, 5.0};
+  const auto ser = series(raw);
+  const auto bursts = detect_bursts(ser, BurstDetectConfig{});
+  const auto s = server_run_stats(ser, bursts, BurstDetectConfig{});
+  EXPECT_EQ(s.num_bursts, 4u);
+  EXPECT_DOUBLE_EQ(s.bursts_per_sec, 4.0);
+}
+
+TEST(BurstStats, AvgUtilCombines) {
+  const auto ser = series({{kLine, 1}, {0, 1}});
+  const auto bursts = detect_bursts(ser, BurstDetectConfig{});
+  const auto s = server_run_stats(ser, bursts, BurstDetectConfig{});
+  EXPECT_NEAR(s.avg_util, 0.5, 0.01);
+}
+
+TEST(BurstStats, AllSamplesInBurst) {
+  const auto ser = series({{kLine, 10}, {kLine, 10}});
+  const auto bursts = detect_bursts(ser, BurstDetectConfig{});
+  const auto s = server_run_stats(ser, bursts, BurstDetectConfig{});
+  EXPECT_DOUBLE_EQ(s.util_outside, 0.0);
+  EXPECT_DOUBLE_EQ(s.conns_outside, 0.0);
+  EXPECT_NEAR(s.util_inside, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace msamp::analysis

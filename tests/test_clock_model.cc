@@ -1,0 +1,73 @@
+// Tests for the NTP-grade clock model.
+#include "core/clock_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace msamp::core {
+namespace {
+
+TEST(ClockModel, IdealIsZero) {
+  const ClockModel clocks = ClockModel::ideal(10);
+  EXPECT_EQ(clocks.num_hosts(), 10);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(clocks.offset(i), 0);
+    EXPECT_EQ(clocks.host_time(i, 12345), 12345);
+  }
+}
+
+TEST(ClockModel, OffsetsBoundedByMax) {
+  ClockModelConfig cfg;
+  cfg.offset_stddev = sim::kMillisecond;  // intentionally wide
+  cfg.offset_max = 400 * sim::kMicrosecond;
+  util::Rng rng(1);
+  const ClockModel clocks(cfg, 1000, rng);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(std::abs(clocks.offset(i)), cfg.offset_max);
+  }
+}
+
+TEST(ClockModel, SubMillisecondByDefault) {
+  // §4.5: interleaved NTP keeps hosts synchronized to sub-ms precision.
+  ClockModelConfig cfg;
+  util::Rng rng(2);
+  const ClockModel clocks(cfg, 500, rng);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_LT(std::abs(clocks.offset(i)), sim::kMillisecond);
+  }
+}
+
+TEST(ClockModel, SpreadRoughlyMatchesStddev) {
+  ClockModelConfig cfg;
+  cfg.offset_stddev = 50 * sim::kMicrosecond;
+  util::Rng rng(3);
+  const ClockModel clocks(cfg, 5000, rng);
+  double sq = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    sq += static_cast<double>(clocks.offset(i)) *
+          static_cast<double>(clocks.offset(i));
+  }
+  const double stddev = std::sqrt(sq / 5000.0);
+  EXPECT_NEAR(stddev, 50e3, 8e3);
+}
+
+TEST(ClockModel, DeterministicForSeed) {
+  ClockModelConfig cfg;
+  util::Rng r1(7), r2(7);
+  const ClockModel a(cfg, 50, r1);
+  const ClockModel b(cfg, 50, r2);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.offset(i), b.offset(i));
+}
+
+TEST(ClockModel, HostTimeAddsOffset) {
+  ClockModelConfig cfg;
+  util::Rng rng(9);
+  const ClockModel clocks(cfg, 4, rng);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(clocks.host_time(i, 1000000), 1000000 + clocks.offset(i));
+  }
+}
+
+}  // namespace
+}  // namespace msamp::core

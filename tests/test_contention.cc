@@ -1,0 +1,110 @@
+// Tests for contention computation (§5, §7.3) and the Figure 1 / Figure 15
+// queue-share mapping.
+#include "analysis/contention.h"
+
+#include <gtest/gtest.h>
+
+namespace msamp::analysis {
+namespace {
+
+constexpr std::int64_t kLine = 1562500;
+
+core::SyncRun make_run(std::vector<std::vector<std::int64_t>> per_server) {
+  core::SyncRun run;
+  run.grid_start = 0;
+  run.interval = sim::kMillisecond;
+  for (std::size_t s = 0; s < per_server.size(); ++s) {
+    run.hosts.push_back(static_cast<net::HostId>(s));
+    std::vector<core::BucketSample> series(per_server[s].size());
+    for (std::size_t k = 0; k < per_server[s].size(); ++k) {
+      series[k].in_bytes = per_server[s][k];
+    }
+    run.series.push_back(std::move(series));
+  }
+  return run;
+}
+
+TEST(Contention, CountsSimultaneouslyBurstyServers) {
+  const auto run = make_run({
+      {kLine, kLine, 0, 0},
+      {kLine, 0, 0, 0},
+      {kLine, kLine, kLine, 0},
+  });
+  const auto c = contention_series(run, BurstDetectConfig{});
+  EXPECT_EQ(c, (std::vector<int>{3, 2, 1, 0}));
+}
+
+TEST(Contention, ThresholdBoundary) {
+  const auto run = make_run({{kLine / 2}, {kLine / 2 + 1}});
+  const auto c = contention_series(run, BurstDetectConfig{});
+  EXPECT_EQ(c[0], 1);  // only the strictly-above sample counts
+}
+
+TEST(Contention, EmptyRun) {
+  core::SyncRun run;
+  EXPECT_TRUE(contention_series(run, BurstDetectConfig{}).empty());
+  const auto s = summarize_contention({});
+  EXPECT_EQ(s.samples, 0u);
+  EXPECT_FALSE(s.usable());
+}
+
+TEST(ContentionSummary, Statistics) {
+  const std::vector<int> c{0, 1, 3, 2, 0, 0, 5, 1, 1, 1};
+  const auto s = summarize_contention(c);
+  EXPECT_EQ(s.samples, 10u);
+  EXPECT_EQ(s.active_samples, 7u);
+  EXPECT_DOUBLE_EQ(s.avg, 1.4);
+  EXPECT_EQ(s.min_active, 1);  // min over samples with >= 1
+  EXPECT_EQ(s.max, 5);
+  EXPECT_EQ(s.p90, 3);
+  EXPECT_TRUE(s.usable());
+}
+
+TEST(ContentionSummary, AllIdle) {
+  const std::vector<int> c{0, 0, 0};
+  const auto s = summarize_contention(c);
+  EXPECT_EQ(s.min_active, 0);
+  EXPECT_EQ(s.p90, 0);
+  // §7.3 excludes zero-p90 runs (6.2% of runs in the paper).
+  EXPECT_FALSE(s.usable());
+}
+
+TEST(ContentionSummary, MinOverActiveOnly) {
+  // Idle samples must not drag the minimum to zero.
+  const std::vector<int> c{0, 4, 7, 0, 3};
+  const auto s = summarize_contention(c);
+  EXPECT_EQ(s.min_active, 3);
+}
+
+TEST(QueueShare, MatchesFigureOneAnchors) {
+  EXPECT_DOUBLE_EQ(queue_share_at_contention(1.0, 1), 0.5);
+  EXPECT_NEAR(queue_share_at_contention(1.0, 2), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(queue_share_at_contention(2.0, 1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(queue_share_at_contention(2.0, 2), 0.4, 1e-12);
+  EXPECT_NEAR(queue_share_at_contention(0.25, 1), 0.2, 1e-12);
+}
+
+TEST(QueueShare, ZeroContentionTreatedAsOneQueue) {
+  EXPECT_DOUBLE_EQ(queue_share_at_contention(1.0, 0),
+                   queue_share_at_contention(1.0, 1));
+}
+
+TEST(QueueShare, MonotoneDecreasing) {
+  for (double alpha : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    for (int s = 1; s < 10; ++s) {
+      EXPECT_GT(queue_share_at_contention(alpha, s),
+                queue_share_at_contention(alpha, s + 1));
+    }
+  }
+}
+
+TEST(QueueShare, PaperExampleDrop) {
+  // §7.3: going from contention 1 to 2 drops the share from 50% to 33.3%,
+  // a 33.4% relative reduction.
+  const double high = queue_share_at_contention(1.0, 1);
+  const double low = queue_share_at_contention(1.0, 2);
+  EXPECT_NEAR((high - low) / high, 0.334, 0.01);
+}
+
+}  // namespace
+}  // namespace msamp::analysis

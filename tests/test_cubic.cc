@@ -1,0 +1,100 @@
+// Tests for the CUBIC congestion controller.
+#include "transport/cubic.h"
+
+#include <gtest/gtest.h>
+
+namespace msamp::transport {
+namespace {
+
+CcConfig cfg() {
+  CcConfig c;
+  c.mss = 1000;
+  c.init_cwnd = 10000;
+  c.max_cwnd = 10 << 20;
+  return c;
+}
+
+TEST(Cubic, NotEcnCapable) {
+  Cubic cc(cfg());
+  EXPECT_FALSE(cc.ecn_capable());
+  EXPECT_STREQ(cc.name(), "cubic");
+}
+
+TEST(Cubic, SlowStartInitially) {
+  Cubic cc(cfg());
+  const std::int64_t w0 = cc.cwnd();
+  cc.on_ack(w0, false, 0, 100);
+  EXPECT_EQ(cc.cwnd(), 2 * w0);
+}
+
+TEST(Cubic, LossMultiplicativeDecrease) {
+  Cubic cc(cfg());
+  for (int i = 0; i < 5; ++i) cc.on_ack(cc.cwnd(), false, 0, 100);
+  const std::int64_t before = cc.cwnd();
+  cc.on_loss(sim::kSecond);
+  EXPECT_NEAR(static_cast<double>(cc.cwnd()),
+              0.7 * static_cast<double>(before),
+              static_cast<double>(cfg().mss));
+}
+
+TEST(Cubic, GrowsBackTowardWmax) {
+  Cubic cc(cfg());
+  for (int i = 0; i < 5; ++i) cc.on_ack(cc.cwnd(), false, 0, 100);
+  const std::int64_t w_max = cc.cwnd();
+  cc.on_loss(0);
+  // Ack steadily for simulated seconds; cubic should recover toward w_max.
+  sim::SimTime now = 0;
+  for (int i = 0; i < 3000; ++i) {
+    now += sim::kMillisecond;
+    cc.on_ack(cfg().mss, false, now, 100);
+  }
+  EXPECT_GT(cc.cwnd(), w_max * 8 / 10);
+}
+
+TEST(Cubic, ConcaveThenConvex) {
+  // Growth rate should slow as cwnd approaches w_max (concave region),
+  // then accelerate past it (convex region).
+  Cubic cc(cfg());
+  for (int i = 0; i < 5; ++i) cc.on_ack(cc.cwnd(), false, 0, 100);
+  cc.on_loss(0);
+  sim::SimTime now = 0;
+  std::int64_t early_growth = 0, late_growth = 0;
+  std::int64_t prev = cc.cwnd();
+  for (int i = 0; i < 400; ++i) {
+    now += sim::kMillisecond;
+    cc.on_ack(cfg().mss, false, now, 100);
+  }
+  early_growth = cc.cwnd() - prev;
+  prev = cc.cwnd();
+  for (int i = 0; i < 400; ++i) {
+    now += 10 * sim::kMillisecond;
+    cc.on_ack(cfg().mss, false, now, 100);
+  }
+  late_growth = cc.cwnd() - prev;
+  EXPECT_GT(late_growth, early_growth);
+}
+
+TEST(Cubic, TimeoutDropsToOneMss) {
+  Cubic cc(cfg());
+  for (int i = 0; i < 5; ++i) cc.on_ack(cc.cwnd(), false, 0, 100);
+  cc.on_timeout(0);
+  EXPECT_EQ(cc.cwnd(), cfg().mss);
+}
+
+TEST(Cubic, NeverBelowOneMss) {
+  Cubic cc(cfg());
+  for (int i = 0; i < 50; ++i) cc.on_loss(static_cast<sim::SimTime>(i));
+  EXPECT_GE(cc.cwnd(), cfg().mss);
+}
+
+TEST(Cubic, IgnoresEceFlag) {
+  // Cubic does not react to ECN echoes, only to loss.
+  Cubic cc(cfg());
+  for (int i = 0; i < 5; ++i) cc.on_ack(cc.cwnd(), false, 0, 100);
+  const std::int64_t before = cc.cwnd();
+  cc.on_ack(cfg().mss, true, sim::kSecond, 100);
+  EXPECT_GE(cc.cwnd(), before);
+}
+
+}  // namespace
+}  // namespace msamp::transport

@@ -1,0 +1,140 @@
+// Tests for dataset record serialization.
+#include "fleet/dataset.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace msamp::fleet {
+namespace {
+
+Dataset sample_dataset() {
+  Dataset ds;
+  ds.fingerprint = 0xabcdef;
+  RackInfo rack;
+  rack.rack_id = 3;
+  rack.region = 0;
+  rack.ml_dense = 1;
+  rack.distinct_tasks = 8;
+  rack.dominant_share = 0.8f;
+  rack.busy_hour_avg_contention = 7.5f;
+  rack.rack_class = static_cast<std::uint8_t>(analysis::RackClass::kRegAHigh);
+  ds.racks.push_back(rack);
+
+  RackRunRecord rr;
+  rr.rack_id = 3;
+  rr.hour = 6;
+  rr.avg_contention = 7.25f;
+  rr.p90_contention = 12;
+  rr.usable = 1;
+  rr.in_bytes = 1e9;
+  rr.drop_bytes = 1e5;
+  ds.rack_runs.push_back(rr);
+
+  ServerRunRecord sr;
+  sr.rack_id = 3;
+  sr.bursty = 1;
+  sr.bursts_per_sec = 7.5f;
+  ds.server_runs.push_back(sr);
+
+  BurstRecord b;
+  b.rack_id = 3;
+  b.len_ms = 4;
+  b.volume_bytes = 1.8e6f;
+  b.max_contention = 9;
+  b.contended = 1;
+  b.lossy = 1;
+  ds.bursts.push_back(b);
+
+  ds.low_contention_example.rack_id = 1;
+  ds.low_contention_example.num_servers = 2;
+  ds.low_contention_example.num_samples = 3;
+  ds.low_contention_example.raster = {1, 0, 0, 0, 1, 0};
+  ds.low_contention_example.contention = {1, 1, 0};
+  ds.high_contention_example.rack_id = 2;
+  return ds;
+}
+
+TEST(Dataset, SerializeRoundTrip) {
+  const Dataset ds = sample_dataset();
+  Dataset copy;
+  ASSERT_TRUE(copy.deserialize(ds.serialize()));
+  EXPECT_EQ(copy.fingerprint, ds.fingerprint);
+  ASSERT_EQ(copy.racks.size(), 1u);
+  EXPECT_EQ(copy.racks[0].rack_id, 3u);
+  EXPECT_EQ(copy.racks[0].ml_dense, 1);
+  EXPECT_FLOAT_EQ(copy.racks[0].busy_hour_avg_contention, 7.5f);
+  ASSERT_EQ(copy.rack_runs.size(), 1u);
+  EXPECT_FLOAT_EQ(copy.rack_runs[0].avg_contention, 7.25f);
+  EXPECT_DOUBLE_EQ(copy.rack_runs[0].in_bytes, 1e9);
+  ASSERT_EQ(copy.server_runs.size(), 1u);
+  EXPECT_FLOAT_EQ(copy.server_runs[0].bursts_per_sec, 7.5f);
+  ASSERT_EQ(copy.bursts.size(), 1u);
+  EXPECT_EQ(copy.bursts[0].max_contention, 9);
+  EXPECT_EQ(copy.bursts[0].lossy, 1);
+  EXPECT_EQ(copy.low_contention_example.raster,
+            ds.low_contention_example.raster);
+  EXPECT_EQ(copy.low_contention_example.contention,
+            ds.low_contention_example.contention);
+}
+
+TEST(Dataset, RejectsCorruption) {
+  auto blob = sample_dataset().serialize();
+  Dataset ds;
+  blob[0] ^= 0x1;
+  EXPECT_FALSE(ds.deserialize(blob));
+}
+
+TEST(Dataset, RejectsTruncation) {
+  auto blob = sample_dataset().serialize();
+  blob.resize(blob.size() / 2);
+  Dataset ds;
+  EXPECT_FALSE(ds.deserialize(blob));
+}
+
+TEST(Dataset, RejectsTrailingGarbage) {
+  auto blob = sample_dataset().serialize();
+  blob.push_back(7);
+  Dataset ds;
+  EXPECT_FALSE(ds.deserialize(blob));
+}
+
+TEST(Dataset, SaveLoadFile) {
+  const std::string path = "test_dataset_tmp/ds.bin";
+  const Dataset ds = sample_dataset();
+  ASSERT_TRUE(ds.save(path));
+  Dataset loaded;
+  ASSERT_TRUE(loaded.load(path));
+  EXPECT_EQ(loaded.fingerprint, ds.fingerprint);
+  EXPECT_EQ(loaded.bursts.size(), ds.bursts.size());
+  std::filesystem::remove_all("test_dataset_tmp");
+}
+
+TEST(Dataset, LoadMissingFileFails) {
+  Dataset ds;
+  EXPECT_FALSE(ds.load("does/not/exist.bin"));
+}
+
+TEST(Dataset, ClassLookup) {
+  const Dataset ds = sample_dataset();
+  EXPECT_EQ(ds.class_of(3), analysis::RackClass::kRegAHigh);
+  // Unknown racks default to typical.
+  EXPECT_EQ(ds.class_of(999), analysis::RackClass::kRegATypical);
+}
+
+TEST(FleetConfig, FingerprintSensitivity) {
+  FleetConfig a, b;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.seed = 43;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  b = a;
+  b.racks_per_region = 7;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  b = a;
+  b.buffer.alpha = 2.0;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+}  // namespace
+}  // namespace msamp::fleet

@@ -1,0 +1,112 @@
+// Tests for the DCTCP congestion controller.
+#include "transport/dctcp.h"
+
+#include <gtest/gtest.h>
+
+namespace msamp::transport {
+namespace {
+
+CcConfig cfg() {
+  CcConfig c;
+  c.mss = 1000;
+  c.init_cwnd = 10000;
+  c.max_cwnd = 1 << 20;
+  return c;
+}
+
+TEST(Dctcp, SlowStartDoublesPerWindow) {
+  Dctcp cc(cfg());
+  const std::int64_t w0 = cc.cwnd();
+  // Ack one full window without marks: slow start adds acked bytes.
+  cc.on_ack(w0, false, 0, 100);
+  EXPECT_EQ(cc.cwnd(), 2 * w0);
+}
+
+TEST(Dctcp, EcnCapable) {
+  Dctcp cc(cfg());
+  EXPECT_TRUE(cc.ecn_capable());
+  EXPECT_STREQ(cc.name(), "dctcp");
+}
+
+TEST(Dctcp, FullMarkingHalvesEventually) {
+  Dctcp cc(cfg());
+  // Alpha starts at 1 (conservative); a fully marked window cuts ~in half.
+  const std::int64_t w0 = cc.cwnd();
+  cc.on_ack(w0, true, 0, 100);
+  EXPECT_LT(cc.cwnd(), w0 + w0 / 2);  // growth then proportional cut
+}
+
+TEST(Dctcp, AlphaConvergesToMarkFraction) {
+  Dctcp cc(cfg());
+  // Feed many windows with ~25% marked bytes.
+  for (int w = 0; w < 200; ++w) {
+    const std::int64_t window = cc.cwnd();
+    const std::int64_t chunk = window / 4;
+    cc.on_ack(chunk, true, 0, 100);
+    cc.on_ack(window - chunk, false, 0, 100);
+  }
+  EXPECT_NEAR(cc.alpha(), 0.25, 0.1);
+}
+
+TEST(Dctcp, UnmarkedTrafficDrivesAlphaToZero) {
+  Dctcp cc(cfg());
+  for (int w = 0; w < 100; ++w) cc.on_ack(cc.cwnd(), false, 0, 100);
+  EXPECT_LT(cc.alpha(), 0.02);
+}
+
+TEST(Dctcp, ProportionalDecreaseGentlerThanHalving) {
+  // With low alpha, marks barely reduce cwnd — DCTCP's key property.
+  Dctcp cc(cfg());
+  for (int w = 0; w < 100; ++w) cc.on_ack(cc.cwnd(), false, 0, 100);
+  const std::int64_t before = cc.cwnd();
+  // One lightly marked window.
+  cc.on_ack(cc.cwnd() / 20, true, 0, 100);
+  cc.on_ack(before - before / 20, false, 0, 100);
+  EXPECT_GT(cc.cwnd(), before * 8 / 10);
+}
+
+TEST(Dctcp, LossHalves) {
+  Dctcp cc(cfg());
+  for (int i = 0; i < 8; ++i) cc.on_ack(cc.cwnd(), false, 0, 100);
+  const std::int64_t before = cc.cwnd();
+  cc.on_loss(0);
+  EXPECT_EQ(cc.cwnd(), before / 2);
+}
+
+TEST(Dctcp, TimeoutResetsToOneMss) {
+  Dctcp cc(cfg());
+  for (int i = 0; i < 8; ++i) cc.on_ack(cc.cwnd(), false, 0, 100);
+  cc.on_timeout(0);
+  EXPECT_EQ(cc.cwnd(), cfg().mss);
+}
+
+TEST(Dctcp, NeverBelowOneMss) {
+  Dctcp cc(cfg());
+  for (int i = 0; i < 50; ++i) cc.on_loss(0);
+  EXPECT_GE(cc.cwnd(), cfg().mss);
+}
+
+TEST(Dctcp, RespectsMaxCwnd) {
+  auto c = cfg();
+  c.max_cwnd = 50000;
+  Dctcp cc(c);
+  for (int i = 0; i < 100; ++i) cc.on_ack(cc.cwnd(), false, 0, 100);
+  EXPECT_LE(cc.cwnd(), 50000);
+}
+
+TEST(Dctcp, CongestionAvoidanceLinearAfterLoss) {
+  Dctcp cc(cfg());
+  cc.on_loss(0);  // ssthresh = cwnd/2, now in CA at ssthresh
+  const std::int64_t w = cc.cwnd();
+  // One window of acks in CA adds ~one MSS.
+  std::int64_t acked = 0;
+  while (acked < w) {
+    cc.on_ack(1000, false, 0, 100);
+    acked += 1000;
+  }
+  EXPECT_LE(cc.cwnd() - w, 2 * cfg().mss);
+  EXPECT_GE(cc.cwnd() - w, cfg().mss);
+}
+
+}  // namespace
+}  // namespace msamp::transport

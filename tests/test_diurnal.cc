@@ -1,0 +1,63 @@
+// Tests for the diurnal load profiles (§7.2).
+#include "workload/diurnal.h"
+
+#include <gtest/gtest.h>
+
+namespace msamp::workload {
+namespace {
+
+TEST(Diurnal, AveragesNearOne) {
+  for (const auto region : {RegionId::kRegA, RegionId::kRegB}) {
+    double sum = 0;
+    for (int h = 0; h < 24; ++h) sum += diurnal_multiplier(region, h);
+    EXPECT_NEAR(sum / 24.0, 1.0, 0.03) << region_name(region);
+  }
+}
+
+TEST(Diurnal, RegAPeaksInMorningWindow) {
+  // §7.2: RegA contention (and volume) rises between hours 4 and 10.
+  double peak_window = 0, off_window = 0;
+  for (int h = 4; h <= 10; ++h) {
+    peak_window += diurnal_multiplier(RegionId::kRegA, h);
+  }
+  for (int h = 14; h <= 20; ++h) {
+    off_window += diurnal_multiplier(RegionId::kRegA, h);
+  }
+  EXPECT_GT(peak_window / 7.0, 1.05);
+  EXPECT_GT(peak_window, off_window);
+}
+
+TEST(Diurnal, BusyHourIsElevatedInBothRegions) {
+  EXPECT_GT(diurnal_multiplier(RegionId::kRegA, kBusyHour), 1.0);
+  EXPECT_GT(diurnal_multiplier(RegionId::kRegB, kBusyHour), 0.85);
+}
+
+TEST(Diurnal, RegBPeaksLater) {
+  double morning = 0, afternoon = 0;
+  for (int h = 2; h <= 6; ++h) morning += diurnal_multiplier(RegionId::kRegB, h);
+  for (int h = 12; h <= 18; ++h) {
+    afternoon += diurnal_multiplier(RegionId::kRegB, h);
+  }
+  EXPECT_GT(afternoon / 7.0, morning / 5.0);
+}
+
+TEST(Diurnal, HourWrapsSafely) {
+  EXPECT_DOUBLE_EQ(diurnal_multiplier(RegionId::kRegA, 24),
+                   diurnal_multiplier(RegionId::kRegA, 0));
+  EXPECT_DOUBLE_EQ(diurnal_multiplier(RegionId::kRegA, -1),
+                   diurnal_multiplier(RegionId::kRegA, 23));
+  EXPECT_DOUBLE_EQ(diurnal_multiplier(RegionId::kRegB, 49),
+                   diurnal_multiplier(RegionId::kRegB, 1));
+}
+
+TEST(Diurnal, AllMultipliersPositive) {
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_GT(diurnal_multiplier(RegionId::kRegA, h), 0.5);
+    EXPECT_GT(diurnal_multiplier(RegionId::kRegB, h), 0.5);
+    EXPECT_LT(diurnal_multiplier(RegionId::kRegA, h), 1.5);
+    EXPECT_LT(diurnal_multiplier(RegionId::kRegB, h), 1.5);
+  }
+}
+
+}  // namespace
+}  // namespace msamp::workload

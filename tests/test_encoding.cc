@@ -1,0 +1,169 @@
+// Tests for the compressed run-record codec (§4.1 "compressed and stored").
+#include "core/encoding.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace msamp::core {
+namespace {
+
+TEST(Varint, RoundTripValues) {
+  for (std::uint64_t v :
+       {0ull, 1ull, 127ull, 128ull, 300ull, 16383ull, 16384ull,
+        0xffffffffull, 0xffffffffffffffffull}) {
+    std::vector<std::uint8_t> buf;
+    put_varint(buf, v);
+    std::size_t pos = 0;
+    const auto back = get_varint(buf, pos);
+    ASSERT_TRUE(back.has_value()) << v;
+    EXPECT_EQ(*back, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(Varint, SmallValuesAreOneByte) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 42);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(Varint, TruncatedFails) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 1ull << 40);
+  buf.pop_back();
+  std::size_t pos = 0;
+  EXPECT_FALSE(get_varint(buf, pos).has_value());
+}
+
+TEST(Varint, EmptyFails) {
+  std::vector<std::uint8_t> buf;
+  std::size_t pos = 0;
+  EXPECT_FALSE(get_varint(buf, pos).has_value());
+}
+
+TEST(ZigZag, RoundTrip) {
+  for (std::int64_t v :
+       std::initializer_list<std::int64_t>{0, 1, -1, 1234567, -1234567,
+                                           INT64_MAX, INT64_MIN}) {
+    EXPECT_EQ(unzigzag(zigzag(v)), v);
+  }
+  // Small magnitudes stay small after zigzag.
+  EXPECT_LT(zigzag(-3), 10u);
+}
+
+RunRecord dense_record(int buckets, std::uint64_t seed) {
+  RunRecord r;
+  r.host = 9;
+  r.start = 123 * sim::kMillisecond + 456;
+  r.interval = sim::kMillisecond;
+  util::Rng rng(seed);
+  r.buckets.resize(static_cast<std::size_t>(buckets));
+  for (auto& b : r.buckets) {
+    if (rng.bernoulli(0.7)) continue;  // sparse, like a mostly-idle link
+    b.in_bytes = static_cast<std::int64_t>(rng.uniform_int(1 << 21));
+    b.in_retx_bytes = static_cast<std::int64_t>(rng.uniform_int(2000));
+    b.out_bytes = static_cast<std::int64_t>(rng.uniform_int(1 << 16));
+    b.out_retx_bytes = static_cast<std::int64_t>(rng.uniform_int(100));
+    b.in_ecn_bytes = static_cast<std::int64_t>(rng.uniform_int(10000));
+    b.connections = rng.uniform(0, 300);
+  }
+  return r;
+}
+
+TEST(CompressRun, RoundTrip) {
+  const RunRecord r = dense_record(500, 3);
+  const auto blob = compress_run(r);
+  const auto back = decompress_run(blob);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->host, r.host);
+  EXPECT_EQ(back->start, r.start);
+  EXPECT_EQ(back->interval, r.interval);
+  ASSERT_EQ(back->buckets.size(), r.buckets.size());
+  for (std::size_t i = 0; i < r.buckets.size(); ++i) {
+    EXPECT_EQ(back->buckets[i].in_bytes, r.buckets[i].in_bytes) << i;
+    EXPECT_EQ(back->buckets[i].in_retx_bytes, r.buckets[i].in_retx_bytes);
+    EXPECT_EQ(back->buckets[i].out_bytes, r.buckets[i].out_bytes);
+    EXPECT_EQ(back->buckets[i].out_retx_bytes, r.buckets[i].out_retx_bytes);
+    EXPECT_EQ(back->buckets[i].in_ecn_bytes, r.buckets[i].in_ecn_bytes);
+    EXPECT_NEAR(back->buckets[i].connections, r.buckets[i].connections,
+                0.0005);
+  }
+}
+
+TEST(CompressRun, EmptyRunRoundTrip) {
+  RunRecord r;
+  r.host = 4;
+  const auto back = decompress_run(compress_run(r));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_FALSE(back->valid());
+}
+
+TEST(CompressRun, NeverStartedRoundTrip) {
+  RunRecord r;
+  r.host = 4;
+  r.start = -1;  // negative start must survive (zigzag)
+  r.buckets.resize(10);
+  const auto back = decompress_run(compress_run(r));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->start, -1);
+}
+
+TEST(CompressRun, SparseRunsCompressWell) {
+  // A 2000-bucket run with 3% active buckets should shrink dramatically
+  // versus the raw fixed-width serialization.
+  RunRecord r;
+  r.host = 1;
+  r.start = 0;
+  r.interval = sim::kMillisecond;
+  r.buckets.resize(2000);
+  util::Rng rng(5);
+  for (auto& b : r.buckets) {
+    if (rng.bernoulli(0.03)) b.in_bytes = 1500 * 40;
+  }
+  const auto compressed = compress_run(r);
+  const auto raw = r.serialize();
+  EXPECT_LT(compressed.size() * 10, raw.size());
+}
+
+TEST(CompressRun, AllZeroRunIsTiny) {
+  RunRecord r;
+  r.host = 1;
+  r.start = 0;
+  r.interval = sim::kMillisecond;
+  r.buckets.resize(2000);
+  EXPECT_LT(compress_run(r).size(), 16u);
+}
+
+TEST(CompressRun, RejectsCorruption) {
+  const auto blob = compress_run(dense_record(100, 7));
+  {
+    auto bad = blob;
+    bad[0] ^= 0xff;  // magic
+    EXPECT_FALSE(decompress_run(bad).has_value());
+  }
+  {
+    auto bad = blob;
+    bad.resize(bad.size() / 2);  // truncation
+    EXPECT_FALSE(decompress_run(bad).has_value());
+  }
+  {
+    auto bad = blob;
+    bad.push_back(0);  // trailing garbage
+    EXPECT_FALSE(decompress_run(bad).has_value());
+  }
+}
+
+TEST(CompressRun, RejectsOversizedZeroRun) {
+  // Hand-build a blob whose zero-run exceeds the bucket count.
+  std::vector<std::uint8_t> blob{0xc5, 1};
+  put_varint(blob, 1);   // host
+  put_varint(blob, 0);   // start
+  put_varint(blob, 1);   // interval
+  put_varint(blob, 5);   // buckets
+  put_varint(blob, 99);  // zero-run longer than 5
+  EXPECT_FALSE(decompress_run(blob).has_value());
+}
+
+}  // namespace
+}  // namespace msamp::core

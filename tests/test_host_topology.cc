@@ -1,0 +1,229 @@
+// Tests for hosts and rack wiring: hook placement, end-to-end delivery
+// through the ToR, and remote-host paths.
+#include "core/sampler.h"
+#include "net/host.h"
+#include "net/topology.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace msamp::net {
+namespace {
+
+TEST(Host, EgressHookSeesSegmentsBeforeWire) {
+  sim::Simulator simulator;
+  std::vector<Packet> wire;
+  Host host(simulator, 1, LinkConfig{}, NicConfig{},
+            [&](const Packet& p) { wire.push_back(p); });
+  int hook_egress = 0;
+  host.set_segment_hook([&](const Packet&, bool ingress) {
+    if (!ingress) ++hook_egress;
+  });
+  Packet p;
+  p.flow = 1;
+  p.bytes = 1000;
+  host.send(p);
+  EXPECT_EQ(hook_egress, 1);  // hook fires synchronously at the tc layer
+  simulator.run();
+  EXPECT_EQ(wire.size(), 1u);
+  EXPECT_EQ(host.egress_bytes(), 1000);
+}
+
+TEST(Host, IngressHookSeesPostGroSegments) {
+  sim::Simulator simulator;
+  Host host(simulator, 1, LinkConfig{}, NicConfig{}, [](const Packet&) {});
+  std::vector<std::int32_t> sizes;
+  host.set_segment_hook([&](const Packet& p, bool ingress) {
+    if (ingress) sizes.push_back(p.bytes);
+  });
+  Packet a;
+  a.flow = 2;
+  a.seq = 0;
+  a.bytes = 1500;
+  Packet b = a;
+  b.seq = 1500;
+  host.deliver_from_wire(a);
+  host.deliver_from_wire(b);
+  host.nic().flush();
+  // GRO merged the two wire packets into one observed segment.
+  ASSERT_EQ(sizes.size(), 1u);
+  EXPECT_EQ(sizes[0], 3000);
+  EXPECT_EQ(host.ingress_bytes(), 3000);
+}
+
+TEST(Host, DetachedHookCostsNothing) {
+  sim::Simulator simulator;
+  Host host(simulator, 1, LinkConfig{}, NicConfig{}, [](const Packet&) {});
+  host.set_segment_hook(nullptr);
+  Packet p;
+  p.flow = 1;
+  p.bytes = 100;
+  host.send(p);  // must not crash with no hook or sink
+  simulator.run();
+  SUCCEED();
+}
+
+TEST(Host, IngressSinkReceivesAfterHook) {
+  sim::Simulator simulator;
+  Host host(simulator, 1, LinkConfig{}, NicConfig{}, [](const Packet&) {});
+  std::vector<int> order;
+  host.set_segment_hook([&](const Packet&, bool) { order.push_back(1); });
+  host.set_ingress_sink([&](const Packet&) { order.push_back(2); });
+  Packet p;
+  p.flow = 1;
+  p.bytes = 100;
+  p.is_ack = true;  // bypasses GRO: synchronous
+  host.deliver_from_wire(p);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Rack, ServerToServerThroughTor) {
+  sim::Simulator simulator;
+  RackConfig cfg;
+  cfg.num_servers = 4;
+  cfg.num_remote_hosts = 2;
+  Rack rack(simulator, cfg);
+  std::vector<Packet> got;
+  rack.server(2).set_ingress_sink([&](const Packet& p) { got.push_back(p); });
+  Packet p;
+  p.flow = 5;
+  p.src = rack.server(0).id();
+  p.dst = rack.server(2).id();
+  p.bytes = 1500;
+  p.is_ack = true;  // skip GRO buffering for determinism
+  rack.server(0).send(p);
+  simulator.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].flow, 5u);
+}
+
+TEST(Rack, RemoteToServerAndBack) {
+  sim::Simulator simulator;
+  RackConfig cfg;
+  cfg.num_servers = 2;
+  cfg.num_remote_hosts = 2;
+  Rack rack(simulator, cfg);
+  std::vector<sim::SimTime> server_rx, remote_rx;
+  rack.server(0).set_ingress_sink(
+      [&](const Packet&) { server_rx.push_back(simulator.now()); });
+  rack.remote(0).set_ingress_sink(
+      [&](const Packet&) { remote_rx.push_back(simulator.now()); });
+
+  Packet fwd;
+  fwd.flow = 1;
+  fwd.src = rack.remote(0).id();
+  fwd.dst = rack.server(0).id();
+  fwd.bytes = 1500;
+  fwd.is_ack = true;
+  rack.remote(0).send(fwd);
+  simulator.run();
+  ASSERT_EQ(server_rx.size(), 1u);
+
+  Packet back;
+  back.flow = 1;
+  back.src = rack.server(0).id();
+  back.dst = rack.remote(0).id();
+  back.bytes = 64;
+  back.is_ack = true;
+  rack.server(0).send(back);
+  simulator.run();
+  ASSERT_EQ(remote_rx.size(), 1u);
+  // Round trip must include fabric delay both ways.
+  EXPECT_GT(remote_rx[0], 2 * rack.config().tor.fabric_delay);
+}
+
+TEST(Rack, HostLookup) {
+  sim::Simulator simulator;
+  RackConfig cfg;
+  cfg.num_servers = 3;
+  cfg.num_remote_hosts = 2;
+  Rack rack(simulator, cfg);
+  EXPECT_EQ(rack.host(0), &rack.server(0));
+  EXPECT_EQ(rack.host(2), &rack.server(2));
+  EXPECT_EQ(rack.host(3), nullptr);
+  EXPECT_EQ(rack.host(kRemoteBase), &rack.remote(0));
+  EXPECT_EQ(rack.host(kRemoteBase + 5), nullptr);
+}
+
+TEST(Host, StallBuffersThenBatches) {
+  sim::Simulator simulator;
+  Host host(simulator, 1, LinkConfig{}, NicConfig{}, [](const Packet&) {});
+  std::vector<sim::SimTime> seen;
+  host.set_segment_hook([&](const Packet&, bool ingress) {
+    if (ingress) seen.push_back(simulator.now());
+  });
+  host.inject_stall(10 * sim::kMillisecond);
+  EXPECT_TRUE(host.stalled());
+  // Smooth arrivals during the stall...
+  for (int i = 0; i < 5; ++i) {
+    simulator.schedule_at(i * sim::kMillisecond, [&host, i] {
+      Packet p;
+      p.flow = 1;
+      p.bytes = 1000;
+      p.seq = i * 1000;
+      p.is_ack = true;  // bypass GRO for exact counts
+      host.deliver_from_wire(p);
+    });
+  }
+  simulator.run();
+  EXPECT_FALSE(host.stalled());
+  // ...are all observed in one batch at stall end (§4.6's apparent burst).
+  ASSERT_EQ(seen.size(), 5u);
+  for (sim::SimTime t : seen) EXPECT_EQ(t, 10 * sim::kMillisecond);
+  EXPECT_EQ(host.ingress_bytes(), 5000);
+}
+
+TEST(Host, StallCreatesApparentBurstInSampler) {
+  // The §4.6 diagnosis scenario end to end: a kernel stall turns smooth
+  // 20% utilization into a silent gap plus an over-line-rate bucket.
+  sim::Simulator simulator;
+  Host host(simulator, 1, LinkConfig{}, NicConfig{}, [](const Packet&) {});
+  core::SamplerConfig cfg;
+  cfg.filter.num_buckets = 40;
+  core::Sampler sampler(simulator, host, 0, cfg);
+  // Smooth traffic: 312KB per ms (20% of line rate) for 40ms.
+  for (int ms = 0; ms < 40; ++ms) {
+    simulator.schedule_at(ms * sim::kMillisecond, [&host] {
+      Packet p;
+      p.flow = 2;
+      p.bytes = 312500;
+      p.is_ack = true;
+      host.deliver_from_wire(p);
+    });
+  }
+  sampler.start_run(sim::kMillisecond, nullptr);
+  simulator.schedule_at(10 * sim::kMillisecond,
+                        [&host] { host.inject_stall(8 * sim::kMillisecond); });
+  simulator.run();
+  const auto buckets = sampler.filter().read_aggregated();
+  // Silent gap during the stall...
+  EXPECT_EQ(buckets[12].in_bytes, 0);
+  EXPECT_EQ(buckets[15].in_bytes, 0);
+  // ...then a catch-up bucket holding ~8 intervals' worth of bytes.
+  EXPECT_GE(buckets[18].in_bytes, 7 * 312500);
+}
+
+TEST(Rack, MulticastSubscriptionDelivers) {
+  sim::Simulator simulator;
+  RackConfig cfg;
+  cfg.num_servers = 4;
+  Rack rack(simulator, cfg);
+  const HostId group = kMulticastBase + 1;
+  rack.subscribe_multicast(group, 1);
+  rack.subscribe_multicast(group, 3);
+  int rx1 = 0, rx3 = 0;
+  rack.server(1).set_ingress_sink([&](const Packet&) { ++rx1; });
+  rack.server(3).set_ingress_sink([&](const Packet&) { ++rx3; });
+  Packet p;
+  p.src = rack.remote(0).id();
+  p.dst = group;
+  p.bytes = 1000;
+  rack.remote(0).send(p);
+  simulator.run();
+  EXPECT_EQ(rx1, 1);
+  EXPECT_EQ(rx3, 1);
+}
+
+}  // namespace
+}  // namespace msamp::net

@@ -1,0 +1,115 @@
+// Tests for loss attribution (§4.6/§8 methodology).
+#include "analysis/loss_assoc.h"
+
+#include <gtest/gtest.h>
+
+namespace msamp::analysis {
+namespace {
+
+constexpr std::int64_t kLine = 1562500;
+
+std::vector<core::BucketSample> series(std::vector<std::int64_t> in_bytes,
+                                       std::vector<std::int64_t> retx) {
+  std::vector<core::BucketSample> out(in_bytes.size());
+  for (std::size_t i = 0; i < in_bytes.size(); ++i) {
+    out[i].in_bytes = in_bytes[i];
+    out[i].in_retx_bytes = i < retx.size() ? retx[i] : 0;
+  }
+  return out;
+}
+
+TEST(LossAssoc, NoRetxNoLossyBursts) {
+  const auto ser = series({kLine, kLine, 0, 0}, {});
+  const auto bursts = detect_bursts(ser, BurstDetectConfig{});
+  const auto lossy = lossy_bursts(ser, bursts, LossAssocConfig{});
+  ASSERT_EQ(lossy.size(), 1u);
+  EXPECT_FALSE(lossy[0]);
+}
+
+TEST(LossAssoc, RetxInsideBurstMarksIt) {
+  const auto ser = series({0, kLine, kLine, 0}, {0, 0, 5000, 0});
+  const auto bursts = detect_bursts(ser, BurstDetectConfig{});
+  const auto lossy = lossy_bursts(ser, bursts, LossAssocConfig{});
+  ASSERT_EQ(lossy.size(), 1u);
+  EXPECT_TRUE(lossy[0]);
+}
+
+TEST(LossAssoc, RttShiftPullsRepairBack) {
+  // Retx appears one sample after the burst ends; the RTT shift of one
+  // sample attributes it to the burst.
+  const auto ser = series({kLine, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+                          {0, 3000, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+  const auto bursts = detect_bursts(ser, BurstDetectConfig{});
+  LossAssocConfig cfg;
+  cfg.rtt_shift_samples = 1;
+  cfg.lag_samples = 0;
+  const auto lossy = lossy_bursts(ser, bursts, cfg);
+  EXPECT_TRUE(lossy[0]);
+}
+
+TEST(LossAssoc, LagWindowCatchesTimeoutRepairs) {
+  // Repair lands 5 samples after the burst: inside the default lag window.
+  const auto ser = series({kLine, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+                          {0, 0, 0, 0, 0, 0, 3000, 0, 0, 0, 0, 0});
+  const auto bursts = detect_bursts(ser, BurstDetectConfig{});
+  const auto lossy = lossy_bursts(ser, bursts, LossAssocConfig{});
+  EXPECT_TRUE(lossy[0]);
+}
+
+TEST(LossAssoc, BeyondLagNotAttributed) {
+  LossAssocConfig cfg;
+  cfg.rtt_shift_samples = 0;
+  cfg.lag_samples = 2;
+  const auto ser = series({kLine, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+                          {0, 0, 0, 0, 0, 0, 0, 0, 3000, 0, 0, 0});
+  const auto bursts = detect_bursts(ser, BurstDetectConfig{});
+  const auto lossy = lossy_bursts(ser, bursts, cfg);
+  EXPECT_FALSE(lossy[0]);
+}
+
+TEST(LossAssoc, NextBurstOwnsItsRepairs) {
+  // Two bursts close together: retx during the second burst must not be
+  // attributed to the first via the lag window.
+  const auto ser = series({kLine, 0, kLine, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+                          {0, 0, 0, 4000, 0, 0, 0, 0, 0, 0, 0, 0});
+  const auto bursts = detect_bursts(ser, BurstDetectConfig{});
+  ASSERT_EQ(bursts.size(), 2u);
+  LossAssocConfig cfg;
+  cfg.rtt_shift_samples = 1;
+  cfg.lag_samples = 8;
+  const auto lossy = lossy_bursts(ser, bursts, cfg);
+  EXPECT_FALSE(lossy[0]);
+  EXPECT_TRUE(lossy[1]);
+}
+
+TEST(LossAssoc, ShiftAtSeriesStartClamps) {
+  // Retx in sample 0 with a shift of 1 must not underflow.
+  const auto ser = series({kLine, 0, 0, 0}, {1000, 0, 0, 0});
+  const auto bursts = detect_bursts(ser, BurstDetectConfig{});
+  const auto lossy = lossy_bursts(ser, bursts, LossAssocConfig{});
+  EXPECT_TRUE(lossy[0]);
+}
+
+TEST(LossAssoc, TotalRetxBytes) {
+  const auto ser = series({0, 0, 0}, {100, 0, 250});
+  EXPECT_EQ(total_retx_bytes(ser), 350);
+  EXPECT_EQ(total_retx_bytes({}), 0);
+}
+
+TEST(LossAssoc, MultipleBurstsIndependent) {
+  const auto ser = series(
+      {kLine, 0, 0, 0, 0, kLine, 0, 0, 0, 0, kLine, 0, 0, 0, 0},
+      {2000, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2000, 0, 0, 0});
+  const auto bursts = detect_bursts(ser, BurstDetectConfig{});
+  ASSERT_EQ(bursts.size(), 3u);
+  LossAssocConfig cfg;
+  cfg.rtt_shift_samples = 1;
+  cfg.lag_samples = 3;
+  const auto lossy = lossy_bursts(ser, bursts, cfg);
+  EXPECT_TRUE(lossy[0]);
+  EXPECT_FALSE(lossy[1]);
+  EXPECT_TRUE(lossy[2]);
+}
+
+}  // namespace
+}  // namespace msamp::analysis

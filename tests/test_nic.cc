@@ -1,0 +1,150 @@
+// Tests for the receive-side NIC GRO model (§4.6 segment coalescing).
+#include "net/nic.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace msamp::net {
+namespace {
+
+Packet data(FlowId flow, std::int64_t seq, std::int32_t bytes) {
+  Packet p;
+  p.flow = flow;
+  p.seq = seq;
+  p.bytes = bytes;
+  return p;
+}
+
+struct NicFixture : ::testing::Test {
+  sim::Simulator simulator;
+  std::vector<Packet> delivered;
+  NicConfig cfg;
+  std::unique_ptr<Nic> nic;
+
+  void make() {
+    nic = std::make_unique<Nic>(simulator, cfg,
+                                [this](const Packet& p) { delivered.push_back(p); });
+  }
+};
+
+TEST_F(NicFixture, CoalescesInOrderSameFlow) {
+  make();
+  nic->receive(data(1, 0, 1500));
+  nic->receive(data(1, 1500, 1500));
+  nic->receive(data(1, 3000, 1500));
+  nic->flush();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].bytes, 4500);
+  EXPECT_EQ(delivered[0].seq, 0);
+  EXPECT_EQ(nic->coalesced_packets(), 2u);
+}
+
+TEST_F(NicFixture, FlowChangeFlushes) {
+  make();
+  nic->receive(data(1, 0, 1500));
+  nic->receive(data(2, 0, 1500));
+  nic->flush();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0].flow, 1u);
+  EXPECT_EQ(delivered[1].flow, 2u);
+}
+
+TEST_F(NicFixture, SeqGapFlushes) {
+  make();
+  nic->receive(data(1, 0, 1500));
+  nic->receive(data(1, 4500, 1500));  // hole at 1500
+  nic->flush();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0].bytes, 1500);
+  EXPECT_EQ(delivered[1].seq, 4500);
+}
+
+TEST_F(NicFixture, SegmentCapRespected) {
+  cfg.gro_max_bytes = 3000;
+  make();
+  nic->receive(data(1, 0, 1500));
+  nic->receive(data(1, 1500, 1500));
+  nic->receive(data(1, 3000, 1500));  // would exceed the cap
+  nic->flush();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0].bytes, 3000);
+  EXPECT_EQ(delivered[1].bytes, 1500);
+}
+
+TEST_F(NicFixture, FlushTimerFires) {
+  make();
+  nic->receive(data(1, 0, 1500));
+  EXPECT_TRUE(delivered.empty());
+  simulator.run();  // the armed flush timer delivers
+  ASSERT_EQ(delivered.size(), 1u);
+}
+
+TEST_F(NicFixture, AcksBypassGro) {
+  make();
+  nic->receive(data(1, 0, 1500));
+  Packet ack;
+  ack.flow = 1;
+  ack.is_ack = true;
+  ack.bytes = 64;
+  nic->receive(ack);
+  // The pending data flushed first, then the ACK went straight through.
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_FALSE(delivered[0].is_ack);
+  EXPECT_TRUE(delivered[1].is_ack);
+}
+
+TEST_F(NicFixture, CeChangeSplitsSegment) {
+  make();
+  nic->receive(data(1, 0, 1500));
+  Packet marked = data(1, 1500, 1500);
+  marked.ce = true;
+  nic->receive(marked);
+  nic->flush();
+  // CE state must not be merged across packets.
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_FALSE(delivered[0].ce);
+  EXPECT_TRUE(delivered[1].ce);
+}
+
+TEST_F(NicFixture, RetxMarkChangeSplitsSegment) {
+  make();
+  nic->receive(data(1, 0, 1500));
+  Packet rx = data(1, 1500, 1500);
+  rx.retx_mark = true;
+  nic->receive(rx);
+  nic->flush();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_TRUE(delivered[1].retx_mark);
+}
+
+TEST_F(NicFixture, GroDisabledPassesThrough) {
+  cfg.gro_enabled = false;
+  make();
+  nic->receive(data(1, 0, 1500));
+  nic->receive(data(1, 1500, 1500));
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(nic->coalesced_packets(), 0u);
+}
+
+TEST_F(NicFixture, MulticastBypasses) {
+  make();
+  Packet m = data(0, 0, 1500);
+  m.dst = kMulticastBase + 1;
+  nic->receive(m);
+  ASSERT_EQ(delivered.size(), 1u);
+}
+
+TEST_F(NicFixture, SixtyFourKilobyteSegmentsPossible) {
+  // §4.6: the tc layer can observe up to 64KB reassembled segments.
+  make();
+  for (int i = 0; i < 60; ++i) {
+    nic->receive(data(1, static_cast<std::int64_t>(i) * 1000, 1000));
+  }
+  nic->flush();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].bytes, 60000);
+}
+
+}  // namespace
+}  // namespace msamp::net

@@ -1,0 +1,62 @@
+// Tests for the tcpdump-like capture baseline (§4.3 comparison).
+#include "core/pcap_baseline.h"
+
+#include <gtest/gtest.h>
+
+namespace msamp::core {
+namespace {
+
+net::Packet pkt(std::int32_t bytes) {
+  net::Packet p;
+  p.flow = 1;
+  p.bytes = bytes;
+  return p;
+}
+
+TEST(PcapBaseline, CapturesPackets) {
+  PcapBaseline cap(PcapConfig{});
+  for (int i = 0; i < 10; ++i) cap.process(pkt(1500), i);
+  EXPECT_EQ(cap.captured(), 10u);
+  EXPECT_EQ(cap.dropped(), 0u);
+  EXPECT_EQ(cap.ring_used(), 10 * (16 + 100));
+}
+
+TEST(PcapBaseline, DropsOnRingOverrun) {
+  PcapConfig cfg;
+  cfg.snap_len = 100;
+  cfg.ring_bytes = 1000;  // fits 8 records of 116B
+  PcapBaseline cap(cfg);
+  for (int i = 0; i < 20; ++i) cap.process(pkt(1500), i);
+  EXPECT_EQ(cap.captured(), 8u);
+  EXPECT_EQ(cap.dropped(), 12u);
+}
+
+TEST(PcapBaseline, DrainFreesSpace) {
+  PcapConfig cfg;
+  cfg.ring_bytes = 1000;
+  PcapBaseline cap(cfg);
+  for (int i = 0; i < 20; ++i) cap.process(pkt(1500), i);
+  const auto dropped_before = cap.dropped();
+  cap.drain(500);
+  cap.process(pkt(1500), 100);
+  EXPECT_EQ(cap.captured(), 9u);
+  EXPECT_EQ(cap.dropped(), dropped_before);
+}
+
+TEST(PcapBaseline, DrainClampsAtZero) {
+  PcapBaseline cap(PcapConfig{});
+  cap.process(pkt(100), 0);
+  cap.drain(1 << 30);
+  EXPECT_EQ(cap.ring_used(), 0u);
+}
+
+TEST(PcapBaseline, SnapLenBoundsRecordSize) {
+  PcapConfig cfg;
+  cfg.snap_len = 40;
+  PcapBaseline cap(cfg);
+  cap.process(pkt(9000), 0);
+  EXPECT_EQ(cap.ring_used(), 16u + 40u);
+}
+
+}  // namespace
+}  // namespace msamp::core

@@ -1,0 +1,141 @@
+// Tests for the service placement generator (§7.1 patterns).
+#include "workload/placement.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace msamp::workload {
+namespace {
+
+TEST(Placement, RackShapeMatchesConfig) {
+  util::Rng rng(1);
+  const auto cfg = default_placement(RegionId::kRegA, 50, 92);
+  const auto racks = generate_racks(cfg, 0, rng);
+  ASSERT_EQ(racks.size(), 50u);
+  for (const auto& r : racks) {
+    EXPECT_EQ(r.server_service.size(), 92u);
+    EXPECT_EQ(r.server_kind.size(), 92u);
+    EXPECT_EQ(r.region, RegionId::kRegA);
+    EXPECT_GT(r.intensity, 0.0);
+  }
+}
+
+TEST(Placement, RackIdsSequential) {
+  util::Rng rng(2);
+  const auto racks =
+      generate_racks(default_placement(RegionId::kRegA, 10, 8), 100, rng);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(racks[static_cast<std::size_t>(i)].rack_id, 100 + i);
+  }
+}
+
+TEST(Placement, RegAHasMlDenseFraction) {
+  util::Rng rng(3);
+  const auto cfg = default_placement(RegionId::kRegA, 100, 92);
+  const auto racks = generate_racks(cfg, 0, rng);
+  int dense = 0;
+  for (const auto& r : racks) dense += r.ml_dense;
+  EXPECT_EQ(dense, 20);  // 20% of racks (§7.1)
+}
+
+TEST(Placement, MlDenseRacksDominatedByOneMlService) {
+  util::Rng rng(4);
+  const auto cfg = default_placement(RegionId::kRegA, 60, 92);
+  const auto racks = generate_racks(cfg, 0, rng);
+  std::set<int> dominant_services;
+  for (const auto& r : racks) {
+    if (!r.ml_dense) continue;
+    EXPECT_GE(r.dominant_share(), 0.55) << "rack " << r.rack_id;
+    int ml_servers = 0;
+    for (auto k : r.server_kind) ml_servers += k == TaskKind::kMlTraining;
+    EXPECT_GE(ml_servers, 92 * 55 / 100);
+    // The dominant service id must be the shared fleet-wide ML service.
+    dominant_services.insert(cfg.pool_services);
+  }
+  // The paper: the top task of every RegA-High rack is the SAME ML task.
+  EXPECT_LE(dominant_services.size(), 1u);
+}
+
+TEST(Placement, TypicalRacksDiverse) {
+  util::Rng rng(5);
+  const auto cfg = default_placement(RegionId::kRegA, 100, 92);
+  const auto racks = generate_racks(cfg, 0, rng);
+  std::vector<double> distinct, dominant;
+  for (const auto& r : racks) {
+    if (r.ml_dense) continue;
+    distinct.push_back(r.distinct_tasks());
+    dominant.push_back(r.dominant_share());
+  }
+  // Median typical rack runs ~14 distinct tasks with a ~25% dominant share.
+  EXPECT_NEAR(util::percentile(distinct, 50), 14.0, 3.0);
+  EXPECT_NEAR(util::percentile(dominant, 50), 0.25, 0.12);
+}
+
+TEST(Placement, MlDenseRacksRunFewerTasks) {
+  util::Rng rng(6);
+  const auto cfg = default_placement(RegionId::kRegA, 100, 92);
+  const auto racks = generate_racks(cfg, 0, rng);
+  std::vector<double> dense_distinct, typical_distinct;
+  for (const auto& r : racks) {
+    (r.ml_dense ? dense_distinct : typical_distinct)
+        .push_back(r.distinct_tasks());
+  }
+  EXPECT_LT(util::percentile(dense_distinct, 50),
+            util::percentile(typical_distinct, 50));
+}
+
+TEST(Placement, RegBHasNoDenseRacksButMlLean) {
+  util::Rng rng(7);
+  const auto cfg = default_placement(RegionId::kRegB, 100, 92);
+  const auto racks = generate_racks(cfg, 0, rng);
+  int dense = 0;
+  int racks_with_ml = 0;
+  for (const auto& r : racks) {
+    dense += r.ml_dense;
+    int ml = 0;
+    for (auto k : r.server_kind) {
+      ml += k == TaskKind::kMlTraining || k == TaskKind::kMlInference;
+    }
+    racks_with_ml += ml > 0;
+  }
+  EXPECT_EQ(dense, 0);
+  EXPECT_GT(racks_with_ml, 60);  // lean spreads ML across most racks
+}
+
+TEST(Placement, DominantShareConsistency) {
+  RackMeta r;
+  r.server_service = {1, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(r.dominant_share(), 0.5);
+  EXPECT_EQ(r.distinct_tasks(), 3);
+  RackMeta empty;
+  EXPECT_DOUBLE_EQ(empty.dominant_share(), 0.0);
+  EXPECT_EQ(empty.distinct_tasks(), 0);
+}
+
+TEST(Placement, DeterministicForSeed) {
+  util::Rng r1(8), r2(8);
+  const auto cfg = default_placement(RegionId::kRegA, 20, 16);
+  const auto a = generate_racks(cfg, 0, r1);
+  const auto b = generate_racks(cfg, 0, r2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].server_service, b[i].server_service);
+    EXPECT_EQ(a[i].ml_dense, b[i].ml_dense);
+    EXPECT_DOUBLE_EQ(a[i].intensity, b[i].intensity);
+  }
+}
+
+TEST(Placement, DistinctTasksBounded) {
+  util::Rng rng(9);
+  auto cfg = default_placement(RegionId::kRegA, 200, 92);
+  const auto racks = generate_racks(cfg, 0, rng);
+  for (const auto& r : racks) {
+    EXPECT_GE(r.distinct_tasks(), 1);
+    EXPECT_LE(r.distinct_tasks(), cfg.distinct_max + 1);  // +1: ML service
+  }
+}
+
+}  // namespace
+}  // namespace msamp::workload

@@ -1,0 +1,41 @@
+// Tests for rack classification (§7.1 bimodal split).
+#include "analysis/rack_classify.h"
+
+#include <gtest/gtest.h>
+
+namespace msamp::analysis {
+namespace {
+
+TEST(RackClassify, RegBAlwaysRegB) {
+  EXPECT_EQ(classify_rack(workload::RegionId::kRegB, 0.0),
+            RackClass::kRegB);
+  EXPECT_EQ(classify_rack(workload::RegionId::kRegB, 100.0),
+            RackClass::kRegB);
+}
+
+TEST(RackClassify, RegAThreshold) {
+  EXPECT_EQ(classify_rack(workload::RegionId::kRegA, 1.0),
+            RackClass::kRegATypical);
+  EXPECT_EQ(classify_rack(workload::RegionId::kRegA, 5.0),
+            RackClass::kRegATypical);  // threshold is exclusive
+  EXPECT_EQ(classify_rack(workload::RegionId::kRegA, 5.01),
+            RackClass::kRegAHigh);
+  EXPECT_EQ(classify_rack(workload::RegionId::kRegA, 12.0),
+            RackClass::kRegAHigh);
+}
+
+TEST(RackClassify, CustomThreshold) {
+  ClassifyConfig cfg;
+  cfg.high_threshold = 2.0;
+  EXPECT_EQ(classify_rack(workload::RegionId::kRegA, 3.0, cfg),
+            RackClass::kRegAHigh);
+}
+
+TEST(RackClassify, Names) {
+  EXPECT_EQ(rack_class_name(RackClass::kRegATypical), "RegA-Typical");
+  EXPECT_EQ(rack_class_name(RackClass::kRegAHigh), "RegA-High");
+  EXPECT_EQ(rack_class_name(RackClass::kRegB), "RegB");
+}
+
+}  // namespace
+}  // namespace msamp::analysis

@@ -1,0 +1,212 @@
+// Tests for util::Rng: determinism, forking, and distribution sanity.
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace msamp::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NearbySeedsDecorrelated) {
+  // splitmix64 seeding should decorrelate seed and seed+1.
+  Rng a(1), b(2);
+  double mean_a = 0, mean_b = 0;
+  for (int i = 0; i < 1000; ++i) {
+    mean_a += a.uniform();
+    mean_b += b.uniform();
+  }
+  EXPECT_NEAR(mean_a / 1000, 0.5, 0.05);
+  EXPECT_NEAR(mean_b / 1000, 0.5, 0.05);
+}
+
+TEST(Rng, ForkIndependentOfParentContinuation) {
+  Rng parent(42);
+  Rng child = parent.fork(1);
+  const std::uint64_t c0 = child.next();
+  // A fresh parent forked the same way yields the same child stream.
+  Rng parent2(42);
+  Rng child2 = parent2.fork(1);
+  EXPECT_EQ(c0, child2.next());
+}
+
+TEST(Rng, ForkSaltsDiffer) {
+  Rng p1(42), p2(42);
+  Rng a = p1.fork(1);
+  Rng b = p2.fork(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(2.5, 7.5);
+    EXPECT_GE(u, 2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng r(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t v = r.uniform_int(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(Rng, UniformIntOneAlwaysZero) {
+  Rng r(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.uniform_int(1), 0u);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_FALSE(r.bernoulli(-1.0));
+    EXPECT_TRUE(r.bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r(8);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(9);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng r(10);
+  std::vector<double> xs;
+  for (int i = 0; i < 10001; ++i) xs.push_back(r.lognormal(1.0, 0.5));
+  std::nth_element(xs.begin(), xs.begin() + 5000, xs.end());
+  EXPECT_NEAR(xs[5000], std::exp(1.0), 0.15);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / 20000, 0.25, 0.02);
+}
+
+TEST(Rng, ParetoBounded) {
+  Rng r(12);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = r.pareto(1.0, 100.0, 1.2);
+    EXPECT_GE(x, 1.0 - 1e-9);
+    EXPECT_LE(x, 100.0 + 1e-9);
+  }
+}
+
+TEST(Rng, ParetoSkewsLow) {
+  Rng r(13);
+  int low = 0;
+  for (int i = 0; i < 5000; ++i) low += r.pareto(1.0, 100.0, 1.5) < 3.0;
+  EXPECT_GT(low, 3500);  // heavy mass near the lower bound
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, MeanMatches) {
+  const double mean = GetParam();
+  Rng r(static_cast<std::uint64_t>(mean * 1000) + 1);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.poisson(mean));
+  EXPECT_NEAR(sum / n, mean, std::max(0.05, mean * 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonMeanTest,
+                         ::testing::Values(0.5, 2.0, 8.0, 25.0, 60.0, 200.0));
+
+TEST(Rng, PoissonZeroMean) {
+  Rng r(14);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.poisson(0.0), 0u);
+}
+
+TEST(Rng, ZipfBounds) {
+  Rng r(15);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(r.zipf(50, 1.0), 50u);
+    EXPECT_LT(r.zipf(50, 0.0), 50u);
+    EXPECT_EQ(r.zipf(1, 1.0), 0u);
+  }
+}
+
+TEST(Rng, ZipfSkewsToLowRanks) {
+  Rng r(16);
+  int rank0 = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) rank0 += r.zipf(100, 1.0) == 0;
+  // Under Zipf(1) rank 0 should hold far more than the uniform 1%.
+  EXPECT_GT(rank0, n / 25);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto sorted = v;
+  r.shuffle(v);
+  auto resorted = v;
+  std::sort(resorted.begin(), resorted.end());
+  EXPECT_EQ(resorted, sorted);
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng r(18);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  r.shuffle(v);
+  int moved = 0;
+  for (int i = 0; i < 100; ++i) moved += v[static_cast<std::size_t>(i)] != i;
+  EXPECT_GT(moved, 80);
+}
+
+}  // namespace
+}  // namespace msamp::util

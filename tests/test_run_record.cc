@@ -1,0 +1,129 @@
+// Tests for RunRecord serialization and helpers.
+#include "core/run_record.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace msamp::core {
+namespace {
+
+RunRecord sample_record() {
+  RunRecord r;
+  r.host = 42;
+  r.start = 123456789;
+  r.interval = sim::kMillisecond;
+  util::Rng rng(3);
+  r.buckets.resize(50);
+  for (auto& b : r.buckets) {
+    b.in_bytes = static_cast<std::int64_t>(rng.uniform_int(1 << 20));
+    b.in_retx_bytes = static_cast<std::int64_t>(rng.uniform_int(1000));
+    b.out_bytes = static_cast<std::int64_t>(rng.uniform_int(1 << 18));
+    b.out_retx_bytes = static_cast<std::int64_t>(rng.uniform_int(100));
+    b.in_ecn_bytes = static_cast<std::int64_t>(rng.uniform_int(5000));
+    b.connections = rng.uniform(0, 200);
+  }
+  return r;
+}
+
+TEST(RunRecord, SerializeRoundTrip) {
+  const RunRecord r = sample_record();
+  const auto blob = r.serialize();
+  RunRecord copy;
+  ASSERT_TRUE(copy.deserialize(blob));
+  EXPECT_EQ(copy.host, r.host);
+  EXPECT_EQ(copy.start, r.start);
+  EXPECT_EQ(copy.interval, r.interval);
+  ASSERT_EQ(copy.buckets.size(), r.buckets.size());
+  for (std::size_t i = 0; i < r.buckets.size(); ++i) {
+    EXPECT_EQ(copy.buckets[i].in_bytes, r.buckets[i].in_bytes);
+    EXPECT_EQ(copy.buckets[i].in_retx_bytes, r.buckets[i].in_retx_bytes);
+    EXPECT_EQ(copy.buckets[i].out_bytes, r.buckets[i].out_bytes);
+    EXPECT_EQ(copy.buckets[i].out_retx_bytes, r.buckets[i].out_retx_bytes);
+    EXPECT_EQ(copy.buckets[i].in_ecn_bytes, r.buckets[i].in_ecn_bytes);
+    EXPECT_DOUBLE_EQ(copy.buckets[i].connections, r.buckets[i].connections);
+  }
+}
+
+TEST(RunRecord, EmptyRecordRoundTrip) {
+  RunRecord r;
+  r.host = 1;
+  const auto blob = r.serialize();
+  RunRecord copy;
+  ASSERT_TRUE(copy.deserialize(blob));
+  EXPECT_FALSE(copy.valid());
+  EXPECT_TRUE(copy.buckets.empty());
+}
+
+TEST(RunRecord, RejectsGarbage) {
+  RunRecord r;
+  EXPECT_FALSE(r.deserialize({}));
+  EXPECT_FALSE(r.deserialize({1, 2, 3}));
+  std::vector<std::uint8_t> blob = sample_record().serialize();
+  blob[0] ^= 0xff;  // corrupt the magic
+  EXPECT_FALSE(r.deserialize(blob));
+}
+
+TEST(RunRecord, RejectsTruncation) {
+  const auto blob = sample_record().serialize();
+  RunRecord r;
+  for (std::size_t cut : {blob.size() - 1, blob.size() / 2, std::size_t{10}}) {
+    std::vector<std::uint8_t> truncated(blob.begin(),
+                                        blob.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(r.deserialize(truncated)) << "cut=" << cut;
+  }
+}
+
+TEST(RunRecord, RejectsTrailingBytes) {
+  auto blob = sample_record().serialize();
+  blob.push_back(0);
+  RunRecord r;
+  EXPECT_FALSE(r.deserialize(blob));
+}
+
+TEST(RunRecord, RejectsBogusCount) {
+  RunRecord src;
+  src.host = 1;
+  src.start = 0;
+  src.interval = 1;
+  auto blob = src.serialize();
+  // Patch the bucket count field (offset 28) to a huge value.
+  blob[28] = 0xff;
+  blob[29] = 0xff;
+  blob[30] = 0xff;
+  RunRecord r;
+  EXPECT_FALSE(r.deserialize(blob));
+}
+
+TEST(RunRecord, Validity) {
+  RunRecord r;
+  EXPECT_FALSE(r.valid());  // no start, no buckets
+  r.start = 100;
+  EXPECT_FALSE(r.valid());  // still no buckets
+  r.buckets.resize(3);
+  EXPECT_TRUE(r.valid());
+  r.start = -1;
+  EXPECT_FALSE(r.valid());
+}
+
+TEST(RunRecord, Duration) {
+  RunRecord r;
+  r.interval = sim::kMillisecond;
+  r.buckets.resize(2000);
+  EXPECT_EQ(r.duration(), 2 * sim::kSecond);
+}
+
+TEST(RunRecord, IngressUtilization) {
+  RunRecord r;
+  r.start = 0;
+  r.interval = sim::kMillisecond;
+  r.buckets.resize(2);
+  // 12.5Gb/s for 1ms is 1.5625MB; half of that is 50% utilization.
+  r.buckets[0].in_bytes = 781250;
+  EXPECT_NEAR(r.ingress_utilization(0, 12.5), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(r.ingress_utilization(1, 12.5), 0.0);
+  EXPECT_DOUBLE_EQ(r.ingress_utilization(99, 12.5), 0.0);  // out of range
+}
+
+}  // namespace
+}  // namespace msamp::core

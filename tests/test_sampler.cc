@@ -1,0 +1,265 @@
+// Tests for the user-space sampler daemon: run lifecycle, detach behavior,
+// history storage, periodic scheduling, and RSS steering.
+#include "core/sampler.h"
+
+#include <filesystem>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace msamp::core {
+namespace {
+
+struct SamplerFixture : ::testing::Test {
+  sim::Simulator simulator;
+  std::unique_ptr<net::Host> host;
+  SamplerConfig cfg;
+
+  void make_host() {
+    host = std::make_unique<net::Host>(simulator, 1, net::LinkConfig{},
+                                       net::NicConfig{},
+                                       [](const net::Packet&) {});
+  }
+
+  /// Sends one ingress ACK-ish packet (bypasses GRO) every `period` from
+  /// the current simulation time until now+`until`.
+  void traffic(sim::SimDuration period, sim::SimDuration until,
+               net::FlowId flow = 5, std::int32_t bytes = 1000) {
+    const sim::SimTime base = simulator.now();
+    for (sim::SimTime t = base; t < base + until; t += period) {
+      simulator.schedule_at(t, [this, flow, bytes] {
+        net::Packet p;
+        p.flow = flow;
+        p.bytes = bytes;
+        p.is_ack = true;  // synchronous delivery through the NIC
+        host->deliver_from_wire(p);
+      });
+    }
+  }
+};
+
+TEST_F(SamplerFixture, RunProducesRecord) {
+  make_host();
+  cfg.filter.num_buckets = 20;
+  cfg.filter.num_cpus = 4;
+  Sampler sampler(simulator, *host, 0, cfg);
+  traffic(sim::kMillisecond, 30 * sim::kMillisecond);
+  RunRecord record;
+  bool done = false;
+  ASSERT_TRUE(sampler.start_run(sim::kMillisecond, [&](const RunRecord& r) {
+    record = r;
+    done = true;
+  }));
+  simulator.run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(record.valid());
+  EXPECT_EQ(record.host, 1u);
+  EXPECT_EQ(record.interval, sim::kMillisecond);
+  EXPECT_EQ(record.buckets.size(), 20u);
+  // One 1000B packet per 1ms bucket.
+  EXPECT_EQ(record.buckets[0].in_bytes, 1000);
+  EXPECT_EQ(record.buckets[10].in_bytes, 1000);
+  EXPECT_EQ(record.total_ingress_bytes(), 20 * 1000);
+}
+
+TEST_F(SamplerFixture, SecondStartWhileActiveFails) {
+  make_host();
+  cfg.filter.num_buckets = 10;
+  Sampler sampler(simulator, *host, 0, cfg);
+  EXPECT_TRUE(sampler.start_run(sim::kMillisecond, nullptr));
+  EXPECT_FALSE(sampler.start_run(sim::kMillisecond, nullptr));
+  simulator.run();
+  EXPECT_FALSE(sampler.active());
+  EXPECT_TRUE(sampler.start_run(sim::kMillisecond, nullptr));
+  simulator.run();
+}
+
+TEST_F(SamplerFixture, DetachesAfterRun) {
+  make_host();
+  cfg.filter.num_buckets = 5;
+  Sampler sampler(simulator, *host, 0, cfg);
+  traffic(sim::kMillisecond, 200 * sim::kMillisecond);
+  sampler.start_run(sim::kMillisecond, nullptr);
+  simulator.run();
+  const std::uint64_t processed = sampler.packets_processed();
+  EXPECT_GT(processed, 0u);
+  // Traffic after the run is over must not be processed: filter detached.
+  net::Packet p;
+  p.flow = 5;
+  p.bytes = 100;
+  p.is_ack = true;
+  host->deliver_from_wire(p);
+  EXPECT_EQ(sampler.packets_processed(), processed);
+}
+
+TEST_F(SamplerFixture, EmptyRunIsInvalid) {
+  make_host();
+  cfg.filter.num_buckets = 5;
+  Sampler sampler(simulator, *host, 0, cfg);
+  RunRecord record;
+  sampler.start_run(sim::kMillisecond, [&](const RunRecord& r) { record = r; });
+  simulator.run();  // no traffic at all
+  EXPECT_FALSE(record.valid());
+  EXPECT_EQ(record.start, -1);
+}
+
+TEST_F(SamplerFixture, ClockOffsetShiftsRecordedStart) {
+  make_host();
+  cfg.filter.num_buckets = 5;
+  const sim::SimDuration offset = 250 * sim::kMicrosecond;
+  Sampler sampler(simulator, *host, offset, cfg);
+  traffic(sim::kMillisecond, 10 * sim::kMillisecond);
+  RunRecord record;
+  sampler.start_run(sim::kMillisecond, [&](const RunRecord& r) { record = r; });
+  simulator.run();
+  ASSERT_TRUE(record.valid());
+  // First packet at true time 0 is stamped with the host clock.
+  EXPECT_EQ(record.start, offset);
+}
+
+TEST_F(SamplerFixture, HistoryKeepsSerializedRuns) {
+  make_host();
+  cfg.filter.num_buckets = 5;
+  cfg.history_limit = 3;
+  Sampler sampler(simulator, *host, 0, cfg);
+  for (int i = 0; i < 5; ++i) {
+    // Fresh traffic for each run window (earlier schedules have already
+    // fired by the time simulator.run() returns).
+    traffic(sim::kMillisecond, 200 * sim::kMillisecond);
+    sampler.start_run(sim::kMillisecond, nullptr);
+    simulator.run();
+  }
+  // Bounded history ("about a week" in production).
+  EXPECT_EQ(sampler.history().size(), 3u);
+  const RunRecord r = sampler.history_run(2);
+  EXPECT_TRUE(r.valid());
+  EXPECT_EQ(r.buckets.size(), 5u);
+}
+
+TEST_F(SamplerFixture, PeriodicModeSchedulesRuns) {
+  make_host();
+  cfg.filter.num_buckets = 5;
+  cfg.intervals = {sim::kMillisecond};
+  cfg.grace = sim::kMillisecond;
+  Sampler sampler(simulator, *host, 0, cfg);
+  traffic(sim::kMillisecond, 500 * sim::kMillisecond);
+  sampler.start_periodic(100 * sim::kMillisecond);
+  simulator.run_until(450 * sim::kMillisecond);
+  sampler.stop_periodic();
+  simulator.run();
+  // ~5 periodic runs in 450ms.
+  EXPECT_GE(sampler.history().size(), 4u);
+  EXPECT_LE(sampler.history().size(), 6u);
+}
+
+TEST_F(SamplerFixture, PeriodicModeRotatesIntervals) {
+  make_host();
+  cfg.filter.num_buckets = 5;
+  cfg.intervals = {sim::kMillisecond, 10 * sim::kMillisecond};
+  cfg.grace = sim::kMillisecond;
+  Sampler sampler(simulator, *host, 0, cfg);
+  traffic(sim::kMillisecond, 800 * sim::kMillisecond);
+  sampler.start_periodic(150 * sim::kMillisecond);
+  simulator.run_until(700 * sim::kMillisecond);
+  sampler.stop_periodic();
+  simulator.run();
+  ASSERT_GE(sampler.history().size(), 2u);
+  // Consecutive runs alternate between the configured intervals (§4.1).
+  EXPECT_EQ(sampler.history_run(0).interval, sim::kMillisecond);
+  EXPECT_EQ(sampler.history_run(1).interval, 10 * sim::kMillisecond);
+}
+
+TEST_F(SamplerFixture, HistoryIsCompressed) {
+  make_host();
+  cfg.filter.num_buckets = 200;
+  Sampler sampler(simulator, *host, 0, cfg);
+  // Sparse traffic: a packet every 50ms in a 200ms window.
+  traffic(50 * sim::kMillisecond, 200 * sim::kMillisecond);
+  sampler.start_run(sim::kMillisecond, nullptr);
+  simulator.run();
+  ASSERT_EQ(sampler.history().size(), 1u);
+  // The compressed blob is far smaller than the raw fixed-width record.
+  const RunRecord r = sampler.history_run(0);
+  EXPECT_TRUE(r.valid());
+  EXPECT_LT(sampler.history_bytes() * 5, r.serialize().size());
+}
+
+TEST_F(SamplerFixture, RssSpreadsFlowsAcrossCpus) {
+  make_host();
+  cfg.filter.num_buckets = 2;
+  cfg.filter.num_cpus = 8;
+  Sampler sampler(simulator, *host, 0, cfg);
+  // Many flows, one packet each, all in bucket 0.
+  sampler.start_run(sim::kMillisecond, nullptr);
+  for (net::FlowId f = 1; f <= 64; ++f) {
+    net::Packet p;
+    p.flow = f;
+    p.bytes = 10;
+    p.is_ack = true;
+    host->deliver_from_wire(p);
+  }
+  // Count how many CPU rows got traffic.
+  int cpus_used = 0;
+  for (int c = 0; c < 8; ++c) {
+    cpus_used += sampler.filter().raw(c, 0).in_bytes > 0 ? 1 : 0;
+  }
+  EXPECT_GE(cpus_used, 5);  // 64 flows over 8 CPUs should hit most rows
+  simulator.run();
+}
+
+TEST_F(SamplerFixture, PersistsRunsToStore) {
+  make_host();
+  cfg.filter.num_buckets = 10;
+  RunStoreConfig store_cfg;
+  store_cfg.directory = "test_sampler_store_tmp";
+  RunStore store(store_cfg);
+  Sampler sampler(simulator, *host, 0, cfg);
+  sampler.set_store(&store);
+  traffic(sim::kMillisecond, 50 * sim::kMillisecond);
+  sampler.start_run(sim::kMillisecond, nullptr);
+  simulator.run();
+  EXPECT_EQ(store.size(), 1u);
+  const auto runs = store.query(0, 1LL << 60);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].buckets.size(), 10u);
+  std::filesystem::remove_all(store_cfg.directory);
+}
+
+TEST_F(SamplerFixture, HundredMicrosecondRun) {
+  // The paper's finest interval: 100µs buckets over a shorter window.
+  make_host();
+  cfg.filter.num_buckets = 100;  // 10ms window
+  Sampler sampler(simulator, *host, 0, cfg);
+  traffic(200 * sim::kMicrosecond, 15 * sim::kMillisecond, 5, 400);
+  RunRecord record;
+  sampler.start_run(100 * sim::kMicrosecond,
+                    [&](const RunRecord& r) { record = r; });
+  simulator.run();
+  ASSERT_TRUE(record.valid());
+  EXPECT_EQ(record.interval, 100 * sim::kMicrosecond);
+  // A packet every other 100µs bucket.
+  EXPECT_EQ(record.buckets[0].in_bytes, 400);
+  EXPECT_EQ(record.buckets[1].in_bytes, 0);
+  EXPECT_EQ(record.buckets[2].in_bytes, 400);
+}
+
+TEST_F(SamplerFixture, EgressAlsoCounted) {
+  make_host();
+  cfg.filter.num_buckets = 5;
+  Sampler sampler(simulator, *host, 0, cfg);
+  sampler.start_run(sim::kMillisecond, nullptr);
+  net::Packet p;
+  p.flow = 3;
+  p.bytes = 700;
+  host->send(p);
+  RunRecord r;
+  r.host = host->id();
+  r.start = sampler.filter().start_time();
+  r.interval = sampler.filter().interval();
+  r.buckets = sampler.filter().read_aggregated();
+  EXPECT_EQ(r.buckets[0].out_bytes, 700);
+  simulator.run();
+}
+
+}  // namespace
+}  // namespace msamp::core

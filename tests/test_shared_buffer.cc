@@ -1,0 +1,284 @@
+// Tests for the shared-memory MMU: Dynamic Threshold admission, ECN
+// marking, quadrant isolation, and the closed-form DT fixed point the
+// paper's Figure 1 plots.
+#include "net/shared_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace msamp::net {
+namespace {
+
+SharedBufferConfig small_config() {
+  SharedBufferConfig cfg;
+  cfg.total_bytes = 4 << 20;  // one 4MB quadrant's worth
+  cfg.quadrants = 1;
+  cfg.reserve_per_queue = 16 << 10;
+  cfg.alpha = 1.0;
+  cfg.ecn_threshold = 120 << 10;
+  return cfg;
+}
+
+TEST(SharedBuffer, AdmitsWithinReserve) {
+  SharedBuffer buf(small_config(), 4);
+  bool ce = true;
+  EXPECT_TRUE(buf.admit(0, 1000, false, &ce));
+  EXPECT_FALSE(ce);
+  EXPECT_EQ(buf.queue_len(0), 1000);
+  // Reserve usage does not consume shared space.
+  EXPECT_EQ(buf.shared_occupancy(0), 0);
+}
+
+TEST(SharedBuffer, SharedAccountingAboveReserve) {
+  SharedBuffer buf(small_config(), 4);
+  buf.admit(0, (16 << 10) + 5000, false, nullptr);
+  EXPECT_EQ(buf.shared_occupancy(0), 5000);
+  buf.release(0, 5000);
+  EXPECT_EQ(buf.shared_occupancy(0), 0);
+  EXPECT_EQ(buf.queue_len(0), 16 << 10);
+}
+
+TEST(SharedBuffer, SingleQueueCapsAtHalfWhenAlphaOne) {
+  // With alpha=1 a lone queue converges to half the shared buffer: each
+  // admission requires used_after <= free_before.
+  SharedBuffer buf(small_config(), 4);
+  const std::int64_t pkt = 1500;
+  std::int64_t admitted = 0;
+  while (buf.admit(0, pkt, false, nullptr)) admitted += pkt;
+  const double shared_cap = static_cast<double>((4 << 20) - 4 * (16 << 10));
+  const double share =
+      static_cast<double>(buf.shared_occupancy(0)) / shared_cap;
+  EXPECT_NEAR(share, 0.5, 0.01);
+  EXPECT_GT(admitted, 0);
+}
+
+TEST(SharedBuffer, DropCountersGrowOnReject) {
+  auto cfg = small_config();
+  cfg.total_bytes = 64 << 10;
+  cfg.reserve_per_queue = 0;
+  SharedBuffer buf(cfg, 2);
+  while (buf.admit(0, 1500, false, nullptr)) {
+  }
+  EXPECT_GT(buf.counters(0).dropped_bytes, 0);
+  EXPECT_GT(buf.counters(0).dropped_packets, 0);
+  EXPECT_EQ(buf.total_dropped_bytes(), buf.counters(0).dropped_bytes);
+}
+
+TEST(SharedBuffer, EcnMarksAboveThreshold) {
+  SharedBuffer buf(small_config(), 4);
+  bool ce = false;
+  // Fill to just below the threshold: no marks.
+  std::int64_t filled = 0;
+  while (filled + 1500 < (120 << 10)) {
+    EXPECT_TRUE(buf.admit(0, 1500, true, &ce));
+    EXPECT_FALSE(ce);
+    filled += 1500;
+  }
+  // Push past the threshold: subsequent ECT packets get CE.
+  buf.admit(0, 4000, true, &ce);
+  buf.admit(0, 1500, true, &ce);
+  EXPECT_TRUE(ce);
+  EXPECT_GT(buf.counters(0).ce_marked_bytes, 0);
+}
+
+TEST(SharedBuffer, NonEctNeverMarked) {
+  SharedBuffer buf(small_config(), 4);
+  bool ce = false;
+  for (int i = 0; i < 200; ++i) buf.admit(0, 1500, false, &ce);
+  EXPECT_FALSE(ce);
+  EXPECT_EQ(buf.counters(0).ce_marked_bytes, 0);
+}
+
+TEST(SharedBuffer, QuadrantsAreIsolated) {
+  SharedBufferConfig cfg;
+  cfg.total_bytes = 16 << 20;
+  cfg.quadrants = 4;
+  cfg.reserve_per_queue = 0;
+  SharedBuffer buf(cfg, 8);  // queues 0..7; queue q -> quadrant q%4
+  // Saturate queue 0 (quadrant 0).
+  while (buf.admit(0, 1500, false, nullptr)) {
+  }
+  // Queue 1 lives in quadrant 1 and must be unaffected.
+  EXPECT_EQ(buf.shared_occupancy(1), 0);
+  EXPECT_TRUE(buf.admit(1, 1500, false, nullptr));
+  // Queue 4 shares quadrant 0: its limit is reduced by queue 0's usage,
+  // while queue 1's quadrant is untouched.
+  EXPECT_LT(buf.dynamic_limit(4), buf.dynamic_limit(1) * 3 / 4);
+  EXPECT_NEAR(static_cast<double>(buf.dynamic_limit(4)),
+              static_cast<double>(4 << 20) / 2.0, 64.0 * 1024);
+}
+
+TEST(SharedBuffer, ActiveQueueCount) {
+  SharedBufferConfig cfg;
+  cfg.total_bytes = 16 << 20;
+  cfg.quadrants = 4;
+  SharedBuffer buf(cfg, 8);
+  EXPECT_EQ(buf.active_queues_in_quadrant(0), 0);
+  buf.admit(0, 100, false, nullptr);
+  buf.admit(4, 100, false, nullptr);
+  buf.admit(1, 100, false, nullptr);
+  EXPECT_EQ(buf.active_queues_in_quadrant(0), 2);
+  EXPECT_EQ(buf.active_queues_in_quadrant(1), 1);
+  buf.release(0, 100);
+  EXPECT_EQ(buf.active_queues_in_quadrant(0), 1);
+}
+
+TEST(SharedBuffer, FixedPointFormula) {
+  // Figure 1 anchor points: alpha=1 -> 1/2, 1/3; alpha=2 -> 2/3, 2/5.
+  EXPECT_DOUBLE_EQ(SharedBuffer::fixed_point_share(1.0, 1), 0.5);
+  EXPECT_NEAR(SharedBuffer::fixed_point_share(1.0, 2), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(SharedBuffer::fixed_point_share(2.0, 1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(SharedBuffer::fixed_point_share(2.0, 2), 0.4, 1e-12);
+}
+
+/// Property sweep: S saturated queues converge to T = aB/(1+aS) each.
+class DtFixedPointTest
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(DtFixedPointTest, SaturatedQueuesMatchClosedForm) {
+  const double alpha = std::get<0>(GetParam());
+  const int s = std::get<1>(GetParam());
+  SharedBufferConfig cfg;
+  cfg.total_bytes = 8 << 20;
+  cfg.quadrants = 1;
+  cfg.reserve_per_queue = 0;
+  cfg.alpha = alpha;
+  SharedBuffer buf(cfg, 10);
+  // Round-robin fill until every queue is rejected.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int q = 0; q < s; ++q) {
+      progress |= buf.admit(q, 1500, false, nullptr);
+    }
+  }
+  const double expected = SharedBuffer::fixed_point_share(alpha, s);
+  for (int q = 0; q < s; ++q) {
+    const double share = static_cast<double>(buf.queue_len(q)) /
+                         static_cast<double>(cfg.total_bytes);
+    EXPECT_NEAR(share, expected, 0.02) << "alpha=" << alpha << " S=" << s
+                                       << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaAndQueues, DtFixedPointTest,
+    ::testing::Combine(::testing::Values(0.25, 0.5, 1.0, 2.0, 4.0),
+                       ::testing::Values(1, 2, 4, 8)));
+
+TEST(SharedBufferPolicy, StaticPartitionFixedSlice) {
+  auto cfg = small_config();
+  cfg.policy = BufferPolicy::kStaticPartition;
+  SharedBuffer buf(cfg, 4);
+  const std::int64_t slice = buf.dynamic_limit(0);
+  // A quarter of the shared pool each, independent of occupancy.
+  const std::int64_t shared_cap = (4 << 20) - 4 * (16 << 10);
+  EXPECT_EQ(slice, shared_cap / 4);
+  while (buf.admit(0, 1500, false, nullptr)) {
+  }
+  EXPECT_EQ(buf.dynamic_limit(1), slice);  // unchanged by queue 0
+  EXPECT_NEAR(static_cast<double>(buf.shared_occupancy(0)),
+              static_cast<double>(slice), 1600.0);
+}
+
+TEST(SharedBufferPolicy, CompleteSharingTakesWholePool) {
+  auto cfg = small_config();
+  cfg.policy = BufferPolicy::kCompleteSharing;
+  SharedBuffer buf(cfg, 4);
+  while (buf.admit(0, 1500, false, nullptr)) {
+  }
+  const std::int64_t shared_cap = (4 << 20) - 4 * (16 << 10);
+  // A lone queue can consume essentially the entire shared pool (vs half
+  // under DT with alpha = 1).
+  EXPECT_GT(buf.shared_occupancy(0), shared_cap * 95 / 100);
+}
+
+TEST(SharedBufferPolicy, CompleteSharingStillRejectsWhenFull) {
+  auto cfg = small_config();
+  cfg.policy = BufferPolicy::kCompleteSharing;
+  SharedBuffer buf(cfg, 4);
+  while (buf.admit(0, 1500, false, nullptr)) {
+  }
+  EXPECT_GT(buf.counters(0).dropped_packets, 0);
+  EXPECT_FALSE(buf.admit(1, 1 << 20, false, nullptr));
+}
+
+TEST(SharedBufferPolicy, BurstAbsorbFallsBackToDtAtPacketLevel) {
+  auto dt_cfg = small_config();
+  auto ba_cfg = small_config();
+  ba_cfg.policy = BufferPolicy::kBurstAbsorbDt;
+  SharedBuffer dt(dt_cfg, 4), ba(ba_cfg, 4);
+  for (int i = 0; i < 100; ++i) {
+    dt.admit(0, 1500, false, nullptr);
+    ba.admit(0, 1500, false, nullptr);
+  }
+  EXPECT_EQ(dt.dynamic_limit(0), ba.dynamic_limit(0));
+}
+
+TEST(SharedBuffer, DynamicLimitShrinksWithOccupancy) {
+  SharedBuffer buf(small_config(), 4);
+  const std::int64_t before = buf.dynamic_limit(0);
+  buf.admit(0, 1 << 20, false, nullptr);
+  const std::int64_t after = buf.dynamic_limit(0);
+  EXPECT_LT(after, before);
+}
+
+/// Randomized operation fuzz: any interleaving of admits and releases must
+/// preserve the MMU's accounting invariants, for every policy.
+class SharedBufferFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SharedBufferFuzzTest, InvariantsHoldUnderRandomOps) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  SharedBufferConfig cfg;
+  cfg.total_bytes = 2 << 20;
+  cfg.quadrants = 2;
+  cfg.reserve_per_queue = 8 << 10;
+  cfg.policy = static_cast<BufferPolicy>(GetParam() % 4);
+  constexpr int kQueues = 6;
+  SharedBuffer buf(cfg, kQueues);
+
+  // Shadow model: per-queue FIFO of admitted packet sizes.
+  std::vector<std::vector<std::int64_t>> shadow(kQueues);
+
+  for (int op = 0; op < 20000; ++op) {
+    const int queue = static_cast<int>(rng.uniform_int(kQueues));
+    if (rng.bernoulli(0.6)) {
+      const auto bytes = static_cast<std::int64_t>(64 + rng.uniform_int(9000));
+      if (buf.admit(queue, bytes, rng.bernoulli(0.5), nullptr)) {
+        shadow[static_cast<std::size_t>(queue)].push_back(bytes);
+      }
+    } else if (!shadow[static_cast<std::size_t>(queue)].empty()) {
+      buf.release(queue, shadow[static_cast<std::size_t>(queue)].back());
+      shadow[static_cast<std::size_t>(queue)].pop_back();
+    }
+
+    if ((op & 1023) != 0) continue;  // full audit every 1024 ops
+    std::int64_t quadrant_shared[2] = {0, 0};
+    for (int q = 0; q < kQueues; ++q) {
+      std::int64_t expect = 0;
+      for (auto b : shadow[static_cast<std::size_t>(q)]) expect += b;
+      ASSERT_EQ(buf.queue_len(q), expect) << "queue " << q << " op " << op;
+      quadrant_shared[q % 2] +=
+          std::max<std::int64_t>(expect - cfg.reserve_per_queue, 0);
+    }
+    for (int q = 0; q < 2; ++q) {
+      ASSERT_EQ(buf.shared_occupancy(q), quadrant_shared[q]) << "op " << op;
+      ASSERT_GE(buf.shared_occupancy(q), 0);
+    }
+    for (int q = 0; q < kQueues; ++q) {
+      ASSERT_GE(buf.dynamic_limit(q), 0);
+    }
+  }
+  // Drain everything: occupancy returns to exactly zero.
+  for (int q = 0; q < kQueues; ++q) {
+    for (auto b : shadow[static_cast<std::size_t>(q)]) buf.release(q, b);
+  }
+  EXPECT_EQ(buf.shared_occupancy(0), 0);
+  EXPECT_EQ(buf.shared_occupancy(1), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SharedBufferFuzzTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace msamp::net

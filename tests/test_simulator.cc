@@ -1,0 +1,126 @@
+// Tests for the discrete-event engine.
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace msamp::sim {
+namespace {
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule_at(30, [&] { order.push_back(3); });
+  simulator.schedule_at(10, [&] { order.push_back(1); });
+  simulator.schedule_at(20, [&] { order.push_back(2); });
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulator.now(), 30);
+}
+
+TEST(Simulator, EqualTimesFifo) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    simulator.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  simulator.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleInRelative) {
+  Simulator simulator;
+  SimTime fired = -1;
+  simulator.schedule_at(100, [&] {
+    simulator.schedule_in(50, [&] { fired = simulator.now(); });
+  });
+  simulator.run();
+  EXPECT_EQ(fired, 150);
+}
+
+TEST(Simulator, PastSchedulesClampToNow) {
+  Simulator simulator;
+  SimTime fired = -1;
+  simulator.schedule_at(100, [&] {
+    simulator.schedule_at(10, [&] { fired = simulator.now(); });
+  });
+  simulator.run();
+  EXPECT_EQ(fired, 100);
+}
+
+TEST(Simulator, NegativeDelayClamps) {
+  Simulator simulator;
+  bool fired = false;
+  simulator.schedule_in(-5, [&] { fired = true; });
+  simulator.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator simulator;
+  bool fired = false;
+  const auto id = simulator.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(simulator.cancel(id));
+  simulator.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelUnknownIsNoop) {
+  Simulator simulator;
+  EXPECT_FALSE(simulator.cancel(0));
+  EXPECT_FALSE(simulator.cancel(12345));
+}
+
+TEST(Simulator, DoubleCancelReturnsFalse) {
+  Simulator simulator;
+  const auto id = simulator.schedule_at(10, [] {});
+  EXPECT_TRUE(simulator.cancel(id));
+  EXPECT_FALSE(simulator.cancel(id));
+  simulator.run();
+}
+
+TEST(Simulator, RunUntilStopsAtLimit) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.schedule_at(10, [&] { ++fired; });
+  simulator.schedule_at(20, [&] { ++fired; });
+  simulator.schedule_at(30, [&] { ++fired; });
+  simulator.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(simulator.now(), 20);
+  simulator.run_until(100);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(simulator.now(), 100);
+}
+
+TEST(Simulator, DispatchedCounts) {
+  Simulator simulator;
+  for (int i = 0; i < 5; ++i) simulator.schedule_at(i, [] {});
+  simulator.run();
+  EXPECT_EQ(simulator.dispatched(), 5u);
+}
+
+TEST(Simulator, EventsScheduledDuringRun) {
+  Simulator simulator;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 100) simulator.schedule_in(1, step);
+  };
+  simulator.schedule_at(0, step);
+  simulator.run();
+  EXPECT_EQ(chain, 100);
+  EXPECT_EQ(simulator.now(), 99);
+}
+
+TEST(SimTimeHelpers, Conversions) {
+  EXPECT_DOUBLE_EQ(to_ms(kMillisecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_sec(kSecond), 1.0);
+  // 12.5 Gb/s for 1ms = 1.5625 MB.
+  EXPECT_NEAR(bytes_in(kMillisecond, 12.5), 1562500.0, 1.0);
+  // 1500B at 12.5Gb/s = 960ns.
+  EXPECT_EQ(serialize_time(1500, 12.5), 960);
+}
+
+}  // namespace
+}  // namespace msamp::sim

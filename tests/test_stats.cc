@@ -1,0 +1,172 @@
+// Tests for util statistics: Welford accumulators, percentiles, CDFs,
+// box summaries and histograms.
+#include "util/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace msamp::util {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(StreamingStats, BasicMoments) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, MergeMatchesSequential) {
+  Rng rng(1);
+  StreamingStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    whole.add(x);
+    (i < 400 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, EmptyIsZero) {
+  EXPECT_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_EQ(percentile({7.0}, 50.0), 7.0);
+  EXPECT_EQ(percentile({7.0}, 100.0), 7.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 17.5);
+}
+
+TEST(Percentile, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(percentile({30.0, 10.0, 40.0, 20.0}, 50.0), 25.0);
+}
+
+TEST(Percentile, ClampedP) {
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, -10.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 200.0), 2.0);
+}
+
+TEST(BoxSummary, KnownValues) {
+  std::vector<double> v;
+  for (int i = 1; i <= 101; ++i) v.push_back(static_cast<double>(i));
+  const BoxSummary b = box_summary(v);
+  EXPECT_EQ(b.count, 101u);
+  EXPECT_EQ(b.min, 1.0);
+  EXPECT_EQ(b.max, 101.0);
+  EXPECT_DOUBLE_EQ(b.median, 51.0);
+  EXPECT_DOUBLE_EQ(b.p25, 26.0);
+  EXPECT_DOUBLE_EQ(b.p75, 76.0);
+  EXPECT_DOUBLE_EQ(b.p90, 91.0);
+  EXPECT_DOUBLE_EQ(b.mean, 51.0);
+}
+
+TEST(BoxSummary, Empty) {
+  std::vector<double> v;
+  const BoxSummary b = box_summary(v);
+  EXPECT_EQ(b.count, 0u);
+}
+
+TEST(EmpiricalCdf, MonotoneAndComplete) {
+  Rng rng(2);
+  std::vector<double> v;
+  for (int i = 0; i < 5000; ++i) v.push_back(rng.normal(0, 1));
+  const auto cdf = empirical_cdf(v, 50);
+  ASSERT_EQ(cdf.size(), 50u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GE(cdf[i].percent, cdf[i - 1].percent);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().percent, 100.0);
+}
+
+TEST(EmpiricalCdf, FewerSamplesThanPoints) {
+  const auto cdf = empirical_cdf({3.0, 1.0, 2.0}, 100);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_EQ(cdf.front().value, 1.0);
+  EXPECT_EQ(cdf.back().value, 3.0);
+}
+
+TEST(EmpiricalCdf, Empty) {
+  EXPECT_TRUE(empirical_cdf({}, 10).empty());
+}
+
+TEST(Histogram, BinAssignment) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);    // bin 0
+  h.add(0.99);   // bin 0
+  h.add(1.0);    // bin 1
+  h.add(9.99);   // bin 9
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeClamps) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(1e9);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(Histogram, BinGeometry) {
+  Histogram h(2.0, 12.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 11.0);
+  EXPECT_EQ(h.bin_index(2.0), 0u);
+  EXPECT_EQ(h.bin_index(3.999), 0u);
+  EXPECT_EQ(h.bin_index(4.0), 1u);
+}
+
+TEST(SafeRatio, Basics) {
+  EXPECT_DOUBLE_EQ(safe_ratio(6.0, 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(safe_ratio(6.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_ratio(0.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace msamp::util

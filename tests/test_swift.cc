@@ -1,0 +1,143 @@
+// Tests for the Swift-style delay-based congestion controller.
+#include "transport/swift.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "transport/tcp_connection.h"
+
+namespace msamp::transport {
+namespace {
+
+CcConfig cfg() {
+  CcConfig c;
+  c.mss = 1000;
+  c.init_cwnd = 10000;
+  c.max_cwnd = 4 << 20;
+  return c;
+}
+
+TEST(Swift, GrowsUnderTargetDelay) {
+  Swift cc(cfg());
+  const std::int64_t w0 = cc.cwnd();
+  // First ack establishes the base RTT; low-delay acks grow the window.
+  for (int i = 0; i < 20; ++i) {
+    cc.on_ack(cc.cwnd(), false, i * 100000, 50 * sim::kMicrosecond);
+  }
+  EXPECT_GT(cc.cwnd(), w0);
+}
+
+TEST(Swift, ShrinksAboveTargetDelay) {
+  Swift cc(cfg());
+  cc.on_ack(1000, false, 0, 50 * sim::kMicrosecond);  // base RTT
+  const std::int64_t before = cc.cwnd();
+  // 1ms RTT is far above base + 80µs target.
+  cc.on_ack(1000, false, sim::kSecond, sim::kMillisecond);
+  EXPECT_LT(cc.cwnd(), before);
+}
+
+TEST(Swift, AtMostOneDecreasePerRtt) {
+  Swift cc(cfg());
+  cc.on_ack(1000, false, 0, 50 * sim::kMicrosecond);
+  const std::int64_t before = cc.cwnd();
+  // A burst of high-delay acks inside one RTT applies a single cut.
+  cc.on_ack(1000, false, sim::kSecond, sim::kMillisecond);
+  const std::int64_t after_one = cc.cwnd();
+  cc.on_ack(1000, false, sim::kSecond + 10 * sim::kMicrosecond,
+            sim::kMillisecond);
+  cc.on_ack(1000, false, sim::kSecond + 20 * sim::kMicrosecond,
+            sim::kMillisecond);
+  EXPECT_EQ(cc.cwnd(), after_one);
+  EXPECT_LT(after_one, before);
+}
+
+TEST(Swift, DecreaseBoundedByMaxMdf) {
+  SwiftConfig sw;
+  sw.max_mdf = 0.5;
+  Swift cc(cfg(), sw);
+  cc.on_ack(1000, false, 0, 50 * sim::kMicrosecond);
+  const std::int64_t before = cc.cwnd();
+  // Astronomical delay still cuts at most 50%.
+  cc.on_ack(1000, false, sim::kSecond, sim::kSecond);
+  EXPECT_GE(cc.cwnd(), before / 2 - 1);
+}
+
+TEST(Swift, ProportionalResponse) {
+  // Slightly-over-target delay cuts less than far-over-target delay.
+  Swift a(cfg()), b(cfg());
+  a.on_ack(1000, false, 0, 100 * sim::kMicrosecond);
+  b.on_ack(1000, false, 0, 100 * sim::kMicrosecond);
+  a.on_ack(1000, false, sim::kSecond, 200 * sim::kMicrosecond);
+  b.on_ack(1000, false, sim::kSecond, 800 * sim::kMicrosecond);
+  EXPECT_GT(a.cwnd(), b.cwnd());
+}
+
+TEST(Swift, LossFallback) {
+  Swift cc(cfg());
+  const std::int64_t before = cc.cwnd();
+  cc.on_loss(0);
+  EXPECT_LT(cc.cwnd(), before);
+  cc.on_timeout(0);
+  EXPECT_EQ(cc.cwnd(), cfg().mss);
+}
+
+TEST(Swift, NeverBelowOneMss) {
+  Swift cc(cfg());
+  for (int i = 0; i < 50; ++i) {
+    cc.on_ack(1000, false, i * sim::kSecond, sim::kSecond);
+  }
+  EXPECT_GE(cc.cwnd(), cfg().mss);
+}
+
+TEST(Swift, NotEcnCapable) {
+  Swift cc(cfg());
+  EXPECT_FALSE(cc.ecn_capable());
+  EXPECT_STREQ(cc.name(), "swift");
+}
+
+TEST(Swift, EndToEndTransferCompletes) {
+  sim::Simulator simulator;
+  net::Rack rack(simulator, net::RackConfig{});
+  TransportHost sender(rack.remote(0));
+  TransportHost receiver(rack.server(0));
+  TcpConfig tcp;
+  tcp.cc = CcKind::kSwift;
+  TcpConnection conn(simulator, 1, sender, receiver, tcp);
+  conn.send_app_data(4 << 20);
+  simulator.run();
+  EXPECT_EQ(conn.stats().delivered_bytes, 4 << 20);
+  EXPECT_TRUE(conn.idle());
+  EXPECT_STREQ(conn.congestion_control().name(), "swift");
+}
+
+TEST(Swift, KeepsQueueShorterThanCubic) {
+  // Delay-based control should hold a much smaller standing queue than a
+  // loss-based controller filling the DT limit.
+  auto run_with = [](CcKind kind) {
+    sim::Simulator simulator;
+    net::RackConfig rack_cfg;
+    rack_cfg.tor.buffer.ecn_threshold = 1 << 30;  // ECN off for fairness
+    net::Rack rack(simulator, rack_cfg);
+    TransportHost sender(rack.remote(0));
+    TransportHost receiver(rack.server(0));
+    TcpConfig tcp;
+    tcp.cc = kind;
+    TcpConnection conn(simulator, 1, sender, receiver, tcp);
+    conn.send_app_data(8 << 20);
+    std::int64_t max_queue = 0;
+    for (sim::SimTime t = 0; t < 10 * sim::kMillisecond;
+         t += 100 * sim::kMicrosecond) {
+      simulator.run_until(t);
+      max_queue = std::max(max_queue, rack.tor().mmu().queue_len(0));
+    }
+    simulator.run();
+    EXPECT_EQ(conn.stats().delivered_bytes, 8 << 20);
+    return max_queue;
+  };
+  const std::int64_t swift_queue = run_with(CcKind::kSwift);
+  const std::int64_t cubic_queue = run_with(CcKind::kCubic);
+  EXPECT_LT(swift_queue, cubic_queue / 2);
+}
+
+}  // namespace
+}  // namespace msamp::transport

@@ -1,0 +1,134 @@
+// Tests for the ToR switch: forwarding, MMU-backed drops, multicast
+// replication, and uplink fabric behavior.
+#include "net/switch.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace msamp::net {
+namespace {
+
+Packet data(HostId dst, std::int32_t bytes, FlowId flow = 1, bool ect = false) {
+  Packet p;
+  p.flow = flow;
+  p.src = 99;
+  p.dst = dst;
+  p.bytes = bytes;
+  p.ect = ect;
+  return p;
+}
+
+struct SwitchFixture : ::testing::Test {
+  sim::Simulator simulator;
+  SwitchConfig cfg;
+  std::unique_ptr<Switch> sw;
+  std::vector<std::vector<Packet>> port_rx;
+  std::vector<Packet> uplink_rx;
+
+  void make(int ports) {
+    sw = std::make_unique<Switch>(simulator, cfg, ports);
+    port_rx.assign(static_cast<std::size_t>(ports), {});
+    for (int i = 0; i < ports; ++i) {
+      sw->attach_port(i, static_cast<HostId>(i), [this, i](const Packet& p) {
+        port_rx[static_cast<std::size_t>(i)].push_back(p);
+      });
+    }
+    sw->set_uplink([this](const Packet& p) { uplink_rx.push_back(p); });
+  }
+};
+
+TEST_F(SwitchFixture, ForwardsToAttachedPort) {
+  make(4);
+  sw->receive(data(2, 1500));
+  simulator.run();
+  EXPECT_EQ(port_rx[2].size(), 1u);
+  EXPECT_TRUE(port_rx[0].empty());
+}
+
+TEST_F(SwitchFixture, UnknownDestinationGoesUplink) {
+  make(4);
+  sw->receive(data(12345, 1500));
+  simulator.run();
+  ASSERT_EQ(uplink_rx.size(), 1u);
+  EXPECT_EQ(uplink_rx[0].dst, 12345u);
+}
+
+TEST_F(SwitchFixture, UplinkHasFabricDelay) {
+  cfg.fabric_delay = 5000;
+  make(2);
+  sim::SimTime arrival = -1;
+  sw->set_uplink([&](const Packet&) { arrival = simulator.now(); });
+  sw->receive(data(9999, 100));
+  simulator.run();
+  EXPECT_EQ(arrival, 5000);
+}
+
+TEST_F(SwitchFixture, DownlinkDrainsAtPortRate) {
+  cfg.downlink_gbps = 12.5;
+  cfg.downlink_propagation = 0;
+  make(2);
+  sw->receive(data(0, 1500));
+  sw->receive(data(0, 1500));
+  simulator.run();
+  ASSERT_EQ(port_rx[0].size(), 2u);
+  // Serialization is 960ns per 1500B packet at 12.5G.
+  EXPECT_EQ(simulator.now(), 1920);
+}
+
+TEST_F(SwitchFixture, MulticastReplicatesToSubscribers) {
+  make(4);
+  const HostId group = kMulticastBase + 7;
+  sw->subscribe_multicast(group, 0);
+  sw->subscribe_multicast(group, 2);
+  sw->receive(data(group, 1000));
+  simulator.run();
+  EXPECT_EQ(port_rx[0].size(), 1u);
+  EXPECT_TRUE(port_rx[1].empty());
+  EXPECT_EQ(port_rx[2].size(), 1u);
+  EXPECT_TRUE(port_rx[3].empty());
+}
+
+TEST_F(SwitchFixture, MulticastToUnknownGroupDropsSilently) {
+  make(2);
+  sw->receive(data(kMulticastBase + 3, 1000));
+  simulator.run();
+  EXPECT_TRUE(port_rx[0].empty());
+  EXPECT_TRUE(uplink_rx.empty());
+}
+
+TEST_F(SwitchFixture, MmuRejectsWhenFull) {
+  cfg.buffer.total_bytes = 64 << 10;
+  cfg.buffer.quadrants = 1;
+  cfg.buffer.reserve_per_queue = 0;
+  make(1);
+  // Offer far more than the buffer can hold instantaneously.
+  for (int i = 0; i < 200; ++i) sw->receive(data(0, 1500));
+  EXPECT_GT(sw->mmu().counters(0).dropped_packets, 0);
+  simulator.run();
+  EXPECT_LT(port_rx[0].size(), 200u);
+  // Everything admitted was eventually delivered.
+  EXPECT_EQ(static_cast<std::int64_t>(port_rx[0].size()) * 1500,
+            sw->mmu().counters(0).enqueued_bytes);
+}
+
+TEST_F(SwitchFixture, CeMarkAppliedToDeliveredPacket) {
+  cfg.buffer.ecn_threshold = 3000;
+  make(1);
+  for (int i = 0; i < 5; ++i) sw->receive(data(0, 1500, 1, /*ect=*/true));
+  simulator.run();
+  ASSERT_EQ(port_rx[0].size(), 5u);
+  EXPECT_FALSE(port_rx[0][0].ce);  // queue was short on arrival
+  EXPECT_TRUE(port_rx[0][4].ce);   // queue was past 3000B on arrival
+}
+
+TEST_F(SwitchFixture, BufferFreedAfterTransmission) {
+  make(1);
+  sw->receive(data(0, 1500));
+  EXPECT_EQ(sw->mmu().queue_len(0), 1500);
+  simulator.run();
+  EXPECT_EQ(sw->mmu().queue_len(0), 0);
+}
+
+}  // namespace
+}  // namespace msamp::net

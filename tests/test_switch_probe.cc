@@ -1,0 +1,111 @@
+// Tests for the switch-side monitoring probe (§2.3 comparison substrate).
+#include "net/switch_probe.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "transport/tcp_connection.h"
+
+namespace msamp::net {
+namespace {
+
+TEST(SwitchProbe, SamplesAtConfiguredCadence) {
+  sim::Simulator simulator;
+  Switch tor(simulator, SwitchConfig{}, 4);
+  SwitchProbeConfig cfg;
+  cfg.interval = 10 * sim::kMicrosecond;
+  cfg.max_samples = 11;
+  SwitchProbe probe(simulator, tor, cfg);
+  probe.start(0);
+  simulator.run();
+  ASSERT_EQ(probe.samples().size(), 11u);
+  EXPECT_EQ(probe.samples()[0].at, 0);
+  EXPECT_EQ(probe.samples()[10].at, 100 * sim::kMicrosecond);
+  EXPECT_FALSE(probe.running());  // budget exhausted
+}
+
+TEST(SwitchProbe, ObservesQueueBuildUp) {
+  sim::Simulator simulator;
+  Switch tor(simulator, SwitchConfig{}, 4);
+  int delivered = 0;
+  tor.attach_port(0, 0, [&](const Packet&) { ++delivered; });
+  SwitchProbeConfig cfg;
+  cfg.interval = 10 * sim::kMicrosecond;
+  cfg.max_samples = 200;
+  SwitchProbe probe(simulator, tor, cfg);
+  probe.start(0);
+  // Dump 100 packets instantaneously: the queue must be visible draining.
+  for (int i = 0; i < 100; ++i) {
+    Packet p;
+    p.flow = 1;
+    p.dst = 0;
+    p.bytes = 1500;
+    tor.receive(p);
+  }
+  simulator.run();
+  EXPECT_GT(probe.max_queue_bytes(), 100000);
+  // Last samples show the queue drained.
+  EXPECT_EQ(probe.samples().back().queue_bytes, 0);
+  EXPECT_EQ(delivered, 100);
+}
+
+TEST(SwitchProbe, StopHaltsSampling) {
+  sim::Simulator simulator;
+  Switch tor(simulator, SwitchConfig{}, 2);
+  SwitchProbeConfig cfg;
+  cfg.interval = 10 * sim::kMicrosecond;
+  SwitchProbe probe(simulator, tor, cfg);
+  probe.start(1);
+  simulator.run_until(55 * sim::kMicrosecond);
+  probe.stop();
+  const auto count = probe.samples().size();
+  simulator.run();
+  EXPECT_EQ(probe.samples().size(), count);
+  EXPECT_EQ(probe.port(), 1);
+}
+
+TEST(SwitchProbe, RestartMovesPortsAndClears) {
+  sim::Simulator simulator;
+  Switch tor(simulator, SwitchConfig{}, 2);
+  SwitchProbeConfig cfg;
+  cfg.interval = 10 * sim::kMicrosecond;
+  cfg.max_samples = 5;
+  SwitchProbe probe(simulator, tor, cfg);
+  probe.start(0);
+  simulator.run();
+  ASSERT_EQ(probe.samples().size(), 5u);
+  probe.start(1);  // one port at a time: previous collection discarded
+  simulator.run();
+  EXPECT_EQ(probe.port(), 1);
+  EXPECT_EQ(probe.samples().size(), 5u);
+}
+
+TEST(SwitchProbe, AgreesWithHostViewOnTotals) {
+  // The switch probe integrates queue occupancy; the host sees delivered
+  // bytes.  For one TCP transfer the probe's peak must be consistent with
+  // the DT limit and the host must receive everything — the §2.3 claim
+  // that both vantage points describe the same event.
+  sim::Simulator simulator;
+  net::RackConfig rack_cfg;
+  rack_cfg.tor.buffer.ecn_threshold = 1 << 30;  // let the queue grow
+  net::Rack rack(simulator, rack_cfg);
+  SwitchProbeConfig cfg;
+  cfg.interval = 25 * sim::kMicrosecond;
+  SwitchProbe probe(simulator, rack.tor(), cfg);
+  probe.start(0);
+  transport::TransportHost sender(rack.remote(0));
+  transport::TransportHost receiver(rack.server(0));
+  transport::TcpConfig tcp;
+  tcp.cc = transport::CcKind::kCubic;
+  transport::TcpConnection conn(simulator, 1, sender, receiver, tcp);
+  conn.send_app_data(2 << 20);
+  simulator.run();
+  EXPECT_EQ(conn.stats().delivered_bytes, 2 << 20);
+  EXPECT_GT(probe.max_queue_bytes(), 0);
+  // The queue can never exceed the lone-queue DT bound (~half the shared
+  // quadrant plus reserve).
+  EXPECT_LT(probe.max_queue_bytes(), (4 << 20) / 2 + (64 << 10));
+}
+
+}  // namespace
+}  // namespace msamp::net

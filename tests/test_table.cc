@@ -1,0 +1,81 @@
+// Tests for the table/CSV output helpers.
+#include "util/table.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace msamp::util {
+namespace {
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "value"});
+  t.row().cell("a").cell(1.5, 1);
+  t.row().cell("long-name").cell(22.25, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("22.25"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CellTypes) {
+  Table t({"a", "b", "c", "d"});
+  t.row().cell(std::string("x")).cell(3.14159, 3).cell(42).cell(
+      static_cast<std::size_t>(7));
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c,d\nx,3.142,42,7\n");
+}
+
+TEST(Table, AddRowInitializer) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"}).add_row({"3", "4"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, CsvQuoting) {
+  Table t({"v"});
+  t.row().cell("a,b");
+  t.row().cell("say \"hi\"");
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "v\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, WriteCsvFileCreatesDirectories) {
+  const std::string dir = "test_table_tmp_dir";
+  const std::string path = dir + "/sub/out.csv";
+  Table t({"h"});
+  t.row().cell("v");
+  ASSERT_TRUE(t.write_csv_file(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "h");
+  in.close();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+  EXPECT_EQ(format_double(-2.5, 1), "-2.5");
+}
+
+TEST(FormatBytes, Units) {
+  EXPECT_EQ(format_bytes(512), "512.00B");
+  EXPECT_EQ(format_bytes(2048), "2.00KB");
+  EXPECT_EQ(format_bytes(1.8 * 1024 * 1024), "1.80MB");
+  EXPECT_EQ(format_bytes(3.0 * 1024 * 1024 * 1024), "3.00GB");
+}
+
+}  // namespace
+}  // namespace msamp::util

@@ -1,0 +1,73 @@
+// Sanity tests on the task catalog: every profile must be internally
+// consistent and encode the paper's qualitative mechanisms.
+#include "workload/task.h"
+
+#include <gtest/gtest.h>
+
+namespace msamp::workload {
+namespace {
+
+class TaskProfileTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TaskProfileTest, ProfileIsWellFormed) {
+  const auto kind = static_cast<TaskKind>(GetParam());
+  const TrafficProfile& p = profile_for(kind);
+  EXPECT_GT(p.burst_rate_hz, 0.0);
+  EXPECT_GT(p.burst_len_sigma, 0.0);
+  EXPECT_GT(p.intensity_lo, 0.0);
+  EXPECT_GE(p.intensity_hi, p.intensity_lo);
+  // Bursts must be detectable: intensity low bound above the 50% threshold.
+  EXPECT_GE(p.intensity_lo, 0.5);
+  EXPECT_GT(p.background_util, 0.0);
+  EXPECT_LT(p.background_util, 0.5);  // links are largely idle (§6)
+  EXPECT_GE(p.conns_inside, p.conns_outside);
+  EXPECT_GE(p.adaptivity, 0.0);
+  EXPECT_LE(p.adaptivity, 1.0);
+  EXPECT_GE(p.active_run_prob, 0.0);
+  EXPECT_LE(p.active_run_prob, 1.0);
+  EXPECT_FALSE(task_name(kind).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, TaskProfileTest,
+                         ::testing::Range(0, kNumTaskKinds));
+
+TEST(TaskCatalog, MlIsAdaptiveAndFewFlow) {
+  const auto& ml = profile_for(TaskKind::kMlTraining);
+  const auto& cache = profile_for(TaskKind::kCache);
+  // The RegA-High mechanism: adapted, persistent, few-flow ML bursts.
+  EXPECT_GE(ml.adaptivity, 0.7);
+  EXPECT_LT(ml.conns_inside, cache.conns_inside / 2);
+  EXPECT_GT(ml.active_run_prob, cache.active_run_prob);
+}
+
+TEST(TaskCatalog, CacheIsHeaviestIncast) {
+  double max_conns = 0;
+  for (int k = 0; k < kNumTaskKinds; ++k) {
+    max_conns = std::max(max_conns,
+                         profile_for(static_cast<TaskKind>(k)).conns_inside);
+  }
+  EXPECT_DOUBLE_EQ(profile_for(TaskKind::kCache).conns_inside, max_conns);
+}
+
+TEST(TaskCatalog, WebCacheArePoorlyAdapted) {
+  EXPECT_LT(profile_for(TaskKind::kWeb).adaptivity, 0.5);
+  EXPECT_LT(profile_for(TaskKind::kCache).adaptivity, 0.5);
+}
+
+TEST(TaskCatalog, QuietIsNearIdle) {
+  const auto& q = profile_for(TaskKind::kQuiet);
+  EXPECT_LT(q.background_util, 0.03);
+  EXPECT_LT(q.active_run_prob, 0.1);
+}
+
+TEST(TaskCatalog, NamesAreDistinct) {
+  for (int a = 0; a < kNumTaskKinds; ++a) {
+    for (int b = a + 1; b < kNumTaskKinds; ++b) {
+      EXPECT_NE(task_name(static_cast<TaskKind>(a)),
+                task_name(static_cast<TaskKind>(b)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace msamp::workload

@@ -1,0 +1,281 @@
+// End-to-end transport tests over the simulated rack: reliable delivery,
+// ECN echo, loss recovery, and the Meta retransmit header bit.
+#include "transport/tcp_connection.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+
+namespace msamp::transport {
+namespace {
+
+struct TcpFixture : ::testing::Test {
+  sim::Simulator simulator;
+  net::RackConfig rack_cfg;
+  std::unique_ptr<net::Rack> rack;
+  std::vector<std::unique_ptr<TransportHost>> hosts;
+
+  void make_rack() {
+    rack = std::make_unique<net::Rack>(simulator, rack_cfg);
+    for (int i = 0; i < rack->num_servers(); ++i) {
+      hosts.push_back(std::make_unique<TransportHost>(rack->server(i)));
+    }
+    for (int i = 0; i < rack->num_remotes(); ++i) {
+      hosts.push_back(std::make_unique<TransportHost>(rack->remote(i)));
+    }
+  }
+
+  TransportHost& server(int i) { return *hosts[static_cast<std::size_t>(i)]; }
+  TransportHost& remote(int i) {
+    return *hosts[static_cast<std::size_t>(rack->num_servers() + i)];
+  }
+};
+
+TEST_F(TcpFixture, DeliversAllBytesInOrder) {
+  make_rack();
+  TcpConfig cfg;
+  TcpConnection conn(simulator, 1, remote(0), server(0), cfg);
+  std::vector<std::int64_t> deliveries;
+  conn.set_on_delivered([&](std::int64_t d) { deliveries.push_back(d); });
+  conn.send_app_data(1 << 20);
+  simulator.run();
+  EXPECT_EQ(conn.stats().delivered_bytes, 1 << 20);
+  EXPECT_TRUE(conn.idle());
+  // Cumulative delivery is monotone.
+  for (std::size_t i = 1; i < deliveries.size(); ++i) {
+    EXPECT_GT(deliveries[i], deliveries[i - 1]);
+  }
+  EXPECT_EQ(deliveries.back(), 1 << 20);
+}
+
+TEST_F(TcpFixture, MultipleWritesAppend) {
+  make_rack();
+  TcpConnection conn(simulator, 1, remote(0), server(0), TcpConfig{});
+  conn.send_app_data(10000);
+  conn.send_app_data(20000);
+  simulator.run();
+  EXPECT_EQ(conn.stats().delivered_bytes, 30000);
+}
+
+TEST_F(TcpFixture, CleanPathHasNoRetransmissions) {
+  make_rack();
+  TcpConnection conn(simulator, 1, remote(0), server(0), TcpConfig{});
+  conn.send_app_data(256 << 10);
+  simulator.run();
+  EXPECT_EQ(conn.stats().retx_bytes, 0);
+  EXPECT_EQ(conn.stats().timeouts, 0u);
+  EXPECT_EQ(conn.stats().fast_retransmits, 0u);
+}
+
+TEST_F(TcpFixture, DctcpReceivesEcnEchoesUnderLoad) {
+  // Shrink the ECN threshold so the ToR marks quickly.
+  rack_cfg.tor.buffer.ecn_threshold = 30 << 10;
+  make_rack();
+  TcpConfig cfg;
+  TcpConnection conn(simulator, 1, remote(0), server(0), cfg);
+  conn.send_app_data(2 << 20);
+  simulator.run();
+  EXPECT_EQ(conn.stats().delivered_bytes, 2 << 20);
+  EXPECT_GT(conn.stats().ece_acks, 0u);
+}
+
+TEST_F(TcpFixture, EcnKeepsQueueBoundedWithoutLoss) {
+  rack_cfg.tor.buffer.ecn_threshold = 60 << 10;
+  make_rack();
+  TcpConnection conn(simulator, 1, remote(0), server(0), TcpConfig{});
+  conn.send_app_data(4 << 20);
+  simulator.run();
+  // DCTCP should complete a large transfer with marks instead of drops.
+  EXPECT_EQ(conn.stats().delivered_bytes, 4 << 20);
+  EXPECT_EQ(rack->tor().mmu().counters(0).dropped_packets, 0);
+}
+
+TEST_F(TcpFixture, RecoversFromBufferDrops) {
+  // A tiny, non-marking buffer forces real losses.
+  rack_cfg.tor.buffer.total_bytes = 256 << 10;
+  rack_cfg.tor.buffer.quadrants = 1;
+  rack_cfg.tor.buffer.reserve_per_queue = 0;
+  rack_cfg.tor.buffer.ecn_threshold = 1 << 30;  // never mark
+  make_rack();
+  TcpConfig cfg;
+  cfg.cc = CcKind::kCubic;  // loss-driven CC exercises recovery harder
+  TcpConnection conn(simulator, 1, remote(0), server(0), cfg);
+  conn.send_app_data(4 << 20);
+  simulator.run();
+  EXPECT_EQ(conn.stats().delivered_bytes, 4 << 20);
+  EXPECT_TRUE(conn.idle());
+  EXPECT_GT(rack->tor().mmu().counters(0).dropped_packets, 0);
+  EXPECT_GT(conn.stats().retx_bytes, 0);
+}
+
+TEST_F(TcpFixture, RetransmissionsCarryTheMetaBit) {
+  rack_cfg.tor.buffer.total_bytes = 256 << 10;
+  rack_cfg.tor.buffer.quadrants = 1;
+  rack_cfg.tor.buffer.reserve_per_queue = 0;
+  rack_cfg.tor.buffer.ecn_threshold = 1 << 30;
+  make_rack();
+  std::int64_t marked_ingress = 0;
+  rack->server(0).set_segment_hook([&](const net::Packet& p, bool ingress) {
+    if (ingress && p.retx_mark) marked_ingress += p.bytes;
+  });
+  TcpConfig cfg;
+  cfg.cc = CcKind::kCubic;
+  TcpConnection conn(simulator, 1, remote(0), server(0), cfg);
+  conn.send_app_data(4 << 20);
+  simulator.run();
+  ASSERT_GT(conn.stats().retx_bytes, 0);
+  // The receiver-side tc layer observed the retransmit bit (§4.2).
+  EXPECT_GT(marked_ingress, 0);
+}
+
+TEST_F(TcpFixture, TwoConnectionsShareTheDownlink) {
+  make_rack();
+  TcpConnection a(simulator, 1, remote(0), server(0), TcpConfig{});
+  TcpConnection b(simulator, 2, remote(1), server(0), TcpConfig{});
+  a.send_app_data(1 << 20);
+  b.send_app_data(1 << 20);
+  simulator.run();
+  EXPECT_EQ(a.stats().delivered_bytes, 1 << 20);
+  EXPECT_EQ(b.stats().delivered_bytes, 1 << 20);
+}
+
+TEST_F(TcpFixture, OutstandingBoundedByCwnd) {
+  make_rack();
+  TcpConnection conn(simulator, 1, remote(0), server(0), TcpConfig{});
+  conn.send_app_data(1 << 20);
+  // Step the simulation in slices and check the invariant.
+  for (sim::SimTime t = 0; t < 50 * sim::kMillisecond;
+       t += sim::kMillisecond) {
+    simulator.run_until(t);
+    EXPECT_LE(conn.outstanding(), conn.cwnd() + 2 * 1460);
+  }
+  simulator.run();
+}
+
+TEST_F(TcpFixture, ServerToServerConnectionWorks) {
+  make_rack();
+  TcpConnection conn(simulator, 9, server(1), server(0), TcpConfig{});
+  conn.send_app_data(128 << 10);
+  simulator.run();
+  EXPECT_EQ(conn.stats().delivered_bytes, 128 << 10);
+}
+
+TEST_F(TcpFixture, SurvivesInjectedDataPathLoss) {
+  // Drop every 50th packet on the sender's link: steady forward loss.
+  rack_cfg.remote_link.drop_every_n = 50;
+  make_rack();
+  TcpConnection conn(simulator, 1, remote(0), server(0), TcpConfig{});
+  conn.send_app_data(2 << 20);
+  simulator.run();
+  EXPECT_EQ(conn.stats().delivered_bytes, 2 << 20);
+  EXPECT_TRUE(conn.idle());
+  EXPECT_GT(conn.stats().retx_bytes, 0);
+}
+
+TEST_F(TcpFixture, SurvivesInjectedAckPathLoss) {
+  // Drop every 20th packet on the receiver's egress (the ACK path):
+  // cumulative ACKs make individual ACK losses harmless.
+  rack_cfg.server_link.drop_every_n = 20;
+  make_rack();
+  TcpConnection conn(simulator, 1, remote(0), server(0), TcpConfig{});
+  conn.send_app_data(2 << 20);
+  simulator.run();
+  EXPECT_EQ(conn.stats().delivered_bytes, 2 << 20);
+  EXPECT_TRUE(conn.idle());
+}
+
+TEST_F(TcpFixture, SurvivesBidirectionalLoss) {
+  rack_cfg.remote_link.drop_every_n = 37;
+  rack_cfg.server_link.drop_every_n = 41;
+  make_rack();
+  TcpConnection conn(simulator, 1, remote(0), server(0), TcpConfig{});
+  conn.send_app_data(1 << 20);
+  simulator.run();
+  EXPECT_EQ(conn.stats().delivered_bytes, 1 << 20);
+}
+
+TEST_F(TcpFixture, HeavyInjectedLossStillCompletes) {
+  // One in eight packets lost: timeout-driven recovery territory.
+  rack_cfg.remote_link.drop_every_n = 8;
+  make_rack();
+  TcpConfig cfg;
+  cfg.cc = CcKind::kCubic;
+  TcpConnection conn(simulator, 1, remote(0), server(0), cfg);
+  conn.send_app_data(512 << 10);
+  simulator.run();
+  EXPECT_EQ(conn.stats().delivered_bytes, 512 << 10);
+  EXPECT_GT(conn.stats().timeouts + conn.stats().fast_retransmits, 0u);
+}
+
+TEST_F(TcpFixture, DctcpFlowsShareFairly) {
+  // Two long DCTCP flows into the same server queue should converge to
+  // roughly equal shares (the ECN feedback loop equalizes windows).
+  make_rack();
+  TcpConnection a(simulator, 1, remote(0), server(0), TcpConfig{});
+  TcpConnection b(simulator, 2, remote(1), server(0), TcpConfig{});
+  a.send_app_data(12 << 20);
+  b.send_app_data(12 << 20);
+  // Sample progress midway through the transfer.
+  simulator.run_until(8 * sim::kMillisecond);
+  const double da = static_cast<double>(a.stats().delivered_bytes);
+  const double db = static_cast<double>(b.stats().delivered_bytes);
+  ASSERT_GT(da, 0);
+  ASSERT_GT(db, 0);
+  const double ratio = da > db ? da / db : db / da;
+  EXPECT_LT(ratio, 2.0);
+  simulator.run();
+  EXPECT_EQ(a.stats().delivered_bytes, 12 << 20);
+  EXPECT_EQ(b.stats().delivered_bytes, 12 << 20);
+}
+
+TEST_F(TcpFixture, AggregateThroughputNearLineRate) {
+  make_rack();
+  TcpConnection conn(simulator, 1, remote(0), server(0), TcpConfig{});
+  conn.send_app_data(8 << 20);
+  simulator.run();
+  // 8MB at 12.5Gb/s is ~5.4ms on the wire; allow ramp-up slack.
+  EXPECT_LT(sim::to_ms(simulator.now()), 12.0);
+}
+
+TEST_F(TcpFixture, ZeroByteWriteIsHarmless) {
+  make_rack();
+  TcpConnection conn(simulator, 1, remote(0), server(0), TcpConfig{});
+  conn.send_app_data(0);
+  simulator.run();
+  EXPECT_TRUE(conn.idle());
+  EXPECT_EQ(conn.stats().delivered_bytes, 0);
+}
+
+/// Property sweep: delivery must complete under every congestion
+/// controller and injected-loss pattern combination.
+class TcpRobustnessTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint32_t>> {};
+
+TEST_P(TcpRobustnessTest, AlwaysDeliversEverything) {
+  const auto cc = static_cast<CcKind>(std::get<0>(GetParam()));
+  const std::uint32_t drop_every_n = std::get<1>(GetParam());
+  sim::Simulator simulator;
+  net::RackConfig rack_cfg;
+  rack_cfg.remote_link.drop_every_n = drop_every_n;
+  net::Rack rack(simulator, rack_cfg);
+  TransportHost sender(rack.remote(0));
+  TransportHost receiver(rack.server(0));
+  TcpConfig cfg;
+  cfg.cc = cc;
+  TcpConnection conn(simulator, 1, sender, receiver, cfg);
+  conn.send_app_data(768 << 10);
+  simulator.run();
+  EXPECT_EQ(conn.stats().delivered_bytes, 768 << 10);
+  EXPECT_TRUE(conn.idle());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CcAndLoss, TcpRobustnessTest,
+    ::testing::Combine(::testing::Values(0, 1),  // kDctcp, kCubic
+                       ::testing::Values(0u, 97u, 23u, 11u)));
+
+}  // namespace
+}  // namespace msamp::transport

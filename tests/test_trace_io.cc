@@ -1,0 +1,134 @@
+// Tests for the sync-trace CSV import/export.
+#include "analysis/trace_io.h"
+
+#include <filesystem>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "analysis/contention.h"
+#include "fleet/fluid_rack.h"
+
+namespace msamp::analysis {
+namespace {
+
+core::SyncRun sample_run() {
+  core::SyncRun run;
+  run.grid_start = 7 * sim::kMillisecond;
+  run.interval = sim::kMillisecond;
+  run.hosts = {0, 1, 2};
+  run.series.assign(3, std::vector<core::BucketSample>(5));
+  run.series[0][1].in_bytes = 1000000;
+  run.series[0][1].connections = 12.5;
+  run.series[0][3].in_bytes = 1500000;
+  run.series[0][3].in_retx_bytes = 4000;
+  run.series[1][2].out_bytes = 777;
+  run.series[1][2].in_ecn_bytes = 0;
+  // server 2 stays all-zero (idle)
+  return run;
+}
+
+TEST(TraceIo, RoundTrip) {
+  const core::SyncRun run = sample_run();
+  std::stringstream ss;
+  write_sync_trace(run, ss);
+  const auto back = read_sync_trace(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->grid_start, run.grid_start);
+  EXPECT_EQ(back->interval, run.interval);
+  ASSERT_EQ(back->num_servers(), 3u);
+  ASSERT_EQ(back->num_samples(), 5u);
+  EXPECT_EQ(back->series[0][1].in_bytes, 1000000);
+  EXPECT_NEAR(back->series[0][1].connections, 12.5, 1e-3);
+  EXPECT_EQ(back->series[0][3].in_retx_bytes, 4000);
+  EXPECT_EQ(back->series[1][2].out_bytes, 777);
+  // Idle server reconstructed as all-zero.
+  for (const auto& s : back->series[2]) EXPECT_EQ(s.in_bytes, 0);
+}
+
+TEST(TraceIo, SparseEncodingSkipsZeros) {
+  std::stringstream ss;
+  write_sync_trace(sample_run(), ss);
+  const std::string text = ss.str();
+  // 2 header lines + 3 data rows for server 0/1 + 1 anchor each for
+  // servers 1 and 2 (last sample).  Count lines.
+  int lines = 0;
+  for (char c : text) lines += c == '\n';
+  EXPECT_LE(lines, 9);
+}
+
+TEST(TraceIo, RejectsMalformed) {
+  auto parse = [](const std::string& text) {
+    std::stringstream ss(text);
+    return read_sync_trace(ss).has_value();
+  };
+  EXPECT_FALSE(parse(""));
+  EXPECT_FALSE(parse("garbage\n"));
+  EXPECT_FALSE(parse("# msamp-sync-trace v1\nwrong_columns\n"));
+  EXPECT_FALSE(parse("# msamp-sync-trace v1 interval_ns=0 grid_start_ns=0\n"));
+  // Valid header, corrupt row.
+  std::stringstream good;
+  write_sync_trace(sample_run(), good);
+  std::string text = good.str();
+  EXPECT_FALSE(parse(text + "not,a,row\n"));
+  // Server-id gap (0 then 5).
+  std::stringstream gap;
+  gap << "# msamp-sync-trace v1 interval_ns=1000000 grid_start_ns=0\n"
+      << "server,sample,in_bytes,in_retx_bytes,out_bytes,out_retx_bytes,"
+         "in_ecn_bytes,connections\n"
+      << "0,0,1,0,0,0,0,0.0\n"
+      << "5,0,1,0,0,0,0,0.0\n";
+  EXPECT_FALSE(read_sync_trace(gap).has_value());
+}
+
+TEST(TraceIo, EmptyTraceIsValid) {
+  std::stringstream ss;
+  ss << "# msamp-sync-trace v1 interval_ns=1000000 grid_start_ns=0\n"
+     << "server,sample,in_bytes,in_retx_bytes,out_bytes,out_retx_bytes,"
+        "in_ecn_bytes,connections\n";
+  const auto run = read_sync_trace(ss);
+  ASSERT_TRUE(run.has_value());
+  EXPECT_EQ(run->num_servers(), 0u);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = "test_trace_tmp/run.csv";
+  ASSERT_TRUE(write_sync_trace_file(sample_run(), path));
+  const auto back = read_sync_trace_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->num_servers(), 3u);
+  std::filesystem::remove_all("test_trace_tmp");
+}
+
+TEST(TraceIo, MissingFileFails) {
+  EXPECT_FALSE(read_sync_trace_file("no/such/file.csv").has_value());
+}
+
+TEST(TraceIo, FluidRunSurvivesExportImportAnalysis) {
+  // The full path an external-data user takes: simulate, export, import,
+  // analyze — contention results must be identical.
+  workload::RackMeta rack;
+  rack.rack_id = 1;
+  rack.region = workload::RegionId::kRegA;
+  rack.intensity = 1.5;
+  rack.server_service.assign(12, 0);
+  rack.server_kind.assign(12, workload::TaskKind::kCache);
+  fleet::FleetConfig cfg;
+  cfg.samples_per_run = 120;
+  cfg.warmup_ms = 10;
+  fleet::FluidRack fluid(rack, cfg, 6, util::Rng(5));
+  const core::SyncRun original = fluid.run().sync;
+
+  std::stringstream ss;
+  write_sync_trace(original, ss);
+  const auto imported = read_sync_trace(ss);
+  ASSERT_TRUE(imported.has_value());
+
+  const auto cfg_b = cfg.burst_config();
+  const auto c1 = contention_series(original, cfg_b);
+  const auto c2 = contention_series(*imported, cfg_b);
+  EXPECT_EQ(c1, c2);
+}
+
+}  // namespace
+}  // namespace msamp::analysis

@@ -1,0 +1,23 @@
+// The umbrella header must compile standalone and expose every subsystem.
+#include "msamp.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, AllSubsystemsVisible) {
+  msamp::sim::Simulator simulator;
+  msamp::util::Rng rng(1);
+  msamp::core::FlowSketch sketch;
+  sketch.add(rng.next());
+  EXPECT_EQ(sketch.popcount(), 1);
+  EXPECT_EQ(msamp::workload::kNumTaskKinds, 7);
+  EXPECT_EQ(msamp::analysis::kNumRackClasses, 3);
+  msamp::fleet::FleetConfig cfg;
+  EXPECT_GT(cfg.fingerprint(), 0u);
+  EXPECT_DOUBLE_EQ(
+      msamp::net::SharedBuffer::fixed_point_share(1.0, 1), 0.5);
+  EXPECT_EQ(msamp::sim::kMillisecond, 1'000'000);
+}
+
+}  // namespace

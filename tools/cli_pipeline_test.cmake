@@ -1,0 +1,19 @@
+# Drives the full msampctl pipeline in a scratch directory and fails on any
+# nonzero exit.
+set(work ${CMAKE_CURRENT_BINARY_DIR}/cli_pipeline_work)
+file(REMOVE_RECURSE ${work})
+file(MAKE_DIRECTORY ${work})
+
+function(run)
+  execute_process(COMMAND ${MSAMPCTL} ${ARGN}
+                  WORKING_DIRECTORY ${work} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "msampctl ${ARGN} failed with ${rc}")
+  endif()
+endfunction()
+
+run(simulate-rack --servers 24 --task cache --samples 200 --out t.csv)
+run(analyze --trace t.csv)
+run(fleet --racks 3 --hours 2 --samples 150 --out ds.bin)
+run(report --dataset ds.bin)
+file(REMOVE_RECURSE ${work})

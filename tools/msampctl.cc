@@ -1,0 +1,236 @@
+// msampctl — command-line front end to the millisampler-repro library.
+//
+//   msampctl simulate-rack [--servers N] [--task KIND] [--intensity X]
+//                          [--samples N] [--hour H] [--seed S]
+//                          [--out trace.csv]
+//       Simulate one rack observation window and export the
+//       SyncMillisampler trace (msamp-sync-trace CSV).
+//
+//   msampctl analyze --trace trace.csv
+//       Run burst/contention/loss analysis on a trace file.
+//
+//   msampctl fleet [--racks N] [--hours H] [--samples N] [--seed S]
+//                  [--out dataset.bin]
+//       Generate a two-region measurement day and save the distilled
+//       dataset.
+//
+//   msampctl report --dataset dataset.bin
+//       Print the §7/§8 headline statistics of a saved dataset.
+//
+// Every command is deterministic for a given --seed.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "analysis/burst_stats.h"
+#include "analysis/diagnose.h"
+#include "analysis/contention.h"
+#include "analysis/trace_io.h"
+#include "fleet/aggregate.h"
+#include "fleet/fleet_runner.h"
+#include "fleet/fluid_rack.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/diurnal.h"
+
+using namespace msamp;
+
+namespace {
+
+/// Minimal --flag value parser: later duplicates win; flags not in `args`
+/// keep their defaults.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  std::string str(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  long num(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stol(it->second);
+  }
+  double real(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+workload::TaskKind parse_task(const std::string& name) {
+  for (int k = 0; k < workload::kNumTaskKinds; ++k) {
+    const auto kind = static_cast<workload::TaskKind>(k);
+    if (workload::task_name(kind) == name) return kind;
+  }
+  std::cerr << "unknown task '" << name << "', using cache; options:";
+  for (int k = 0; k < workload::kNumTaskKinds; ++k) {
+    std::cerr << " "
+              << workload::task_name(static_cast<workload::TaskKind>(k));
+  }
+  std::cerr << "\n";
+  return workload::TaskKind::kCache;
+}
+
+int cmd_simulate_rack(const Flags& flags) {
+  workload::RackMeta rack;
+  rack.rack_id = 1;
+  rack.region = workload::RegionId::kRegA;
+  rack.intensity = flags.real("intensity", 1.5);
+  const int servers = static_cast<int>(flags.num("servers", 92));
+  const auto kind = parse_task(flags.str("task", "cache"));
+  rack.server_service.assign(static_cast<std::size_t>(servers), 0);
+  rack.server_kind.assign(static_cast<std::size_t>(servers), kind);
+
+  fleet::FleetConfig cfg;
+  cfg.samples_per_run = static_cast<int>(flags.num("samples", 1000));
+  fleet::FluidRack fluid(rack, cfg, static_cast<int>(flags.num("hour", 6)),
+                         util::Rng(static_cast<std::uint64_t>(
+                             flags.num("seed", 42))));
+  const auto result = fluid.run();
+  const std::string out = flags.str("out", "trace.csv");
+  if (!analysis::write_sync_trace_file(result.sync, out)) {
+    std::cerr << "error: cannot write " << out << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out << ": " << result.sync.num_servers()
+            << " servers x " << result.sync.num_samples()
+            << " x 1ms samples; switch dropped "
+            << util::format_bytes(static_cast<double>(result.drop_bytes))
+            << " of "
+            << util::format_bytes(static_cast<double>(result.delivered_bytes))
+            << " delivered\n";
+  return 0;
+}
+
+int cmd_analyze(const Flags& flags) {
+  const std::string path = flags.str("trace", "trace.csv");
+  const auto run = analysis::read_sync_trace_file(path);
+  if (!run.has_value()) {
+    std::cerr << "error: cannot parse " << path << "\n";
+    return 1;
+  }
+  const analysis::BurstDetectConfig burst_cfg{
+      .line_rate_gbps = flags.real("gbps", 12.5), .interval = run->interval};
+  const auto contention = analysis::contention_series(*run, burst_cfg);
+  const auto summary = analysis::summarize_contention(contention);
+  std::size_t bursts = 0, lossy = 0, bursty_servers = 0;
+  std::vector<double> lengths;
+  for (const auto& series : run->series) {
+    const auto detected = analysis::detect_bursts(series, burst_cfg);
+    const auto lossy_flags = analysis::lossy_bursts(series, detected, {});
+    bursts += detected.size();
+    bursty_servers += !detected.empty();
+    for (bool l : lossy_flags) lossy += l;
+    for (const auto& b : detected) {
+      lengths.push_back(static_cast<double>(b.len));
+    }
+  }
+  util::Table table({"metric", "value"});
+  table.add_row({"servers", std::to_string(run->num_servers())});
+  table.add_row({"samples", std::to_string(run->num_samples())});
+  table.add_row({"avg contention", util::format_double(summary.avg, 2)});
+  table.add_row({"p90 contention", std::to_string(summary.p90)});
+  table.add_row({"max contention", std::to_string(summary.max)});
+  table.add_row({"bursty servers", std::to_string(bursty_servers)});
+  table.add_row({"bursts", std::to_string(bursts)});
+  table.add_row({"median burst length (ms)",
+                 util::format_double(util::percentile(lengths, 50), 1)});
+  table.add_row({"lossy bursts", std::to_string(lossy)});
+  const auto report = analysis::diagnose(*run, {});
+  table.add_row({"measurement artifacts (kernel stalls)",
+                 report.measurement_artifacts ? "DETECTED" : "none"});
+  table.print(std::cout);
+  if (!report.loss_hotspots.empty()) {
+    std::cout << "loss hotspots (servers):";
+    for (auto s_idx : report.loss_hotspots) std::cout << " " << s_idx;
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int cmd_fleet(const Flags& flags) {
+  fleet::FleetConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(flags.num("seed", 42));
+  cfg.racks_per_region = static_cast<int>(flags.num("racks", 32));
+  cfg.hours = static_cast<int>(flags.num("hours", 24));
+  cfg.samples_per_run = static_cast<int>(flags.num("samples", 500));
+  std::cout << "generating " << 2 * cfg.racks_per_region << " racks x "
+            << cfg.hours << " hours...\n";
+  const fleet::Dataset ds = fleet::run_fleet(cfg, [](double p) {
+    std::cout << "  " << static_cast<int>(100 * p) << "%\r" << std::flush;
+  });
+  const std::string out = flags.str("out", "dataset.bin");
+  if (!ds.save(out)) {
+    std::cerr << "error: cannot write " << out << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << out << ": " << ds.rack_runs.size()
+            << " rack runs, " << ds.server_runs.size() << " server runs, "
+            << ds.bursts.size() << " bursts\n";
+  return 0;
+}
+
+int cmd_report(const Flags& flags) {
+  const std::string path = flags.str("dataset", "dataset.bin");
+  fleet::Dataset ds;
+  if (!ds.load(path)) {
+    std::cerr << "error: cannot load " << path << "\n";
+    return 1;
+  }
+  const auto classes = fleet::build_class_map(ds);
+  const auto summary = fleet::table2_summary(ds, classes);
+  util::Table table({"class", "bursts", "% contended", "% lossy"});
+  for (int c = 0; c < analysis::kNumRackClasses; ++c) {
+    const auto& s = summary[static_cast<std::size_t>(c)];
+    table.row()
+        .cell(std::string(analysis::rack_class_name(
+            static_cast<analysis::RackClass>(c))))
+        .cell(s.bursts)
+        .cell(s.pct_contended(), 1)
+        .cell(s.pct_lossy(), 2);
+  }
+  table.print(std::cout);
+  for (const auto region :
+       {workload::RegionId::kRegA, workload::RegionId::kRegB}) {
+    auto busy = fleet::busy_hour_contention(ds, region, workload::kBusyHour);
+    if (busy.empty()) continue;
+    const auto box = util::box_summary(busy);
+    std::cout << region_name(region) << " busy-hour avg contention: median "
+              << util::format_double(box.median, 2) << ", p90 "
+              << util::format_double(box.p90, 2) << ", max "
+              << util::format_double(box.max, 2) << "\n";
+  }
+  return 0;
+}
+
+void usage() {
+  std::cout << "usage: msampctl <simulate-rack|analyze|fleet|report> "
+               "[--flag value ...]\n"
+               "see the header of tools/msampctl.cc for full flag lists\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (cmd == "simulate-rack") return cmd_simulate_rack(flags);
+  if (cmd == "analyze") return cmd_analyze(flags);
+  if (cmd == "fleet") return cmd_fleet(flags);
+  if (cmd == "report") return cmd_report(flags);
+  usage();
+  return 2;
+}
