@@ -1,6 +1,7 @@
 #include "common.h"
 
 #include "fleet/aggregate.h"
+#include "util/thread_pool.h"
 
 #include <cstdio>
 #include <iostream>
@@ -14,6 +15,10 @@ fleet::FleetConfig bench_config() {
   cfg.servers_per_rack = 92;
   cfg.hours = 24;
   cfg.samples_per_run = 700;
+  // All cores; datasets are byte-identical for any thread count, so the
+  // disk cache stays valid across serial and parallel runs alike.
+  // MSAMP_THREADS=1 forces the serial sweep (e.g. for timing baselines).
+  cfg.threads = 0;
   return cfg;
 }
 
@@ -22,8 +27,10 @@ const fleet::Dataset& dataset() {
   if (!announced) {
     announced = true;
     std::fprintf(stderr,
-                 "[bench] loading fleet dataset (generated on first use; "
-                 "cached in bench_out/fleet_dataset.bin)...\n");
+                 "[bench] loading fleet dataset (generated on first use "
+                 "with %d thread(s); cached in "
+                 "bench_out/fleet_dataset.bin)...\n",
+                 util::ThreadPool::resolve(bench_config().threads));
   }
   return fleet::shared_dataset(bench_config());
 }

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Measures serial-vs-parallel fleet dataset generation wall-clock and
+# cross-checks byte-identity between thread counts.  Regenerates the
+# numbers behind the speedup table in docs/PERFORMANCE.md:
+#
+#   scripts/bench_fleet_scaling.sh                    # 96 + 1000 racks
+#   RACKS=96 THREADS="1 4" scripts/bench_fleet_scaling.sh
+#
+# Each (racks, threads) cell is one full two-region measurement day
+# (24 hours x 700 samples by default) through `msampctl fleet`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${BIN:-build/tools/msampctl}
+RACKS=${RACKS:-"96 1000"}
+THREADS=${THREADS:-"1 2 4 8"}
+HOURS=${HOURS:-24}
+SAMPLES=${SAMPLES:-700}
+
+[ -x "$BIN" ] || { echo "error: $BIN not built (run cmake --build build)"; exit 1; }
+
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+echo "racks_per_region,threads,seconds"
+for r in $RACKS; do
+  ref=""
+  for t in $THREADS; do
+    ds="$out/ds_${r}_${t}.bin"
+    start=$(date +%s.%N)
+    "$BIN" fleet --racks "$r" --hours "$HOURS" --samples "$SAMPLES" \
+        --threads "$t" --out "$ds" > /dev/null
+    end=$(date +%s.%N)
+    awk -v r="$r" -v t="$t" -v a="$start" -v b="$end" \
+        'BEGIN { printf "%s,%s,%.1f\n", r, t, b - a }'
+    # Determinism contract: every thread count must produce the same bytes.
+    if [ -z "$ref" ]; then
+      ref="$ds"
+    else
+      cmp -s "$ref" "$ds" || { echo "BYTE MISMATCH: $ref vs $ds"; exit 1; }
+      rm -f "$ds"
+    fi
+  done
+done

@@ -1,12 +1,26 @@
 #!/usr/bin/env bash
-# Full local check: configure, build, run the test suite, then regenerate
-# every table/figure of the paper (CSV output under bench_out/).
+# Full local check: configure, build, run the test suite, a
+# ThreadSanitizer lane over the concurrency-bearing fleet/util targets,
+# then regenerate every table/figure of the paper (CSV output under
+# bench_out/).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
+
+# TSan lane: a second build tree with -DMSAMP_TSAN=ON, running the thread
+# pool, parallel fleet runner, and the rest of the fleet/util suites under
+# ThreadSanitizer.  Skip with MSAMP_SKIP_TSAN=1 (e.g. on toolchains
+# without libtsan).
+if [ "${MSAMP_SKIP_TSAN:-0}" != "1" ]; then
+  cmake -B build-tsan -G Ninja -DMSAMP_TSAN=ON
+  cmake --build build-tsan --target msamp_tests
+  ctest --test-dir build-tsan --output-on-failure \
+    -R '^(ThreadPool|FleetParallel|FleetRunner|FleetConfig|FluidRack|Dataset|Aggregate|Rng)'
+fi
+
 for b in build/bench/bench_*; do
   echo "== $b"
   "$b"

@@ -38,6 +38,12 @@ struct FleetConfig {
   int samples_per_run = 700;  ///< 1ms samples per observation window
   int warmup_ms = 60;         ///< settle queues/rate factors before sampling
 
+  // Execution.  Rack windows are simulated concurrently on a deterministic
+  // pool (util::ThreadPool); any value here produces byte-identical
+  // datasets, which is why `threads` is deliberately excluded from
+  // fingerprint().  The MSAMP_THREADS environment variable overrides it.
+  int threads = 0;  ///< concurrent windows; 0 = all hardware cores
+
   // Rack hardware (§3).
   double line_rate_gbps = 12.5;
   net::SharedBufferConfig buffer{};  // 16MB, 4 quadrants, alpha=1, 120KB ECN

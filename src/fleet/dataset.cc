@@ -114,14 +114,32 @@ bool Dataset::deserialize(const std::vector<std::uint8_t>& blob) {
 
 bool Dataset::save(const std::string& path) const {
   std::error_code ec;
-  const auto parent = std::filesystem::path(path).parent_path();
+  const std::filesystem::path target(path);
+  const auto parent = target.parent_path();
   if (!parent.empty()) std::filesystem::create_directories(parent, ec);
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-  const auto blob = serialize();
-  out.write(reinterpret_cast<const char*>(blob.data()),
-            static_cast<std::streamsize>(blob.size()));
-  return static_cast<bool>(out);
+  // Write to a sibling temp file first and atomically rename it over the
+  // target, so a crash mid-write can never leave a truncated dataset that
+  // a later run would try (and fail) to parse.
+  std::filesystem::path tmp = target;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    const auto blob = serialize();
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+    if (!out) {
+      out.close();
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::filesystem::rename(tmp, target, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
 }
 
 bool Dataset::load(const std::string& path) {

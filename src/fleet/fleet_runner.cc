@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <memory>
 #include <mutex>
+#include <utility>
 
 #include "analysis/burst_stats.h"
 #include "analysis/contention.h"
 #include "analysis/loss_assoc.h"
 #include "fleet/fluid_rack.h"
+#include "util/thread_pool.h"
 #include "workload/diurnal.h"
 #include "workload/placement.h"
 
@@ -42,10 +44,128 @@ ExemplarRun make_exemplar(const core::SyncRun& sync,
   return ex;
 }
 
+constexpr std::uint8_t kLowExemplar = 1;
+constexpr std::uint8_t kHighExemplar = 2;
+
+/// Everything one (region, hour, rack) window contributes to the Dataset.
+/// Windows are simulated concurrently; the reduction into the Dataset
+/// happens afterwards, strictly in canonical (hour-major, rack-minor)
+/// window order, so the assembled dataset is byte-identical for any
+/// thread count.
+struct WindowOutput {
+  bool has_run = false;
+  RackRunRecord rack_run;
+  std::vector<ServerRunRecord> server_runs;
+  std::vector<BurstRecord> bursts;
+  std::uint8_t exemplar_kind = 0;  ///< kLowExemplar / kHighExemplar bits
+  ExemplarRun exemplar;
+};
+
+/// Simulates one window and runs the analysis pipeline on it.  Depends
+/// only on (config, rack, hour) — the RNG forks from the master seed keyed
+/// on (rack_id, hour), never on execution order — so windows can run on
+/// any thread in any order.
+WindowOutput simulate_window(const FleetConfig& config,
+                             const analysis::BurstDetectConfig& burst_cfg,
+                             const workload::RackMeta& rack, int hour) {
+  WindowOutput out;
+  util::Rng rng(fnv_step(fnv_step(config.seed, static_cast<std::uint64_t>(
+                                                   rack.rack_id) +
+                                                   1000003),
+                         static_cast<std::uint64_t>(hour) + 17));
+  FluidRack fluid(rack, config, hour, rng);
+  FluidRackResult res = fluid.run();
+  const core::SyncRun& sync = res.sync;
+  if (sync.num_samples() == 0) return out;
+  out.has_run = true;
+
+  const std::vector<int> contention =
+      analysis::contention_series(sync, burst_cfg);
+  const analysis::ContentionSummary cs =
+      analysis::summarize_contention(contention);
+
+  RackRunRecord& rr = out.rack_run;
+  rr.rack_id = static_cast<std::uint32_t>(rack.rack_id);
+  rr.region = static_cast<std::uint8_t>(rack.region);
+  rr.hour = static_cast<std::uint8_t>(hour);
+  rr.usable = cs.usable() ? 1 : 0;
+  rr.avg_contention = static_cast<float>(cs.avg);
+  rr.min_active_contention = static_cast<std::uint16_t>(cs.min_active);
+  rr.p90_contention = static_cast<std::uint16_t>(cs.p90);
+  rr.max_contention = static_cast<std::uint16_t>(cs.max);
+  rr.in_bytes = static_cast<double>(res.delivered_bytes);
+  rr.drop_bytes = static_cast<double>(res.drop_bytes);
+  rr.ecn_bytes = static_cast<double>(res.ecn_bytes);
+
+  for (std::size_t s = 0; s < sync.num_servers(); ++s) {
+    const auto& series = sync.series[s];
+    const auto bursts = analysis::detect_bursts(series, burst_cfg);
+    const auto stats = analysis::server_run_stats(series, bursts, burst_cfg);
+    ServerRunRecord sr;
+    sr.rack_id = rr.rack_id;
+    sr.region = rr.region;
+    sr.hour = rr.hour;
+    sr.bursty = stats.bursty ? 1 : 0;
+    sr.avg_util = static_cast<float>(stats.avg_util);
+    sr.util_inside = static_cast<float>(stats.util_inside);
+    sr.util_outside = static_cast<float>(stats.util_outside);
+    sr.bursts_per_sec = static_cast<float>(stats.bursts_per_sec);
+    sr.conns_inside = static_cast<float>(stats.conns_inside);
+    sr.conns_outside = static_cast<float>(stats.conns_outside);
+    out.server_runs.push_back(sr);
+
+    if (bursts.empty()) continue;
+    const auto lossy = analysis::lossy_bursts(series, bursts, config.loss);
+    for (std::size_t b = 0; b < bursts.size(); ++b) {
+      BurstRecord rec;
+      rec.rack_id = rr.rack_id;
+      rec.region = rr.region;
+      rec.hour = rr.hour;
+      rec.len_ms = static_cast<std::uint16_t>(bursts[b].len);
+      rec.volume_bytes = static_cast<float>(bursts[b].volume_bytes);
+      int max_cont = 0;
+      double conns = 0.0;
+      for (std::size_t k = bursts[b].start;
+           k < bursts[b].start + bursts[b].len && k < contention.size();
+           ++k) {
+        max_cont = std::max(max_cont, contention[k]);
+        conns += series[k].connections;
+      }
+      rec.max_contention = static_cast<std::uint16_t>(max_cont);
+      rec.avg_conns =
+          static_cast<float>(conns / static_cast<double>(bursts[b].len));
+      rec.contended = max_cont >= 2 ? 1 : 0;
+      rec.lossy = lossy[b] ? 1 : 0;
+      out.bursts.push_back(rec);
+    }
+  }
+
+  // Exemplar candidates for Figure 5 (captured during the busy hour).
+  // Which candidate actually lands in the Dataset is decided during the
+  // canonical-order reduction: the first qualifying window wins, exactly
+  // as in a serial hour-by-hour, rack-by-rack sweep.
+  if (hour == workload::kBusyHour) {
+    const double high_cut = config.classify.high_threshold;
+    if (cs.avg > 0.1 && cs.avg < high_cut / 4.0 && cs.max <= 4) {
+      out.exemplar_kind |= kLowExemplar;
+    }
+    if (cs.avg > high_cut) {
+      out.exemplar_kind |= kHighExemplar;
+    }
+    if (out.exemplar_kind != 0) {
+      out.exemplar = make_exemplar(sync, contention, burst_cfg, rr.rack_id,
+                                   rr.avg_contention);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 // Bump whenever the workload/placement/fluid model changes in a way that
 // alters generated data, so stale disk caches are regenerated.
+// (Parallelization intentionally did NOT bump this: any thread count
+// produces the same bytes as the serial sweep, so old caches stay valid.)
 constexpr std::uint64_t kModelVersion = 9;
 
 std::uint64_t FleetConfig::fingerprint() const {
@@ -67,6 +187,7 @@ std::uint64_t FleetConfig::fingerprint() const {
   h = fnv_step(h, fabric.enabled ? 1u : 0u);
   h = fnv_step(h, static_cast<std::uint64_t>(fabric.uplink_gbps));
   h = fnv_step(h, static_cast<std::uint64_t>(fabric.smoothing * 1000));
+  // `threads` is deliberately absent: thread count never changes the data.
   return h;
 }
 
@@ -79,7 +200,7 @@ Dataset run_fleet(const FleetConfig& config,
   util::Rng master(config.seed);
   const analysis::BurstDetectConfig burst_cfg = config.burst_config();
 
-  // --- placements for both regions ---
+  // --- placements for both regions (cheap; stays serial) ---
   std::vector<workload::RackMeta> racks;
   for (const auto region : {workload::RegionId::kRegA, workload::RegionId::kRegB}) {
     util::Rng place_rng = master.fork(static_cast<std::uint64_t>(region) + 7);
@@ -100,107 +221,48 @@ Dataset run_fleet(const FleetConfig& config,
     ds.racks.push_back(info);
   }
 
-  bool have_low = false, have_high = false;
+  // --- one SyncMillisampler window per rack per hour ---
+  // Window w covers hour (w / racks) and rack (w % racks): the same
+  // hour-major, rack-minor order the serial sweep used.  Each window is
+  // simulated independently (its RNG is keyed on (seed, rack_id, hour))
+  // on whichever pool lane picks it up, then the results are folded into
+  // the Dataset in canonical window order below.
   const std::size_t total_windows =
       racks.size() * static_cast<std::size_t>(config.hours);
-  std::size_t done_windows = 0;
-
-  // --- one SyncMillisampler window per rack per hour ---
-  for (int hour = 0; hour < config.hours; ++hour) {
-    for (const auto& rack : racks) {
-      util::Rng rng(fnv_step(fnv_step(config.seed, static_cast<std::uint64_t>(
-                                                       rack.rack_id) +
-                                                       1000003),
-                             static_cast<std::uint64_t>(hour) + 17));
-      FluidRack fluid(rack, config, hour, rng);
-      FluidRackResult res = fluid.run();
-      const core::SyncRun& sync = res.sync;
-      if (sync.num_samples() == 0) continue;
-
-      const std::vector<int> contention =
-          analysis::contention_series(sync, burst_cfg);
-      const analysis::ContentionSummary cs =
-          analysis::summarize_contention(contention);
-
-      RackRunRecord rr;
-      rr.rack_id = static_cast<std::uint32_t>(rack.rack_id);
-      rr.region = static_cast<std::uint8_t>(rack.region);
-      rr.hour = static_cast<std::uint8_t>(hour);
-      rr.usable = cs.usable() ? 1 : 0;
-      rr.avg_contention = static_cast<float>(cs.avg);
-      rr.min_active_contention = static_cast<std::uint16_t>(cs.min_active);
-      rr.p90_contention = static_cast<std::uint16_t>(cs.p90);
-      rr.max_contention = static_cast<std::uint16_t>(cs.max);
-      rr.in_bytes = static_cast<double>(res.delivered_bytes);
-      rr.drop_bytes = static_cast<double>(res.drop_bytes);
-      rr.ecn_bytes = static_cast<double>(res.ecn_bytes);
-      ds.rack_runs.push_back(rr);
-
-      for (std::size_t s = 0; s < sync.num_servers(); ++s) {
-        const auto& series = sync.series[s];
-        const auto bursts = analysis::detect_bursts(series, burst_cfg);
-        const auto stats =
-            analysis::server_run_stats(series, bursts, burst_cfg);
-        ServerRunRecord sr;
-        sr.rack_id = rr.rack_id;
-        sr.region = rr.region;
-        sr.hour = rr.hour;
-        sr.bursty = stats.bursty ? 1 : 0;
-        sr.avg_util = static_cast<float>(stats.avg_util);
-        sr.util_inside = static_cast<float>(stats.util_inside);
-        sr.util_outside = static_cast<float>(stats.util_outside);
-        sr.bursts_per_sec = static_cast<float>(stats.bursts_per_sec);
-        sr.conns_inside = static_cast<float>(stats.conns_inside);
-        sr.conns_outside = static_cast<float>(stats.conns_outside);
-        ds.server_runs.push_back(sr);
-
-        if (bursts.empty()) continue;
-        const auto lossy = analysis::lossy_bursts(series, bursts, config.loss);
-        for (std::size_t b = 0; b < bursts.size(); ++b) {
-          BurstRecord rec;
-          rec.rack_id = rr.rack_id;
-          rec.region = rr.region;
-          rec.hour = rr.hour;
-          rec.len_ms = static_cast<std::uint16_t>(bursts[b].len);
-          rec.volume_bytes = static_cast<float>(bursts[b].volume_bytes);
-          int max_cont = 0;
-          double conns = 0.0;
-          for (std::size_t k = bursts[b].start;
-               k < bursts[b].start + bursts[b].len && k < contention.size();
-               ++k) {
-            max_cont = std::max(max_cont, contention[k]);
-            conns += series[k].connections;
-          }
-          rec.max_contention = static_cast<std::uint16_t>(max_cont);
-          rec.avg_conns = static_cast<float>(
-              conns / static_cast<double>(bursts[b].len));
-          rec.contended = max_cont >= 2 ? 1 : 0;
-          rec.lossy = lossy[b] ? 1 : 0;
-          ds.bursts.push_back(rec);
-        }
-      }
-
-      // Exemplars for Figure 5 (captured during the busy hour).
-      if (hour == workload::kBusyHour) {
-        const double high_cut = config.classify.high_threshold;
-        if (!have_low && cs.avg > 0.1 && cs.avg < high_cut / 4.0 &&
-            cs.max <= 4) {
-          ds.low_contention_example = make_exemplar(
-              sync, contention, burst_cfg, rr.rack_id, rr.avg_contention);
-          have_low = true;
-        }
-        if (!have_high && cs.avg > high_cut) {
-          ds.high_contention_example = make_exemplar(
-              sync, contention, burst_cfg, rr.rack_id, rr.avg_contention);
-          have_high = true;
-        }
-      }
-
-      ++done_windows;
-    }
+  std::vector<WindowOutput> windows(total_windows);
+  util::ThreadPool pool(config.threads);
+  std::mutex progress_mu;
+  std::size_t completed = 0;
+  pool.parallel_for(total_windows, [&](std::size_t w) {
+    const int hour = static_cast<int>(w / racks.size());
+    const workload::RackMeta& rack = racks[w % racks.size()];
+    windows[w] = simulate_window(config, burst_cfg, rack, hour);
     if (progress) {
-      progress(static_cast<double>(done_windows) /
+      // Serialized and strictly increasing: each completion bumps the
+      // counter exactly once, and total/total is exactly 1.0.
+      std::lock_guard<std::mutex> lock(progress_mu);
+      ++completed;
+      progress(static_cast<double>(completed) /
                static_cast<double>(total_windows));
+    }
+  });
+  if (progress && total_windows == 0) progress(1.0);
+
+  // --- canonical-order reduction ---
+  bool have_low = false, have_high = false;
+  for (auto& out : windows) {
+    if (!out.has_run) continue;
+    ds.rack_runs.push_back(out.rack_run);
+    ds.server_runs.insert(ds.server_runs.end(), out.server_runs.begin(),
+                          out.server_runs.end());
+    ds.bursts.insert(ds.bursts.end(), out.bursts.begin(), out.bursts.end());
+    if (!have_low && (out.exemplar_kind & kLowExemplar) != 0) {
+      ds.low_contention_example = out.exemplar;
+      have_low = true;
+    }
+    if (!have_high && (out.exemplar_kind & kHighExemplar) != 0) {
+      ds.high_contention_example = out.exemplar;
+      have_high = true;
     }
   }
 

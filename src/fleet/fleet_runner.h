@@ -1,8 +1,10 @@
 // Fleet runner: generates placements for both regions, simulates hourly
 // SyncMillisampler windows on every rack for a full day, streams each
 // window through the analysis pipeline, and assembles the distilled
-// Dataset.  `shared_dataset` adds a disk cache so all bench binaries reuse
-// one generation pass.
+// Dataset.  Windows run concurrently on `FleetConfig::threads` lanes
+// (deterministic: every thread count yields byte-identical datasets —
+// see docs/PERFORMANCE.md for the contract).  `shared_dataset` adds a
+// disk cache so all bench binaries reuse one generation pass.
 #pragma once
 
 #include <functional>
@@ -12,14 +14,20 @@
 
 namespace msamp::fleet {
 
-/// Generates the full dataset.  `progress` (optional) is called after each
-/// (region, hour) batch with a fraction in [0, 1].
+/// Generates the full dataset.  Windows are simulated on
+/// `config.threads` lanes (0 = all cores; MSAMP_THREADS overrides); the
+/// result is byte-identical for any thread count.  `progress` (optional)
+/// is invoked serially after each completed (region, hour, rack) window
+/// with a strictly increasing fraction that ends at exactly 1.0.
 Dataset run_fleet(const FleetConfig& config,
                   std::function<void(double)> progress = nullptr);
 
 /// Returns a process-wide dataset for `config`, loading it from
 /// `cache_path` when the fingerprint matches, otherwise generating and
 /// saving it.  The default path keeps bench binaries in one cache.
+/// Safe for concurrent first-callers: exactly one thread generates, the
+/// rest block and then share the same instance; the cache file is written
+/// via an atomic rename so a crashed run never leaves a truncated file.
 const Dataset& shared_dataset(const FleetConfig& config = {},
                               const std::string& cache_path =
                                   "bench_out/fleet_dataset.bin");

@@ -1,0 +1,71 @@
+// Deterministic fork-join worker pool.
+//
+// `parallel_for(n, body)` runs body(i) for every i in [0, n) across the
+// pool's workers plus the calling thread and blocks until all indices
+// completed.  Indices are claimed from one shared atomic counter — no
+// per-thread queues, no work stealing — so there is no scheduler state
+// that could leak into results.  Determinism is the caller's side of the
+// contract: body(i) must depend only on i (derive RNGs by forking from a
+// keyed seed, never from execution order) and per-index results must be
+// reduced in canonical index order afterwards.  Under that contract the
+// output is byte-identical for any thread count, including 1.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace msamp::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `resolve(threads) - 1` workers (the caller is the remaining
+  /// lane).  `threads == 0` means all hardware cores; the MSAMP_THREADS
+  /// environment variable overrides either value.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (workers + the calling thread).
+  int size() const noexcept { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs body(0) ... body(n-1), each exactly once, and returns when all
+  /// are done.  The calling thread participates.  `body` must not throw
+  /// and must be safe to invoke concurrently for distinct indices.  Not
+  /// reentrant: one parallel_for at a time per pool.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Effective thread count: MSAMP_THREADS env var (when set to a positive
+  /// integer) wins, else `requested` when positive, else the hardware
+  /// concurrency (at least 1).
+  static int resolve(int requested) noexcept;
+
+ private:
+  void worker_loop();
+  void drain_current_job();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;  ///< bumped per job; workers wait on it
+  std::size_t active_ = 0;        ///< workers still inside the current job
+  bool stop_ = false;
+
+  // Current job; written under mu_ before generation_ bumps, read by
+  // workers only after observing the bump (so the mutex orders access).
+  std::size_t n_ = 0;
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::atomic<std::size_t> next_{0};
+};
+
+}  // namespace msamp::util

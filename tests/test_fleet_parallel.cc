@@ -1,0 +1,133 @@
+// The parallel fleet runner's determinism contract: any thread count
+// produces a Dataset byte-identical to the serial sweep (same serialized
+// blob, same fingerprint), progress is serialized/monotone, and
+// shared_dataset is safe under concurrent first-callers.
+#include "fleet/fleet_runner.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/diurnal.h"
+
+namespace msamp::fleet {
+namespace {
+
+/// Keeps MSAMP_THREADS from overriding the per-test thread counts.
+class ScopedNoEnvThreads {
+ public:
+  ScopedNoEnvThreads() {
+    const char* v = std::getenv("MSAMP_THREADS");
+    if (v != nullptr) saved_ = v;
+    unsetenv("MSAMP_THREADS");
+  }
+  ~ScopedNoEnvThreads() {
+    if (!saved_.empty()) setenv("MSAMP_THREADS", saved_.c_str(), 1);
+  }
+
+ private:
+  std::string saved_;
+};
+
+/// Small day that still crosses the busy hour (6), so the exemplar
+/// selection — the only order-sensitive reduction step — is exercised.
+FleetConfig small_day() {
+  FleetConfig cfg;
+  cfg.racks_per_region = 4;
+  cfg.servers_per_rack = 30;
+  cfg.hours = 7;
+  cfg.samples_per_run = 120;
+  cfg.warmup_ms = 10;
+  cfg.classify.high_threshold = 2.0;
+  return cfg;
+}
+
+/// A second shape: different scale, fabric stage on, non-default buffer
+/// policy, different seed.
+FleetConfig fabric_day() {
+  FleetConfig cfg;
+  cfg.seed = 1234;
+  cfg.racks_per_region = 3;
+  cfg.servers_per_rack = 24;
+  cfg.hours = 3;
+  cfg.samples_per_run = 100;
+  cfg.warmup_ms = 10;
+  cfg.fabric.enabled = true;
+  cfg.buffer.policy = net::BufferPolicy::kBurstAbsorbDt;
+  return cfg;
+}
+
+TEST(FleetParallel, ByteIdenticalToSerialAcrossThreadCounts) {
+  ScopedNoEnvThreads no_env;
+  for (const FleetConfig& base : {small_day(), fabric_day()}) {
+    FleetConfig serial_cfg = base;
+    serial_cfg.threads = 1;
+    const std::vector<std::uint8_t> serial_blob =
+        run_fleet(serial_cfg).serialize();
+    for (int threads : {2, 4, 7}) {
+      FleetConfig cfg = base;
+      cfg.threads = threads;
+      const Dataset parallel = run_fleet(cfg);
+      EXPECT_EQ(parallel.fingerprint, serial_cfg.fingerprint())
+          << "threads must not enter the fingerprint";
+      EXPECT_TRUE(parallel.serialize() == serial_blob)
+          << "dataset bytes differ at threads=" << threads
+          << " seed=" << base.seed;
+    }
+  }
+}
+
+TEST(FleetParallel, ProgressSerializedStrictlyIncreasingEndsAtOne) {
+  ScopedNoEnvThreads no_env;
+  FleetConfig cfg = small_day();
+  cfg.threads = 4;
+  std::vector<double> fractions;
+  run_fleet(cfg, [&](double p) {
+    // The runner serializes callbacks, so no locking is needed here.
+    fractions.push_back(p);
+  });
+  const std::size_t windows =
+      static_cast<std::size_t>(2 * cfg.racks_per_region) *
+      static_cast<std::size_t>(cfg.hours);
+  ASSERT_EQ(fractions.size(), windows);
+  for (std::size_t i = 1; i < fractions.size(); ++i) {
+    EXPECT_GT(fractions[i], fractions[i - 1]);
+  }
+  EXPECT_GT(fractions.front(), 0.0);
+  EXPECT_DOUBLE_EQ(fractions.back(), 1.0);
+}
+
+TEST(FleetParallel, SharedDatasetRacedFirstCallersReturnOneInstance) {
+  ScopedNoEnvThreads no_env;
+  const std::string cache = "test_fleet_parallel_cache/ds.bin";
+  std::filesystem::remove_all("test_fleet_parallel_cache");
+  FleetConfig cfg = fabric_day();
+  cfg.seed = 99177;  // unique fingerprint: forces a fresh generation
+  cfg.threads = 2;
+  std::vector<const Dataset*> seen(4, nullptr);
+  std::vector<std::thread> callers;
+  for (std::size_t t = 0; t < seen.size(); ++t) {
+    callers.emplace_back(
+        [&, t] { seen[t] = &shared_dataset(cfg, cache); });
+  }
+  for (auto& th : callers) th.join();
+  for (const Dataset* p : seen) {
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p, seen[0]);  // one generation, one shared instance
+  }
+  EXPECT_EQ(seen[0]->fingerprint, cfg.fingerprint());
+  // The cache landed via atomic rename: the final file parses, and no
+  // temp file is left behind.
+  Dataset from_disk;
+  ASSERT_TRUE(from_disk.load(cache));
+  EXPECT_EQ(from_disk.fingerprint, cfg.fingerprint());
+  EXPECT_FALSE(std::filesystem::exists(cache + ".tmp"));
+  std::filesystem::remove_all("test_fleet_parallel_cache");
+}
+
+}  // namespace
+}  // namespace msamp::fleet

@@ -131,8 +131,10 @@ TEST(FleetRunner, ProgressCallbackAdvances) {
     last = p;
     ++calls;
   });
-  EXPECT_EQ(calls, 2);
-  EXPECT_NEAR(last, 1.0, 1e-9);
+  // One serialized callback per completed (region, hour, rack) window,
+  // strictly increasing and ending at exactly 1.0.
+  EXPECT_EQ(calls, 2 * cfg.racks_per_region * cfg.hours);
+  EXPECT_DOUBLE_EQ(last, 1.0);
 }
 
 TEST(FleetRunner, SharedDatasetCachesToDisk) {

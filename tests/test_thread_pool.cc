@@ -1,0 +1,102 @@
+// Unit tests for the deterministic fork-join pool.
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace msamp::util {
+namespace {
+
+/// Clears MSAMP_THREADS for the test's duration so `resolve` and pool
+/// sizing see only the requested value, and restores it afterwards.
+class ScopedNoEnvThreads {
+ public:
+  ScopedNoEnvThreads() {
+    const char* v = std::getenv("MSAMP_THREADS");
+    if (v != nullptr) saved_ = v;
+    unsetenv("MSAMP_THREADS");
+  }
+  ~ScopedNoEnvThreads() {
+    if (!saved_.empty()) setenv("MSAMP_THREADS", saved_.c_str(), 1);
+  }
+
+ private:
+  std::string saved_;
+};
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ScopedNoEnvThreads no_env;
+  for (int threads : {1, 2, 4, 7}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for(kN, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, MoreLanesThanWork) {
+  ScopedNoEnvThreads no_env;
+  ThreadPool pool(8);
+  EXPECT_EQ(pool.size(), 8);
+  std::vector<std::atomic<int>> hits(3);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(3, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroItemsIsANoop) {
+  ScopedNoEnvThreads no_env;
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ScopedNoEnvThreads no_env;
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.parallel_for(100, [&](std::size_t i) {
+      sum.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 20L * (99L * 100L / 2));
+}
+
+TEST(ThreadPool, ResolvePrefersEnvThenRequestedThenHardware) {
+  ScopedNoEnvThreads no_env;
+  EXPECT_EQ(ThreadPool::resolve(5), 5);
+  EXPECT_GE(ThreadPool::resolve(0), 1);  // hardware concurrency, >= 1
+  setenv("MSAMP_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::resolve(0), 3);
+  EXPECT_EQ(ThreadPool::resolve(16), 3);  // env overrides the request
+  setenv("MSAMP_THREADS", "garbage", 1);
+  EXPECT_EQ(ThreadPool::resolve(2), 2);  // unparsable env is ignored
+  setenv("MSAMP_THREADS", "-4", 1);
+  EXPECT_EQ(ThreadPool::resolve(2), 2);  // non-positive env is ignored
+  unsetenv("MSAMP_THREADS");
+}
+
+TEST(ThreadPool, SizeCountsTheCallingThread) {
+  ScopedNoEnvThreads no_env;
+  ThreadPool one(1);
+  EXPECT_EQ(one.size(), 1);
+  ThreadPool four(4);
+  EXPECT_EQ(four.size(), 4);
+}
+
+}  // namespace
+}  // namespace msamp::util
