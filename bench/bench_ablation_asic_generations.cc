@@ -26,7 +26,13 @@ struct Outcome {
   double ecn_mb_per_gb;
 };
 
-Outcome run(const Asic& asic) {
+struct SeedTotals {
+  double contention = 0, drops = 0, ecn = 0, bytes = 0;
+};
+
+/// One (ASIC, seed) fluid simulation + its contention analysis — the
+/// parallel window unit.
+SeedTotals run_seed(const Asic& asic, std::uint64_t seed) {
   workload::RackMeta rack;
   rack.rack_id = 1;
   rack.region = workload::RegionId::kRegA;
@@ -44,20 +50,26 @@ Outcome run(const Asic& asic) {
   cfg.buffer.total_bytes = asic.buffer_bytes;
   cfg.buffer.ecn_threshold = asic.ecn_threshold;
 
+  fleet::FluidRack fluid(rack, cfg, 6, util::Rng(seed));
+  const auto res = fluid.run();
+  const auto series =
+      analysis::contention_series(res.sync, cfg.burst_config());
+  return {analysis::summarize_contention(series).avg,
+          static_cast<double>(res.drop_bytes),
+          static_cast<double>(res.ecn_bytes),
+          static_cast<double>(res.delivered_bytes)};
+}
+
+/// Sums the three per-seed windows in canonical seed order.
+Outcome reduce(const SeedTotals* seeds) {
   double contention = 0, drops = 0, ecn = 0, bytes = 0;
-  int n = 0;
-  for (std::uint64_t seed : {41u, 42u, 43u}) {
-    fleet::FluidRack fluid(rack, cfg, 6, util::Rng(seed));
-    const auto res = fluid.run();
-    const auto series =
-        analysis::contention_series(res.sync, cfg.burst_config());
-    contention += analysis::summarize_contention(series).avg;
-    drops += static_cast<double>(res.drop_bytes);
-    ecn += static_cast<double>(res.ecn_bytes);
-    bytes += static_cast<double>(res.delivered_bytes);
-    ++n;
+  for (int s = 0; s < 3; ++s) {
+    contention += seeds[s].contention;
+    drops += seeds[s].drops;
+    ecn += seeds[s].ecn;
+    bytes += seeds[s].bytes;
   }
-  return {contention / n, drops / (bytes / 1e9) / 1e3,
+  return {contention / 3, drops / (bytes / 1e9) / 1e3,
           ecn / (bytes / 1e9) / 1e6};
 }
 
@@ -78,10 +90,17 @@ int main() {
   };
   util::Table table({"ASIC", "avg contention", "loss (KB/GB)",
                      "ECN marked (MB/GB)"});
-  for (const Asic& asic : asics) {
-    const Outcome o = run(asic);
+  constexpr std::uint64_t kSeeds[] = {41, 42, 43};
+  // 3 ASIC presets x 3 seeds = 9 independent fluid simulations; window w
+  // is ASIC w/3 under seed w%3, folded in canonical seed order.
+  const std::vector<SeedTotals> windows =
+      bench::parallel_windows(9, [&](std::size_t w) {
+        return run_seed(asics[w / 3], kSeeds[w % 3]);
+      });
+  for (std::size_t a = 0; a < 3; ++a) {
+    const Outcome o = reduce(&windows[a * 3]);
     table.row()
-        .cell(asic.name)
+        .cell(asics[a].name)
         .cell(o.avg_contention, 2)
         .cell(o.loss_kb_per_gb, 2)
         .cell(o.ecn_mb_per_gb, 2);

@@ -49,18 +49,33 @@ workload::RackMeta ml_rack() {
   return rack;
 }
 
-Outcome run(const workload::RackMeta& rack, net::BufferPolicy policy) {
+/// One (rack, policy, seed) fluid simulation — the parallel window unit.
+struct SeedTotals {
+  double drops = 0, ecn = 0, bytes = 0;
+};
+
+SeedTotals run_seed(const workload::RackMeta& rack, net::BufferPolicy policy,
+                    std::uint64_t seed) {
   fleet::FleetConfig cfg;
   cfg.samples_per_run = 1500;
   cfg.warmup_ms = 100;
   cfg.buffer.policy = policy;
+  fleet::FluidRack fluid(rack, cfg, /*hour=*/6, util::Rng(seed));
+  const auto res = fluid.run();
+  return {static_cast<double>(res.drop_bytes),
+          static_cast<double>(res.ecn_bytes),
+          static_cast<double>(res.delivered_bytes)};
+}
+
+/// Folds the three per-seed windows in canonical seed order (the same
+/// summation order as the old serial loop, so the doubles — and therefore
+/// the printed table — are bit-identical).
+Outcome reduce(const SeedTotals* seeds) {
   double drops = 0, ecn = 0, bytes = 0;
-  for (std::uint64_t seed : {11u, 12u, 13u}) {
-    fleet::FluidRack fluid(rack, cfg, /*hour=*/6, util::Rng(seed));
-    const auto res = fluid.run();
-    drops += static_cast<double>(res.drop_bytes);
-    ecn += static_cast<double>(res.ecn_bytes);
-    bytes += static_cast<double>(res.delivered_bytes);
+  for (int s = 0; s < 3; ++s) {
+    drops += seeds[s].drops;
+    ecn += seeds[s].ecn;
+    bytes += seeds[s].bytes;
   }
   return {drops / (bytes / 1e9) / 1e3, ecn / (bytes / 1e9) / 1e6, 0.0};
 }
@@ -88,15 +103,24 @@ int main() {
       "§10: burst-absorbing DT variants aim to absorb microbursts");
   util::Table table({"policy", "typical loss (KB/GB)", "typical ECN (MB/GB)",
                      "ml-dense loss (KB/GB)", "ml-dense ECN (MB/GB)"});
-  for (auto policy :
-       {net::BufferPolicy::kDynamicThreshold,
-        net::BufferPolicy::kStaticPartition,
-        net::BufferPolicy::kCompleteSharing,
-        net::BufferPolicy::kBurstAbsorbDt}) {
-    const Outcome typical = run(mixed_rack(), policy);
-    const Outcome ml = run(ml_rack(), policy);
+  constexpr net::BufferPolicy kPolicies[] = {
+      net::BufferPolicy::kDynamicThreshold,
+      net::BufferPolicy::kStaticPartition,
+      net::BufferPolicy::kCompleteSharing,
+      net::BufferPolicy::kBurstAbsorbDt};
+  constexpr std::uint64_t kSeeds[] = {11, 12, 13};
+  const workload::RackMeta racks[] = {mixed_rack(), ml_rack()};
+  // 4 policies x 2 racks x 3 seeds = 24 independent fluid simulations;
+  // window w is policy w/6, rack (w/3)%2, seed w%3.
+  const std::vector<SeedTotals> windows =
+      bench::parallel_windows(24, [&](std::size_t w) {
+        return run_seed(racks[(w / 3) % 2], kPolicies[w / 6], kSeeds[w % 3]);
+      });
+  for (std::size_t p = 0; p < 4; ++p) {
+    const Outcome typical = reduce(&windows[p * 6]);
+    const Outcome ml = reduce(&windows[p * 6 + 3]);
     table.row()
-        .cell(policy_name(policy))
+        .cell(policy_name(kPolicies[p]))
         .cell(typical.loss_kb_per_gb, 2)
         .cell(typical.ecn_mb_per_gb, 2)
         .cell(ml.loss_kb_per_gb, 2)

@@ -126,25 +126,38 @@ int main() {
       "Ablation — congestion control under buffer variability",
       "§9: buffer varies over RTT timescales; compare ECN-based (DCTCP), "
       "loss-based (Cubic), and delay-based (Swift) control");
-  for (const auto& scenario :
-       {std::string("bulk 8MB"), std::string("bulk 8MB + DT squeeze"),
-        std::string("32-way incast")}) {
+  constexpr const char* kScenarios[] = {"bulk 8MB", "bulk 8MB + DT squeeze",
+                                        "32-way incast"};
+  constexpr transport::CcKind kKinds[] = {transport::CcKind::kDctcp,
+                                          transport::CcKind::kCubic,
+                                          transport::CcKind::kSwift};
+  // 3 scenarios x 3 controllers = 9 independent packet simulations;
+  // window w is scenario w/3 under controller w%3, reduced in that order.
+  const std::vector<Outcome> outcomes =
+      bench::parallel_windows(9, [&](std::size_t w) {
+        const transport::CcKind kind = kKinds[w % 3];
+        switch (w / 3) {
+          case 0:
+            return run_bulk(kind, /*squeeze=*/false);
+          case 1:
+            return run_bulk(kind, /*squeeze=*/true);
+          default:
+            return run_incast(kind);
+        }
+      });
+  for (std::size_t s = 0; s < 3; ++s) {
     util::Table table({"cc", "completion (ms)", "retx (KB)",
                        "max queue (KB)", "CE marked (KB)"});
-    for (auto kind :
-         {transport::CcKind::kDctcp, transport::CcKind::kCubic,
-          transport::CcKind::kSwift}) {
-      const Outcome o = scenario == "32-way incast"
-                            ? run_incast(kind)
-                            : run_bulk(kind, scenario != "bulk 8MB");
+    for (std::size_t k = 0; k < 3; ++k) {
+      const Outcome& o = outcomes[s * 3 + k];
       table.row()
-          .cell(cc_name(kind))
+          .cell(cc_name(kKinds[k]))
           .cell(o.completion_ms, 2)
           .cell(o.retx_kb, 1)
           .cell(o.max_queue_kb, 1)
           .cell(o.marked_kb, 1);
     }
-    std::cout << "--- " << scenario << " ---\n";
+    std::cout << "--- " << kScenarios[s] << " ---\n";
     table.print(std::cout);
     std::cout << "\n";
   }

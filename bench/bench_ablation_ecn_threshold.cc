@@ -4,6 +4,7 @@
 // thresholds mark earlier (more throttling, less loss, lower utilization);
 // higher thresholds let queues grow into the DT limit and lose more.
 #include <iostream>
+#include <iterator>
 
 #include "common.h"
 #include "fleet/fluid_rack.h"
@@ -27,21 +28,34 @@ int main() {
 
   util::Table table({"ECN threshold (KB)", "loss (KB/GB)", "marked (MB/GB)",
                      "delivered (GB)"});
-  for (std::int64_t threshold_kb : {30, 60, 120, 240, 480, 960}) {
-    fleet::FleetConfig cfg;
-    cfg.samples_per_run = 1500;
-    cfg.warmup_ms = 100;
-    cfg.buffer.ecn_threshold = threshold_kb << 10;
+  constexpr std::int64_t kThresholdsKb[] = {30, 60, 120, 240, 480, 960};
+  constexpr std::uint64_t kSeeds[] = {21, 22, 23};
+  struct SeedTotals {
     double drops = 0, ecn = 0, bytes = 0;
-    for (std::uint64_t seed : {21u, 22u, 23u}) {
-      fleet::FluidRack fluid(rack, cfg, 6, util::Rng(seed));
-      const auto res = fluid.run();
-      drops += static_cast<double>(res.drop_bytes);
-      ecn += static_cast<double>(res.ecn_bytes);
-      bytes += static_cast<double>(res.delivered_bytes);
+  };
+  // 6 thresholds x 3 seeds = 18 independent fluid simulations; window w
+  // is threshold w/3 under seed w%3, summed in canonical seed order.
+  const std::vector<SeedTotals> windows =
+      bench::parallel_windows(18, [&](std::size_t w) -> SeedTotals {
+        fleet::FleetConfig cfg;
+        cfg.samples_per_run = 1500;
+        cfg.warmup_ms = 100;
+        cfg.buffer.ecn_threshold = kThresholdsKb[w / 3] << 10;
+        fleet::FluidRack fluid(rack, cfg, 6, util::Rng(kSeeds[w % 3]));
+        const auto res = fluid.run();
+        return {static_cast<double>(res.drop_bytes),
+                static_cast<double>(res.ecn_bytes),
+                static_cast<double>(res.delivered_bytes)};
+      });
+  for (std::size_t t = 0; t < std::size(kThresholdsKb); ++t) {
+    double drops = 0, ecn = 0, bytes = 0;
+    for (std::size_t s = 0; s < 3; ++s) {
+      drops += windows[t * 3 + s].drops;
+      ecn += windows[t * 3 + s].ecn;
+      bytes += windows[t * 3 + s].bytes;
     }
     table.row()
-        .cell(static_cast<long long>(threshold_kb))
+        .cell(static_cast<long long>(kThresholdsKb[t]))
         .cell(drops / (bytes / 1e9) / 1e3, 2)
         .cell(ecn / (bytes / 1e9) / 1e6, 2)
         .cell(bytes / 1e9, 2);

@@ -17,8 +17,13 @@ struct Outcome {
   double fabric_loss_kb_per_gb;
 };
 
-Outcome run(workload::TaskKind kind, double intensity, bool fabric,
-            double uplink_gbps) {
+struct SeedTotals {
+  double tor = 0, fab = 0, bytes = 0;
+};
+
+/// One (workload, fabric, seed) fluid simulation — the parallel window.
+SeedTotals run_seed(workload::TaskKind kind, double intensity, bool fabric,
+                    double uplink_gbps, std::uint64_t seed) {
   workload::RackMeta rack;
   rack.rack_id = 1;
   rack.region = workload::RegionId::kRegA;
@@ -30,13 +35,20 @@ Outcome run(workload::TaskKind kind, double intensity, bool fabric,
   cfg.warmup_ms = 100;
   cfg.fabric.enabled = fabric;
   cfg.fabric.uplink_gbps = uplink_gbps;
+  fleet::FluidRack fluid(rack, cfg, 6, util::Rng(seed));
+  const auto res = fluid.run();
+  return {static_cast<double>(res.drop_bytes),
+          static_cast<double>(res.fabric_drop_bytes),
+          static_cast<double>(res.delivered_bytes)};
+}
+
+/// Sums the three per-seed windows in canonical seed order.
+Outcome reduce(const SeedTotals* seeds) {
   double tor = 0, fab = 0, bytes = 0;
-  for (std::uint64_t seed : {31u, 32u, 33u}) {
-    fleet::FluidRack fluid(rack, cfg, 6, util::Rng(seed));
-    const auto res = fluid.run();
-    tor += static_cast<double>(res.drop_bytes);
-    fab += static_cast<double>(res.fabric_drop_bytes);
-    bytes += static_cast<double>(res.delivered_bytes);
+  for (int s = 0; s < 3; ++s) {
+    tor += seeds[s].tor;
+    fab += seeds[s].fab;
+    bytes += seeds[s].bytes;
   }
   return {tor / (bytes / 1e9) / 1e3, fab / (bytes / 1e9) / 1e3};
 }
@@ -57,14 +69,24 @@ int main() {
     double intensity;
     double uplink_gbps;  ///< ML-dense waves saturate an older 200G trunk
   };
-  for (const Case& c :
-       {Case{"ml-dense", workload::TaskKind::kMlTraining, 2.2, 200.0},
-        Case{"typical (cache)", workload::TaskKind::kCache, 1.8, 400.0}}) {
-    for (bool fabric : {false, true}) {
-      const Outcome o = run(c.kind, c.intensity, fabric, c.uplink_gbps);
+  const Case cases[] = {
+      {"ml-dense", workload::TaskKind::kMlTraining, 2.2, 200.0},
+      {"typical (cache)", workload::TaskKind::kCache, 1.8, 400.0}};
+  constexpr std::uint64_t kSeeds[] = {31, 32, 33};
+  // 2 workloads x 2 fabric settings x 3 seeds = 12 independent fluid
+  // simulations; window w is case w/6, fabric (w/3)%2, seed w%3.
+  const std::vector<SeedTotals> windows =
+      bench::parallel_windows(12, [&](std::size_t w) {
+        const Case& c = cases[w / 6];
+        return run_seed(c.kind, c.intensity, /*fabric=*/(w / 3) % 2 == 1,
+                        c.uplink_gbps, kSeeds[w % 3]);
+      });
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t f = 0; f < 2; ++f) {
+      const Outcome o = reduce(&windows[i * 6 + f * 3]);
       table.row()
-          .cell(c.name)
-          .cell(fabric ? "on" : "off")
+          .cell(cases[i].name)
+          .cell(f == 1 ? "on" : "off")
           .cell(o.tor_loss_kb_per_gb, 2)
           .cell(o.fabric_loss_kb_per_gb, 2);
     }

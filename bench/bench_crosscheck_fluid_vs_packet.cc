@@ -124,8 +124,12 @@ int main() {
       "Cross-check — fluid model vs packet-level TCP, same rack workload",
       "the fleet-scale results rest on the fluid model; its burstiness and "
       "contention statistics must be consistent with real transport");
-  const Stats fluid = run_fluid();
-  const Stats packet = run_packet();
+  // The two vantage simulations share nothing but the task mix and seed —
+  // two independent windows, run concurrently, reduced in fixed order.
+  const std::vector<Stats> both = bench::parallel_windows(
+      2, [](std::size_t w) { return w == 0 ? run_fluid() : run_packet(); });
+  const Stats& fluid = both[0];
+  const Stats& packet = both[1];
   util::Table table({"metric", "fluid model", "packet-level TCP"});
   table.row()
       .cell("bursty servers (of 16)")

@@ -7,6 +7,7 @@
 //   2. a simultaneous burst on another queue of the SAME quadrant
 //      (contention) amplifies that loss by shrinking the DT limit.
 #include <iostream>
+#include <iterator>
 
 #include "common.h"
 #include "net/topology.h"
@@ -69,14 +70,23 @@ int main() {
       "§8.2 mechanisms on the packet simulator: fixed 4MB transfer, loss "
       "grows with fan-in; a co-burst in the same quadrant amplifies it");
   constexpr std::int64_t kTotal = 4 << 20;
+  constexpr int kFanouts[] = {4, 8, 16, 32, 64, 128};
+  constexpr std::size_t kNumFanouts = std::size(kFanouts);
   util::Table table({"fan-in", "drops alone (KB)", "drops contended (KB)",
                      "retx alone (KB)", "retx contended (KB)",
                      "completion alone (ms)"});
+  // Each (fan-in, contended?) cell is an independent packet simulation:
+  // window w covers fan-in w/2, alone (even w) or contended (odd w).
+  const std::vector<Outcome> outcomes = bench::parallel_windows(
+      kNumFanouts * 2, [&](std::size_t w) {
+        return run(kFanouts[w / 2], kTotal, /*contended=*/w % 2 == 1);
+      });
   bool monotone = true;
   std::int64_t prev_drops = -1;
-  for (int fanout : {4, 8, 16, 32, 64, 128}) {
-    const Outcome alone = run(fanout, kTotal, false);
-    const Outcome contended = run(fanout, kTotal, true);
+  for (std::size_t f = 0; f < kNumFanouts; ++f) {
+    const int fanout = kFanouts[f];
+    const Outcome& alone = outcomes[2 * f];
+    const Outcome& contended = outcomes[2 * f + 1];
     table.row()
         .cell(static_cast<long long>(fanout))
         .cell(static_cast<double>(alone.victim_drops) / 1024.0, 1)

@@ -14,12 +14,24 @@
 
 using namespace msamp;
 
-int main() {
-  bench::header(
-      "Cross-check — switch-based vs host-based observation of one incast",
-      "§2.3: switch probes give µs queue detail on one port; Millisampler "
-      "covers all servers at ms granularity with host context");
+namespace {
 
+/// Everything the reduction needs from the simulated event: both vantage
+/// points on one absolute timeline.
+struct EventViews {
+  std::vector<net::SwitchProbeSample> probe;
+  std::int64_t probe_max_queue = 0;
+  std::vector<core::BucketSample> host;
+  sim::SimTime host_start = 0;
+  std::int64_t incast_delivered = 0;
+};
+
+/// Simulates the event once: both views come from the SAME simulation, so
+/// this bench is a single window (the probe and the samplers must watch
+/// one shared queue).  It still runs through bench::parallel_windows so
+/// MSAMP_THREADS handling and the determinism contract are uniform across
+/// the bench binaries.
+EventViews simulate_event() {
   sim::Simulator simulator;
   net::RackConfig rack_cfg;
   rack_cfg.num_servers = 4;
@@ -59,27 +71,45 @@ int main() {
                         [&incast] { incast.trigger(nullptr); });
   simulator.run();
 
+  EventViews views;
+  views.probe = probe.samples();
+  views.probe_max_queue = probe.max_queue_bytes();
+  views.host = samplers[0]->filter().read_aggregated();
+  views.host_start = samplers[0]->filter().start_time();
+  views.incast_delivered = incast.total_delivered();
+  return views;
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Cross-check — switch-based vs host-based observation of one incast",
+      "§2.3: switch probes give µs queue detail on one port; Millisampler "
+      "covers all servers at ms granularity with host context");
+
+  const EventViews views = bench::parallel_windows(
+      1, [](std::size_t) { return simulate_event(); })[0];
+
   // Both views on one absolute timeline: the host sampler's bucket 0
   // starts at its latched first-packet time (§4.1), so shift accordingly.
   util::Table table({"ms (absolute)", "switch max queue (KB)",
                      "host in_bytes (KB)", "host ~conns"});
-  const auto host_buckets = samplers[0]->filter().read_aggregated();
-  const sim::SimTime host_start = samplers[0]->filter().start_time();
   for (int ms = 0; ms < 12; ++ms) {
     std::int64_t max_q = 0;
-    for (const auto& s : probe.samples()) {
+    for (const auto& s : views.probe) {
       if (s.at >= ms * sim::kMillisecond &&
           s.at < (ms + 1) * sim::kMillisecond) {
         max_q = std::max(max_q, s.queue_bytes);
       }
     }
     const std::int64_t host_bucket =
-        (ms * sim::kMillisecond - host_start) / sim::kMillisecond;
+        (ms * sim::kMillisecond - views.host_start) / sim::kMillisecond;
     const bool in_range =
-        host_start >= 0 && host_bucket >= 0 &&
-        host_bucket < static_cast<std::int64_t>(host_buckets.size());
+        views.host_start >= 0 && host_bucket >= 0 &&
+        host_bucket < static_cast<std::int64_t>(views.host.size());
     const auto& hb =
-        in_range ? host_buckets[static_cast<std::size_t>(host_bucket)]
+        in_range ? views.host[static_cast<std::size_t>(host_bucket)]
                  : core::BucketSample{};
     table.row()
         .cell(static_cast<long long>(ms))
@@ -91,17 +121,17 @@ int main() {
 
   // Consistency checks.
   std::int64_t host_total = 0;
-  for (const auto& b : host_buckets) host_total += b.in_bytes;
-  std::cout << "\nswitch probe: " << probe.samples().size()
+  for (const auto& b : views.host) host_total += b.in_bytes;
+  std::cout << "\nswitch probe: " << views.probe.size()
             << " samples on ONE port, peak queue "
-            << util::format_bytes(static_cast<double>(probe.max_queue_bytes()))
+            << util::format_bytes(static_cast<double>(views.probe_max_queue))
             << "\nhost sampler: all 4 servers simultaneously; server 0 saw "
             << util::format_bytes(static_cast<double>(host_total))
             << " (incast delivered "
-            << util::format_bytes(static_cast<double>(incast.total_delivered()))
+            << util::format_bytes(static_cast<double>(views.incast_delivered))
             << ")\n";
   const bool consistent =
-      host_total >= incast.total_delivered() && probe.max_queue_bytes() > 0;
+      host_total >= views.incast_delivered && views.probe_max_queue > 0;
   std::cout << "views consistent: " << (consistent ? "yes" : "NO") << "\n";
   return consistent ? 0 : 1;
 }

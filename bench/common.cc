@@ -22,6 +22,11 @@ fleet::FleetConfig bench_config() {
   return cfg;
 }
 
+util::ThreadPool& bench_pool() {
+  static util::ThreadPool pool(bench_config().threads);
+  return pool;
+}
+
 const fleet::Dataset& dataset() {
   static bool announced = false;
   if (!announced) {

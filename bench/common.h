@@ -1,16 +1,19 @@
 // Shared infrastructure for the figure/table bench binaries: dataset
-// access (generated once, cached on disk under bench_out/), class lookup
-// maps, CDF printing, and CSV export.
+// access (generated once, cached on disk under bench_out/), parallel
+// window execution, class lookup maps, CDF printing, and CSV export.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "analysis/rack_classify.h"
 #include "fleet/dataset.h"
 #include "fleet/fleet_runner.h"
 #include "util/ascii_plot.h"
+#include "util/parallel_map.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -18,6 +21,23 @@ namespace msamp::bench {
 
 /// The scale every figure bench runs at (scaled-down fleet; see DESIGN.md).
 fleet::FleetConfig bench_config();
+
+/// The shared pool the bench binaries run their simulation windows on.
+/// Sized like the fleet runner: all hardware cores by default, pinned by
+/// the MSAMP_THREADS environment variable (=1 for a fully serial run).
+util::ThreadPool& bench_pool();
+
+/// Runs body(0) ... body(n-1) — one call per independent simulation
+/// window — on bench_pool() and returns the results in canonical index
+/// order.  Same determinism contract as `fleet::run_fleet`: a window must
+/// depend only on its index (fork RNGs from a keyed seed, never from
+/// execution order), and callers reduce the returned vector in index
+/// order, so every table and CSV a bench emits is byte-identical for any
+/// thread count.
+template <typename Fn>
+auto parallel_windows(std::size_t n, Fn&& body) {
+  return util::parallel_map(bench_pool(), n, std::forward<Fn>(body));
+}
 
 /// The shared dataset (generated on first use, cached under bench_out/).
 const fleet::Dataset& dataset();

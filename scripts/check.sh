@@ -21,6 +21,22 @@ if [ "${MSAMP_SKIP_TSAN:-0}" != "1" ]; then
     -R '^(ThreadPool|FleetParallel|FleetRunner|FleetConfig|FluidRack|Dataset|Aggregate|Rng)'
 fi
 
+# ASan+UBSan lane: a third build tree with -DMSAMP_ASAN=ON, running the
+# byte-level parsers — dataset (de)serialization including the hostile-blob
+# hardening tests, and the msampctl flag-parser/CLI tests — with
+# AddressSanitizer and UBSan watching the bounds checks.  Skip with
+# MSAMP_SKIP_ASAN=1.
+if [ "${MSAMP_SKIP_ASAN:-0}" != "1" ]; then
+  cmake -B build-asan -G Ninja -DMSAMP_ASAN=ON
+  cmake --build build-asan --target msamp_tests msampctl
+  ctest --test-dir build-asan --output-on-failure \
+    -R '^(Dataset|FleetConfig|cli_usage|cli_pipeline)'
+fi
+
+# Bench-parallelism determinism: the parallelized benches must emit
+# byte-identical stdout and bench_out/ CSVs for any MSAMP_THREADS.
+scripts/check_bench_determinism.sh build
+
 for b in build/bench/bench_*; do
   echo "== $b"
   "$b"

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Verifies the bench-parallelism determinism contract: every bench that
+# fans its windows out over bench::parallel_windows must emit byte-identical
+# stdout and bench_out/ CSVs regardless of MSAMP_THREADS.
+#
+#   scripts/check_bench_determinism.sh [build-dir]     # default: build
+#   THREADS="1 4 7" scripts/check_bench_determinism.sh
+#
+# Each bench runs once per thread count in its own scratch directory; the
+# first run is the reference and every later one is diffed against it
+# (stdout and the bench_out/ tree, byte for byte).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${1:-build}
+THREADS=${THREADS:-"1 4"}
+BENCHES=${BENCHES:-"
+  bench_crosscheck_fluid_vs_packet
+  bench_crosscheck_packet_incast
+  bench_crosscheck_switch_vs_host
+  bench_validation_stability
+  bench_ablation_cc_compare
+  bench_ablation_buffer_policies
+  bench_ablation_ecn_threshold
+  bench_ablation_fabric
+  bench_ablation_asic_generations
+  bench_ablation_gro_inflation
+"}
+
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
+fail=0
+for bench in $BENCHES; do
+  bin="$PWD/$BUILD/bench/$bench"
+  [ -x "$bin" ] || { echo "error: $bin not built"; exit 1; }
+  ref=""
+  for t in $THREADS; do
+    dir="$scratch/${bench}_t${t}"
+    mkdir -p "$dir"
+    (cd "$dir" && MSAMP_THREADS="$t" "$bin" > stdout.txt)
+    if [ -z "$ref" ]; then
+      ref="$dir"
+    elif ! diff -r "$ref" "$dir" > /dev/null; then
+      echo "MISMATCH: $bench differs between MSAMP_THREADS=${THREADS%% *} and $t"
+      diff -r "$ref" "$dir" | head -20
+      fail=1
+    fi
+  done
+  echo "ok: $bench byte-identical for MSAMP_THREADS in {$THREADS}"
+done
+
+[ "$fail" -eq 0 ] && echo "BENCH DETERMINISM OK" || exit 1

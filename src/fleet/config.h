@@ -41,8 +41,9 @@ struct FleetConfig {
   // Execution.  Rack windows are simulated concurrently on a deterministic
   // pool (util::ThreadPool); any value here produces byte-identical
   // datasets, which is why `threads` is deliberately excluded from
-  // fingerprint().  The MSAMP_THREADS environment variable overrides it.
-  int threads = 0;  ///< concurrent windows; 0 = all hardware cores
+  // fingerprint().  A positive value is used as given; 0 defers to the
+  // MSAMP_THREADS environment variable, else all hardware cores.
+  int threads = 0;  ///< concurrent windows; 0 = MSAMP_THREADS / all cores
 
   // Rack hardware (§3).
   double line_rate_gbps = 12.5;

@@ -143,9 +143,16 @@ bool Dataset::save(const std::string& path) const {
 }
 
 bool Dataset::load(const std::string& path) {
+  // A directory can be opened for reading on Linux, and seeking it yields
+  // either -1 or a bogus huge offset depending on the filesystem — both of
+  // which would drive an absurd buffer allocation below.
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec)) return false;
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return false;
-  const auto size = static_cast<std::size_t>(in.tellg());
+  const std::streamoff end = in.tellg();
+  if (end < 0) return false;
+  const auto size = static_cast<std::size_t>(end);
   in.seekg(0);
   std::vector<std::uint8_t> blob(size);
   in.read(reinterpret_cast<char*>(blob.data()),

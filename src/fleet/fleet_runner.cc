@@ -9,6 +9,7 @@
 #include "analysis/contention.h"
 #include "analysis/loss_assoc.h"
 #include "fleet/fluid_rack.h"
+#include "util/parallel_map.h"
 #include "util/thread_pool.h"
 #include "workload/diurnal.h"
 #include "workload/placement.h"
@@ -229,28 +230,39 @@ Dataset run_fleet(const FleetConfig& config,
   // the Dataset in canonical window order below.
   const std::size_t total_windows =
       racks.size() * static_cast<std::size_t>(config.hours);
-  std::vector<WindowOutput> windows(total_windows);
   util::ThreadPool pool(config.threads);
   std::mutex progress_mu;
   std::size_t completed = 0;
-  pool.parallel_for(total_windows, [&](std::size_t w) {
-    const int hour = static_cast<int>(w / racks.size());
-    const workload::RackMeta& rack = racks[w % racks.size()];
-    windows[w] = simulate_window(config, burst_cfg, rack, hour);
-    if (progress) {
-      // Serialized and strictly increasing: each completion bumps the
-      // counter exactly once, and total/total is exactly 1.0.
-      std::lock_guard<std::mutex> lock(progress_mu);
-      ++completed;
-      progress(static_cast<double>(completed) /
-               static_cast<double>(total_windows));
-    }
-  });
+  const std::vector<WindowOutput> windows =
+      util::parallel_map(pool, total_windows, [&](std::size_t w) {
+        const int hour = static_cast<int>(w / racks.size());
+        const workload::RackMeta& rack = racks[w % racks.size()];
+        WindowOutput out = simulate_window(config, burst_cfg, rack, hour);
+        if (progress) {
+          // Serialized and strictly increasing: each completion bumps the
+          // counter exactly once, and total/total is exactly 1.0.
+          std::lock_guard<std::mutex> lock(progress_mu);
+          ++completed;
+          progress(static_cast<double>(completed) /
+                   static_cast<double>(total_windows));
+        }
+        return out;
+      });
   if (progress && total_windows == 0) progress(1.0);
 
-  // --- canonical-order reduction ---
+  // --- canonical-order reduction, pre-sized from per-window counts so the
+  // multi-million-record vectors at paper scale fill without reallocating ---
+  std::size_t n_rack_runs = 0, n_server_runs = 0, n_bursts = 0;
+  for (const auto& out : windows) {
+    n_rack_runs += out.has_run ? 1 : 0;
+    n_server_runs += out.server_runs.size();
+    n_bursts += out.bursts.size();
+  }
+  ds.rack_runs.reserve(n_rack_runs);
+  ds.server_runs.reserve(n_server_runs);
+  ds.bursts.reserve(n_bursts);
   bool have_low = false, have_high = false;
-  for (auto& out : windows) {
+  for (const auto& out : windows) {
     if (!out.has_run) continue;
     ds.rack_runs.push_back(out.rack_run);
     ds.server_runs.insert(ds.server_runs.end(), out.server_runs.begin(),

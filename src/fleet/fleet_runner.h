@@ -15,8 +15,9 @@
 namespace msamp::fleet {
 
 /// Generates the full dataset.  Windows are simulated on
-/// `config.threads` lanes (0 = all cores; MSAMP_THREADS overrides); the
-/// result is byte-identical for any thread count.  `progress` (optional)
+/// `config.threads` lanes (positive = exact count; 0 = MSAMP_THREADS if
+/// set, else all cores); the result is byte-identical for any thread
+/// count.  `progress` (optional)
 /// is invoked serially after each completed (region, hour, rack) window
 /// with a strictly increasing fraction that ends at exactly 1.0.
 Dataset run_fleet(const FleetConfig& config,

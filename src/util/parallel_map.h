@@ -1,0 +1,42 @@
+// Deterministic parallel map on top of util::ThreadPool.
+//
+// `parallel_map(pool, n, fn)` computes fn(i) for every i in [0, n) on the
+// pool's lanes and returns the results as a vector in canonical index
+// order — out[i] == fn(i) no matter which lane computed it or in what
+// order.  The output vector is pre-sized up front (one allocation, no
+// locking on the result path), which is the first step of the ROADMAP's
+// "streaming / sharded reduction" item: reducers downstream fold a
+// pre-sized, index-addressed buffer instead of appending under contention.
+//
+// The determinism contract is inherited from ThreadPool::parallel_for and
+// is the caller's side: fn(i) must depend only on i (fork RNGs from a
+// keyed seed, never from execution order).  Under that contract the
+// returned vector — and anything folded from it in index order — is
+// byte-identical for any thread count, including 1.
+//
+// If fn throws, the first captured exception is rethrown on the calling
+// thread (see ThreadPool::parallel_for); already-computed results are
+// discarded with the vector.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace msamp::util {
+
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::size_t n, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using Result = std::invoke_result_t<Fn&, std::size_t>;
+  static_assert(std::is_default_constructible_v<Result>,
+                "parallel_map results are pre-sized, so the result type "
+                "must be default-constructible");
+  std::vector<Result> out(n);
+  pool.parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace msamp::util

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <utility>
 
 namespace msamp::util {
 
 int ThreadPool::resolve(int requested) noexcept {
+  // An explicit request wins; MSAMP_THREADS only fills in the default.
+  if (requested > 0) return std::min(requested, 1024);
   if (const char* env = std::getenv("MSAMP_THREADS")) {
     char* end = nullptr;
     const long v = std::strtol(env, &end, 10);
@@ -13,7 +16,6 @@ int ThreadPool::resolve(int requested) noexcept {
       return static_cast<int>(std::min<long>(v, 1024));
     }
   }
-  if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
@@ -39,7 +41,17 @@ void ThreadPool::drain_current_job() {
   for (;;) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= n_) return;
-    (*body_)(i);
+    try {
+      (*body_)(i);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+      // Abandon unclaimed indices so every lane falls out of the job and
+      // parallel_for can rethrow; indices already claimed still finish.
+      next_.store(n_, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -71,6 +83,7 @@ void ThreadPool::parallel_for(std::size_t n,
     std::lock_guard<std::mutex> lock(mu_);
     n_ = n;
     body_ = &body;
+    error_ = nullptr;
     next_.store(0, std::memory_order_relaxed);
     active_ = workers_.size();
     ++generation_;
@@ -80,6 +93,11 @@ void ThreadPool::parallel_for(std::size_t n,
   std::unique_lock<std::mutex> lock(mu_);
   cv_done_.wait(lock, [&] { return active_ == 0; });
   body_ = nullptr;
+  if (error_) {
+    const std::exception_ptr e = std::exchange(error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
 }
 
 }  // namespace msamp::util

@@ -15,6 +15,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -25,8 +26,9 @@ namespace msamp::util {
 class ThreadPool {
  public:
   /// Spawns `resolve(threads) - 1` workers (the caller is the remaining
-  /// lane).  `threads == 0` means all hardware cores; the MSAMP_THREADS
-  /// environment variable overrides either value.
+  /// lane).  A positive `threads` is used as given; `threads == 0` means
+  /// the MSAMP_THREADS environment variable when set, else all hardware
+  /// cores.
   explicit ThreadPool(int threads = 0);
   ~ThreadPool();
 
@@ -37,15 +39,19 @@ class ThreadPool {
   int size() const noexcept { return static_cast<int>(workers_.size()) + 1; }
 
   /// Runs body(0) ... body(n-1), each exactly once, and returns when all
-  /// are done.  The calling thread participates.  `body` must not throw
-  /// and must be safe to invoke concurrently for distinct indices.  Not
-  /// reentrant: one parallel_for at a time per pool.
+  /// are done.  The calling thread participates.  `body` must be safe to
+  /// invoke concurrently for distinct indices.  If a body throws (on any
+  /// lane), unclaimed indices are abandoned, the job drains, and the
+  /// FIRST captured exception is rethrown on the calling thread; the pool
+  /// stays reusable afterwards.  Not reentrant: one parallel_for at a
+  /// time per pool.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t)>& body);
 
-  /// Effective thread count: MSAMP_THREADS env var (when set to a positive
-  /// integer) wins, else `requested` when positive, else the hardware
-  /// concurrency (at least 1).
+  /// Effective thread count: an explicit `requested` value (positive
+  /// integer) wins, else the MSAMP_THREADS env var when set to a positive
+  /// integer, else the hardware concurrency (at least 1).  Both explicit
+  /// and env-derived counts are clamped to 1024.
   static int resolve(int requested) noexcept;
 
  private:
@@ -66,6 +72,7 @@ class ThreadPool {
   std::size_t n_ = 0;
   const std::function<void(std::size_t)>* body_ = nullptr;
   std::atomic<std::size_t> next_{0};
+  std::exception_ptr error_;  ///< first exception thrown by the job's body
 };
 
 }  // namespace msamp::util

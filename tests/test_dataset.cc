@@ -1,10 +1,14 @@
-// Tests for dataset record serialization.
+// Tests for dataset record serialization, including byte-level hardening
+// of deserialize() against truncated, mutated, and hostile blobs.
 #include "fleet/dataset.h"
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 
 #include <gtest/gtest.h>
+
+#include "fleet/fleet_runner.h"
 
 namespace msamp::fleet {
 namespace {
@@ -79,6 +83,22 @@ TEST(Dataset, SerializeRoundTrip) {
             ds.low_contention_example.contention);
 }
 
+/// A real (small) generated dataset, so the hardening tests mutate blobs
+/// with genuine record counts, exemplars, and trailing structure.
+const std::vector<std::uint8_t>& real_blob() {
+  static const std::vector<std::uint8_t> blob = [] {
+    FleetConfig cfg;
+    cfg.racks_per_region = 2;
+    cfg.servers_per_rack = 16;
+    cfg.hours = 2;
+    cfg.samples_per_run = 60;
+    cfg.warmup_ms = 5;
+    cfg.threads = 1;
+    return run_fleet(cfg).serialize();
+  }();
+  return blob;
+}
+
 TEST(Dataset, RejectsCorruption) {
   auto blob = sample_dataset().serialize();
   Dataset ds;
@@ -114,6 +134,82 @@ TEST(Dataset, SaveLoadFile) {
 TEST(Dataset, LoadMissingFileFails) {
   Dataset ds;
   EXPECT_FALSE(ds.load("does/not/exist.bin"));
+}
+
+TEST(Dataset, LoadDirectoryFails) {
+  // On Linux a directory can be opened for reading but tellg() is -1;
+  // load must fail cleanly rather than size a 2^64-byte buffer.
+  Dataset ds;
+  EXPECT_FALSE(ds.load("."));
+}
+
+TEST(Dataset, RealBlobRoundTrips) {
+  Dataset ds;
+  ASSERT_TRUE(ds.deserialize(real_blob()));
+  EXPECT_EQ(ds.serialize(), real_blob());
+  EXPECT_FALSE(ds.rack_runs.empty());
+  EXPECT_FALSE(ds.server_runs.empty());
+}
+
+TEST(Dataset, RejectsTruncationAtEveryLength) {
+  const auto& blob = real_blob();
+  for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+    Dataset ds;
+    const std::vector<std::uint8_t> prefix(blob.begin(),
+                                           blob.begin() + cut);
+    EXPECT_FALSE(ds.deserialize(prefix)) << "cut=" << cut;
+  }
+}
+
+TEST(Dataset, RejectsTrailingGarbageOnRealBlob) {
+  auto blob = real_blob();
+  blob.push_back(0);
+  Dataset ds;
+  EXPECT_FALSE(ds.deserialize(blob));
+}
+
+TEST(Dataset, RejectsWrongMagicAndVersion) {
+  {
+    auto blob = real_blob();
+    blob[0] ^= 0xff;  // magic
+    Dataset ds;
+    EXPECT_FALSE(ds.deserialize(blob));
+  }
+  {
+    auto blob = real_blob();
+    blob[4] ^= 0xff;  // version
+    Dataset ds;
+    EXPECT_FALSE(ds.deserialize(blob));
+  }
+}
+
+TEST(Dataset, RejectsOversizedVectorLengths) {
+  // The first u64 vector length (racks) sits right after magic(4) +
+  // version(4) + fingerprint(8).  An adversarial or corrupted count must
+  // fail the bounds check, not drive a huge resize/memcpy.
+  constexpr std::size_t kFirstLenOffset = 16;
+  for (std::uint64_t hostile :
+       {std::uint64_t{0x7fffffffffffffffULL}, std::uint64_t{1} << 32,
+        std::uint64_t{0xffffffffffffffffULL}}) {
+    auto blob = real_blob();
+    std::memcpy(blob.data() + kFirstLenOffset, &hostile, sizeof(hostile));
+    Dataset ds;
+    EXPECT_FALSE(ds.deserialize(blob)) << "len=" << hostile;
+  }
+}
+
+TEST(Dataset, SingleByteMutationsNeverCrash) {
+  // Any byte-level mutation must either parse (content changes that stay
+  // structurally valid) or return false — never read out of bounds or
+  // throw.  Run under the ASan/UBSan lane this is a real fuzz of the
+  // reader's bounds checks.
+  const auto& blob = real_blob();
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    auto mutated = blob;
+    mutated[i] ^= 0xa5;
+    Dataset ds;
+    (void)ds.deserialize(mutated);
+  }
 }
 
 TEST(Dataset, ClassLookup) {

@@ -1,12 +1,15 @@
-// Unit tests for the deterministic fork-join pool.
+// Unit tests for the deterministic fork-join pool and parallel_map.
 #include "util/thread_pool.h"
 
 #include <atomic>
 #include <cstdlib>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "util/parallel_map.h"
 
 namespace msamp::util {
 namespace {
@@ -76,18 +79,86 @@ TEST(ThreadPool, ReusableAcrossJobs) {
   EXPECT_EQ(sum.load(), 20L * (99L * 100L / 2));
 }
 
-TEST(ThreadPool, ResolvePrefersEnvThenRequestedThenHardware) {
+TEST(ThreadPool, ResolvePrefersRequestThenEnvThenHardware) {
   ScopedNoEnvThreads no_env;
   EXPECT_EQ(ThreadPool::resolve(5), 5);
   EXPECT_GE(ThreadPool::resolve(0), 1);  // hardware concurrency, >= 1
   setenv("MSAMP_THREADS", "3", 1);
   EXPECT_EQ(ThreadPool::resolve(0), 3);
-  EXPECT_EQ(ThreadPool::resolve(16), 3);  // env overrides the request
+  EXPECT_EQ(ThreadPool::resolve(16), 16);  // explicit request beats env
   setenv("MSAMP_THREADS", "garbage", 1);
   EXPECT_EQ(ThreadPool::resolve(2), 2);  // unparsable env is ignored
   setenv("MSAMP_THREADS", "-4", 1);
   EXPECT_EQ(ThreadPool::resolve(2), 2);  // non-positive env is ignored
   unsetenv("MSAMP_THREADS");
+}
+
+TEST(ThreadPool, ResolveClampsBothRequestAndEnv) {
+  ScopedNoEnvThreads no_env;
+  EXPECT_EQ(ThreadPool::resolve(5000), 1024);
+  setenv("MSAMP_THREADS", "999999", 1);
+  EXPECT_EQ(ThreadPool::resolve(0), 1024);
+  unsetenv("MSAMP_THREADS");
+}
+
+TEST(ThreadPool, ThrowingBodyPropagatesAndPoolStaysUsable) {
+  ScopedNoEnvThreads no_env;
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    for (int round = 0; round < 3; ++round) {
+      EXPECT_THROW(
+          pool.parallel_for(200,
+                            [&](std::size_t i) {
+                              if (i == 150) throw std::runtime_error("boom");
+                            }),
+          std::runtime_error)
+          << "threads=" << threads << " round=" << round;
+      // The pool must come back clean: the next job runs every index.
+      std::atomic<long> sum{0};
+      pool.parallel_for(100, [&](std::size_t i) {
+        sum.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+      });
+      EXPECT_EQ(sum.load(), 99L * 100L / 2);
+    }
+  }
+}
+
+TEST(ThreadPool, ThrowKeepsTheMessage) {
+  ScopedNoEnvThreads no_env;
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(50, [](std::size_t i) {
+      if (i == 10) throw std::runtime_error("window 10 failed");
+    });
+    FAIL() << "expected the body's exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "window 10 failed");
+  }
+}
+
+TEST(ParallelMap, CanonicalOrderForAnyThreadCount) {
+  ScopedNoEnvThreads no_env;
+  for (int threads : {1, 2, 4, 7}) {
+    ThreadPool pool(threads);
+    const auto out = parallel_map(
+        pool, 500, [](std::size_t i) { return static_cast<long>(i * i); });
+    ASSERT_EQ(out.size(), 500u);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], static_cast<long>(i * i)) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelMap, EmptyRangeAndThrowingFn) {
+  ScopedNoEnvThreads no_env;
+  ThreadPool pool(4);
+  EXPECT_TRUE(parallel_map(pool, 0, [](std::size_t i) { return i; }).empty());
+  EXPECT_THROW(parallel_map(pool, 20,
+                            [](std::size_t i) -> int {
+                              if (i == 7) throw std::runtime_error("bad");
+                              return static_cast<int>(i);
+                            }),
+               std::runtime_error);
 }
 
 TEST(ThreadPool, SizeCountsTheCallingThread) {

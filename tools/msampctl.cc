@@ -12,18 +12,23 @@
 //   msampctl fleet [--racks N] [--hours H] [--samples N] [--seed S]
 //                  [--threads T] [--out dataset.bin]
 //       Generate a two-region measurement day and save the distilled
-//       dataset.  --threads 0 (the default) uses every hardware core;
-//       the MSAMP_THREADS environment variable overrides the flag.  Any
-//       thread count produces byte-identical output for a given --seed.
+//       dataset.  An explicit --threads N wins; --threads 0 (the default)
+//       defers to the MSAMP_THREADS environment variable, else uses every
+//       hardware core.  Any thread count produces byte-identical output
+//       for a given --seed.
 //
 //   msampctl report --dataset dataset.bin
 //       Print the §7/§8 headline statistics of a saved dataset.
 //
 // Every command is deterministic for a given --seed.
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "analysis/burst_stats.h"
 #include "analysis/diagnose.h"
@@ -41,14 +46,37 @@ using namespace msamp;
 
 namespace {
 
+void usage();
+
+/// Prints a usage error and exits with status 2.
+[[noreturn]] void die_usage(const std::string& message) {
+  std::cerr << "error: " << message << "\n";
+  usage();
+  std::exit(2);
+}
+
 /// Minimal --flag value parser: later duplicates win; flags not in `args`
-/// keep their defaults.
+/// keep their defaults.  Every flag takes exactly one value; a trailing
+/// flag with no value, a positional token, an unknown flag, or a
+/// non-numeric value for a numeric flag is a usage error (exit 2), never
+/// an out-of-bounds argv read.
 class Flags {
  public:
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) != 0) continue;
-      values_[argv[i] + 2] = argv[i + 1];
+  Flags(int argc, char** argv, int first,
+        const std::vector<std::string>& known) {
+    for (int i = first; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        die_usage(std::string("unexpected argument '") + argv[i] +
+                  "' (flags look like --key value)");
+      }
+      const std::string key = argv[i] + 2;
+      if (std::find(known.begin(), known.end(), key) == known.end()) {
+        die_usage("unknown flag '--" + key + "' for this command");
+      }
+      if (i + 1 >= argc) {
+        die_usage("flag '--" + key + "' is missing its value");
+      }
+      values_[key] = argv[++i];
     }
   }
 
@@ -58,11 +86,29 @@ class Flags {
   }
   long num(const std::string& key, long fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stol(it->second);
+    if (it == values_.end()) return fallback;
+    try {
+      std::size_t used = 0;
+      const long v = std::stol(it->second, &used);
+      if (used != it->second.size()) throw std::invalid_argument(it->second);
+      return v;
+    } catch (const std::exception&) {
+      die_usage("flag '--" + key + "' needs an integer, got '" + it->second +
+                "'");
+    }
   }
   double real(const std::string& key, double fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stod(it->second);
+    if (it == values_.end()) return fallback;
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(it->second, &used);
+      if (used != it->second.size()) throw std::invalid_argument(it->second);
+      return v;
+    } catch (const std::exception&) {
+      die_usage("flag '--" + key + "' needs a number, got '" + it->second +
+                "'");
+    }
   }
 
  private:
@@ -231,11 +277,22 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
-  const Flags flags(argc, argv, 2);
+  // Per-command flag vocabulary: anything else is a usage error.
+  const std::map<std::string, std::vector<std::string>> known_flags = {
+      {"simulate-rack",
+       {"servers", "task", "intensity", "samples", "hour", "seed", "out"}},
+      {"analyze", {"trace", "gbps"}},
+      {"fleet", {"racks", "hours", "samples", "seed", "threads", "out"}},
+      {"report", {"dataset"}},
+  };
+  const auto it = known_flags.find(cmd);
+  if (it == known_flags.end()) {
+    usage();
+    return 2;
+  }
+  const Flags flags(argc, argv, 2, it->second);
   if (cmd == "simulate-rack") return cmd_simulate_rack(flags);
   if (cmd == "analyze") return cmd_analyze(flags);
   if (cmd == "fleet") return cmd_fleet(flags);
-  if (cmd == "report") return cmd_report(flags);
-  usage();
-  return 2;
+  return cmd_report(flags);
 }
