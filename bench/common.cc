@@ -4,7 +4,9 @@
 #include "util/thread_pool.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 namespace msamp::bench {
 
@@ -28,16 +30,23 @@ util::ThreadPool& bench_pool() {
 }
 
 const fleet::Dataset& dataset() {
+  // MSAMP_DATASET points the benches at a pre-built cache file — e.g. a
+  // dataset assembled from shards with `msampctl merge` on a big host.
+  // The file must fingerprint-match bench_config() and cover the full day
+  // (shared_dataset checks both), else it is regenerated in place.
+  const char* env = std::getenv("MSAMP_DATASET");
+  const std::string cache_path =
+      (env != nullptr && *env != '\0') ? env : "bench_out/fleet_dataset.bin";
   static bool announced = false;
   if (!announced) {
     announced = true;
     std::fprintf(stderr,
                  "[bench] loading fleet dataset (generated on first use "
-                 "with %d thread(s); cached in "
-                 "bench_out/fleet_dataset.bin)...\n",
-                 util::ThreadPool::resolve(bench_config().threads));
+                 "with %d thread(s); cached in %s)...\n",
+                 util::ThreadPool::resolve(bench_config().threads),
+                 cache_path.c_str());
   }
-  return fleet::shared_dataset(bench_config());
+  return fleet::shared_dataset(bench_config(), cache_path);
 }
 
 std::unordered_map<std::uint32_t, analysis::RackClass> class_map(

@@ -40,6 +40,10 @@ auto parallel_windows(std::size_t n, Fn&& body) {
 }
 
 /// The shared dataset (generated on first use, cached under bench_out/).
+/// Set MSAMP_DATASET=/path/to/dataset.bin to use a pre-built cache — e.g.
+/// one assembled from `msampctl fleet --shard I/N` runs via `msampctl
+/// merge` at the bench scale/seed; a fingerprint mismatch or partial
+/// shard file is regenerated, never silently served.
 const fleet::Dataset& dataset();
 
 /// rack_id -> measured RackClass for the dataset.

@@ -18,7 +18,7 @@ if [ "${MSAMP_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan -G Ninja -DMSAMP_TSAN=ON
   cmake --build build-tsan --target msamp_tests
   ctest --test-dir build-tsan --output-on-failure \
-    -R '^(ThreadPool|FleetParallel|FleetRunner|FleetConfig|FluidRack|Dataset|Aggregate|Rng)'
+    -R '^(ThreadPool|FleetParallel|FleetRunner|FleetConfig|FluidRack|Dataset|Shard|Merge|Aggregate|Rng)'
 fi
 
 # ASan+UBSan lane: a third build tree with -DMSAMP_ASAN=ON, running the
@@ -30,12 +30,17 @@ if [ "${MSAMP_SKIP_ASAN:-0}" != "1" ]; then
   cmake -B build-asan -G Ninja -DMSAMP_ASAN=ON
   cmake --build build-asan --target msamp_tests msampctl
   ctest --test-dir build-asan --output-on-failure \
-    -R '^(Dataset|FleetConfig|cli_usage|cli_pipeline)'
+    -R '^(Dataset|FleetConfig|Shard|Merge|Flags|cli_usage|cli_pipeline)'
 fi
 
 # Bench-parallelism determinism: the parallelized benches must emit
 # byte-identical stdout and bench_out/ CSVs for any MSAMP_THREADS.
 scripts/check_bench_determinism.sh build
+
+# Multi-process determinism: `msampctl fleet --shard I/N` runs (different
+# thread counts per shard) merged back must equal the whole-day dataset
+# byte for byte.
+scripts/check_shard_determinism.sh build
 
 for b in build/bench/bench_*; do
   echo "== $b"

@@ -3,6 +3,15 @@
 // would be the paper's 8.16B samples; the analyses of §6-§8 only need these
 // summaries).  Includes binary (de)serialization so bench binaries share
 // one generated dataset through a disk cache.
+//
+// Datasets are shard-aware: a file carries a shard header (which contiguous
+// slice of the canonical window sequence it covers, plus per-window record
+// counts), so partial datasets produced by `run_fleet(config, shard, sink)`
+// are first-class files that `merge_datasets` can validate and fold back
+// into the full day, byte-identical to a single-process run.  The wire
+// format writes every record field-by-field (no struct padding ever reaches
+// the file), which is what makes "byte-identical across processes and
+// machines" a checkable contract rather than an ABI accident.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +23,39 @@
 #include "workload/region_id.h"
 
 namespace msamp::fleet {
+
+/// Which contiguous slice of the canonical (hour-major, rack-minor) window
+/// sequence a generation run covers.  `{0, 1}` is the full day.  The
+/// partition is deterministic and balanced: shard i of n owns windows
+/// [total*i/n, total*(i+1)/n), so every window belongs to exactly one
+/// shard, shards differ in size by at most one window, and `count` may
+/// exceed the window count (trailing shards are empty).
+struct ShardSpec {
+  std::uint32_t index = 0;
+  std::uint32_t count = 1;
+
+  bool valid() const { return count >= 1 && index < count; }
+  /// True when this spec covers the whole canonical window range.
+  bool full_range() const { return count == 1; }
+
+  std::size_t begin(std::size_t total_windows) const {
+    return static_cast<std::size_t>(
+        static_cast<std::uint64_t>(total_windows) * index / count);
+  }
+  std::size_t end(std::size_t total_windows) const {
+    return static_cast<std::size_t>(
+        static_cast<std::uint64_t>(total_windows) * (index + 1) / count);
+  }
+};
+
+/// Per-window record counts, serialized in the shard header so a merge can
+/// pre-size the folded vectors and validate every shard's contribution
+/// against what its windows actually produced.
+struct WindowCounts {
+  std::uint8_t has_run = 0;        ///< window produced a RackRunRecord
+  std::uint32_t server_runs = 0;
+  std::uint32_t bursts = 0;
+};
 
 /// One detected burst (drives Table 2 and Figures 7, 16, 18, 19).
 struct BurstRecord {
@@ -80,10 +122,19 @@ struct ExemplarRun {
   std::vector<std::uint16_t> contention;
 };
 
-/// The full distilled dataset.
+/// The distilled dataset — the full day, or one shard of it.  A shard
+/// carries the complete rack table (placement is cheap and identical in
+/// every shard) but only the run/burst records of its window range, and
+/// leaves the busy-hour classification fields zeroed; `merge_datasets`
+/// recomputes them once coverage is complete.
 struct Dataset {
   std::uint64_t fingerprint = 0;  ///< FleetConfig::fingerprint() at creation
-  FleetConfig config;
+  FleetConfig config;             ///< serialized except `threads` (0 on load)
+  ShardSpec shard;                ///< which slice of the day this holds
+  std::uint64_t window_begin = 0;  ///< first canonical window index covered
+  std::uint64_t window_end = 0;    ///< one past the last covered window
+  /// One entry per covered window, in canonical order.
+  std::vector<WindowCounts> window_counts;
   std::vector<RackInfo> racks;
   std::vector<RackRunRecord> rack_runs;
   std::vector<ServerRunRecord> server_runs;

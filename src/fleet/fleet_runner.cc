@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <utility>
 
 #include "analysis/burst_stats.h"
@@ -45,31 +46,14 @@ ExemplarRun make_exemplar(const core::SyncRun& sync,
   return ex;
 }
 
-constexpr std::uint8_t kLowExemplar = 1;
-constexpr std::uint8_t kHighExemplar = 2;
-
-/// Everything one (region, hour, rack) window contributes to the Dataset.
-/// Windows are simulated concurrently; the reduction into the Dataset
-/// happens afterwards, strictly in canonical (hour-major, rack-minor)
-/// window order, so the assembled dataset is byte-identical for any
-/// thread count.
-struct WindowOutput {
-  bool has_run = false;
-  RackRunRecord rack_run;
-  std::vector<ServerRunRecord> server_runs;
-  std::vector<BurstRecord> bursts;
-  std::uint8_t exemplar_kind = 0;  ///< kLowExemplar / kHighExemplar bits
-  ExemplarRun exemplar;
-};
-
 /// Simulates one window and runs the analysis pipeline on it.  Depends
 /// only on (config, rack, hour) — the RNG forks from the master seed keyed
 /// on (rack_id, hour), never on execution order — so windows can run on
 /// any thread in any order.
-WindowOutput simulate_window(const FleetConfig& config,
-                             const analysis::BurstDetectConfig& burst_cfg,
-                             const workload::RackMeta& rack, int hour) {
-  WindowOutput out;
+WindowRecords simulate_window(const FleetConfig& config,
+                              const analysis::BurstDetectConfig& burst_cfg,
+                              const workload::RackMeta& rack, int hour) {
+  WindowRecords out;
   util::Rng rng(fnv_step(fnv_step(config.seed, static_cast<std::uint64_t>(
                                                    rack.rack_id) +
                                                    1000003),
@@ -142,9 +126,9 @@ WindowOutput simulate_window(const FleetConfig& config,
   }
 
   // Exemplar candidates for Figure 5 (captured during the busy hour).
-  // Which candidate actually lands in the Dataset is decided during the
-  // canonical-order reduction: the first qualifying window wins, exactly
-  // as in a serial hour-by-hour, rack-by-rack sweep.
+  // Which candidate actually lands in the Dataset is decided by the sink's
+  // canonical-order fold: the first qualifying window wins, exactly as in
+  // a serial hour-by-hour, rack-by-rack sweep.
   if (hour == workload::kBusyHour) {
     const double high_cut = config.classify.high_threshold;
     if (cs.avg > 0.1 && cs.avg < high_cut / 4.0 && cs.max <= 4) {
@@ -164,9 +148,15 @@ WindowOutput simulate_window(const FleetConfig& config,
 }  // namespace
 
 // Bump whenever the workload/placement/fluid model changes in a way that
-// alters generated data, so stale disk caches are regenerated.
-// (Parallelization intentionally did NOT bump this: any thread count
-// produces the same bytes as the serial sweep, so old caches stay valid.)
+// alters generated data for an unchanged config, so stale disk caches are
+// regenerated.  The rules:
+//  - model/behavior change (same config, different records) -> bump this;
+//  - new config knob entering the data -> add it to fingerprint() below
+//    (which re-keys every cache on its own; no version bump needed);
+//  - wire-format change -> bump kVersion in dataset.cc instead.
+// (Parallelization and sharding intentionally did NOT bump this: any
+// thread count or shard split produces the same bytes as the serial
+// sweep, so old caches stay valid across execution strategies.)
 constexpr std::uint64_t kModelVersion = 9;
 
 std::uint64_t FleetConfig::fingerprint() const {
@@ -182,120 +172,86 @@ std::uint64_t FleetConfig::fingerprint() const {
   h = fnv_step(h, static_cast<std::uint64_t>(buffer.total_bytes));
   h = fnv_step(h, static_cast<std::uint64_t>(buffer.alpha * 1000));
   h = fnv_step(h, static_cast<std::uint64_t>(buffer.ecn_threshold));
+  h = fnv_step(h, static_cast<std::uint64_t>(buffer.reserve_per_queue));
+  h = fnv_step(h, static_cast<std::uint64_t>(buffer.quadrants));
+  h = fnv_step(h, static_cast<std::uint64_t>(buffer.burst_alpha_boost * 1000));
   h = fnv_step(h, static_cast<std::uint64_t>(filter_cpus));
   h = fnv_step(h, static_cast<std::uint64_t>(classify.high_threshold * 100));
   h = fnv_step(h, static_cast<std::uint64_t>(buffer.policy));
   h = fnv_step(h, fabric.enabled ? 1u : 0u);
   h = fnv_step(h, static_cast<std::uint64_t>(fabric.uplink_gbps));
   h = fnv_step(h, static_cast<std::uint64_t>(fabric.smoothing * 1000));
-  // `threads` is deliberately absent: thread count never changes the data.
+  h = fnv_step(h, static_cast<std::uint64_t>(rtt_ms * 1e6));
+  h = fnv_step(h, static_cast<std::uint64_t>(mss));
+  h = fnv_step(h, static_cast<std::uint64_t>(loss.rtt_shift_samples));
+  h = fnv_step(h, static_cast<std::uint64_t>(loss.lag_samples));
+  h = fnv_step(h, static_cast<std::uint64_t>(clocks.offset_stddev));
+  h = fnv_step(h, static_cast<std::uint64_t>(clocks.offset_max));
+  // `threads` is deliberately absent: thread count never changes the data
+  // (and neither does the shard split — see docs/PERFORMANCE.md).
   return h;
+}
+
+void run_fleet(const FleetConfig& config, const ShardSpec& shard,
+               WindowSink& sink, std::function<void(double)> progress) {
+  if (!shard.valid()) {
+    throw std::invalid_argument("invalid shard spec " +
+                                std::to_string(shard.index) + "/" +
+                                std::to_string(shard.count));
+  }
+  const std::vector<workload::RackMeta> racks = fleet_racks(config);
+  const analysis::BurstDetectConfig burst_cfg = config.burst_config();
+
+  // --- this shard's slice of the canonical window sequence ---
+  // Window w covers hour (w / racks) and rack (w % racks): the same
+  // hour-major, rack-minor order the serial sweep used.  Each window is
+  // simulated independently (its RNG is keyed on (seed, rack_id, hour))
+  // on whichever pool lane picks it up; completed windows are handed to
+  // the sink strictly in canonical order.
+  const std::size_t total_windows =
+      racks.size() * static_cast<std::size_t>(config.hours);
+  const std::size_t begin = shard.begin(total_windows);
+  const std::size_t end = shard.end(total_windows);
+  const std::size_t shard_windows = end - begin;
+
+  util::ThreadPool pool(config.threads);
+  std::mutex progress_mu;
+  std::size_t completed = 0;
+  // Windows are simulated in bounded chunks: each chunk fans out over the
+  // pool, then drains into the sink in canonical order.  Peak memory is
+  // one chunk of window records, independent of shard (or day) size.
+  const std::size_t chunk_windows =
+      std::max<std::size_t>(static_cast<std::size_t>(pool.size()) * 8, 64);
+  for (std::size_t chunk = begin; chunk < end; chunk += chunk_windows) {
+    const std::size_t n = std::min(chunk_windows, end - chunk);
+    std::vector<WindowRecords> outputs =
+        util::parallel_map(pool, n, [&](std::size_t i) {
+          const std::size_t w = chunk + i;
+          const int hour = static_cast<int>(w / racks.size());
+          const workload::RackMeta& rack = racks[w % racks.size()];
+          WindowRecords out = simulate_window(config, burst_cfg, rack, hour);
+          if (progress) {
+            // Serialized and strictly increasing: each completion bumps
+            // the counter exactly once, and total/total is exactly 1.0.
+            std::lock_guard<std::mutex> lock(progress_mu);
+            ++completed;
+            progress(static_cast<double>(completed) /
+                     static_cast<double>(shard_windows));
+          }
+          return out;
+        });
+    for (std::size_t i = 0; i < n; ++i) {
+      sink.on_window(chunk + i, std::move(outputs[i]));
+    }
+  }
+  if (progress && shard_windows == 0) progress(1.0);
 }
 
 Dataset run_fleet(const FleetConfig& config,
                   std::function<void(double)> progress) {
-  Dataset ds;
-  ds.config = config;
-  ds.fingerprint = config.fingerprint();
-
-  util::Rng master(config.seed);
-  const analysis::BurstDetectConfig burst_cfg = config.burst_config();
-
-  // --- placements for both regions (cheap; stays serial) ---
-  std::vector<workload::RackMeta> racks;
-  for (const auto region : {workload::RegionId::kRegA, workload::RegionId::kRegB}) {
-    util::Rng place_rng = master.fork(static_cast<std::uint64_t>(region) + 7);
-    const auto cfg = workload::default_placement(
-        region, config.racks_per_region, config.servers_per_rack);
-    auto region_racks = workload::generate_racks(
-        cfg, static_cast<int>(racks.size()), place_rng);
-    racks.insert(racks.end(), region_racks.begin(), region_racks.end());
-  }
-  for (const auto& rack : racks) {
-    RackInfo info;
-    info.rack_id = static_cast<std::uint32_t>(rack.rack_id);
-    info.region = static_cast<std::uint8_t>(rack.region);
-    info.ml_dense = rack.ml_dense ? 1 : 0;
-    info.distinct_tasks = static_cast<std::uint16_t>(rack.distinct_tasks());
-    info.dominant_share = static_cast<float>(rack.dominant_share());
-    info.intensity = static_cast<float>(rack.intensity);
-    ds.racks.push_back(info);
-  }
-
-  // --- one SyncMillisampler window per rack per hour ---
-  // Window w covers hour (w / racks) and rack (w % racks): the same
-  // hour-major, rack-minor order the serial sweep used.  Each window is
-  // simulated independently (its RNG is keyed on (seed, rack_id, hour))
-  // on whichever pool lane picks it up, then the results are folded into
-  // the Dataset in canonical window order below.
-  const std::size_t total_windows =
-      racks.size() * static_cast<std::size_t>(config.hours);
-  util::ThreadPool pool(config.threads);
-  std::mutex progress_mu;
-  std::size_t completed = 0;
-  const std::vector<WindowOutput> windows =
-      util::parallel_map(pool, total_windows, [&](std::size_t w) {
-        const int hour = static_cast<int>(w / racks.size());
-        const workload::RackMeta& rack = racks[w % racks.size()];
-        WindowOutput out = simulate_window(config, burst_cfg, rack, hour);
-        if (progress) {
-          // Serialized and strictly increasing: each completion bumps the
-          // counter exactly once, and total/total is exactly 1.0.
-          std::lock_guard<std::mutex> lock(progress_mu);
-          ++completed;
-          progress(static_cast<double>(completed) /
-                   static_cast<double>(total_windows));
-        }
-        return out;
-      });
-  if (progress && total_windows == 0) progress(1.0);
-
-  // --- canonical-order reduction, pre-sized from per-window counts so the
-  // multi-million-record vectors at paper scale fill without reallocating ---
-  std::size_t n_rack_runs = 0, n_server_runs = 0, n_bursts = 0;
-  for (const auto& out : windows) {
-    n_rack_runs += out.has_run ? 1 : 0;
-    n_server_runs += out.server_runs.size();
-    n_bursts += out.bursts.size();
-  }
-  ds.rack_runs.reserve(n_rack_runs);
-  ds.server_runs.reserve(n_server_runs);
-  ds.bursts.reserve(n_bursts);
-  bool have_low = false, have_high = false;
-  for (const auto& out : windows) {
-    if (!out.has_run) continue;
-    ds.rack_runs.push_back(out.rack_run);
-    ds.server_runs.insert(ds.server_runs.end(), out.server_runs.begin(),
-                          out.server_runs.end());
-    ds.bursts.insert(ds.bursts.end(), out.bursts.begin(), out.bursts.end());
-    if (!have_low && (out.exemplar_kind & kLowExemplar) != 0) {
-      ds.low_contention_example = out.exemplar;
-      have_low = true;
-    }
-    if (!have_high && (out.exemplar_kind & kHighExemplar) != 0) {
-      ds.high_contention_example = out.exemplar;
-      have_high = true;
-    }
-  }
-
-  // --- busy-hour classification (RegA bimodal split, §7.1) ---
-  for (auto& info : ds.racks) {
-    double sum = 0.0;
-    int n = 0;
-    for (const auto& rr : ds.rack_runs) {
-      if (rr.rack_id == info.rack_id &&
-          rr.hour == static_cast<std::uint8_t>(workload::kBusyHour)) {
-        sum += rr.avg_contention;
-        ++n;
-      }
-    }
-    info.busy_hour_avg_contention =
-        n > 0 ? static_cast<float>(sum / n) : 0.0f;
-    info.rack_class = static_cast<std::uint8_t>(analysis::classify_rack(
-        static_cast<workload::RegionId>(info.region),
-        info.busy_hour_avg_contention, config.classify));
-  }
-  return ds;
+  DatasetBuilder builder(config);
+  run_fleet(config, ShardSpec{}, builder, std::move(progress));
+  return builder.take();
 }
 
 const Dataset& shared_dataset(const FleetConfig& config,
@@ -305,7 +261,8 @@ const Dataset& shared_dataset(const FleetConfig& config,
   std::lock_guard<std::mutex> lock(mu);
   if (cached && cached->fingerprint == config.fingerprint()) return *cached;
   auto ds = std::make_unique<Dataset>();
-  if (ds->load(cache_path) && ds->fingerprint == config.fingerprint()) {
+  if (ds->load(cache_path) && ds->fingerprint == config.fingerprint() &&
+      ds->shard.full_range()) {
     cached = std::move(ds);
     return *cached;
   }

@@ -1,0 +1,148 @@
+#include "fleet/merge.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <utility>
+
+#include "fleet/shard.h"
+
+namespace msamp::fleet {
+namespace {
+
+bool same_rack_info(const RackInfo& a, const RackInfo& b) {
+  // Classification fields are intentionally excluded: shards leave them
+  // zeroed, and a full-range dataset passed to a single-shard merge has
+  // them filled; the merge recomputes them either way.
+  return a.rack_id == b.rack_id && a.region == b.region &&
+         a.ml_dense == b.ml_dense && a.distinct_tasks == b.distinct_tasks &&
+         a.dominant_share == b.dominant_share && a.intensity == b.intensity;
+}
+
+}  // namespace
+
+std::optional<Dataset> merge_datasets(std::vector<Dataset> shards,
+                                      std::string* error) {
+  const auto fail = [&](std::string msg) -> std::optional<Dataset> {
+    if (error != nullptr) *error = std::move(msg);
+    return std::nullopt;
+  };
+  if (shards.empty()) return fail("no shards to merge");
+
+  std::sort(shards.begin(), shards.end(),
+            [](const Dataset& a, const Dataset& b) {
+              return a.shard.index < b.shard.index;
+            });
+  const Dataset& first = shards.front();
+  const std::uint32_t count = first.shard.count;
+  if (shards.size() != count) {
+    return fail("expected " + std::to_string(count) + " shards (from shard " +
+                std::to_string(first.shard.index) + "'s header), got " +
+                std::to_string(shards.size()));
+  }
+  const std::uint64_t total =
+      2ull * static_cast<std::uint64_t>(first.config.racks_per_region) *
+      static_cast<std::uint64_t>(first.config.hours);
+
+  std::uint64_t n_runs = 0, n_servers = 0, n_bursts = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Dataset& s = shards[i];
+    const std::string who = "shard " + std::to_string(s.shard.index) + "/" +
+                            std::to_string(s.shard.count);
+    if (s.shard.count != count) {
+      return fail(who + ": shard count disagrees with shard " +
+                  std::to_string(first.shard.index) + "/" +
+                  std::to_string(count));
+    }
+    if (s.shard.index != i) {
+      if (i > 0 && s.shard.index == shards[i - 1].shard.index) {
+        return fail("duplicate shard " + std::to_string(s.shard.index) + "/" +
+                    std::to_string(count));
+      }
+      return fail("missing shard " + std::to_string(i) + "/" +
+                  std::to_string(count));
+    }
+    if (s.fingerprint != first.fingerprint) {
+      return fail(who + ": fingerprint mismatch (generated from a different "
+                        "config, seed, or model version)");
+    }
+    if (s.window_begin != s.shard.begin(static_cast<std::size_t>(total)) ||
+        s.window_end != s.shard.end(static_cast<std::size_t>(total))) {
+      return fail(who + ": covers windows [" +
+                  std::to_string(s.window_begin) + ", " +
+                  std::to_string(s.window_end) +
+                  "), not its canonical slice of [0, " +
+                  std::to_string(total) + ")");
+    }
+    if (s.window_counts.size() != s.window_end - s.window_begin) {
+      return fail(who + ": window count table has " +
+                  std::to_string(s.window_counts.size()) + " entries for " +
+                  std::to_string(s.window_end - s.window_begin) + " windows");
+    }
+    std::uint64_t runs = 0, servers = 0, bursts = 0;
+    for (const auto& c : s.window_counts) {
+      runs += c.has_run ? 1 : 0;
+      servers += c.server_runs;
+      bursts += c.bursts;
+    }
+    if (runs != s.rack_runs.size() || servers != s.server_runs.size() ||
+        bursts != s.bursts.size()) {
+      return fail(who + ": record vectors disagree with its window count "
+                        "table");
+    }
+    if (s.racks.size() != first.racks.size() ||
+        !std::equal(s.racks.begin(), s.racks.end(), first.racks.begin(),
+                    same_rack_info)) {
+      return fail(who + ": rack table differs from shard " +
+                  std::to_string(first.shard.index) + "'s");
+    }
+    n_runs += runs;
+    n_servers += servers;
+    n_bursts += bursts;
+  }
+
+  Dataset out;
+  out.fingerprint = first.fingerprint;
+  out.config = first.config;
+  out.shard = ShardSpec{};  // full range
+  out.window_begin = 0;
+  out.window_end = total;
+  out.window_counts.reserve(static_cast<std::size_t>(total));
+  out.racks = std::move(shards.front().racks);
+  out.rack_runs.reserve(static_cast<std::size_t>(n_runs));
+  out.server_runs.reserve(static_cast<std::size_t>(n_servers));
+  out.bursts.reserve(static_cast<std::size_t>(n_bursts));
+  for (Dataset& s : shards) {
+    out.window_counts.insert(out.window_counts.end(), s.window_counts.begin(),
+                             s.window_counts.end());
+    out.rack_runs.insert(out.rack_runs.end(), s.rack_runs.begin(),
+                         s.rack_runs.end());
+    out.server_runs.insert(out.server_runs.end(), s.server_runs.begin(),
+                           s.server_runs.end());
+    out.bursts.insert(out.bursts.end(), s.bursts.begin(), s.bursts.end());
+    // Shards are canonical-order slices, so the first shard holding an
+    // exemplar holds the globally first qualifying window.
+    if (out.low_contention_example.num_samples == 0 &&
+        s.low_contention_example.num_samples != 0) {
+      out.low_contention_example = std::move(s.low_contention_example);
+    }
+    if (out.high_contention_example.num_samples == 0 &&
+        s.high_contention_example.num_samples != 0) {
+      out.high_contention_example = std::move(s.high_contention_example);
+    }
+    // Release each shard's records as soon as they are folded, so peak
+    // memory stays one day plus one shard rather than two full days.
+    s.window_counts.clear();
+    s.window_counts.shrink_to_fit();
+    s.rack_runs.clear();
+    s.rack_runs.shrink_to_fit();
+    s.server_runs.clear();
+    s.server_runs.shrink_to_fit();
+    s.bursts.clear();
+    s.bursts.shrink_to_fit();
+  }
+  finalize_classification(out);
+  return out;
+}
+
+}  // namespace msamp::fleet

@@ -39,6 +39,8 @@
 #include "fleet/dataset.h"
 #include "fleet/fleet_runner.h"
 #include "fleet/fluid_rack.h"
+#include "fleet/merge.h"
+#include "fleet/shard.h"
 #include "net/host.h"
 #include "net/link.h"
 #include "net/nic.h"
@@ -56,6 +58,7 @@
 #include "transport/tcp_connection.h"
 #include "transport/transport_host.h"
 #include "util/ascii_plot.h"
+#include "util/flags.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"

@@ -16,6 +16,15 @@ namespace {
 Dataset sample_dataset() {
   Dataset ds;
   ds.fingerprint = 0xabcdef;
+  // A consistent (hand-built) shard header: one rack per region and one
+  // hour -> two canonical windows, of which the first produced records.
+  ds.config.racks_per_region = 1;
+  ds.config.hours = 1;
+  ds.window_begin = 0;
+  ds.window_end = 2;
+  ds.window_counts.push_back({/*has_run=*/1, /*server_runs=*/1,
+                              /*bursts=*/1});
+  ds.window_counts.push_back({});
   RackInfo rack;
   rack.rack_id = 3;
   rack.region = 0;
@@ -183,19 +192,96 @@ TEST(Dataset, RejectsWrongMagicAndVersion) {
   }
 }
 
+/// Byte offset of the first u64 vector length (the window-count table),
+/// i.e. the size of the fixed-width header (magic + version + fingerprint
+/// + config + shard).  Derived from an all-empty dataset, whose blob is
+/// exactly header + 5 empty vector lengths + 2 empty exemplars (28 bytes
+/// each), so the test keeps working when the header grows.
+std::size_t header_bytes() {
+  static const std::size_t n = Dataset{}.serialize().size() - 5 * 8 - 2 * 28;
+  return n;
+}
+
 TEST(Dataset, RejectsOversizedVectorLengths) {
-  // The first u64 vector length (racks) sits right after magic(4) +
-  // version(4) + fingerprint(8).  An adversarial or corrupted count must
-  // fail the bounds check, not drive a huge resize/memcpy.
-  constexpr std::size_t kFirstLenOffset = 16;
+  // An adversarial or corrupted count must fail the bounds check, not
+  // drive a huge resize/memcpy.
   for (std::uint64_t hostile :
        {std::uint64_t{0x7fffffffffffffffULL}, std::uint64_t{1} << 32,
         std::uint64_t{0xffffffffffffffffULL}}) {
     auto blob = real_blob();
-    std::memcpy(blob.data() + kFirstLenOffset, &hostile, sizeof(hostile));
+    std::memcpy(blob.data() + header_bytes(), &hostile, sizeof(hostile));
     Dataset ds;
     EXPECT_FALSE(ds.deserialize(blob)) << "len=" << hostile;
   }
+}
+
+TEST(Dataset, RejectsTamperedShardHeader) {
+  // The shard header is the last 24 bytes of the fixed-width prefix:
+  // index u32, count u32, window_begin u64, window_end u64.
+  const std::size_t shard_off = header_bytes() - 24;
+  {
+    // count = 0 is never a valid spec.
+    auto blob = real_blob();
+    const std::uint32_t zero = 0;
+    std::memcpy(blob.data() + shard_off + 4, &zero, sizeof(zero));
+    Dataset ds;
+    EXPECT_FALSE(ds.deserialize(blob));
+  }
+  {
+    // index >= count.
+    auto blob = real_blob();
+    const std::uint32_t idx = 1;
+    std::memcpy(blob.data() + shard_off, &idx, sizeof(idx));
+    Dataset ds;
+    EXPECT_FALSE(ds.deserialize(blob));
+  }
+  {
+    // A window range that is not the canonical slice for (shard, config).
+    auto blob = real_blob();
+    std::uint64_t end = 0;
+    std::memcpy(&end, blob.data() + shard_off + 16, sizeof(end));
+    ++end;
+    std::memcpy(blob.data() + shard_off + 16, &end, sizeof(end));
+    Dataset ds;
+    EXPECT_FALSE(ds.deserialize(blob));
+  }
+}
+
+TEST(Dataset, RejectsWindowCountRecordMismatch) {
+  // Inflate one window's burst count: the record vectors no longer agree
+  // with the count table and the parse must fail.
+  auto blob = real_blob();
+  const std::size_t counts_off = header_bytes() + 8;  // first WindowCounts
+  std::uint32_t bursts = 0;
+  std::memcpy(&bursts, blob.data() + counts_off + 5, sizeof(bursts));
+  ++bursts;
+  std::memcpy(blob.data() + counts_off + 5, &bursts, sizeof(bursts));
+  Dataset ds;
+  EXPECT_FALSE(ds.deserialize(blob));
+}
+
+TEST(Dataset, PartialShardRoundTrips) {
+  // A partial shard is a first-class file: header preserved byte for byte.
+  FleetConfig cfg;
+  cfg.racks_per_region = 2;
+  cfg.servers_per_rack = 12;
+  cfg.hours = 2;
+  cfg.samples_per_run = 50;
+  cfg.warmup_ms = 5;
+  cfg.threads = 1;
+  const ShardSpec shard{1, 3};
+  DatasetBuilder builder(cfg, shard);
+  run_fleet(cfg, shard, builder);
+  const Dataset ds = builder.take();
+  EXPECT_EQ(ds.shard.index, 1u);
+  EXPECT_EQ(ds.shard.count, 3u);
+  Dataset copy;
+  ASSERT_TRUE(copy.deserialize(ds.serialize()));
+  EXPECT_EQ(copy.shard.index, 1u);
+  EXPECT_EQ(copy.shard.count, 3u);
+  EXPECT_EQ(copy.window_begin, ds.window_begin);
+  EXPECT_EQ(copy.window_end, ds.window_end);
+  EXPECT_EQ(copy.serialize(), ds.serialize());
 }
 
 TEST(Dataset, SingleByteMutationsNeverCrash) {
@@ -230,6 +316,30 @@ TEST(FleetConfig, FingerprintSensitivity) {
   b = a;
   b.buffer.alpha = 2.0;
   EXPECT_NE(a.fingerprint(), b.fingerprint());
+  // Knobs that reshape the simulated traffic or the measurement pipeline
+  // must re-key the cache too (each was once missing from the hash).
+  b = a;
+  b.rtt_ms = 0.25;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  b = a;
+  b.mss = 9000;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  b = a;
+  b.buffer.reserve_per_queue += 1024;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  b = a;
+  b.loss.rtt_shift_samples += 1;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  b = a;
+  b.loss.lag_samples += 1;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  b = a;
+  b.clocks.offset_stddev *= 2;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  // Execution detail: the thread count must NOT re-key the cache.
+  b = a;
+  b.threads = 7;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
 }
 
 }  // namespace

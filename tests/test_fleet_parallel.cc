@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fleet/merge.h"
 #include "workload/diurnal.h"
 
 namespace msamp::fleet {
@@ -99,6 +100,64 @@ TEST(FleetParallel, ProgressSerializedStrictlyIncreasingEndsAtOne) {
   }
   EXPECT_GT(fractions.front(), 0.0);
   EXPECT_DOUBLE_EQ(fractions.back(), 1.0);
+}
+
+TEST(FleetParallel, MergedShardsByteIdenticalAcrossThreadCounts) {
+  // The multi-process contract end to end: three shards generated with
+  // *different* thread counts, merged, must equal the serial whole-day
+  // run byte for byte.
+  ScopedNoEnvThreads no_env;
+  FleetConfig serial_cfg = small_day();
+  serial_cfg.threads = 1;
+  const std::vector<std::uint8_t> serial_blob =
+      run_fleet(serial_cfg).serialize();
+
+  std::vector<Dataset> shards;
+  const int per_shard_threads[] = {1, 3, 4};
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    FleetConfig cfg = small_day();
+    cfg.threads = per_shard_threads[i];
+    const ShardSpec shard{i, 3};
+    DatasetBuilder builder(cfg, shard);
+    run_fleet(cfg, shard, builder);
+    shards.push_back(builder.take());
+  }
+  // A shard round-trips through its file format without disturbing the
+  // merge (this is the path msampctl fleet --shard / merge exercises).
+  for (Dataset& s : shards) {
+    Dataset copy;
+    ASSERT_TRUE(copy.deserialize(s.serialize()));
+    s = std::move(copy);
+  }
+  std::string error;
+  const auto merged = merge_datasets(std::move(shards), &error);
+  ASSERT_TRUE(merged.has_value()) << error;
+  EXPECT_TRUE(merged->serialize() == serial_blob)
+      << "merged shard bytes differ from the single-process run";
+}
+
+TEST(FleetParallel, SharedDatasetRejectsPartialShardCache) {
+  // A partial shard file at the cache path must be regenerated, never
+  // silently served as the whole day.
+  ScopedNoEnvThreads no_env;
+  const std::string cache = "test_fleet_partial_cache/ds.bin";
+  std::filesystem::remove_all("test_fleet_partial_cache");
+  FleetConfig cfg = fabric_day();
+  cfg.seed = 55341;  // unique fingerprint: avoids the process-wide cache
+  cfg.threads = 2;
+  const ShardSpec shard{0, 2};
+  DatasetBuilder builder(cfg, shard);
+  run_fleet(cfg, shard, builder);
+  std::filesystem::create_directories("test_fleet_partial_cache");
+  ASSERT_TRUE(builder.take().save(cache));
+
+  const Dataset& ds = shared_dataset(cfg, cache);
+  EXPECT_TRUE(ds.shard.full_range());
+  const std::size_t windows =
+      static_cast<std::size_t>(2 * cfg.racks_per_region) *
+      static_cast<std::size_t>(cfg.hours);
+  EXPECT_EQ(ds.window_end - ds.window_begin, windows);
+  std::filesystem::remove_all("test_fleet_partial_cache");
 }
 
 TEST(FleetParallel, SharedDatasetRacedFirstCallersReturnOneInstance) {

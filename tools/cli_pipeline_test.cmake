@@ -16,4 +16,25 @@ run(simulate-rack --servers 24 --task cache --samples 200 --out t.csv)
 run(analyze --trace t.csv)
 run(fleet --racks 3 --hours 2 --samples 150 --out ds.bin)
 run(report --dataset ds.bin)
+
+# Sharded generation: two shards merged back must be byte-identical to the
+# single-process dataset above (the multi-process determinism contract).
+run(fleet --racks 3 --hours 2 --samples 150 --shard 0/2 --out s0.bin)
+run(fleet --racks 3 --hours 2 --samples 150 --shard 1/2 --out s1.bin)
+run(report --dataset s0.bin)  # a partial shard is a first-class file
+run(merge s0.bin s1.bin --out merged.bin)
+file(SHA256 ${work}/ds.bin whole_hash)
+file(SHA256 ${work}/merged.bin merged_hash)
+if(NOT whole_hash STREQUAL merged_hash)
+  message(FATAL_ERROR "merged shards differ from the single-process dataset")
+endif()
+run(report --dataset merged.bin)
+
+# Mixing shards of different configs must fail loudly, not merge.
+run(fleet --racks 3 --hours 2 --samples 150 --seed 7 --shard 1/2 --out w1.bin)
+execute_process(COMMAND ${MSAMPCTL} merge s0.bin w1.bin --out bad.bin
+                WORKING_DIRECTORY ${work} RESULT_VARIABLE rc ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "merge accepted shards with mismatched fingerprints")
+endif()
 file(REMOVE_RECURSE ${work})

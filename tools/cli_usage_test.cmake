@@ -34,6 +34,11 @@ expect_usage_error(fleet racks 3)                   # positional token
 expect_usage_error(fleet --racks two)               # non-integer value
 expect_usage_error(simulate-rack --intensity high)  # non-numeric value
 expect_usage_error(analyze --threads 2)             # flag from another command
+expect_usage_error(fleet --shard 3)                 # shard needs I/N
+expect_usage_error(fleet --shard 2/2)               # index out of range
+expect_usage_error(fleet --shard a/b)               # non-numeric halves
+expect_usage_error(merge)                           # no shard files given
+expect_usage_error(merge --bogus x shard.bin)       # unknown flag
 
 # The happy path still works end to end.
 expect_ok(simulate-rack --servers 8 --samples 60 --out t.csv)

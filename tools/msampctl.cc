@@ -10,23 +10,28 @@
 //       Run burst/contention/loss analysis on a trace file.
 //
 //   msampctl fleet [--racks N] [--hours H] [--samples N] [--seed S]
-//                  [--threads T] [--out dataset.bin]
+//                  [--threads T] [--shard I/N] [--out dataset.bin]
 //       Generate a two-region measurement day and save the distilled
 //       dataset.  An explicit --threads N wins; --threads 0 (the default)
 //       defers to the MSAMP_THREADS environment variable, else uses every
-//       hardware core.  Any thread count produces byte-identical output
-//       for a given --seed.
+//       hardware core.  --shard I/N generates only shard I of an N-way
+//       split of the day (a first-class partial dataset file); run the N
+//       shards in as many processes or machines as you like and fold them
+//       back with `msampctl merge`.  Any thread count and any shard split
+//       produce byte-identical output for a given --seed.
+//
+//   msampctl merge shard0.bin shard1.bin ... [--out dataset.bin]
+//       Validate (fingerprint, shard coverage, per-window record counts)
+//       and merge shard files into the full dataset — byte-identical to a
+//       single-process `msampctl fleet` run at the same seed and scale.
 //
 //   msampctl report --dataset dataset.bin
 //       Print the §7/§8 headline statistics of a saved dataset.
 //
 // Every command is deterministic for a given --seed.
-#include <algorithm>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <map>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -37,12 +42,15 @@
 #include "fleet/aggregate.h"
 #include "fleet/fleet_runner.h"
 #include "fleet/fluid_rack.h"
+#include "fleet/merge.h"
+#include "util/flags.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 #include "workload/diurnal.h"
 
 using namespace msamp;
+using util::Flags;
 
 namespace {
 
@@ -54,66 +62,6 @@ void usage();
   usage();
   std::exit(2);
 }
-
-/// Minimal --flag value parser: later duplicates win; flags not in `args`
-/// keep their defaults.  Every flag takes exactly one value; a trailing
-/// flag with no value, a positional token, an unknown flag, or a
-/// non-numeric value for a numeric flag is a usage error (exit 2), never
-/// an out-of-bounds argv read.
-class Flags {
- public:
-  Flags(int argc, char** argv, int first,
-        const std::vector<std::string>& known) {
-    for (int i = first; i < argc; ++i) {
-      if (std::strncmp(argv[i], "--", 2) != 0) {
-        die_usage(std::string("unexpected argument '") + argv[i] +
-                  "' (flags look like --key value)");
-      }
-      const std::string key = argv[i] + 2;
-      if (std::find(known.begin(), known.end(), key) == known.end()) {
-        die_usage("unknown flag '--" + key + "' for this command");
-      }
-      if (i + 1 >= argc) {
-        die_usage("flag '--" + key + "' is missing its value");
-      }
-      values_[key] = argv[++i];
-    }
-  }
-
-  std::string str(const std::string& key, const std::string& fallback) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
-  }
-  long num(const std::string& key, long fallback) const {
-    const auto it = values_.find(key);
-    if (it == values_.end()) return fallback;
-    try {
-      std::size_t used = 0;
-      const long v = std::stol(it->second, &used);
-      if (used != it->second.size()) throw std::invalid_argument(it->second);
-      return v;
-    } catch (const std::exception&) {
-      die_usage("flag '--" + key + "' needs an integer, got '" + it->second +
-                "'");
-    }
-  }
-  double real(const std::string& key, double fallback) const {
-    const auto it = values_.find(key);
-    if (it == values_.end()) return fallback;
-    try {
-      std::size_t used = 0;
-      const double v = std::stod(it->second, &used);
-      if (used != it->second.size()) throw std::invalid_argument(it->second);
-      return v;
-    } catch (const std::exception&) {
-      die_usage("flag '--" + key + "' needs a number, got '" + it->second +
-                "'");
-    }
-  }
-
- private:
-  std::map<std::string, std::string> values_;
-};
 
 workload::TaskKind parse_task(const std::string& name) {
   for (int k = 0; k < workload::kNumTaskKinds; ++k) {
@@ -213,12 +161,21 @@ int cmd_fleet(const Flags& flags) {
   cfg.hours = static_cast<int>(flags.num("hours", 24));
   cfg.samples_per_run = static_cast<int>(flags.num("samples", 500));
   cfg.threads = static_cast<int>(flags.num("threads", 0));
+  const auto [shard_index, shard_count] = flags.index_count("shard", {0, 1});
+  const fleet::ShardSpec shard{static_cast<std::uint32_t>(shard_index),
+                               static_cast<std::uint32_t>(shard_count)};
   std::cout << "generating " << 2 * cfg.racks_per_region << " racks x "
-            << cfg.hours << " hours on "
-            << util::ThreadPool::resolve(cfg.threads) << " thread(s)...\n";
-  const fleet::Dataset ds = fleet::run_fleet(cfg, [](double p) {
+            << cfg.hours << " hours";
+  if (!shard.full_range()) {
+    std::cout << " (shard " << shard.index << "/" << shard.count << ")";
+  }
+  std::cout << " on " << util::ThreadPool::resolve(cfg.threads)
+            << " thread(s)...\n";
+  fleet::DatasetBuilder builder(cfg, shard);
+  fleet::run_fleet(cfg, shard, builder, [](double p) {
     std::cout << "  " << static_cast<int>(100 * p) << "%\r" << std::flush;
   });
+  const fleet::Dataset ds = builder.take();
   const std::string out = flags.str("out", "dataset.bin");
   if (!ds.save(out)) {
     std::cerr << "error: cannot write " << out << "\n";
@@ -226,7 +183,45 @@ int cmd_fleet(const Flags& flags) {
   }
   std::cout << "\nwrote " << out << ": " << ds.rack_runs.size()
             << " rack runs, " << ds.server_runs.size() << " server runs, "
-            << ds.bursts.size() << " bursts\n";
+            << ds.bursts.size() << " bursts";
+  if (!shard.full_range()) {
+    std::cout << " (windows [" << ds.window_begin << ", " << ds.window_end
+              << ") of " << 2 * cfg.racks_per_region * cfg.hours
+              << "; fold with `msampctl merge`)";
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_merge(const Flags& flags) {
+  const auto& paths = flags.positionals();
+  if (paths.empty()) {
+    die_usage("merge needs at least one shard file "
+              "(msampctl merge shard0.bin shard1.bin ... --out dataset.bin)");
+  }
+  std::vector<fleet::Dataset> shards(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (!shards[i].load(paths[i])) {
+      std::cerr << "error: cannot load shard " << paths[i]
+                << " (missing, truncated, or not a dataset file)\n";
+      return 1;
+    }
+  }
+  std::string err;
+  auto merged = fleet::merge_datasets(std::move(shards), &err);
+  if (!merged.has_value()) {
+    std::cerr << "error: " << err << "\n";
+    return 1;
+  }
+  const std::string out = flags.str("out", "dataset.bin");
+  if (!merged->save(out)) {
+    std::cerr << "error: cannot write " << out << "\n";
+    return 1;
+  }
+  std::cout << "merged " << paths.size() << " shard(s) into " << out << ": "
+            << merged->rack_runs.size() << " rack runs, "
+            << merged->server_runs.size() << " server runs, "
+            << merged->bursts.size() << " bursts\n";
   return 0;
 }
 
@@ -236,6 +231,12 @@ int cmd_report(const Flags& flags) {
   if (!ds.load(path)) {
     std::cerr << "error: cannot load " << path << "\n";
     return 1;
+  }
+  if (!ds.shard.full_range()) {
+    std::cout << "note: " << path << " is shard " << ds.shard.index << "/"
+              << ds.shard.count << " (windows [" << ds.window_begin << ", "
+              << ds.window_end << ")); rack classes are computed at merge, "
+              << "so class rows below reflect partial data\n";
   }
   const auto classes = fleet::build_class_map(ds);
   const auto summary = fleet::table2_summary(ds, classes);
@@ -264,7 +265,7 @@ int cmd_report(const Flags& flags) {
 }
 
 void usage() {
-  std::cout << "usage: msampctl <simulate-rack|analyze|fleet|report> "
+  std::cout << "usage: msampctl <simulate-rack|analyze|fleet|merge|report> "
                "[--flag value ...]\n"
                "see the header of tools/msampctl.cc for full flag lists\n";
 }
@@ -277,12 +278,15 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
-  // Per-command flag vocabulary: anything else is a usage error.
+  // Per-command flag vocabulary: anything else is a usage error.  Only
+  // `merge` takes positional arguments (its shard files).
   const std::map<std::string, std::vector<std::string>> known_flags = {
       {"simulate-rack",
        {"servers", "task", "intensity", "samples", "hour", "seed", "out"}},
       {"analyze", {"trace", "gbps"}},
-      {"fleet", {"racks", "hours", "samples", "seed", "threads", "out"}},
+      {"fleet", {"racks", "hours", "samples", "seed", "threads", "shard",
+                 "out"}},
+      {"merge", {"out"}},
       {"report", {"dataset"}},
   };
   const auto it = known_flags.find(cmd);
@@ -290,9 +294,15 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
-  const Flags flags(argc, argv, 2, it->second);
-  if (cmd == "simulate-rack") return cmd_simulate_rack(flags);
-  if (cmd == "analyze") return cmd_analyze(flags);
-  if (cmd == "fleet") return cmd_fleet(flags);
-  return cmd_report(flags);
+  try {
+    const Flags flags(argc, argv, 2, it->second,
+                      /*allow_positionals=*/cmd == "merge");
+    if (cmd == "simulate-rack") return cmd_simulate_rack(flags);
+    if (cmd == "analyze") return cmd_analyze(flags);
+    if (cmd == "fleet") return cmd_fleet(flags);
+    if (cmd == "merge") return cmd_merge(flags);
+    return cmd_report(flags);
+  } catch (const util::UsageError& e) {
+    die_usage(e.what());
+  }
 }
