@@ -2,6 +2,7 @@
 // volume, RegA-High vs RegA-Typical racks.  Paper: despite higher
 // contention, RegA-High racks see FEWER normalized discards.
 #include <iostream>
+#include <map>
 
 #include "common.h"
 
@@ -16,8 +17,10 @@ int main() {
   const auto classes = bench::class_map(ds);
 
   // Aggregate each rack's discards and volume across the whole day, then
-  // normalize (discarded bytes per delivered GB).
-  std::unordered_map<std::uint32_t, std::pair<double, double>> per_rack;
+  // normalize (discarded bytes per delivered GB).  Ordered map: the
+  // iteration below feeds the CDF series, so rack order must be stable
+  // (msamp-lint's unordered-iter rule).
+  std::map<std::uint32_t, std::pair<double, double>> per_rack;
   for (const auto& rr : ds.rack_runs) {
     if (rr.region != 0) continue;
     auto& [drops, bytes] = per_rack[rr.rack_id];

@@ -33,7 +33,10 @@ const fleet::Dataset& dataset() {
   // MSAMP_DATASET points the benches at a pre-built cache file — e.g. a
   // dataset assembled from shards with `msampctl merge` on a big host.
   // The file must fingerprint-match bench_config() and cover the full day
-  // (shared_dataset checks both), else it is regenerated in place.
+  // (shared_dataset checks both), else it is regenerated in place.  The
+  // other documented MSAMP_* reader allowlisted by msamp_lint's
+  // nondet-getenv rule (docs/STATIC_ANALYSIS.md): a cache *location*,
+  // never data — the fingerprint check is what keeps it that way.
   const char* env = std::getenv("MSAMP_DATASET");
   const std::string cache_path =
       (env != nullptr && *env != '\0') ? env : "bench_out/fleet_dataset.bin";

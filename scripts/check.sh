@@ -1,24 +1,39 @@
 #!/usr/bin/env bash
-# Full local check: configure, build, run the test suite, a
-# ThreadSanitizer lane over the concurrency-bearing fleet/util targets,
-# then regenerate every table/figure of the paper (CSV output under
-# bench_out/).
+# Full local check: configure, build (warnings as errors), run the test
+# suite, the static-analysis and format lanes, a ThreadSanitizer lane over
+# the concurrency-bearing fleet/util targets, then regenerate every
+# table/figure of the paper (CSV output under bench_out/).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
+# Ninja when available, the platform default generator otherwise (the
+# 1-core reference container ships only make).
+GEN=()
+command -v ninja >/dev/null 2>&1 && GEN=(-G Ninja)
+
+cmake -B build "${GEN[@]}" -DMSAMP_WERROR=ON
 cmake --build build
 ctest --test-dir build --output-on-failure
+
+# Static-analysis lane: msamp_lint (project invariants: determinism bans,
+# output-path iteration order, wire-format hygiene, fingerprint coverage)
+# plus clang-tidy when installed.  Skip with MSAMP_SKIP_LINT=1 /
+# MSAMP_SKIP_TIDY=1.
+scripts/check_lint.sh build
+
+# Format lane: .clang-format enforced via --dry-run -Werror.  Skip with
+# MSAMP_SKIP_FORMAT=1.
+scripts/check_format.sh
 
 # TSan lane: a second build tree with -DMSAMP_TSAN=ON, running the thread
 # pool, parallel fleet runner, and the rest of the fleet/util suites under
 # ThreadSanitizer.  Skip with MSAMP_SKIP_TSAN=1 (e.g. on toolchains
 # without libtsan).
 if [ "${MSAMP_SKIP_TSAN:-0}" != "1" ]; then
-  cmake -B build-tsan -G Ninja -DMSAMP_TSAN=ON
-  cmake --build build-tsan --target msamp_tests
+  cmake -B build-tsan "${GEN[@]}" -DMSAMP_TSAN=ON
+  cmake --build build-tsan --target msamp_tests msamp_lint
   ctest --test-dir build-tsan --output-on-failure \
-    -R '^(ThreadPool|FleetParallel|FleetRunner|FleetConfig|FluidRack|Dataset|Shard|Merge|Aggregate|Rng)'
+    -R '^(ThreadPool|FleetParallel|FleetRunner|FleetConfig|FluidRack|Dataset|Shard|Merge|Aggregate|Rng|Lint)'
 fi
 
 # ASan+UBSan lane: a third build tree with -DMSAMP_ASAN=ON, running the
@@ -27,10 +42,10 @@ fi
 # AddressSanitizer and UBSan watching the bounds checks.  Skip with
 # MSAMP_SKIP_ASAN=1.
 if [ "${MSAMP_SKIP_ASAN:-0}" != "1" ]; then
-  cmake -B build-asan -G Ninja -DMSAMP_ASAN=ON
-  cmake --build build-asan --target msamp_tests msampctl
+  cmake -B build-asan "${GEN[@]}" -DMSAMP_ASAN=ON
+  cmake --build build-asan --target msamp_tests msampctl msamp_lint
   ctest --test-dir build-asan --output-on-failure \
-    -R '^(Dataset|FleetConfig|Shard|Merge|Flags|cli_usage|cli_pipeline)'
+    -R '^(Dataset|FleetConfig|Shard|Merge|Flags|cli_usage|cli_pipeline|Lint)'
 fi
 
 # Bench-parallelism determinism: the parallelized benches must emit

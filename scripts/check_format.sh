@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Format lane: the repo's .clang-format, enforced.  Fails on any file that
+# clang-format would change; run `clang-format -i` on the listed files to
+# fix.  Escape hatches, matching the TSan/ASan lane convention:
+#   MSAMP_SKIP_FORMAT=1  skip the lane entirely (also skipped, with a
+#                        note, when clang-format is not installed — the
+#                        reference container ships only GCC)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "${MSAMP_SKIP_FORMAT:-0}" = "1" ]; then
+  echo "[check_format] MSAMP_SKIP_FORMAT=1 — skipping"
+  exit 0
+fi
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "[check_format] clang-format not installed — skipping the format lane"
+  exit 0
+fi
+
+find src tools tests bench examples \
+  \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) -print0 |
+  xargs -0 clang-format --dry-run -Werror
+echo "[check_format] OK"

@@ -43,6 +43,8 @@ struct FleetConfig {
   // datasets, which is why `threads` is deliberately excluded from
   // fingerprint().  A positive value is used as given; 0 defers to the
   // MSAMP_THREADS environment variable, else all hardware cores.
+  // fingerprint-exempt: execution detail — any thread count produces the
+  // same bytes, so hashing it would needlessly re-key every disk cache.
   int threads = 0;  ///< concurrent windows; 0 = MSAMP_THREADS / all cores
 
   // Rack hardware (§3).

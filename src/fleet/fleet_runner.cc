@@ -152,7 +152,10 @@ WindowRecords simulate_window(const FleetConfig& config,
 // regenerated.  The rules:
 //  - model/behavior change (same config, different records) -> bump this;
 //  - new config knob entering the data -> add it to fingerprint() below
-//    (which re-keys every cache on its own; no version bump needed);
+//    (which re-keys every cache on its own; no version bump needed) —
+//    msamp_lint's fingerprint-coverage rule fails the build until every
+//    FleetConfig field is either hashed here or `// fingerprint-exempt:`
+//    at its declaration (docs/STATIC_ANALYSIS.md);
 //  - wire-format change -> bump kVersion in dataset.cc instead.
 // (Parallelization and sharding intentionally did NOT bump this: any
 // thread count or shard split produces the same bytes as the serial

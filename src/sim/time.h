@@ -1,6 +1,11 @@
 // Simulation time: 64-bit signed nanoseconds since the start of the
 // simulation.  All layers (packet sim, fluid sim, sampler) share this unit
 // so that Millisampler's bucket arithmetic is identical everywhere.
+//
+// The only sanctioned notion of time: msamp_lint's nondet-time rule bans
+// time()/std::chrono wall clocks everywhere but this header
+// (docs/STATIC_ANALYSIS.md) — simulated output must never depend on when
+// or how fast the host runs.
 #pragma once
 
 #include <cstdint>

@@ -4,6 +4,11 @@
 // clock or std::random_device.  Rng wraps a xoshiro256++ generator with the
 // distributions the workload models need (uniform, normal, lognormal,
 // exponential, Pareto, Zipf, Poisson).
+//
+// This is the only sanctioned randomness source: msamp_lint's
+// nondet-random rule bans rand()/random_device everywhere else, and these
+// implementation files are the rule's sole path exemption
+// (docs/STATIC_ANALYSIS.md).
 #pragma once
 
 #include <cstdint>

@@ -8,6 +8,9 @@ namespace msamp::util {
 
 int ThreadPool::resolve(int requested) noexcept {
   // An explicit request wins; MSAMP_THREADS only fills in the default.
+  // This getenv is one of the two documented MSAMP_* readers allowlisted
+  // by msamp_lint's nondet-getenv rule (docs/STATIC_ANALYSIS.md) — it may
+  // change wall-clock, never bytes.
   if (requested > 0) return std::min(requested, 1024);
   if (const char* env = std::getenv("MSAMP_THREADS")) {
     char* end = nullptr;

@@ -1,0 +1,346 @@
+// msamp_lint rule-engine tests: every rule gets a violating and a clean
+// fixture, plus the suppression-comment and allowlist paths, asserting
+// exact `file:line: rule-id` findings.  Fixtures live in raw strings —
+// the lexer strips string literals, so scanning this file with the real
+// binary can never trip on its own fixtures.
+#include "lint/rules.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using msamp::lint::check_fingerprint_coverage;
+using msamp::lint::FileRole;
+using msamp::lint::Finding;
+using msamp::lint::lint_source;
+using msamp::lint::parse_struct_fields;
+using msamp::lint::StructSource;
+
+std::vector<std::string> locations(const std::vector<Finding>& findings) {
+  std::vector<std::string> out;
+  for (const auto& f : findings) {
+    out.push_back(f.file + ":" + std::to_string(f.line) + ": " + f.rule);
+  }
+  return out;
+}
+
+TEST(LintLexer, StringsCommentsAndPreprocessorAreInvisible) {
+  const char* src = R"(#include <ctime>
+// a comment mentioning rand() and time()
+const char* s = "rand() time() getenv() std::random_device";
+const char* r = R"x(rand() inside a raw string)x";
+int safe = 1;
+)";
+  const auto findings = lint_source("src/core/fixture.cc", src);
+  EXPECT_TRUE(findings.empty()) << msamp::lint::to_string(findings.front());
+}
+
+TEST(LintNondet, RandIsFlaggedWithExactLocation) {
+  const char* src = R"(int f() {
+  return rand();
+}
+)";
+  const auto findings = lint_source("src/core/fixture.cc", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::string>{"src/core/fixture.cc:2: nondet-random"}));
+}
+
+TEST(LintNondet, RandomDeviceIsFlagged) {
+  const char* src = R"(#include <random>
+std::random_device rd;
+)";
+  const auto findings = lint_source("src/workload/fixture.cc", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "nondet-random");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintNondet, SeededProjectRngIsClean) {
+  const char* src = R"(double f(msamp::util::Rng& rng) {
+  return rng.uniform();
+}
+)";
+  EXPECT_TRUE(lint_source("src/workload/fixture.cc", src).empty());
+}
+
+TEST(LintNondet, WallClockTimeIsFlagged) {
+  const char* src = R"(long f() {
+  long t = time(nullptr);
+  auto now = std::chrono::steady_clock::now();
+  return t + now.time_since_epoch().count();
+}
+)";
+  const auto findings = lint_source("src/analysis/fixture.cc", src);
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::string>{
+                "src/analysis/fixture.cc:2: nondet-time",
+                "src/analysis/fixture.cc:3: nondet-time"}));
+}
+
+TEST(LintNondet, SimulatedTimeHelpersAreClean) {
+  const char* src = R"(double f(msamp::sim::SimDuration d) {
+  return msamp::sim::to_ms(d);
+}
+)";
+  EXPECT_TRUE(lint_source("src/analysis/fixture.cc", src).empty());
+}
+
+TEST(LintNondet, MemberNamedTimeIsNotAFreeCall) {
+  const char* src = R"(double f(const Sample& s) {
+  return s.time() + obj->time();
+}
+)";
+  EXPECT_TRUE(lint_source("src/core/fixture.cc", src).empty());
+}
+
+TEST(LintNondet, GetenvOutsideAllowlistIsFlagged) {
+  const char* src = R"(const char* f() {
+  return std::getenv("MSAMP_THREADS");
+}
+)";
+  const auto findings = lint_source("src/fleet/fixture.cc", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "nondet-getenv");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintNondet, GetenvAllowlistCoversDocumentedReaders) {
+  const char* src = R"(const char* f() {
+  return std::getenv("MSAMP_THREADS");
+}
+)";
+  // The documented MSAMP_* readers pass by path classification...
+  EXPECT_TRUE(lint_source("src/util/thread_pool.cc", src).empty());
+  EXPECT_TRUE(lint_source("bench/common.cc", src).empty());
+  // ...and any role can be granted explicitly (as the tests' own role is).
+  FileRole role;
+  role.getenv_allowed = true;
+  EXPECT_TRUE(lint_source("src/fleet/fixture.cc", src, &role).empty());
+}
+
+TEST(LintNondet, RngImplementationFilesAreExempt) {
+  const char* src = R"(unsigned f() {
+  std::random_device rd;
+  return rd();
+}
+)";
+  EXPECT_TRUE(lint_source("src/util/rng.cc", src).empty());
+  ASSERT_FALSE(lint_source("src/util/stats.cc", src).empty());
+}
+
+TEST(LintSuppression, AllowCommentSilencesExactlyThatRule) {
+  const char* src = R"(int f() {
+  int a = rand();  // msamp-lint: allow(nondet-random)
+  int b = rand();  // msamp-lint: allow(nondet-time) -- wrong rule
+  return a + b;
+}
+)";
+  const auto findings = lint_source("src/core/fixture.cc", src);
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::string>{"src/core/fixture.cc:3: nondet-random"}));
+}
+
+TEST(LintSuppression, AllowAllSilencesEveryRuleOnTheLine) {
+  const char* src = R"(long f() {
+  return time(nullptr) + rand();  // msamp-lint: allow(all)
+}
+)";
+  EXPECT_TRUE(lint_source("src/core/fixture.cc", src).empty());
+}
+
+TEST(LintUnordered, RangeForOverUnorderedMapInOutputPathIsFlagged) {
+  const char* src = R"(#include <unordered_map>
+void emit(std::ostream& os) {
+  std::unordered_map<int, double> per_rack;
+  for (const auto& [rack, v] : per_rack) {
+    os << rack << "," << v << "\n";
+  }
+}
+)";
+  const auto findings = lint_source("bench/fixture.cc", src);
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::string>{"bench/fixture.cc:4: unordered-iter"}));
+}
+
+TEST(LintUnordered, OrderedContainersAreClean) {
+  const char* src = R"(#include <map>
+void emit(std::ostream& os) {
+  std::map<int, double> per_rack;
+  for (const auto& [rack, v] : per_rack) {
+    os << rack << "," << v << "\n";
+  }
+}
+)";
+  EXPECT_TRUE(lint_source("bench/fixture.cc", src).empty());
+}
+
+TEST(LintUnordered, UsingAliasDoesNotHideTheContainer) {
+  const char* src = R"(using ClassMap = std::unordered_map<int, int>;
+void emit(const ClassMap& classes) {
+  for (const auto& kv : classes) {
+    (void)kv;
+  }
+}
+)";
+  const auto findings = lint_source("src/fleet/fixture.cc", src);
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::string>{"src/fleet/fixture.cc:3: unordered-iter"}));
+}
+
+TEST(LintUnordered, LookupsWithoutIterationAreClean) {
+  const char* src = R"(#include <unordered_map>
+int count(const std::vector<int>& xs) {
+  std::unordered_map<int, int> counts;
+  int best = 0;
+  for (int x : xs) best = std::max(best, ++counts[x]);
+  return best;
+}
+)";
+  EXPECT_TRUE(lint_source("src/fleet/fixture.cc", src).empty());
+}
+
+TEST(LintUnordered, RuleOnlyAppliesToOutputPaths) {
+  const char* src = R"(#include <unordered_map>
+void walk() {
+  std::unordered_map<int, int> m;
+  for (const auto& kv : m) {
+    (void)kv;
+  }
+}
+)";
+  // Same snippet: flagged in a CSV-emitting bench, tolerated in a
+  // simulation-internal file where order never reaches any output.
+  EXPECT_FALSE(lint_source("bench/fixture.cc", src).empty());
+  EXPECT_TRUE(lint_source("src/net/fixture.cc", src).empty());
+}
+
+TEST(LintWire, StructSizeofInDatasetCodecIsFlagged) {
+  const char* src = R"(void put(std::vector<unsigned char>& out, const RackInfo& r) {
+  out.resize(out.size() + sizeof(RackInfo));
+  std::memcpy(out.data(), &r, sizeof(RackInfo));
+}
+)";
+  const auto findings = lint_source("src/fleet/dataset.cc", src);
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::string>{"src/fleet/dataset.cc:2: wire-struct-copy",
+                                      "src/fleet/dataset.cc:3: wire-struct-copy"}));
+}
+
+TEST(LintWire, ScalarTemplateSizeofIsClean) {
+  const char* src = R"(template <typename T>
+void put(std::vector<unsigned char>& out, const T& v) {
+  static_assert(!std::is_class_v<T>);
+  out.resize(out.size() + sizeof(T));
+  std::memcpy(out.data(), &v, sizeof(T));
+}
+)";
+  EXPECT_TRUE(lint_source("src/fleet/dataset.cc", src).empty());
+}
+
+TEST(LintWire, RuleIsScopedToTheWireFormatFile) {
+  const char* src = R"(std::size_t f() { return sizeof(RackInfo); }
+)";
+  EXPECT_TRUE(lint_source("src/fleet/merge.cc", src).empty());
+}
+
+// --- fingerprint coverage ----------------------------------------------
+
+constexpr const char* kConfigHeader = R"(#pragma once
+struct NestedConfig {
+  double alpha = 1.0;
+  int quadrants = 4;
+};
+struct TestConfig {
+  unsigned long seed = 42;
+  int racks = 96;
+  int threads = 0;  // fingerprint-exempt: execution detail, never data
+  NestedConfig buffer{};
+  double helper() const { return alpha_sum(); }
+  unsigned long fingerprint() const;
+};
+)";
+
+TEST(LintFingerprint, ParsesFieldsTypesAndExemptions) {
+  const auto fields = parse_struct_fields(kConfigHeader, "TestConfig");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0].name, "seed");
+  EXPECT_EQ(fields[1].name, "racks");
+  EXPECT_EQ(fields[2].name, "threads");
+  EXPECT_TRUE(fields[2].exempt);
+  EXPECT_EQ(fields[3].name, "buffer");
+  EXPECT_EQ(fields[3].type, "NestedConfig");
+  EXPECT_FALSE(fields[0].exempt);
+}
+
+TEST(LintFingerprint, FullyHashedConfigIsClean) {
+  const char* impl = R"(unsigned long TestConfig::fingerprint() const {
+  unsigned long h = seed;
+  h = step(h, racks);
+  h = step(h, buffer.alpha);
+  h = step(h, buffer.quadrants);
+  return h;
+}
+)";
+  const std::vector<StructSource> structs = {
+      {"TestConfig", "fixture/config.h", kConfigHeader},
+      {"NestedConfig", "fixture/config.h", kConfigHeader}};
+  const auto findings = check_fingerprint_coverage(structs, "TestConfig",
+                                                   "fixture/impl.cc", impl);
+  EXPECT_TRUE(findings.empty()) << msamp::lint::to_string(findings.front());
+}
+
+TEST(LintFingerprint, MissingTopLevelAndNestedFieldsAreFlagged) {
+  // `racks` dropped entirely; `buffer.quadrants` dropped from the nested
+  // struct — exactly the PR 3 bug class (fingerprint() silently omitting
+  // fields so two differing configs share a cache file).
+  const char* impl = R"(unsigned long TestConfig::fingerprint() const {
+  unsigned long h = seed;
+  h = step(h, buffer.alpha);
+  return h;
+}
+)";
+  const std::vector<StructSource> structs = {
+      {"TestConfig", "fixture/config.h", kConfigHeader},
+      {"NestedConfig", "fixture/config.h", kConfigHeader}};
+  const auto findings = check_fingerprint_coverage(structs, "TestConfig",
+                                                   "fixture/impl.cc", impl);
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::string>{
+                "fixture/config.h:4: fingerprint-coverage",
+                "fixture/config.h:8: fingerprint-coverage"}));
+  // The nested finding names the full member chain.
+  EXPECT_NE(findings[0].message.find("buffer.quadrants"), std::string::npos);
+}
+
+TEST(LintFingerprint, ExemptFieldNeedsNoHashStep) {
+  // `threads` is absent from the body but carries the exempt comment.
+  const char* impl = R"(unsigned long TestConfig::fingerprint() const {
+  unsigned long h = seed;
+  h = step(h, racks);
+  h = step(h, buffer.alpha);
+  h = step(h, buffer.quadrants);
+  return h;
+}
+)";
+  const std::vector<StructSource> structs = {
+      {"TestConfig", "fixture/config.h", kConfigHeader},
+      {"NestedConfig", "fixture/config.h", kConfigHeader}};
+  EXPECT_TRUE(check_fingerprint_coverage(structs, "TestConfig",
+                                         "fixture/impl.cc", impl)
+                  .empty());
+}
+
+TEST(LintFingerprint, MissingDefinitionIsItselfAFinding) {
+  const std::vector<StructSource> structs = {
+      {"TestConfig", "fixture/config.h", kConfigHeader}};
+  const auto findings = check_fingerprint_coverage(
+      structs, "TestConfig", "fixture/impl.cc", "int unrelated() { return 1; }");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "fingerprint-coverage");
+}
+
+}  // namespace

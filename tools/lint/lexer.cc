@@ -1,0 +1,218 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+
+namespace msamp::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  bool done() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char take() {
+    const char c = src_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+  int line() const { return line_; }
+  std::size_t pos() const { return pos_; }
+  std::string_view slice(std::size_t from) const {
+    return src_.substr(from, pos_ - from);
+  }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+void note_comment(LexOutput& out, int line, std::string_view text) {
+  auto& slot = out.comments[line];
+  if (!slot.empty()) slot += ' ';
+  slot.append(text);
+}
+
+// Consumes a quoted literal ('...' or "...") honoring backslash escapes.
+void skip_quoted(Cursor& c, char quote) {
+  c.take();  // opening quote
+  while (!c.done()) {
+    const char ch = c.take();
+    if (ch == '\\' && !c.done()) {
+      c.take();
+    } else if (ch == quote || ch == '\n') {
+      // An unterminated literal ends at the newline rather than eating the
+      // rest of the file: lint must stay useful on mid-edit sources.
+      return;
+    }
+  }
+}
+
+// Consumes R"delim( ... )delim" with the cursor on the opening quote.
+void skip_raw_string(Cursor& c) {
+  c.take();  // opening quote
+  std::string delim;
+  while (!c.done() && c.peek() != '(') delim.push_back(c.take());
+  if (c.done()) return;
+  c.take();  // '('
+  const std::string closer = ")" + delim + "\"";
+  std::string window;
+  while (!c.done()) {
+    window.push_back(c.take());
+    if (window.size() > closer.size()) window.erase(window.begin());
+    if (window == closer) return;
+  }
+}
+
+}  // namespace
+
+LexOutput lex(std::string_view src) {
+  LexOutput out;
+  Cursor c(src);
+  bool line_start = true;  // only whitespace seen so far on this line
+
+  while (!c.done()) {
+    const char ch = c.peek();
+
+    if (ch == '\n') {
+      c.take();
+      line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      c.take();
+      continue;
+    }
+
+    // Preprocessor directive: drop the whole (continued) line so that
+    // `#include <ctime>` or a #define never reaches the rules.
+    if (ch == '#' && line_start) {
+      while (!c.done()) {
+        const char d = c.take();
+        if (d == '\\' && c.peek() == '\n') {
+          c.take();
+          continue;
+        }
+        if (d == '\n') break;
+      }
+      line_start = true;
+      continue;
+    }
+    line_start = false;
+
+    if (ch == '/' && c.peek(1) == '/') {
+      const int line = c.line();
+      const std::size_t from = c.pos();
+      while (!c.done() && c.peek() != '\n') c.take();
+      note_comment(out, line, c.slice(from));
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      int line = c.line();
+      std::size_t from = c.pos();
+      c.take();
+      c.take();
+      while (!c.done() && !(c.peek() == '*' && c.peek(1) == '/')) {
+        if (c.peek() == '\n') {
+          note_comment(out, line, c.slice(from));
+          c.take();
+          line = c.line();
+          from = c.pos();
+        } else {
+          c.take();
+        }
+      }
+      if (!c.done()) {
+        c.take();
+        c.take();
+      }
+      note_comment(out, line, c.slice(from));
+      continue;
+    }
+
+    // Raw string literal (with optional encoding prefix): R"( u8R"( LR"( ...
+    if (ch == 'R' && c.peek(1) == '"') {
+      c.take();
+      skip_raw_string(c);
+      continue;
+    }
+    if ((ch == 'u' || ch == 'U' || ch == 'L')) {
+      std::size_t p = 1;
+      if (ch == 'u' && c.peek(1) == '8') p = 2;
+      if (c.peek(p) == 'R' && c.peek(p + 1) == '"') {
+        for (std::size_t i = 0; i < p + 1; ++i) c.take();
+        skip_raw_string(c);
+        continue;
+      }
+      if (c.peek(p) == '"' || c.peek(p) == '\'') {
+        for (std::size_t i = 0; i < p; ++i) c.take();
+        skip_quoted(c, c.peek());
+        continue;
+      }
+    }
+    if (ch == '"' || ch == '\'') {
+      skip_quoted(c, ch);
+      continue;
+    }
+
+    if (ident_start(ch)) {
+      const int line = c.line();
+      const std::size_t from = c.pos();
+      while (!c.done() && ident_char(c.peek())) c.take();
+      out.tokens.push_back(
+          {TokKind::kIdentifier, std::string(c.slice(from)), line});
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      const int line = c.line();
+      const std::size_t from = c.pos();
+      // Numbers are opaque to the rules; greedily eat digits, hex/binary
+      // letters, digit separators, dots, and exponent signs.
+      while (!c.done()) {
+        const char d = c.peek();
+        if (ident_char(d) || d == '.' || d == '\'') {
+          c.take();
+        } else if ((d == '+' || d == '-') &&
+                   (c.slice(from).back() == 'e' ||
+                    c.slice(from).back() == 'E' ||
+                    c.slice(from).back() == 'p' ||
+                    c.slice(from).back() == 'P')) {
+          c.take();
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({TokKind::kNumber, std::string(c.slice(from)), line});
+      continue;
+    }
+
+    // `::` is one token so rules can tell a scope qualifier from the `:`
+    // of a range-for; `->` so a member call is never mistaken for a free
+    // call.
+    if ((ch == ':' && c.peek(1) == ':') || (ch == '-' && c.peek(1) == '>')) {
+      const int line = c.line();
+      std::string text;
+      text.push_back(c.take());
+      text.push_back(c.take());
+      out.tokens.push_back({TokKind::kPunct, std::move(text), line});
+      continue;
+    }
+
+    const int line = c.line();
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c.take()), line});
+  }
+  return out;
+}
+
+}  // namespace msamp::lint

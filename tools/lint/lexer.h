@@ -1,0 +1,40 @@
+// msamp_lint's C++ lexer: just enough tokenization to run the project's
+// invariant rules over the tree without a libclang dependency.  Comments,
+// string/char literals (including raw strings), and preprocessor
+// directives are stripped from the token stream — so banned identifiers
+// inside a string fixture or an #include never trip a rule — while
+// comment text is kept per line for the `// msamp-lint: allow(<rule>)`
+// and `// fingerprint-exempt:` markers.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msamp::lint {
+
+enum class TokKind {
+  kIdentifier,  ///< [A-Za-z_][A-Za-z0-9_]*
+  kNumber,      ///< numeric literal (value never interpreted)
+  kPunct,       ///< single punctuation char, except `::` which is one token
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;  ///< 1-based source line
+};
+
+struct LexOutput {
+  std::vector<Token> tokens;
+  /// line -> concatenated comment text on that line (block comments are
+  /// attributed to every line they span).
+  std::map<int, std::string> comments;
+};
+
+/// Tokenizes C++ source.  Never fails: unterminated literals consume to
+/// end of input.
+LexOutput lex(std::string_view src);
+
+}  // namespace msamp::lint

@@ -1,0 +1,165 @@
+// msamp_lint — project-invariant static analysis for the msamp tree.
+//
+//   msamp_lint [--root DIR] [FILE...]
+//
+// With no FILE arguments, scans src/ tools/ bench/ examples/ tests/ under
+// the root (default: current directory) plus the fingerprint-coverage
+// check over src/fleet/config.h vs src/fleet/fleet_runner.cc.  Findings
+// print to stdout as `file:line: rule-id: message`; exit code is 1 when
+// anything was found, 2 on usage/IO errors, 0 on a clean tree.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/rules.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using msamp::lint::Finding;
+
+bool read_file(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool lintable(const fs::path& p) {
+  const auto ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+// Path relative to root with forward slashes, as classify_path() expects.
+std::string rel(const fs::path& root, const fs::path& p) {
+  return fs::relative(p, root).generic_string();
+}
+
+int usage() {
+  std::cerr << "usage: msamp_lint [--root DIR] [FILE...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<fs::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) return usage();
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+  std::error_code ec;
+  root = fs::canonical(root, ec);
+  if (ec) {
+    std::cerr << "msamp_lint: bad --root: " << ec.message() << "\n";
+    return 2;
+  }
+
+  if (files.empty()) {
+    for (const char* dir : {"src", "tools", "bench", "examples", "tests"}) {
+      const fs::path base = root / dir;
+      if (!fs::is_directory(base, ec)) continue;
+      for (auto it = fs::recursive_directory_iterator(base, ec);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file(ec) && lintable(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    }
+  } else {
+    for (auto& f : files) {
+      if (f.is_relative()) f = root / f;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  int io_errors = 0;
+  for (const fs::path& f : files) {
+    std::string src;
+    if (!read_file(f, &src)) {
+      std::cerr << "msamp_lint: cannot read " << f.string() << "\n";
+      ++io_errors;
+      continue;
+    }
+    auto file_findings = msamp::lint::lint_source(rel(root, f), src);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+
+  // Fingerprint coverage: FleetConfig (and every config struct reachable
+  // from it) vs the fingerprint() definition.  Runs whenever the root
+  // looks like the msamp tree.
+  struct Header {
+    const char* struct_name;
+    const char* path;
+  };
+  const Header headers[] = {
+      {"FleetConfig", "src/fleet/config.h"},
+      {"FabricConfig", "src/fleet/config.h"},
+      {"SharedBufferConfig", "src/net/shared_buffer.h"},
+      {"ClockModelConfig", "src/core/clock_model.h"},
+      {"LossAssocConfig", "src/analysis/loss_assoc.h"},
+      {"ClassifyConfig", "src/analysis/rack_classify.h"},
+  };
+  const char* impl_path = "src/fleet/fleet_runner.cc";
+  if (fs::is_regular_file(root / "src/fleet/config.h", ec)) {
+    std::vector<msamp::lint::StructSource> structs;
+    bool ok = true;
+    for (const Header& h : headers) {
+      std::string src;
+      if (!read_file(root / h.path, &src)) {
+        std::cerr << "msamp_lint: cannot read " << h.path << "\n";
+        ++io_errors;
+        ok = false;
+        continue;
+      }
+      structs.push_back({h.struct_name, h.path, std::move(src)});
+    }
+    std::string impl_src;
+    if (ok && read_file(root / impl_path, &impl_src)) {
+      auto fp = msamp::lint::check_fingerprint_coverage(
+          structs, "FleetConfig", impl_path, impl_src);
+      findings.insert(findings.end(), std::make_move_iterator(fp.begin()),
+                      std::make_move_iterator(fp.end()));
+    } else if (ok) {
+      std::cerr << "msamp_lint: cannot read " << impl_path << "\n";
+      ++io_errors;
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  for (const Finding& f : findings) {
+    std::cout << msamp::lint::to_string(f) << "\n";
+  }
+  if (io_errors != 0) return 2;
+  if (!findings.empty()) {
+    std::cerr << "msamp_lint: " << findings.size() << " finding(s) in "
+              << files.size() << " file(s)\n";
+    return 1;
+  }
+  std::cerr << "msamp_lint: clean (" << files.size() << " files)\n";
+  return 0;
+}

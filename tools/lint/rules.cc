@@ -1,0 +1,506 @@
+#include "lint/rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <string>
+
+namespace msamp::lint {
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdentifier && t.text == text;
+}
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+const Token* at(const Tokens& toks, std::size_t i) {
+  return i < toks.size() ? &toks[i] : nullptr;
+}
+
+// Identifiers that produce nondeterministic values.  The sanctioned
+// sources are util::Rng (seeded, forkable by key) and sim::SimTime; see
+// docs/STATIC_ANALYSIS.md.
+const std::set<std::string, std::less<>> kRandomCalls = {
+    "rand", "srand", "rand_r", "drand48", "lrand48", "mrand48", "erand48"};
+const std::set<std::string, std::less<>> kRandomTypes = {"random_device"};
+const std::set<std::string, std::less<>> kTimeCalls = {
+    "time",          "clock",        "gettimeofday",
+    "clock_gettime", "timespec_get", "ftime"};
+const std::set<std::string, std::less<>> kTimeTypes = {
+    "system_clock", "steady_clock", "high_resolution_clock"};
+const std::set<std::string, std::less<>> kEnvCalls = {"getenv",
+                                                      "secure_getenv"};
+const std::set<std::string, std::less<>> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+// True when tokens[i] is a *free or std::-qualified call* of the named
+// function: `name(` not reached through `.`, `->`, or a non-std `::`
+// qualifier (so `sim::time_of(...)`-style project helpers never trip).
+bool is_free_call(const Tokens& toks, std::size_t i) {
+  const Token* next = at(toks, i + 1);
+  if (!next || !is_punct(*next, "(")) return false;
+  if (i == 0) return true;
+  const Token& prev = toks[i - 1];
+  if (is_punct(prev, ".") || is_punct(prev, "->")) return false;
+  if (is_punct(prev, "::")) {
+    return i >= 2 && is_ident(toks[i - 2], "std");
+  }
+  return true;
+}
+
+void flag(std::vector<Finding>& out, std::string_view path, int line,
+          std::string_view rule, std::string message) {
+  out.push_back({std::string(path), line, std::string(rule),
+                 std::move(message)});
+}
+
+void check_nondeterminism(const Tokens& toks, std::string_view path,
+                          const FileRole& role, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    if (kRandomCalls.count(t.text) && is_free_call(toks, i)) {
+      flag(out, path, t.line, "nondet-random",
+           "call to '" + t.text + "' — use util::Rng (seeded, forkable)");
+    } else if (kRandomTypes.count(t.text)) {
+      flag(out, path, t.line, "nondet-random",
+           "'std::" + t.text + "' — use util::Rng (seeded, forkable)");
+    } else if (kTimeCalls.count(t.text) && is_free_call(toks, i)) {
+      flag(out, path, t.line, "nondet-time",
+           "call to '" + t.text + "' — use sim::SimTime for simulated time");
+    } else if (kTimeTypes.count(t.text)) {
+      flag(out, path, t.line, "nondet-time",
+           "'std::chrono::" + t.text +
+               "' — wall clocks change the output between runs; use "
+               "sim::SimTime");
+    } else if (!role.getenv_allowed && kEnvCalls.count(t.text) &&
+               is_free_call(toks, i)) {
+      flag(out, path, t.line, "nondet-getenv",
+           "call to '" + t.text +
+               "' outside the documented MSAMP_* readers "
+               "(util/thread_pool.cc, bench/common.cc)");
+    }
+  }
+}
+
+// Skips a balanced template-argument list with toks[i] on `<`; returns the
+// index one past the matching `>`, or i when the angles never balance.
+std::size_t skip_angles(const Tokens& toks, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < toks.size(); ++j) {
+    if (is_punct(toks[j], "<")) ++depth;
+    if (is_punct(toks[j], ">")) {
+      if (--depth == 0) return j + 1;
+    }
+    // A `;` inside an unbalanced angle run means `<` was a comparison.
+    if (is_punct(toks[j], ";")) return i;
+  }
+  return i;
+}
+
+void check_unordered_iteration(const Tokens& toks, std::string_view path,
+                               std::vector<Finding>& out) {
+  // Pass A: using-aliases whose target is an unordered container
+  // (e.g. `using ClassMap = std::unordered_map<...>;`).
+  std::set<std::string, std::less<>> alias_types;
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "using")) continue;
+    const Token* name = at(toks, i + 1);
+    if (!name || name->kind != TokKind::kIdentifier ||
+        !is_punct(toks[i + 2], "=")) {
+      continue;
+    }
+    for (std::size_t j = i + 3; j < toks.size() && !is_punct(toks[j], ";");
+         ++j) {
+      if (toks[j].kind == TokKind::kIdentifier &&
+          kUnorderedTypes.count(toks[j].text)) {
+        alias_types.insert(name->text);
+        break;
+      }
+    }
+  }
+
+  // Pass B: names of variables (or data members) declared with an
+  // unordered container type, in this file.
+  std::set<std::string, std::less<>> unordered_vars;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    const bool is_container = kUnorderedTypes.count(t.text) > 0;
+    const bool is_alias = alias_types.count(t.text) > 0;
+    if (!is_container && !is_alias) continue;
+    std::size_t j = i + 1;
+    if (const Token* n = at(toks, j); n && is_punct(*n, "<")) {
+      j = skip_angles(toks, j);
+      if (j == i + 1) continue;  // comparison, not a template id
+    }
+    while (const Token* n = at(toks, j)) {
+      if (is_punct(*n, "&") || is_punct(*n, "*") || is_ident(*n, "const")) {
+        ++j;
+      } else {
+        break;
+      }
+    }
+    const Token* name = at(toks, j);
+    if (!name || name->kind != TokKind::kIdentifier) continue;
+    // `type name(` declares a function returning the container, not a
+    // variable; `using X = type;` was handled in pass A.
+    if (const Token* after = at(toks, j + 1);
+        after && is_punct(*after, "(")) {
+      continue;
+    }
+    unordered_vars.insert(name->text);
+  }
+
+  // Pass C: range-based for loops whose range expression names an
+  // unordered container type, alias, or variable.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "for") || !is_punct(toks[i + 1], "(")) continue;
+    int depth = 1;
+    std::size_t colon = 0;
+    std::size_t j = i + 2;
+    for (; j < toks.size() && depth > 0; ++j) {
+      if (is_punct(toks[j], "(")) ++depth;
+      if (is_punct(toks[j], ")")) --depth;
+      if (depth == 1 && colon == 0 && is_punct(toks[j], ":")) colon = j;
+    }
+    if (colon == 0) continue;  // classic for loop
+    for (std::size_t k = colon + 1; k < j - 1; ++k) {
+      const Token& r = toks[k];
+      if (r.kind != TokKind::kIdentifier) continue;
+      if (kUnorderedTypes.count(r.text) || alias_types.count(r.text) ||
+          unordered_vars.count(r.text)) {
+        flag(out, path, toks[i].line, "unordered-iter",
+             "range-for over unordered container '" + r.text +
+                 "' in an output path — iteration order is unspecified and "
+                 "reaches the emitted bytes; iterate a sorted view instead");
+        break;
+      }
+    }
+  }
+}
+
+void check_wire_format(const Tokens& toks, std::string_view path,
+                       std::vector<Finding>& out) {
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "sizeof") || !is_punct(toks[i + 1], "(")) continue;
+    const Token& arg = toks[i + 2];
+    if (arg.kind != TokKind::kIdentifier || !is_punct(toks[i + 3], ")")) {
+      continue;
+    }
+    // Project record types are CamelCase; single capitals are template
+    // parameters (whose non-class-ness the codecs static_assert).
+    if (arg.text.size() > 1 &&
+        std::isupper(static_cast<unsigned char>(arg.text[0]))) {
+      flag(out, path, toks[i].line, "wire-struct-copy",
+           "'sizeof(" + arg.text +
+               ")' in the wire-format codec — records must be serialized "
+               "field by field (struct padding must never reach the file)");
+    }
+  }
+}
+
+bool comment_suppresses(const LexOutput& lexed, int line,
+                        const std::string& rule) {
+  const auto it = lexed.comments.find(line);
+  if (it == lexed.comments.end()) return false;
+  const std::string& c = it->second;
+  if (c.find("msamp-lint:") == std::string::npos) return false;
+  return c.find("allow(" + rule + ")") != std::string::npos ||
+         c.find("allow(all)") != std::string::npos;
+}
+
+// The exempt marker may sit on the declaration line or anywhere in the
+// contiguous comment block directly above it.
+bool comment_exempts_fingerprint(const LexOutput& lexed, int line) {
+  for (int l = line;; --l) {
+    const auto it = lexed.comments.find(l);
+    if (it == lexed.comments.end()) return false;
+    if (it->second.find("fingerprint-exempt:") != std::string::npos) {
+      return true;
+    }
+    if (l < line - 100) return false;  // defensive bound
+  }
+}
+
+}  // namespace
+
+std::string to_string(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": " + f.rule + ": " +
+         f.message;
+}
+
+FileRole classify_path(std::string_view path) {
+  FileRole role;
+  const auto is = [&](std::string_view p) { return path == p; };
+  const auto under = [&](std::string_view dir) {
+    return path.substr(0, dir.size()) == dir;
+  };
+  // The sanctioned primitives themselves: util::Rng wraps the generator,
+  // sim/time.h defines simulated time.
+  role.nondet_exempt =
+      is("src/sim/time.h") || is("src/util/rng.h") || is("src/util/rng.cc");
+  // The documented MSAMP_* environment readers (MSAMP_THREADS and
+  // MSAMP_DATASET) plus the tests that exercise them.
+  role.getenv_allowed = is("src/util/thread_pool.cc") ||
+                        is("bench/common.cc") ||
+                        is("tests/test_thread_pool.cc") ||
+                        is("tests/test_fleet_parallel.cc");
+  // Everything whose iteration order can reach emitted bytes: the fleet
+  // serialization/reduction layer, every bench (stdout tables + CSVs),
+  // the table/plot writers, the CSV trace writer, and the CLI.
+  role.output_path = under("src/fleet/") || under("bench/") ||
+                     is("src/util/table.cc") || is("src/util/table.h") ||
+                     is("src/util/ascii_plot.cc") ||
+                     is("src/util/ascii_plot.h") ||
+                     is("src/analysis/trace_io.cc") ||
+                     is("src/analysis/trace_io.h") ||
+                     is("tools/msampctl.cc");
+  role.wire_format = is("src/fleet/dataset.cc");
+  return role;
+}
+
+std::vector<Finding> lint_source(std::string_view path, std::string_view src,
+                                 const FileRole* role) {
+  const FileRole derived = role ? *role : classify_path(path);
+  const LexOutput lexed = lex(src);
+  std::vector<Finding> findings;
+  if (!derived.nondet_exempt) {
+    check_nondeterminism(lexed.tokens, path, derived, findings);
+  }
+  if (derived.output_path) {
+    check_unordered_iteration(lexed.tokens, path, findings);
+  }
+  if (derived.wire_format) {
+    check_wire_format(lexed.tokens, path, findings);
+  }
+  std::erase_if(findings, [&](const Finding& f) {
+    return comment_suppresses(lexed, f.line, f.rule);
+  });
+  return findings;
+}
+
+std::vector<StructField> parse_struct_fields(std::string_view header_src,
+                                             std::string_view struct_name) {
+  const LexOutput lexed = lex(header_src);
+  const Tokens& toks = lexed.tokens;
+  std::vector<StructField> fields;
+
+  // Find `struct <name> ... {` (skipping forward declarations).
+  std::size_t body = 0;
+  for (std::size_t i = 0; i + 1 < toks.size() && body == 0; ++i) {
+    if (!is_ident(toks[i], "struct") || !is_ident(toks[i + 1], struct_name)) {
+      continue;
+    }
+    for (std::size_t j = i + 2; j < toks.size(); ++j) {
+      if (is_punct(toks[j], "{")) {
+        body = j + 1;
+        break;
+      }
+      if (is_punct(toks[j], ";")) break;  // forward declaration
+    }
+  }
+  if (body == 0) return fields;
+
+  // Walk the struct body at brace depth 1, accumulating one declaration at
+  // a time.  A `}` that closes back to depth 1 ends a member function
+  // (its declarator has a top-level `(` before any `=`); otherwise the
+  // braces belonged to a default initializer and the declaration continues
+  // to its `;`.
+  const auto is_function_decl = [&](const std::vector<std::size_t>& decl) {
+    for (const std::size_t k : decl) {
+      if (is_punct(toks[k], "=")) return false;
+      if (is_punct(toks[k], "(")) return true;
+    }
+    return false;
+  };
+  const auto process_decl = [&](const std::vector<std::size_t>& decl) {
+    if (decl.empty() || is_function_decl(decl)) return;
+    static const std::set<std::string, std::less<>> kSkipLead = {
+        "using", "typedef", "friend", "static", "template",
+        "public", "private", "protected", "enum", "struct", "class"};
+    if (kSkipLead.count(toks[decl.front()].text)) return;
+    // The field name is the identifier just before `=`, a brace
+    // initializer, or the terminating `;`.
+    std::size_t stop = decl.size();
+    for (std::size_t k = 0; k < decl.size(); ++k) {
+      if (is_punct(toks[decl[k]], "=") || is_punct(toks[decl[k]], "{")) {
+        stop = k;
+        break;
+      }
+    }
+    std::size_t name_idx = decl.size();
+    for (std::size_t k = stop; k-- > 0;) {
+      if (toks[decl[k]].kind == TokKind::kIdentifier) {
+        name_idx = k;
+        break;
+      }
+    }
+    if (name_idx >= decl.size()) return;
+    StructField f;
+    const Token& name = toks[decl[name_idx]];
+    f.name = name.text;
+    f.line = name.line;
+    f.exempt = comment_exempts_fingerprint(lexed, name.line);
+    for (std::size_t k = name_idx; k-- > 0;) {
+      if (toks[decl[k]].kind == TokKind::kIdentifier) {
+        f.type = toks[decl[k]].text;
+        break;
+      }
+    }
+    fields.push_back(std::move(f));
+  };
+
+  int depth = 1;
+  std::vector<std::size_t> decl;
+  for (std::size_t i = body; i < toks.size() && depth > 0; ++i) {
+    const Token& t = toks[i];
+    if (is_punct(t, "{")) {
+      ++depth;
+      decl.push_back(i);
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      --depth;
+      if (depth == 0) break;
+      if (depth == 1 && is_function_decl(decl)) {
+        decl.clear();
+      } else {
+        decl.push_back(i);
+      }
+      continue;
+    }
+    if (depth == 1 && is_punct(t, ";")) {
+      process_decl(decl);
+      decl.clear();
+      continue;
+    }
+    decl.push_back(i);
+  }
+  return fields;
+}
+
+std::vector<Finding> check_fingerprint_coverage(
+    const std::vector<StructSource>& structs, std::string_view root_struct,
+    std::string_view impl_path, std::string_view impl_src) {
+  std::vector<Finding> findings;
+
+  const StructSource* root = nullptr;
+  for (const auto& s : structs) {
+    if (s.name == root_struct) root = &s;
+  }
+  if (!root) {
+    findings.push_back({std::string(impl_path), 1, "fingerprint-coverage",
+                        "struct '" + std::string(root_struct) +
+                            "' not found in the given headers"});
+    return findings;
+  }
+
+  // Locate the body of `fingerprint() const { ... }` in the impl.
+  const LexOutput impl = lex(impl_src);
+  const Tokens& toks = impl.tokens;
+  std::size_t begin = 0, end = 0;
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "fingerprint") || !is_punct(toks[i + 1], "(") ||
+        !is_punct(toks[i + 2], ")")) {
+      continue;
+    }
+    std::size_t j = i + 3;
+    if (is_ident(toks[j], "const")) ++j;
+    if (!is_punct(toks[j], "{")) continue;
+    int depth = 1;
+    begin = j + 1;
+    for (std::size_t k = begin; k < toks.size(); ++k) {
+      if (is_punct(toks[k], "{")) ++depth;
+      if (is_punct(toks[k], "}") && --depth == 0) {
+        end = k;
+        break;
+      }
+    }
+    break;
+  }
+  if (end == 0) {
+    findings.push_back(
+        {std::string(impl_path), 1, "fingerprint-coverage",
+         "definition of '" + std::string(root_struct) +
+             "::fingerprint() const' not found in " + std::string(impl_path)});
+    return findings;
+  }
+
+  // True when the member chain (e.g. {"buffer", "reserve_per_queue"})
+  // appears in the body as `buffer.reserve_per_queue`.
+  const auto chain_in_body = [&](const std::vector<std::string>& chain) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!is_ident(toks[i], chain.front())) continue;
+      std::size_t j = i;
+      bool ok = true;
+      for (std::size_t c = 1; c < chain.size(); ++c) {
+        if (j + 2 >= end || !is_punct(toks[j + 1], ".") ||
+            !is_ident(toks[j + 2], chain[c])) {
+          ok = false;
+          break;
+        }
+        j += 2;
+      }
+      if (ok) return true;
+    }
+    return false;
+  };
+
+  // Walk the root struct, recursing into fields whose type is itself a
+  // known config struct, so nested knobs (the PR 3 bug class:
+  // buffer.reserve_per_queue et al.) each need their own hash step.
+  const auto find_struct = [&](const std::string& name) -> const StructSource* {
+    for (const auto& s : structs) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+  struct Frame {
+    const StructSource* src;
+    std::vector<std::string> chain;
+  };
+  std::vector<Frame> work{{root, {}}};
+  std::set<std::string> on_path;  // cycle guard
+  while (!work.empty()) {
+    Frame frame = std::move(work.back());
+    work.pop_back();
+    for (const StructField& f :
+         parse_struct_fields(frame.src->header_src, frame.src->name)) {
+      if (f.exempt) continue;
+      std::vector<std::string> chain = frame.chain;
+      chain.push_back(f.name);
+      const StructSource* nested = find_struct(f.type);
+      if (nested && !on_path.count(f.type)) {
+        on_path.insert(f.type);
+        work.push_back({nested, std::move(chain)});
+        continue;
+      }
+      if (!chain_in_body(chain)) {
+        std::string dotted = chain.front();
+        for (std::size_t c = 1; c < chain.size(); ++c) {
+          dotted += "." + chain[c];
+        }
+        findings.push_back(
+            {frame.src->header_path, f.line, "fingerprint-coverage",
+             std::string(root_struct) + " field '" + dotted +
+                 "' is not hashed in fingerprint() (" +
+                 std::string(impl_path) +
+                 ") and has no '// fingerprint-exempt:' comment"});
+      }
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings;
+}
+
+}  // namespace msamp::lint

@@ -1,0 +1,93 @@
+// msamp_lint rule engine: project invariants that generic tooling cannot
+// express, run over the token stream from lint/lexer.h.  The rules and
+// the reasons they exist are documented in docs/STATIC_ANALYSIS.md.
+//
+// Rule ids (stable; used in findings and in suppression comments):
+//   nondet-random         rand()/srand()/std::random_device & friends
+//   nondet-time           time()/clock()/std::chrono::*_clock wall clocks
+//   nondet-getenv         getenv outside the documented MSAMP_* readers
+//   unordered-iter        range-for over unordered containers in output
+//                         paths (serialization / reduction / CSV emitters)
+//   wire-struct-copy      whole-struct memcpy/sizeof in the wire format
+//   fingerprint-coverage  FleetConfig field missing from fingerprint()
+//
+// A finding on line L is suppressed by a comment on that line containing
+// `msamp-lint: allow(<rule-id>)` (or `allow(all)`).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace msamp::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Formats a finding as `file:line: rule-id: message`.
+std::string to_string(const Finding& f);
+
+/// What a file is allowed to do; derived from its repo-relative path by
+/// classify_path(), overridable in tests.
+struct FileRole {
+  /// Implementation of the sanctioned randomness/time primitives
+  /// (src/util/rng.*, src/sim/time.h): nondeterminism rules are off.
+  bool nondet_exempt = false;
+  /// Documented MSAMP_* environment readers: getenv is allowed.
+  bool getenv_allowed = false;
+  /// Serialization, reduction, or CSV-emitting file: iteration order
+  /// reaches the output bytes, so unordered-container range-fors are
+  /// banned.
+  bool output_path = false;
+  /// Wire-format codec (src/fleet/dataset.cc): whole-struct copies are
+  /// banned; records must be serialized field by field.
+  bool wire_format = false;
+};
+
+/// Derives the role from a repo-relative path (forward slashes).
+FileRole classify_path(std::string_view path);
+
+/// Runs every per-file rule over `src`.  `path` is used for reporting and,
+/// when `role` is null, for classification.
+std::vector<Finding> lint_source(std::string_view path, std::string_view src,
+                                 const FileRole* role = nullptr);
+
+// --- fingerprint coverage ----------------------------------------------
+
+/// One data member parsed from a struct declaration.
+struct StructField {
+  std::string name;
+  std::string type;  ///< last identifier of the declared type
+  int line = 0;
+  bool exempt = false;  ///< `// fingerprint-exempt:` on the decl (or above)
+};
+
+/// Parses the data members of `struct struct_name { ... };` out of header
+/// source.  Member functions, using-aliases, and static members are
+/// skipped.  Returns empty if the struct is not found.
+std::vector<StructField> parse_struct_fields(std::string_view header_src,
+                                             std::string_view struct_name);
+
+/// A struct the coverage check knows how to parse: its name and the
+/// header it lives in.
+struct StructSource {
+  std::string name;
+  std::string header_path;
+  std::string header_src;
+};
+
+/// Checks that every field of `root_struct` (recursing into fields whose
+/// type is itself in `structs`) is either named in the body of
+/// `fingerprint()` inside `impl_src` (nested fields as `outer.inner`
+/// member chains) or carries a `// fingerprint-exempt:` comment.
+std::vector<Finding> check_fingerprint_coverage(
+    const std::vector<StructSource>& structs, std::string_view root_struct,
+    std::string_view impl_path, std::string_view impl_src);
+
+}  // namespace msamp::lint
