@@ -33,7 +33,7 @@ if [ "${MSAMP_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan "${GEN[@]}" -DMSAMP_TSAN=ON
   cmake --build build-tsan --target msamp_tests msamp_lint
   ctest --test-dir build-tsan --output-on-failure \
-    -R '^(ThreadPool|FleetParallel|FleetRunner|FleetConfig|FluidRack|Dataset|Shard|Merge|Aggregate|Rng|Lint)'
+    -R '^(ThreadPool|FleetParallel|FleetRunner|FleetConfig|FluidRack|Dataset|Shard|SpillSink|Merge|Aggregate|Worker|Coordinator|Rng|Lint)'
 fi
 
 # ASan+UBSan lane: a third build tree with -DMSAMP_ASAN=ON, running the
@@ -45,7 +45,7 @@ if [ "${MSAMP_SKIP_ASAN:-0}" != "1" ]; then
   cmake -B build-asan "${GEN[@]}" -DMSAMP_ASAN=ON
   cmake --build build-asan --target msamp_tests msampctl msamp_lint
   ctest --test-dir build-asan --output-on-failure \
-    -R '^(Dataset|FleetConfig|Shard|Merge|Flags|cli_usage|cli_pipeline|Lint)'
+    -R '^(Dataset|FleetConfig|Shard|SpillSink|Merge|Protocol|Flags|cli_usage|cli_pipeline|cli_cluster|Lint)'
 fi
 
 # Bench-parallelism determinism: the parallelized benches must emit
@@ -56,6 +56,12 @@ scripts/check_bench_determinism.sh build
 # thread counts per shard) merged back must equal the whole-day dataset
 # byte for byte.
 scripts/check_shard_determinism.sh build
+
+# Cluster determinism: the fault-tolerant orchestrator (`msampctl cluster`,
+# worker processes + spill sinks + streaming merge) must reproduce the
+# single-process bytes — including with workers killed and retried under
+# --fault-rate.
+scripts/check_cluster_determinism.sh build
 
 for b in build/bench/bench_*; do
   echo "== $b"

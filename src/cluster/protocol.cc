@@ -1,0 +1,72 @@
+#include "cluster/protocol.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace msamp::cluster {
+namespace {
+
+constexpr const char* kPrefix = "msamp-hb ";
+constexpr std::size_t kPrefixLen = 9;
+
+}  // namespace
+
+std::string encode(const Heartbeat& hb) {
+  switch (hb.kind) {
+    case Heartbeat::Kind::kDone:
+      return "msamp-hb done";
+    case Heartbeat::Kind::kError:
+      return "msamp-hb error " + hb.message;
+    case Heartbeat::Kind::kProgress:
+    default: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.9g", hb.fraction);
+      return std::string("msamp-hb progress ") + buf;
+    }
+  }
+}
+
+bool decode(const std::string& line, Heartbeat* hb) {
+  if (line.compare(0, kPrefixLen, kPrefix) != 0) return false;
+  const std::string body = line.substr(kPrefixLen);
+  if (body == "done") {
+    hb->kind = Heartbeat::Kind::kDone;
+    hb->fraction = 0.0;
+    hb->message.clear();
+    return true;
+  }
+  if (body.compare(0, 6, "error ") == 0) {
+    hb->kind = Heartbeat::Kind::kError;
+    hb->fraction = 0.0;
+    hb->message = body.substr(6);
+    return true;
+  }
+  if (body.compare(0, 9, "progress ") == 0) {
+    const std::string value = body.substr(9);
+    if (value.empty()) return false;
+    char* end = nullptr;
+    const double f = std::strtod(value.c_str(), &end);
+    if (end == nullptr || *end != '\0') return false;
+    if (!(f >= 0.0) || !(f <= 1.0)) return false;
+    hb->kind = Heartbeat::Kind::kProgress;
+    hb->fraction = f;
+    hb->message.clear();
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> take_lines(std::string* buf) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < buf->size(); ++i) {
+    if ((*buf)[i] == '\n') {
+      lines.push_back(buf->substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  buf->erase(0, start);
+  return lines;
+}
+
+}  // namespace msamp::cluster

@@ -1,0 +1,37 @@
+// Worker → coordinator heartbeat protocol: newline-delimited text lines
+// on the worker's stdout, which the coordinator owns through a pipe.
+//
+//   msamp-hb progress <fraction>   shard fraction complete, in [0, 1]
+//   msamp-hb done                  shard file finalized (informational;
+//                                  the exit status is authoritative)
+//   msamp-hb error <message>       terminal failure, human-readable
+//
+// Anything that is not a well-formed heartbeat line is ignored by the
+// coordinator, so a worker's library code printing to stdout can never
+// corrupt the control channel — at worst it delays stall detection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace msamp::cluster {
+
+struct Heartbeat {
+  enum class Kind { kProgress, kDone, kError };
+  Kind kind = Kind::kProgress;
+  double fraction = 0.0;  ///< kProgress only
+  std::string message;    ///< kError only
+};
+
+/// One protocol line, without the trailing newline.
+std::string encode(const Heartbeat& hb);
+
+/// Parses one line (no trailing newline).  Returns false for anything
+/// that is not a well-formed heartbeat, including out-of-range fractions.
+bool decode(const std::string& line, Heartbeat* hb);
+
+/// Splits the complete lines off the front of a pipe read buffer; the
+/// trailing partial line (if any) stays in `*buf` for the next read.
+std::vector<std::string> take_lines(std::string* buf);
+
+}  // namespace msamp::cluster

@@ -1,0 +1,18 @@
+#include "cluster/retry.h"
+
+namespace msamp::cluster {
+
+bool RetryPolicy::can_retry(int attempts_done) const {
+  return attempts_done < max_attempts;
+}
+
+int RetryPolicy::delay_ms(int attempts_done) const {
+  if (attempts_done <= 0 || base_delay_ms <= 0) return 0;
+  long delay = base_delay_ms;
+  for (int i = 1; i < attempts_done && delay < max_delay_ms; ++i) {
+    delay *= 2;
+  }
+  return static_cast<int>(delay < max_delay_ms ? delay : max_delay_ms);
+}
+
+}  // namespace msamp::cluster

@@ -1,0 +1,22 @@
+// Capped exponential backoff for shard attempt scheduling.  Retrying a
+// shard is always safe: workers are deterministic (same shard → same
+// bytes) and finalize via atomic rename, so a retried shard either
+// reproduces the identical file or leaves nothing.
+#pragma once
+
+namespace msamp::cluster {
+
+struct RetryPolicy {
+  int max_attempts = 5;     ///< total launches per shard, first included
+  int base_delay_ms = 200;  ///< delay before the first retry
+  int max_delay_ms = 5000;  ///< backoff cap
+
+  /// True when another launch is allowed after `attempts_done` launches.
+  bool can_retry(int attempts_done) const;
+
+  /// Backoff before launch number `attempts_done + 1`:
+  /// base * 2^(attempts_done - 1), capped at max_delay_ms.
+  int delay_ms(int attempts_done) const;
+};
+
+}  // namespace msamp::cluster

@@ -1,279 +1,11 @@
 #include "fleet/dataset.h"
 
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 
+#include "fleet/wire.h"
+
 namespace msamp::fleet {
-namespace {
-
-constexpr std::uint32_t kMagic = 0x4d464c54;  // "MFLT"
-// Wire-format version.  Bump whenever the serialized layout changes (new
-// fields, reordered fields, record shape changes): old cache files then
-// fail to parse and are regenerated.  v4: field-wise records (no struct
-// padding on the wire), serialized FleetConfig, and the shard header.
-constexpr std::uint32_t kVersion = 4;
-
-struct Writer {
-  std::vector<std::uint8_t> out;
-  template <typename T>
-  void put(const T& v) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    static_assert(!std::is_class_v<T>, "serialize records field by field");
-    const auto old = out.size();
-    out.resize(old + sizeof(T));
-    std::memcpy(out.data() + old, &v, sizeof(T));
-  }
-  template <typename T>
-  void put_vec(const std::vector<T>& v) {
-    static_assert(std::is_trivially_copyable_v<T> && !std::is_class_v<T>);
-    put(static_cast<std::uint64_t>(v.size()));
-    const auto old = out.size();
-    out.resize(old + v.size() * sizeof(T));
-    if (!v.empty()) std::memcpy(out.data() + old, v.data(), v.size() * sizeof(T));
-  }
-};
-
-struct Reader {
-  const std::vector<std::uint8_t>& in;
-  std::size_t pos = 0;
-  template <typename T>
-  bool get(T* v) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    static_assert(!std::is_class_v<T>, "deserialize records field by field");
-    if (pos + sizeof(T) > in.size()) return false;
-    std::memcpy(v, in.data() + pos, sizeof(T));
-    pos += sizeof(T);
-    return true;
-  }
-  template <typename T>
-  bool get_vec(std::vector<T>* v) {
-    std::uint64_t n = 0;
-    if (!get(&n)) return false;
-    if (n > (in.size() - pos) / sizeof(T)) return false;
-    v->resize(static_cast<std::size_t>(n));
-    if (n != 0) {
-      std::memcpy(v->data(), in.data() + pos,
-                  static_cast<std::size_t>(n) * sizeof(T));
-      pos += static_cast<std::size_t>(n) * sizeof(T);
-    }
-    return true;
-  }
-  std::size_t remaining() const { return in.size() - pos; }
-};
-
-// --- field-wise record codecs ------------------------------------------
-// Every record is written member by member so the file never contains
-// compiler-inserted padding bytes: that is what lets shards generated in
-// different processes merge into bytes identical to a single-process run.
-// `wire_size` is the serialized size, used to bound hostile counts before
-// any allocation.
-
-void put_record(Writer& w, const WindowCounts& c) {
-  w.put(c.has_run);
-  w.put(c.server_runs);
-  w.put(c.bursts);
-}
-bool get_record(Reader& r, WindowCounts* c) {
-  return r.get(&c->has_run) && r.get(&c->server_runs) && r.get(&c->bursts);
-}
-constexpr std::size_t wire_size(const WindowCounts*) { return 9; }
-
-void put_record(Writer& w, const RackInfo& v) {
-  w.put(v.rack_id);
-  w.put(v.region);
-  w.put(v.ml_dense);
-  w.put(v.distinct_tasks);
-  w.put(v.dominant_share);
-  w.put(v.intensity);
-  w.put(v.busy_hour_avg_contention);
-  w.put(v.rack_class);
-}
-bool get_record(Reader& r, RackInfo* v) {
-  return r.get(&v->rack_id) && r.get(&v->region) && r.get(&v->ml_dense) &&
-         r.get(&v->distinct_tasks) && r.get(&v->dominant_share) &&
-         r.get(&v->intensity) && r.get(&v->busy_hour_avg_contention) &&
-         r.get(&v->rack_class);
-}
-constexpr std::size_t wire_size(const RackInfo*) { return 21; }
-
-void put_record(Writer& w, const RackRunRecord& v) {
-  w.put(v.rack_id);
-  w.put(v.region);
-  w.put(v.hour);
-  w.put(v.usable);
-  w.put(v.avg_contention);
-  w.put(v.min_active_contention);
-  w.put(v.p90_contention);
-  w.put(v.max_contention);
-  w.put(v.in_bytes);
-  w.put(v.drop_bytes);
-  w.put(v.ecn_bytes);
-}
-bool get_record(Reader& r, RackRunRecord* v) {
-  return r.get(&v->rack_id) && r.get(&v->region) && r.get(&v->hour) &&
-         r.get(&v->usable) && r.get(&v->avg_contention) &&
-         r.get(&v->min_active_contention) && r.get(&v->p90_contention) &&
-         r.get(&v->max_contention) && r.get(&v->in_bytes) &&
-         r.get(&v->drop_bytes) && r.get(&v->ecn_bytes);
-}
-constexpr std::size_t wire_size(const RackRunRecord*) { return 41; }
-
-void put_record(Writer& w, const ServerRunRecord& v) {
-  w.put(v.rack_id);
-  w.put(v.region);
-  w.put(v.hour);
-  w.put(v.bursty);
-  w.put(v.avg_util);
-  w.put(v.util_inside);
-  w.put(v.util_outside);
-  w.put(v.bursts_per_sec);
-  w.put(v.conns_inside);
-  w.put(v.conns_outside);
-}
-bool get_record(Reader& r, ServerRunRecord* v) {
-  return r.get(&v->rack_id) && r.get(&v->region) && r.get(&v->hour) &&
-         r.get(&v->bursty) && r.get(&v->avg_util) && r.get(&v->util_inside) &&
-         r.get(&v->util_outside) && r.get(&v->bursts_per_sec) &&
-         r.get(&v->conns_inside) && r.get(&v->conns_outside);
-}
-constexpr std::size_t wire_size(const ServerRunRecord*) { return 31; }
-
-void put_record(Writer& w, const BurstRecord& v) {
-  w.put(v.rack_id);
-  w.put(v.region);
-  w.put(v.hour);
-  w.put(v.len_ms);
-  w.put(v.volume_bytes);
-  w.put(v.max_contention);
-  w.put(v.avg_conns);
-  w.put(v.contended);
-  w.put(v.lossy);
-}
-bool get_record(Reader& r, BurstRecord* v) {
-  return r.get(&v->rack_id) && r.get(&v->region) && r.get(&v->hour) &&
-         r.get(&v->len_ms) && r.get(&v->volume_bytes) &&
-         r.get(&v->max_contention) && r.get(&v->avg_conns) &&
-         r.get(&v->contended) && r.get(&v->lossy);
-}
-constexpr std::size_t wire_size(const BurstRecord*) { return 20; }
-
-template <typename T>
-void put_records(Writer& w, const std::vector<T>& v) {
-  w.put(static_cast<std::uint64_t>(v.size()));
-  for (const auto& e : v) put_record(w, e);
-}
-
-template <typename T>
-bool get_records(Reader& r, std::vector<T>* v) {
-  std::uint64_t n = 0;
-  if (!r.get(&n)) return false;
-  // Bound the count by the bytes actually left, so a hostile length can
-  // never drive a huge allocation before the per-record reads fail.
-  if (n > r.remaining() / wire_size(static_cast<const T*>(nullptr))) {
-    return false;
-  }
-  v->clear();
-  v->reserve(static_cast<std::size_t>(n));
-  for (std::uint64_t i = 0; i < n; ++i) {
-    T e;
-    if (!get_record(r, &e)) return false;
-    v->push_back(e);
-  }
-  return true;
-}
-
-// FleetConfig travels with the dataset so a merge (and `report`) can see
-// the scale and classification knobs without re-supplying them.  `threads`
-// is deliberately not serialized: it is execution detail, never data.
-void put_config(Writer& w, const FleetConfig& c) {
-  w.put(c.seed);
-  w.put(static_cast<std::int32_t>(c.racks_per_region));
-  w.put(static_cast<std::int32_t>(c.servers_per_rack));
-  w.put(static_cast<std::int32_t>(c.hours));
-  w.put(static_cast<std::int32_t>(c.samples_per_run));
-  w.put(static_cast<std::int32_t>(c.warmup_ms));
-  w.put(c.line_rate_gbps);
-  w.put(c.buffer.total_bytes);
-  w.put(static_cast<std::int32_t>(c.buffer.quadrants));
-  w.put(c.buffer.reserve_per_queue);
-  w.put(c.buffer.alpha);
-  w.put(c.buffer.ecn_threshold);
-  w.put(static_cast<std::uint8_t>(c.buffer.policy));
-  w.put(c.buffer.burst_alpha_boost);
-  w.put(c.rtt_ms);
-  w.put(static_cast<std::int64_t>(c.mss));
-  w.put(static_cast<std::uint8_t>(c.fabric.enabled ? 1 : 0));
-  w.put(c.fabric.uplink_gbps);
-  w.put(c.fabric.smoothing);
-  w.put(static_cast<std::int32_t>(c.filter_cpus));
-  w.put(static_cast<std::int64_t>(c.clocks.offset_stddev));
-  w.put(static_cast<std::int64_t>(c.clocks.offset_max));
-  w.put(static_cast<std::int32_t>(c.loss.rtt_shift_samples));
-  w.put(static_cast<std::int32_t>(c.loss.lag_samples));
-  w.put(c.classify.high_threshold);
-}
-
-bool get_config(Reader& r, FleetConfig* c) {
-  std::int32_t racks = 0, servers = 0, hours = 0, samples = 0, warmup = 0;
-  std::int32_t quadrants = 0, filter_cpus = 0, rtt_shift = 0, lag = 0;
-  std::uint8_t policy = 0, fabric_enabled = 0;
-  std::int64_t mss = 0, stddev = 0, offmax = 0;
-  if (!(r.get(&c->seed) && r.get(&racks) && r.get(&servers) &&
-        r.get(&hours) && r.get(&samples) && r.get(&warmup) &&
-        r.get(&c->line_rate_gbps) && r.get(&c->buffer.total_bytes) &&
-        r.get(&quadrants) && r.get(&c->buffer.reserve_per_queue) &&
-        r.get(&c->buffer.alpha) && r.get(&c->buffer.ecn_threshold) &&
-        r.get(&policy) && r.get(&c->buffer.burst_alpha_boost) &&
-        r.get(&c->rtt_ms) && r.get(&mss) && r.get(&fabric_enabled) &&
-        r.get(&c->fabric.uplink_gbps) && r.get(&c->fabric.smoothing) &&
-        r.get(&filter_cpus) && r.get(&stddev) && r.get(&offmax) &&
-        r.get(&rtt_shift) && r.get(&lag) &&
-        r.get(&c->classify.high_threshold))) {
-    return false;
-  }
-  // The scale fields size window ranges and allocations downstream; reject
-  // negatives (and an out-of-range policy byte) as corruption up front.
-  if (racks < 0 || servers < 0 || hours < 0 || samples < 0 || warmup < 0) {
-    return false;
-  }
-  if (policy > static_cast<std::uint8_t>(net::BufferPolicy::kBurstAbsorbDt)) {
-    return false;
-  }
-  c->racks_per_region = racks;
-  c->servers_per_rack = servers;
-  c->hours = hours;
-  c->samples_per_run = samples;
-  c->warmup_ms = warmup;
-  c->buffer.quadrants = quadrants;
-  c->buffer.policy = static_cast<net::BufferPolicy>(policy);
-  c->mss = mss;
-  c->fabric.enabled = fabric_enabled != 0;
-  c->filter_cpus = filter_cpus;
-  c->clocks.offset_stddev = stddev;
-  c->clocks.offset_max = offmax;
-  c->loss.rtt_shift_samples = rtt_shift;
-  c->loss.lag_samples = lag;
-  c->threads = 0;  // execution detail; never travels with data
-  return true;
-}
-
-void put_exemplar(Writer& w, const ExemplarRun& e) {
-  w.put(e.rack_id);
-  w.put(e.avg_contention);
-  w.put(e.num_servers);
-  w.put(e.num_samples);
-  w.put_vec(e.raster);
-  w.put_vec(e.contention);
-}
-
-bool get_exemplar(Reader& r, ExemplarRun* e) {
-  return r.get(&e->rack_id) && r.get(&e->avg_contention) &&
-         r.get(&e->num_servers) && r.get(&e->num_samples) &&
-         r.get_vec(&e->raster) && r.get_vec(&e->contention);
-}
-
-}  // namespace
 
 analysis::RackClass Dataset::class_of(std::uint32_t rack_id) const {
   for (const auto& r : racks) {
@@ -285,32 +17,25 @@ analysis::RackClass Dataset::class_of(std::uint32_t rack_id) const {
 }
 
 std::vector<std::uint8_t> Dataset::serialize() const {
-  Writer w;
-  w.put(kMagic);
-  w.put(kVersion);
-  w.put(fingerprint);
-  put_config(w, config);
-  w.put(shard.index);
-  w.put(shard.count);
-  w.put(window_begin);
-  w.put(window_end);
-  put_records(w, window_counts);
-  put_records(w, racks);
-  put_records(w, rack_runs);
-  put_records(w, server_runs);
-  put_records(w, bursts);
-  put_exemplar(w, low_contention_example);
-  put_exemplar(w, high_contention_example);
+  wire::Writer w;
+  wire::put_header(w, *this);
+  wire::put_records(w, window_counts);
+  wire::put_records(w, racks);
+  wire::put_records(w, rack_runs);
+  wire::put_records(w, server_runs);
+  wire::put_records(w, bursts);
+  wire::put_exemplar(w, low_contention_example);
+  wire::put_exemplar(w, high_contention_example);
   return std::move(w.out);
 }
 
 bool Dataset::deserialize(const std::vector<std::uint8_t>& blob) {
-  Reader r{blob};
+  wire::Reader r(blob);
   std::uint32_t magic = 0, version = 0;
-  if (!r.get(&magic) || magic != kMagic) return false;
-  if (!r.get(&version) || version != kVersion) return false;
+  if (!r.get(&magic) || magic != wire::kMagic) return false;
+  if (!r.get(&version) || version != wire::kVersion) return false;
   if (!r.get(&fingerprint)) return false;
-  if (!get_config(r, &config)) return false;
+  if (!wire::get_config(r, &config)) return false;
   if (!r.get(&shard.index) || !r.get(&shard.count)) return false;
   if (!shard.valid()) return false;
   if (!r.get(&window_begin) || !r.get(&window_end)) return false;
@@ -323,10 +48,10 @@ bool Dataset::deserialize(const std::vector<std::uint8_t>& blob) {
       window_end != shard.end(static_cast<std::size_t>(total))) {
     return false;
   }
-  if (!get_records(r, &window_counts)) return false;
+  if (!wire::get_records(r, &window_counts)) return false;
   if (window_counts.size() != window_end - window_begin) return false;
-  if (!get_records(r, &racks) || !get_records(r, &rack_runs) ||
-      !get_records(r, &server_runs) || !get_records(r, &bursts)) {
+  if (!wire::get_records(r, &racks) || !wire::get_records(r, &rack_runs) ||
+      !wire::get_records(r, &server_runs) || !wire::get_records(r, &bursts)) {
     return false;
   }
   // The record vectors must agree with the per-window count table.
@@ -340,8 +65,8 @@ bool Dataset::deserialize(const std::vector<std::uint8_t>& blob) {
       n_bursts != bursts.size()) {
     return false;
   }
-  if (!get_exemplar(r, &low_contention_example) ||
-      !get_exemplar(r, &high_contention_example)) {
+  if (!wire::get_exemplar(r, &low_contention_example) ||
+      !wire::get_exemplar(r, &high_contention_example)) {
     return false;
   }
   return r.pos == blob.size();

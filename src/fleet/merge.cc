@@ -1,14 +1,24 @@
 #include "fleet/merge.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
-#include <iterator>
+#include <filesystem>
+#include <fstream>
 #include <utility>
 
 #include "fleet/shard.h"
+#include "fleet/wire.h"
 
 namespace msamp::fleet {
 namespace {
+
+// Bounded buffer for the file-to-file section copies; also the read size
+// for header parsing.  The merge's peak memory is a couple of these plus
+// the count and rack-run tables.
+constexpr std::size_t kCopyChunk = std::size_t{1} << 20;
 
 bool same_rack_info(const RackInfo& a, const RackInfo& b) {
   // Classification fields are intentionally excluded: shards leave them
@@ -19,21 +29,192 @@ bool same_rack_info(const RackInfo& a, const RackInfo& b) {
          a.dominant_share == b.dominant_share && a.intensity == b.intensity;
 }
 
+// The fixed wire size of a serialized FleetConfig (it contains no
+// variable-length fields), so the header prefix can be read in one go.
+std::size_t config_wire_size() {
+  wire::Writer w;
+  wire::put_config(w, FleetConfig{});
+  return w.out.size();
+}
+
+bool read_exact(std::ifstream& in, std::size_t n, std::vector<std::uint8_t>* out) {
+  out->resize(n);
+  return n == 0 ||
+         static_cast<bool>(in.read(reinterpret_cast<char*>(out->data()),
+                                   static_cast<std::streamsize>(n)));
+}
+
+/// Everything `merge_shards` needs from one shard file without touching
+/// its bulky record sections: the header, the count and rack tables, the
+/// rack runs (bounded by one per window), the exemplars, and the file
+/// offsets of the server-run and burst sections for the streamed copy.
+struct ShardHead {
+  std::string path;
+  std::uint64_t file_size = 0;
+  std::uint64_t fingerprint = 0;
+  FleetConfig config;
+  ShardSpec shard;
+  std::uint64_t window_begin = 0;
+  std::uint64_t window_end = 0;
+  std::vector<WindowCounts> counts;
+  std::vector<RackInfo> racks;
+  std::vector<RackRunRecord> rack_runs;
+  std::uint64_t servers_count = 0;  ///< section's own length prefix
+  std::uint64_t bursts_count = 0;
+  std::uint64_t servers_off = 0;  ///< file offset of the section's records
+  std::uint64_t bursts_off = 0;
+  ExemplarRun low;
+  ExemplarRun high;
+};
+
+/// Parses the head of one shard file.  On failure fills `*error` with a
+/// message prefixed by the path.
+bool read_shard_head(const std::string& path, ShardHead* h,
+                     std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    *error = path + ": " + why;
+    return false;
+  };
+  h->path = path;
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec)) {
+    return fail("not a regular file");
+  }
+  h->file_size = std::filesystem::file_size(path, ec);
+  if (ec) return fail("cannot stat");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail("cannot open");
+
+  std::vector<std::uint8_t> buf;
+  const std::size_t head_bytes = 4 + 4 + 8 + config_wire_size() + 4 + 4 + 8 + 8;
+  if (!read_exact(in, head_bytes, &buf)) return fail("truncated header");
+  wire::Reader r(buf);
+  std::uint32_t magic = 0, version = 0;
+  if (!r.get(&magic) || magic != wire::kMagic) {
+    return fail("not a dataset file (bad magic)");
+  }
+  if (!r.get(&version) || version != wire::kVersion) {
+    return fail("unsupported dataset version");
+  }
+  if (!r.get(&h->fingerprint) || !wire::get_config(r, &h->config) ||
+      !r.get(&h->shard.index) || !r.get(&h->shard.count) ||
+      !r.get(&h->window_begin) || !r.get(&h->window_end)) {
+    return fail("corrupt header");
+  }
+  if (!h->shard.valid()) return fail("corrupt header (invalid shard spec)");
+
+  // Each fixed-size record section: length prefix, then records.  Counts
+  // are bounded by the bytes actually left in the file before any
+  // allocation, exactly as in Dataset::deserialize.
+  const auto read_section = [&](auto* vec, const char* what) {
+    using Rec = typename std::remove_reference_t<decltype(*vec)>::value_type;
+    std::vector<std::uint8_t> lenbuf;
+    if (!read_exact(in, 8, &lenbuf)) return fail("truncated " + std::string(what));
+    wire::Reader lr(lenbuf);
+    std::uint64_t n = 0;
+    lr.get(&n);
+    const std::size_t rec = wire::wire_size(static_cast<const Rec*>(nullptr));
+    const auto pos = static_cast<std::uint64_t>(in.tellg());
+    if (n > (h->file_size - pos) / rec) {
+      return fail("corrupt " + std::string(what) + " section");
+    }
+    std::vector<std::uint8_t> body;
+    if (!read_exact(in, static_cast<std::size_t>(n) * rec, &body)) {
+      return fail("truncated " + std::string(what));
+    }
+    wire::Reader br(body);
+    vec->clear();
+    vec->reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Rec e;
+      if (!wire::get_record(br, &e)) {
+        return fail("corrupt " + std::string(what));
+      }
+      vec->push_back(e);
+    }
+    return true;
+  };
+  if (!read_section(&h->counts, "window count table")) return false;
+  if (!read_section(&h->racks, "rack table")) return false;
+  if (!read_section(&h->rack_runs, "rack run section")) return false;
+
+  // Server runs and bursts are the bulk of a shard; note where their
+  // record bytes live and skip over them — the merge copies the raw bytes.
+  const auto skip_section = [&](std::uint64_t* count, std::uint64_t* off,
+                                std::size_t rec, const char* what) {
+    std::vector<std::uint8_t> lenbuf;
+    if (!read_exact(in, 8, &lenbuf)) return fail("truncated " + std::string(what));
+    wire::Reader lr(lenbuf);
+    lr.get(count);
+    *off = static_cast<std::uint64_t>(in.tellg());
+    if (*count > (h->file_size - *off) / rec) {
+      return fail("corrupt " + std::string(what) + " section");
+    }
+    in.seekg(static_cast<std::streamoff>(*count * rec), std::ios::cur);
+    return static_cast<bool>(in) || fail("truncated " + std::string(what));
+  };
+  if (!skip_section(&h->servers_count, &h->servers_off,
+                    wire::wire_size(static_cast<const ServerRunRecord*>(nullptr)),
+                    "server run section")) {
+    return false;
+  }
+  if (!skip_section(&h->bursts_count, &h->bursts_off,
+                    wire::wire_size(static_cast<const BurstRecord*>(nullptr)),
+                    "burst section")) {
+    return false;
+  }
+
+  const auto tail_off = static_cast<std::uint64_t>(in.tellg());
+  if (!read_exact(in, static_cast<std::size_t>(h->file_size - tail_off), &buf)) {
+    return fail("truncated exemplars");
+  }
+  wire::Reader tr(buf);
+  if (!wire::get_exemplar(tr, &h->low) || !wire::get_exemplar(tr, &h->high) ||
+      tr.pos != buf.size()) {
+    return fail("corrupt exemplars");
+  }
+  return true;
+}
+
+bool copy_section(std::ifstream& in, std::uint64_t off, std::uint64_t bytes,
+                  std::ofstream& out) {
+  in.seekg(static_cast<std::streamoff>(off));
+  if (!in) return false;
+  std::vector<char> buf(static_cast<std::size_t>(
+      std::min<std::uint64_t>(bytes == 0 ? 1 : bytes, kCopyChunk)));
+  std::uint64_t left = bytes;
+  while (left > 0) {
+    const auto n = static_cast<std::streamsize>(
+        std::min<std::uint64_t>(left, buf.size()));
+    if (!in.read(buf.data(), n)) return false;
+    if (!out.write(buf.data(), n)) return false;
+    left -= static_cast<std::uint64_t>(n);
+  }
+  return true;
+}
+
 }  // namespace
 
-std::optional<Dataset> merge_datasets(std::vector<Dataset> shards,
-                                      std::string* error) {
-  const auto fail = [&](std::string msg) -> std::optional<Dataset> {
+bool merge_shards(const std::vector<std::string>& paths,
+                  const std::string& out_path, std::string* error,
+                  MergeStats* stats) {
+  const auto fail = [&](std::string msg) {
     if (error != nullptr) *error = std::move(msg);
-    return std::nullopt;
+    return false;
   };
-  if (shards.empty()) return fail("no shards to merge");
+  if (paths.empty()) return fail("no shards to merge");
 
+  std::vector<ShardHead> shards(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    std::string why;
+    if (!read_shard_head(paths[i], &shards[i], &why)) return fail(why);
+  }
   std::sort(shards.begin(), shards.end(),
-            [](const Dataset& a, const Dataset& b) {
+            [](const ShardHead& a, const ShardHead& b) {
               return a.shard.index < b.shard.index;
             });
-  const Dataset& first = shards.front();
+
+  const ShardHead& first = shards.front();
   const std::uint32_t count = first.shard.count;
   if (shards.size() != count) {
     return fail("expected " + std::to_string(count) + " shards (from shard " +
@@ -46,7 +227,7 @@ std::optional<Dataset> merge_datasets(std::vector<Dataset> shards,
 
   std::uint64_t n_runs = 0, n_servers = 0, n_bursts = 0;
   for (std::uint32_t i = 0; i < count; ++i) {
-    const Dataset& s = shards[i];
+    const ShardHead& s = shards[i];
     const std::string who = "shard " + std::to_string(s.shard.index) + "/" +
                             std::to_string(s.shard.count);
     if (s.shard.count != count) {
@@ -74,19 +255,19 @@ std::optional<Dataset> merge_datasets(std::vector<Dataset> shards,
                   "), not its canonical slice of [0, " +
                   std::to_string(total) + ")");
     }
-    if (s.window_counts.size() != s.window_end - s.window_begin) {
+    if (s.counts.size() != s.window_end - s.window_begin) {
       return fail(who + ": window count table has " +
-                  std::to_string(s.window_counts.size()) + " entries for " +
+                  std::to_string(s.counts.size()) + " entries for " +
                   std::to_string(s.window_end - s.window_begin) + " windows");
     }
     std::uint64_t runs = 0, servers = 0, bursts = 0;
-    for (const auto& c : s.window_counts) {
+    for (const auto& c : s.counts) {
       runs += c.has_run ? 1 : 0;
       servers += c.server_runs;
       bursts += c.bursts;
     }
-    if (runs != s.rack_runs.size() || servers != s.server_runs.size() ||
-        bursts != s.bursts.size()) {
+    if (runs != s.rack_runs.size() || servers != s.servers_count ||
+        bursts != s.bursts_count) {
       return fail(who + ": record vectors disagree with its window count "
                         "table");
     }
@@ -101,47 +282,158 @@ std::optional<Dataset> merge_datasets(std::vector<Dataset> shards,
     n_bursts += bursts;
   }
 
-  Dataset out;
-  out.fingerprint = first.fingerprint;
-  out.config = first.config;
-  out.shard = ShardSpec{};  // full range
-  out.window_begin = 0;
-  out.window_end = total;
-  out.window_counts.reserve(static_cast<std::size_t>(total));
-  out.racks = std::move(shards.front().racks);
-  out.rack_runs.reserve(static_cast<std::size_t>(n_runs));
-  out.server_runs.reserve(static_cast<std::size_t>(n_servers));
-  out.bursts.reserve(static_cast<std::size_t>(n_bursts));
-  for (Dataset& s : shards) {
-    out.window_counts.insert(out.window_counts.end(), s.window_counts.begin(),
-                             s.window_counts.end());
-    out.rack_runs.insert(out.rack_runs.end(), s.rack_runs.begin(),
-                         s.rack_runs.end());
-    out.server_runs.insert(out.server_runs.end(), s.server_runs.begin(),
-                           s.server_runs.end());
-    out.bursts.insert(out.bursts.end(), s.bursts.begin(), s.bursts.end());
+  // Head of the merged day: the rack runs are bounded by one per window,
+  // so folding them in memory keeps the streamed merge's footprint at a
+  // few dozen bytes per window while letting classification run exactly
+  // as it does in DatasetBuilder::take.
+  Dataset head;
+  head.fingerprint = first.fingerprint;
+  head.config = first.config;
+  head.shard = ShardSpec{};  // full range
+  head.window_begin = 0;
+  head.window_end = total;
+  head.racks = first.racks;
+  head.rack_runs.reserve(static_cast<std::size_t>(n_runs));
+  for (const ShardHead& s : shards) {
+    head.rack_runs.insert(head.rack_runs.end(), s.rack_runs.begin(),
+                          s.rack_runs.end());
+  }
+  finalize_classification(head);
+
+  wire::Writer w;
+  wire::put_header(w, head);
+  w.put(total);
+  for (const ShardHead& s : shards) {
+    for (const auto& c : s.counts) wire::put_record(w, c);
+  }
+  wire::put_records(w, head.racks);
+  wire::put_records(w, head.rack_runs);
+
+  const ExemplarRun* low = nullptr;
+  const ExemplarRun* high = nullptr;
+  for (const ShardHead& s : shards) {
     // Shards are canonical-order slices, so the first shard holding an
     // exemplar holds the globally first qualifying window.
-    if (out.low_contention_example.num_samples == 0 &&
-        s.low_contention_example.num_samples != 0) {
-      out.low_contention_example = std::move(s.low_contention_example);
-    }
-    if (out.high_contention_example.num_samples == 0 &&
-        s.high_contention_example.num_samples != 0) {
-      out.high_contention_example = std::move(s.high_contention_example);
-    }
-    // Release each shard's records as soon as they are folded, so peak
-    // memory stays one day plus one shard rather than two full days.
-    s.window_counts.clear();
-    s.window_counts.shrink_to_fit();
-    s.rack_runs.clear();
-    s.rack_runs.shrink_to_fit();
-    s.server_runs.clear();
-    s.server_runs.shrink_to_fit();
-    s.bursts.clear();
-    s.bursts.shrink_to_fit();
+    if (low == nullptr && s.low.num_samples != 0) low = &s.low;
+    if (high == nullptr && s.high.num_samples != 0) high = &s.high;
   }
-  finalize_classification(out);
+
+  std::error_code ec;
+  const std::filesystem::path target(out_path);
+  const auto parent = target.parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::filesystem::path tmp = target;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return fail("cannot open " + tmp.string());
+    out.write(reinterpret_cast<const char*>(w.out.data()),
+              static_cast<std::streamsize>(w.out.size()));
+    bool ok = static_cast<bool>(out);
+    // The bulky sections stream shard-to-output through a bounded buffer.
+    const auto stream_sections = [&](std::uint64_t n, auto member_off,
+                                     auto member_count, std::size_t rec) {
+      wire::Writer len;
+      len.put(n);
+      out.write(reinterpret_cast<const char*>(len.out.data()),
+                static_cast<std::streamsize>(len.out.size()));
+      if (!out) return false;
+      for (const ShardHead& s : shards) {
+        std::ifstream in(s.path, std::ios::binary);
+        if (!in) return false;
+        if (!copy_section(in, s.*member_off, (s.*member_count) * rec, out)) {
+          return false;
+        }
+      }
+      return true;
+    };
+    ok = ok &&
+         stream_sections(n_servers, &ShardHead::servers_off,
+                         &ShardHead::servers_count,
+                         wire::wire_size(static_cast<const ServerRunRecord*>(nullptr)));
+    ok = ok &&
+         stream_sections(n_bursts, &ShardHead::bursts_off,
+                         &ShardHead::bursts_count,
+                         wire::wire_size(static_cast<const BurstRecord*>(nullptr)));
+    if (ok) {
+      wire::Writer tail;
+      wire::put_exemplar(tail, low != nullptr ? *low : ExemplarRun{});
+      wire::put_exemplar(tail, high != nullptr ? *high : ExemplarRun{});
+      out.write(reinterpret_cast<const char*>(tail.out.data()),
+                static_cast<std::streamsize>(tail.out.size()));
+      ok = static_cast<bool>(out);
+    }
+    if (!ok) {
+      out.close();
+      std::filesystem::remove(tmp, ec);
+      return fail("cannot write " + tmp.string());
+    }
+  }
+  std::filesystem::rename(tmp, target, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return fail("cannot rename " + tmp.string() + " to " + out_path + ": " +
+                ec.message());
+  }
+  if (stats != nullptr) {
+    stats->fingerprint = first.fingerprint;
+    stats->shards = count;
+    stats->windows = total;
+    stats->rack_runs = n_runs;
+    stats->server_runs = n_servers;
+    stats->bursts = n_bursts;
+    stats->bytes_written = std::filesystem::file_size(target, ec);
+  }
+  return true;
+}
+
+std::optional<Dataset> merge_datasets(std::vector<Dataset> shards,
+                                      std::string* error) {
+  const auto fail = [&](std::string msg) -> std::optional<Dataset> {
+    if (error != nullptr) *error = std::move(msg);
+    return std::nullopt;
+  };
+  if (shards.empty()) return fail("no shards to merge");
+
+  // Spill the shards to a scratch directory and stream them back together
+  // — one validation and fold path for both the in-memory and the file
+  // API.  The counter keeps concurrent merges in one process apart.
+  static std::atomic<std::uint64_t> scratch_counter{0};
+  std::error_code ec;
+  const auto scratch =
+      std::filesystem::temp_directory_path(ec) /
+      ("msamp-merge-" + std::to_string(static_cast<long>(::getpid())) + "-" +
+       std::to_string(scratch_counter.fetch_add(1)));
+  if (ec) return fail("cannot locate a scratch directory: " + ec.message());
+  std::filesystem::create_directories(scratch, ec);
+  if (ec) {
+    return fail("cannot create scratch directory " + scratch.string() + ": " +
+                ec.message());
+  }
+  std::vector<std::string> paths;
+  paths.reserve(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    auto path = (scratch / ("shard-" + std::to_string(i) + ".bin")).string();
+    const bool saved = shards[i].save(path);
+    // Release each shard's records as soon as they hit disk, so peak
+    // memory stays one shard plus the merged day, never two days.
+    shards[i] = Dataset{};
+    if (!saved) {
+      std::filesystem::remove_all(scratch, ec);
+      return fail("cannot write scratch shard " + path);
+    }
+    paths.push_back(std::move(path));
+  }
+  const auto merged_path = (scratch / "merged.bin").string();
+  std::string why;
+  if (!merge_shards(paths, merged_path, &why)) {
+    std::filesystem::remove_all(scratch, ec);
+    return fail(std::move(why));
+  }
+  Dataset out;
+  const bool loaded = out.load(merged_path);
+  std::filesystem::remove_all(scratch, ec);
+  if (!loaded) return fail("cannot load merged dataset " + merged_path);
   return out;
 }
 

@@ -25,6 +25,21 @@ std::vector<workload::RackMeta> fleet_racks(const FleetConfig& config) {
   return racks;
 }
 
+std::vector<RackInfo> dataset_rack_table(const FleetConfig& config) {
+  std::vector<RackInfo> out;
+  for (const auto& rack : fleet_racks(config)) {
+    RackInfo info;
+    info.rack_id = static_cast<std::uint32_t>(rack.rack_id);
+    info.region = static_cast<std::uint8_t>(rack.region);
+    info.ml_dense = rack.ml_dense ? 1 : 0;
+    info.distinct_tasks = static_cast<std::uint16_t>(rack.distinct_tasks());
+    info.dominant_share = static_cast<float>(rack.dominant_share());
+    info.intensity = static_cast<float>(rack.intensity);
+    out.push_back(info);
+  }
+  return out;
+}
+
 DatasetBuilder::DatasetBuilder(const FleetConfig& config, ShardSpec shard) {
   if (!shard.valid()) {
     throw std::invalid_argument("invalid shard spec " +
@@ -34,21 +49,10 @@ DatasetBuilder::DatasetBuilder(const FleetConfig& config, ShardSpec shard) {
   ds_.config = config;
   ds_.fingerprint = config.fingerprint();
   ds_.shard = shard;
-
-  const auto racks = fleet_racks(config);
-  for (const auto& rack : racks) {
-    RackInfo info;
-    info.rack_id = static_cast<std::uint32_t>(rack.rack_id);
-    info.region = static_cast<std::uint8_t>(rack.region);
-    info.ml_dense = rack.ml_dense ? 1 : 0;
-    info.distinct_tasks = static_cast<std::uint16_t>(rack.distinct_tasks());
-    info.dominant_share = static_cast<float>(rack.dominant_share());
-    info.intensity = static_cast<float>(rack.intensity);
-    ds_.racks.push_back(info);
-  }
+  ds_.racks = dataset_rack_table(config);
 
   const std::size_t total =
-      racks.size() * static_cast<std::size_t>(config.hours);
+      ds_.racks.size() * static_cast<std::size_t>(config.hours);
   ds_.window_begin = shard.begin(total);
   ds_.window_end = shard.end(total);
   const std::size_t windows =

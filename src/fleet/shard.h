@@ -62,6 +62,12 @@ class WindowSink {
 /// which is what lets partial datasets carry the full rack list.
 std::vector<workload::RackMeta> fleet_racks(const FleetConfig& config);
 
+/// The `Dataset::racks` table for `config`: `fleet_racks` distilled into
+/// serializable RackInfo records with the classification fields zeroed.
+/// Shared by every sink (DatasetBuilder, SpillSink) so each shard carries
+/// the identical table, which `merge_shards` validates.
+std::vector<RackInfo> dataset_rack_table(const FleetConfig& config);
+
 /// Sink that assembles one shard's stream into a `Dataset` with a filled
 /// shard header.  For the full-range shard, `take()` also runs the
 /// busy-hour classification, matching the historic `run_fleet` output;

@@ -1,0 +1,231 @@
+#include "fleet/spill_sink.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace msamp::fleet {
+namespace {
+
+// Copies `count` bytes from `in` (positioned) to `out` through a buffer of
+// at most `chunk` bytes.  Returns false on any stream failure.
+bool copy_bytes(std::ifstream& in, std::ofstream& out, std::uint64_t count,
+                std::size_t chunk) {
+  std::vector<char> buf(std::min<std::uint64_t>(count == 0 ? 1 : count,
+                                                std::max<std::size_t>(chunk, 1)));
+  std::uint64_t left = count;
+  while (left > 0) {
+    const auto n = static_cast<std::streamsize>(
+        std::min<std::uint64_t>(left, buf.size()));
+    if (!in.read(buf.data(), n)) return false;
+    if (!out.write(buf.data(), n)) return false;
+    left -= static_cast<std::uint64_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SpillSink::SpillSink(const FleetConfig& config, ShardSpec shard,
+                     std::string out_path, std::size_t chunk_bytes)
+    : config_(config),
+      shard_(shard),
+      out_(std::move(out_path)),
+      chunk_bytes_(std::max<std::size_t>(chunk_bytes, 64)) {
+  if (!shard.valid()) {
+    throw std::invalid_argument("invalid shard spec " +
+                                std::to_string(shard.index) + "/" +
+                                std::to_string(shard.count));
+  }
+  fingerprint_ = config.fingerprint();
+  racks_ = dataset_rack_table(config);
+  const std::size_t total =
+      racks_.size() * static_cast<std::size_t>(config.hours);
+  window_begin_ = shard.begin(total);
+  window_end_ = shard.end(total);
+  counts_.reserve(static_cast<std::size_t>(window_end_ - window_begin_));
+
+  std::error_code ec;
+  const auto parent = std::filesystem::path(out_).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  open_spill(runs_, ".spill-runs");
+  open_spill(servers_, ".spill-servers");
+  open_spill(bursts_, ".spill-bursts");
+}
+
+SpillSink::~SpillSink() {
+  std::error_code ec;
+  for (Spill* s : {&runs_, &servers_, &bursts_}) {
+    if (s->file.is_open()) s->file.close();
+    std::filesystem::remove(s->path, ec);
+  }
+}
+
+void SpillSink::open_spill(Spill& s, const char* suffix) {
+  s.path = std::filesystem::path(out_ + suffix);
+  // trunc: a leftover temp from a crashed earlier attempt is discarded,
+  // which is what keeps a retry byte-identical to a first run.
+  s.file.open(s.path, std::ios::binary | std::ios::trunc);
+  if (!s.file) {
+    throw std::runtime_error("SpillSink: cannot open spill file " +
+                             s.path.string());
+  }
+}
+
+void SpillSink::flush(Spill& s) {
+  if (s.buf.out.empty()) return;
+  s.file.write(reinterpret_cast<const char*>(s.buf.out.data()),
+               static_cast<std::streamsize>(s.buf.out.size()));
+  s.buf.out.clear();
+}
+
+void SpillSink::on_window(std::size_t window, WindowRecords&& records) {
+  const std::size_t expected = window_begin_ + counts_.size();
+  if (window != expected || window >= window_end_ || finalized_) {
+    throw std::logic_error("SpillSink: window " + std::to_string(window) +
+                           " out of order (expected " +
+                           std::to_string(expected) + ")");
+  }
+  counts_.push_back(records.counts());
+  if (records.has_run) {
+    wire::put_record(runs_.buf, records.rack_run);
+    ++runs_.records;
+  }
+  for (const auto& sr : records.server_runs) {
+    wire::put_record(servers_.buf, sr);
+  }
+  servers_.records += records.server_runs.size();
+  for (const auto& b : records.bursts) {
+    wire::put_record(bursts_.buf, b);
+  }
+  bursts_.records += records.bursts.size();
+  // First qualifying window in canonical order wins, exactly as in
+  // DatasetBuilder (and the historic serial sweep).
+  if ((records.exemplar_kind & kLowExemplar) != 0 &&
+      low_exemplar_.num_samples == 0) {
+    low_exemplar_ = records.exemplar;
+  }
+  if ((records.exemplar_kind & kHighExemplar) != 0 &&
+      high_exemplar_.num_samples == 0) {
+    high_exemplar_ = std::move(records.exemplar);
+  }
+  for (Spill* s : {&runs_, &servers_, &bursts_}) {
+    if (s->buf.out.size() >= chunk_bytes_) flush(*s);
+  }
+}
+
+bool SpillSink::finalize(std::string* error) {
+  const auto fail = [&](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return false;
+  };
+  if (finalized_ ||
+      counts_.size() != static_cast<std::size_t>(window_end_ - window_begin_)) {
+    throw std::logic_error(
+        finalized_ ? "SpillSink: finalize() called twice"
+                   : "SpillSink: finalize() before the shard's window range "
+                     "completed");
+  }
+  finalized_ = true;
+  for (Spill* s : {&runs_, &servers_, &bursts_}) {
+    flush(*s);
+    s->file.close();
+    if (s->file.fail()) {
+      return fail("cannot write spill file " + s->path.string());
+    }
+  }
+
+  // A full-range shard carries the busy-hour classification, exactly as
+  // DatasetBuilder::take().  Rack-run records are one per window at most,
+  // so reading them back stays far below one spill chunk per window.
+  if (shard_.full_range()) {
+    Dataset day;
+    day.config = config_;
+    day.racks = racks_;
+    std::ifstream in(runs_.path, std::ios::binary);
+    std::vector<std::uint8_t> blob(
+        static_cast<std::size_t>(runs_.records) *
+        wire::wire_size(static_cast<const RackRunRecord*>(nullptr)));
+    if (!blob.empty() &&
+        !in.read(reinterpret_cast<char*>(blob.data()),
+                 static_cast<std::streamsize>(blob.size()))) {
+      return fail("cannot read back spill file " + runs_.path.string());
+    }
+    wire::Reader r(blob);
+    day.rack_runs.reserve(static_cast<std::size_t>(runs_.records));
+    for (std::uint64_t i = 0; i < runs_.records; ++i) {
+      RackRunRecord rec;
+      if (!wire::get_record(r, &rec)) {
+        return fail("corrupt spill file " + runs_.path.string());
+      }
+      day.rack_runs.push_back(rec);
+    }
+    finalize_classification(day);
+    racks_ = std::move(day.racks);
+  }
+
+  Dataset head;
+  head.fingerprint = fingerprint_;
+  head.config = config_;
+  head.shard = shard_;
+  head.window_begin = window_begin_;
+  head.window_end = window_end_;
+  wire::Writer w;
+  wire::put_header(w, head);
+  wire::put_records(w, counts_);
+  wire::put_records(w, racks_);
+
+  const std::filesystem::path target(out_);
+  std::filesystem::path tmp = target;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return fail("cannot open " + tmp.string());
+    out.write(reinterpret_cast<const char*>(w.out.data()),
+              static_cast<std::streamsize>(w.out.size()));
+    bool ok = static_cast<bool>(out);
+    for (Spill* s : {&runs_, &servers_, &bursts_}) {
+      if (!ok) break;
+      wire::Writer len;
+      len.put(s->records);
+      out.write(reinterpret_cast<const char*>(len.out.data()),
+                static_cast<std::streamsize>(len.out.size()));
+      std::ifstream in(s->path, std::ios::binary);
+      if (!in) {
+        ok = false;
+        break;
+      }
+      ok = static_cast<bool>(out) &&
+           copy_bytes(in, out,
+                      static_cast<std::uint64_t>(
+                          std::filesystem::file_size(s->path)),
+                      chunk_bytes_);
+    }
+    if (ok) {
+      wire::Writer tail;
+      wire::put_exemplar(tail, low_exemplar_);
+      wire::put_exemplar(tail, high_exemplar_);
+      out.write(reinterpret_cast<const char*>(tail.out.data()),
+                static_cast<std::streamsize>(tail.out.size()));
+      ok = static_cast<bool>(out);
+    }
+    if (!ok) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return fail("cannot write " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, target, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return fail("cannot rename " + tmp.string() + " to " + out_ + ": " +
+                ec.message());
+  }
+  for (Spill* s : {&runs_, &servers_, &bursts_}) {
+    std::filesystem::remove(s->path, ec);
+  }
+  return true;
+}
+
+}  // namespace msamp::fleet

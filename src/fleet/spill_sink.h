@@ -1,0 +1,87 @@
+// SpillSink: the disk-backed WindowSink.  DatasetBuilder (fleet/shard.h)
+// accumulates a whole shard's records in RAM before `Dataset::save`
+// writes them out; SpillSink instead streams each completed window's
+// records to per-type spill files as `run_fleet` hands them over, so a
+// generation process's peak RSS is a few spill-chunk buffers (plus the
+// per-window count table and at most two exemplars) — never the shard's
+// records.  `finalize()` assembles the spill files into a dataset file
+// that is byte-identical to `DatasetBuilder` + `Dataset::save` (both
+// paths share the fleet/wire.h codecs, so this is structural, and
+// tests/test_spill_sink.cc proves it with a byte compare), written via
+// the same atomic-rename discipline: a crashed or killed process never
+// leaves a partial output file, only spill temps that the next attempt
+// truncates — which is what makes cluster worker retries idempotent.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fleet/shard.h"
+#include "fleet/wire.h"
+
+namespace msamp::fleet {
+
+class SpillSink final : public WindowSink {
+ public:
+  /// Spill-buffer flush threshold: bounds both the in-RAM record buffers
+  /// and the copy buffer `finalize()` streams the spill files through.
+  static constexpr std::size_t kDefaultChunkBytes = std::size_t{1} << 20;
+
+  /// Streams `shard`'s windows toward `out_path`.  Spill temps live next
+  /// to the output (`<out_path>.spill-*`); an existing temp from a
+  /// crashed attempt is truncated, so retries are idempotent.  Throws
+  /// std::invalid_argument on an invalid shard, std::runtime_error when
+  /// the spill files cannot be opened.
+  SpillSink(const FleetConfig& config, ShardSpec shard, std::string out_path,
+            std::size_t chunk_bytes = kDefaultChunkBytes);
+
+  /// Removes the spill temps (never a finished output file).
+  ~SpillSink() override;
+
+  SpillSink(const SpillSink&) = delete;
+  SpillSink& operator=(const SpillSink&) = delete;
+
+  /// Windows must arrive in canonical order with no gaps (the runner
+  /// guarantees this); anything else throws std::logic_error.
+  void on_window(std::size_t window, WindowRecords&& records) override;
+
+  /// Assembles header + spill files into `out_path` via atomic rename and
+  /// deletes the temps.  Call once, after `run_fleet` completed the whole
+  /// shard range (else std::logic_error).  Returns false on I/O failure
+  /// with a human-readable reason in `*error`.
+  bool finalize(std::string* error = nullptr);
+
+  const std::string& out_path() const { return out_; }
+
+ private:
+  struct Spill {
+    std::filesystem::path path;
+    std::ofstream file;
+    wire::Writer buf;
+    std::uint64_t records = 0;
+  };
+
+  void open_spill(Spill& s, const char* suffix);
+  void flush(Spill& s);
+
+  FleetConfig config_;
+  ShardSpec shard_;
+  std::string out_;
+  std::size_t chunk_bytes_;
+  std::uint64_t fingerprint_ = 0;
+  std::uint64_t window_begin_ = 0;
+  std::uint64_t window_end_ = 0;
+  std::vector<WindowCounts> counts_;
+  std::vector<RackInfo> racks_;
+  ExemplarRun low_exemplar_;
+  ExemplarRun high_exemplar_;
+  Spill runs_;
+  Spill servers_;
+  Spill bursts_;
+  bool finalized_ = false;
+};
+
+}  // namespace msamp::fleet

@@ -1,0 +1,187 @@
+#include "fleet/wire.h"
+
+namespace msamp::fleet::wire {
+
+void put_record(Writer& w, const WindowCounts& c) {
+  w.put(c.has_run);
+  w.put(c.server_runs);
+  w.put(c.bursts);
+}
+bool get_record(Reader& r, WindowCounts* c) {
+  return r.get(&c->has_run) && r.get(&c->server_runs) && r.get(&c->bursts);
+}
+
+void put_record(Writer& w, const RackInfo& v) {
+  w.put(v.rack_id);
+  w.put(v.region);
+  w.put(v.ml_dense);
+  w.put(v.distinct_tasks);
+  w.put(v.dominant_share);
+  w.put(v.intensity);
+  w.put(v.busy_hour_avg_contention);
+  w.put(v.rack_class);
+}
+bool get_record(Reader& r, RackInfo* v) {
+  return r.get(&v->rack_id) && r.get(&v->region) && r.get(&v->ml_dense) &&
+         r.get(&v->distinct_tasks) && r.get(&v->dominant_share) &&
+         r.get(&v->intensity) && r.get(&v->busy_hour_avg_contention) &&
+         r.get(&v->rack_class);
+}
+
+void put_record(Writer& w, const RackRunRecord& v) {
+  w.put(v.rack_id);
+  w.put(v.region);
+  w.put(v.hour);
+  w.put(v.usable);
+  w.put(v.avg_contention);
+  w.put(v.min_active_contention);
+  w.put(v.p90_contention);
+  w.put(v.max_contention);
+  w.put(v.in_bytes);
+  w.put(v.drop_bytes);
+  w.put(v.ecn_bytes);
+}
+bool get_record(Reader& r, RackRunRecord* v) {
+  return r.get(&v->rack_id) && r.get(&v->region) && r.get(&v->hour) &&
+         r.get(&v->usable) && r.get(&v->avg_contention) &&
+         r.get(&v->min_active_contention) && r.get(&v->p90_contention) &&
+         r.get(&v->max_contention) && r.get(&v->in_bytes) &&
+         r.get(&v->drop_bytes) && r.get(&v->ecn_bytes);
+}
+
+void put_record(Writer& w, const ServerRunRecord& v) {
+  w.put(v.rack_id);
+  w.put(v.region);
+  w.put(v.hour);
+  w.put(v.bursty);
+  w.put(v.avg_util);
+  w.put(v.util_inside);
+  w.put(v.util_outside);
+  w.put(v.bursts_per_sec);
+  w.put(v.conns_inside);
+  w.put(v.conns_outside);
+}
+bool get_record(Reader& r, ServerRunRecord* v) {
+  return r.get(&v->rack_id) && r.get(&v->region) && r.get(&v->hour) &&
+         r.get(&v->bursty) && r.get(&v->avg_util) && r.get(&v->util_inside) &&
+         r.get(&v->util_outside) && r.get(&v->bursts_per_sec) &&
+         r.get(&v->conns_inside) && r.get(&v->conns_outside);
+}
+
+void put_record(Writer& w, const BurstRecord& v) {
+  w.put(v.rack_id);
+  w.put(v.region);
+  w.put(v.hour);
+  w.put(v.len_ms);
+  w.put(v.volume_bytes);
+  w.put(v.max_contention);
+  w.put(v.avg_conns);
+  w.put(v.contended);
+  w.put(v.lossy);
+}
+bool get_record(Reader& r, BurstRecord* v) {
+  return r.get(&v->rack_id) && r.get(&v->region) && r.get(&v->hour) &&
+         r.get(&v->len_ms) && r.get(&v->volume_bytes) &&
+         r.get(&v->max_contention) && r.get(&v->avg_conns) &&
+         r.get(&v->contended) && r.get(&v->lossy);
+}
+
+void put_config(Writer& w, const FleetConfig& c) {
+  w.put(c.seed);
+  w.put(static_cast<std::int32_t>(c.racks_per_region));
+  w.put(static_cast<std::int32_t>(c.servers_per_rack));
+  w.put(static_cast<std::int32_t>(c.hours));
+  w.put(static_cast<std::int32_t>(c.samples_per_run));
+  w.put(static_cast<std::int32_t>(c.warmup_ms));
+  w.put(c.line_rate_gbps);
+  w.put(c.buffer.total_bytes);
+  w.put(static_cast<std::int32_t>(c.buffer.quadrants));
+  w.put(c.buffer.reserve_per_queue);
+  w.put(c.buffer.alpha);
+  w.put(c.buffer.ecn_threshold);
+  w.put(static_cast<std::uint8_t>(c.buffer.policy));
+  w.put(c.buffer.burst_alpha_boost);
+  w.put(c.rtt_ms);
+  w.put(static_cast<std::int64_t>(c.mss));
+  w.put(static_cast<std::uint8_t>(c.fabric.enabled ? 1 : 0));
+  w.put(c.fabric.uplink_gbps);
+  w.put(c.fabric.smoothing);
+  w.put(static_cast<std::int32_t>(c.filter_cpus));
+  w.put(static_cast<std::int64_t>(c.clocks.offset_stddev));
+  w.put(static_cast<std::int64_t>(c.clocks.offset_max));
+  w.put(static_cast<std::int32_t>(c.loss.rtt_shift_samples));
+  w.put(static_cast<std::int32_t>(c.loss.lag_samples));
+  w.put(c.classify.high_threshold);
+}
+
+bool get_config(Reader& r, FleetConfig* c) {
+  std::int32_t racks = 0, servers = 0, hours = 0, samples = 0, warmup = 0;
+  std::int32_t quadrants = 0, filter_cpus = 0, rtt_shift = 0, lag = 0;
+  std::uint8_t policy = 0, fabric_enabled = 0;
+  std::int64_t mss = 0, stddev = 0, offmax = 0;
+  if (!(r.get(&c->seed) && r.get(&racks) && r.get(&servers) &&
+        r.get(&hours) && r.get(&samples) && r.get(&warmup) &&
+        r.get(&c->line_rate_gbps) && r.get(&c->buffer.total_bytes) &&
+        r.get(&quadrants) && r.get(&c->buffer.reserve_per_queue) &&
+        r.get(&c->buffer.alpha) && r.get(&c->buffer.ecn_threshold) &&
+        r.get(&policy) && r.get(&c->buffer.burst_alpha_boost) &&
+        r.get(&c->rtt_ms) && r.get(&mss) && r.get(&fabric_enabled) &&
+        r.get(&c->fabric.uplink_gbps) && r.get(&c->fabric.smoothing) &&
+        r.get(&filter_cpus) && r.get(&stddev) && r.get(&offmax) &&
+        r.get(&rtt_shift) && r.get(&lag) &&
+        r.get(&c->classify.high_threshold))) {
+    return false;
+  }
+  // The scale fields size window ranges and allocations downstream; reject
+  // negatives (and an out-of-range policy byte) as corruption up front.
+  if (racks < 0 || servers < 0 || hours < 0 || samples < 0 || warmup < 0) {
+    return false;
+  }
+  if (policy > static_cast<std::uint8_t>(net::BufferPolicy::kBurstAbsorbDt)) {
+    return false;
+  }
+  c->racks_per_region = racks;
+  c->servers_per_rack = servers;
+  c->hours = hours;
+  c->samples_per_run = samples;
+  c->warmup_ms = warmup;
+  c->buffer.quadrants = quadrants;
+  c->buffer.policy = static_cast<net::BufferPolicy>(policy);
+  c->mss = mss;
+  c->fabric.enabled = fabric_enabled != 0;
+  c->filter_cpus = filter_cpus;
+  c->clocks.offset_stddev = stddev;
+  c->clocks.offset_max = offmax;
+  c->loss.rtt_shift_samples = rtt_shift;
+  c->loss.lag_samples = lag;
+  c->threads = 0;  // execution detail; never travels with data
+  return true;
+}
+
+void put_exemplar(Writer& w, const ExemplarRun& e) {
+  w.put(e.rack_id);
+  w.put(e.avg_contention);
+  w.put(e.num_servers);
+  w.put(e.num_samples);
+  w.put_vec(e.raster);
+  w.put_vec(e.contention);
+}
+
+bool get_exemplar(Reader& r, ExemplarRun* e) {
+  return r.get(&e->rack_id) && r.get(&e->avg_contention) &&
+         r.get(&e->num_servers) && r.get(&e->num_samples) &&
+         r.get_vec(&e->raster) && r.get_vec(&e->contention);
+}
+
+void put_header(Writer& w, const Dataset& ds) {
+  w.put(kMagic);
+  w.put(kVersion);
+  w.put(ds.fingerprint);
+  put_config(w, ds.config);
+  w.put(ds.shard.index);
+  w.put(ds.shard.count);
+  w.put(ds.window_begin);
+  w.put(ds.window_end);
+}
+
+}  // namespace msamp::fleet::wire

@@ -1,0 +1,151 @@
+// Internal wire-format codecs for the dataset file format, shared by
+// three writers that must produce byte-identical output by construction:
+// `Dataset::serialize`/`deserialize` (whole-blob, fleet/dataset.cc), the
+// disk-backed `fleet::SpillSink` (streaming append, fleet/spill_sink.cc),
+// and the streaming `fleet::merge_shards` (section-at-a-time copy,
+// fleet/merge.cc).  Every record is written member by member so the file
+// never contains compiler-inserted padding bytes: that is what lets shards
+// generated in different processes merge into bytes identical to a
+// single-process run.
+//
+// This header is wire-format code for msamp_lint purposes: whole-struct
+// `sizeof(<RecordType>)` copies are banned here exactly as in dataset.cc
+// (the codec templates' `sizeof(T)` is guarded by the static_asserts).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "fleet/dataset.h"
+
+namespace msamp::fleet::wire {
+
+inline constexpr std::uint32_t kMagic = 0x4d464c54;  // "MFLT"
+// Wire-format version.  Bump whenever the serialized layout changes (new
+// fields, reordered fields, record shape changes): old cache files then
+// fail to parse and are regenerated.  v4: field-wise records (no struct
+// padding on the wire), serialized FleetConfig, and the shard header.
+inline constexpr std::uint32_t kVersion = 4;
+
+struct Writer {
+  std::vector<std::uint8_t> out;
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(!std::is_class_v<T>, "serialize records field by field");
+    const auto old = out.size();
+    out.resize(old + sizeof(T));
+    std::memcpy(out.data() + old, &v, sizeof(T));
+  }
+  template <typename T>
+  void put_vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T> && !std::is_class_v<T>);
+    put(static_cast<std::uint64_t>(v.size()));
+    const auto old = out.size();
+    out.resize(old + v.size() * sizeof(T));
+    if (!v.empty()) std::memcpy(out.data() + old, v.data(), v.size() * sizeof(T));
+  }
+};
+
+/// Bounds-checked reader over a byte range (a whole serialized blob, or
+/// one section of a shard file streamed through a bounded buffer).
+struct Reader {
+  Reader(const std::uint8_t* bytes, std::size_t count)
+      : data(bytes), size(count) {}
+  explicit Reader(const std::vector<std::uint8_t>& blob)
+      : data(blob.data()), size(blob.size()) {}
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+  template <typename T>
+  bool get(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(!std::is_class_v<T>, "deserialize records field by field");
+    if (pos + sizeof(T) > size) return false;
+    std::memcpy(v, data + pos, sizeof(T));
+    pos += sizeof(T);
+    return true;
+  }
+  template <typename T>
+  bool get_vec(std::vector<T>* v) {
+    std::uint64_t n = 0;
+    if (!get(&n)) return false;
+    if (n > (size - pos) / sizeof(T)) return false;
+    v->resize(static_cast<std::size_t>(n));
+    if (n != 0) {
+      std::memcpy(v->data(), data + pos,
+                  static_cast<std::size_t>(n) * sizeof(T));
+      pos += static_cast<std::size_t>(n) * sizeof(T);
+    }
+    return true;
+  }
+  std::size_t remaining() const { return size - pos; }
+};
+
+// --- field-wise record codecs ------------------------------------------
+// `wire_size` is the serialized size of one record, used to bound hostile
+// counts before any allocation and to locate sections when streaming.
+
+void put_record(Writer& w, const WindowCounts& c);
+bool get_record(Reader& r, WindowCounts* c);
+constexpr std::size_t wire_size(const WindowCounts*) { return 9; }
+
+void put_record(Writer& w, const RackInfo& v);
+bool get_record(Reader& r, RackInfo* v);
+constexpr std::size_t wire_size(const RackInfo*) { return 21; }
+
+void put_record(Writer& w, const RackRunRecord& v);
+bool get_record(Reader& r, RackRunRecord* v);
+constexpr std::size_t wire_size(const RackRunRecord*) { return 41; }
+
+void put_record(Writer& w, const ServerRunRecord& v);
+bool get_record(Reader& r, ServerRunRecord* v);
+constexpr std::size_t wire_size(const ServerRunRecord*) { return 31; }
+
+void put_record(Writer& w, const BurstRecord& v);
+bool get_record(Reader& r, BurstRecord* v);
+constexpr std::size_t wire_size(const BurstRecord*) { return 20; }
+
+template <typename T>
+void put_records(Writer& w, const std::vector<T>& v) {
+  w.put(static_cast<std::uint64_t>(v.size()));
+  for (const auto& e : v) put_record(w, e);
+}
+
+template <typename T>
+bool get_records(Reader& r, std::vector<T>* v) {
+  std::uint64_t n = 0;
+  if (!r.get(&n)) return false;
+  // Bound the count by the bytes actually left, so a hostile length can
+  // never drive a huge allocation before the per-record reads fail.
+  if (n > r.remaining() / wire_size(static_cast<const T*>(nullptr))) {
+    return false;
+  }
+  v->clear();
+  v->reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    T e;
+    if (!get_record(r, &e)) return false;
+    v->push_back(e);
+  }
+  return true;
+}
+
+/// FleetConfig travels with the dataset so a merge (and `report`) can see
+/// the scale and classification knobs without re-supplying them.
+/// `threads` is deliberately not serialized: it is execution detail,
+/// never data.
+void put_config(Writer& w, const FleetConfig& c);
+bool get_config(Reader& r, FleetConfig* c);
+
+void put_exemplar(Writer& w, const ExemplarRun& e);
+bool get_exemplar(Reader& r, ExemplarRun* e);
+
+/// The fixed-size file prefix up to (and including) the shard header, as
+/// written by every producer: magic, version, fingerprint, config, shard
+/// index/count, window_begin, window_end.
+void put_header(Writer& w, const Dataset& ds);
+
+}  // namespace msamp::fleet::wire

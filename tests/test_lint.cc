@@ -218,6 +218,81 @@ void walk() {
   EXPECT_TRUE(lint_source("src/net/fixture.cc", src).empty());
 }
 
+TEST(LintNondet, SchedulerClockFileMayReadTheWallClock) {
+  // The cluster coordinator's monotonic clock is the one sanctioned
+  // wall-clock reader: stall timeouts and retry backoff never reach
+  // dataset bytes.  The identical snippet is flagged anywhere else.
+  const char* src = R"(long long now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+)";
+  EXPECT_TRUE(lint_source("src/cluster/process.cc", src).empty());
+  EXPECT_FALSE(lint_source("src/cluster/coordinator.cc", src).empty());
+  FileRole role;
+  role.wallclock_allowed = true;
+  EXPECT_TRUE(lint_source("src/core/fixture.cc", src, &role).empty());
+}
+
+TEST(LintFloatKey, DoubleKeyedMapInOutputPathIsFlagged) {
+  const char* src = R"(#include <map>
+void emit(std::ostream& os) {
+  std::map<double, int> by_rate;
+  for (const auto& [rate, n] : by_rate) {
+    os << rate << "," << n << "\n";
+  }
+}
+)";
+  const auto findings = lint_source("bench/fixture.cc", src);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].rule, "float-key");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintFloatKey, FloatSetAndUnorderedMapAreFlagged) {
+  const char* src = R"(#include <set>
+#include <unordered_map>
+std::set<float> cutoffs;
+std::unordered_map<double, int> hist;
+)";
+  const auto findings = lint_source("src/fleet/fixture.cc", src);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "float-key");
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_EQ(findings[1].rule, "float-key");
+  EXPECT_EQ(findings[1].line, 4);
+}
+
+TEST(LintFloatKey, IntegerKeysAndFloatValuesAreClean) {
+  // Float *values* are fine; only the key position orders the output.
+  const char* src = R"(#include <map>
+std::map<int, double> per_rack;
+std::map<std::uint64_t, float> per_window;
+)";
+  EXPECT_TRUE(lint_source("bench/fixture.cc", src).empty());
+}
+
+TEST(LintFloatKey, ComparisonsAreNotTemplateArguments) {
+  // `a < b` followed by `double` tokens elsewhere must not parse as a
+  // container instantiation.
+  const char* src = R"(#include <map>
+bool f(const std::map<int, int>& m, int a, int b) {
+  double x = a < b ? 1.0 : 2.0;
+  return m.count(a) != 0 && x > 0;
+}
+)";
+  EXPECT_TRUE(lint_source("bench/fixture.cc", src).empty());
+}
+
+TEST(LintFloatKey, RuleOnlyAppliesToOutputPaths) {
+  const char* src = R"(#include <map>
+std::map<double, int> internal_thresholds;
+)";
+  EXPECT_FALSE(lint_source("src/fleet/fixture.cc", src).empty());
+  EXPECT_TRUE(lint_source("src/net/fixture.cc", src).empty());
+}
+
 TEST(LintWire, StructSizeofInDatasetCodecIsFlagged) {
   const char* src = R"(void put(std::vector<unsigned char>& out, const RackInfo& r) {
   out.resize(out.size() + sizeof(RackInfo));
@@ -241,10 +316,14 @@ void put(std::vector<unsigned char>& out, const T& v) {
   EXPECT_TRUE(lint_source("src/fleet/dataset.cc", src).empty());
 }
 
-TEST(LintWire, RuleIsScopedToTheWireFormatFile) {
+TEST(LintWire, RuleIsScopedToTheWireFormatFiles) {
   const char* src = R"(std::size_t f() { return sizeof(RackInfo); }
 )";
-  EXPECT_TRUE(lint_source("src/fleet/merge.cc", src).empty());
+  // fleet_runner.cc never touches serialized bytes; merge.cc and
+  // spill_sink.cc do, so the same snippet is flagged there.
+  EXPECT_TRUE(lint_source("src/fleet/fleet_runner.cc", src).empty());
+  EXPECT_FALSE(lint_source("src/fleet/merge.cc", src).empty());
+  EXPECT_FALSE(lint_source("src/fleet/spill_sink.cc", src).empty());
 }
 
 // --- fingerprint coverage ----------------------------------------------

@@ -37,6 +37,14 @@ const std::set<std::string, std::less<>> kEnvCalls = {"getenv",
 const std::set<std::string, std::less<>> kUnorderedTypes = {
     "unordered_map", "unordered_set", "unordered_multimap",
     "unordered_multiset"};
+// Every associative container whose key participates in ordering or
+// hashing; a float/double key in one of these makes lookup and iteration
+// depend on rounding, which must never feed emitted bytes.
+const std::set<std::string, std::less<>> kKeyedContainers = {
+    "map",           "multimap",      "set",
+    "multiset",      "unordered_map", "unordered_set",
+    "unordered_multimap", "unordered_multiset"};
+const std::set<std::string, std::less<>> kFloatTypes = {"float", "double"};
 
 // True when tokens[i] is a *free or std::-qualified call* of the named
 // function: `name(` not reached through `.`, `->`, or a non-std `::`
@@ -70,14 +78,15 @@ void check_nondeterminism(const Tokens& toks, std::string_view path,
     } else if (kRandomTypes.count(t.text)) {
       flag(out, path, t.line, "nondet-random",
            "'std::" + t.text + "' — use util::Rng (seeded, forkable)");
-    } else if (kTimeCalls.count(t.text) && is_free_call(toks, i)) {
+    } else if (!role.wallclock_allowed && kTimeCalls.count(t.text) &&
+               is_free_call(toks, i)) {
       flag(out, path, t.line, "nondet-time",
            "call to '" + t.text + "' — use sim::SimTime for simulated time");
-    } else if (kTimeTypes.count(t.text)) {
+    } else if (!role.wallclock_allowed && kTimeTypes.count(t.text)) {
       flag(out, path, t.line, "nondet-time",
            "'std::chrono::" + t.text +
                "' — wall clocks change the output between runs; use "
-               "sim::SimTime");
+               "sim::SimTime (scheduling code: cluster::steady_now_ms)");
     } else if (!role.getenv_allowed && kEnvCalls.count(t.text) &&
                is_free_call(toks, i)) {
       flag(out, path, t.line, "nondet-getenv",
@@ -185,6 +194,35 @@ void check_unordered_iteration(const Tokens& toks, std::string_view path,
   }
 }
 
+void check_float_keys(const Tokens& toks, std::string_view path,
+                      std::vector<Finding>& out) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier || !kKeyedContainers.count(t.text) ||
+        !is_punct(toks[i + 1], "<")) {
+      continue;
+    }
+    // Scan the first template argument (the key type), at angle depth 1.
+    // A `;` before the angles balance means `<` was a comparison.
+    int depth = 1;
+    for (std::size_t j = i + 2; j < toks.size(); ++j) {
+      const Token& a = toks[j];
+      if (is_punct(a, "<")) ++depth;
+      if (is_punct(a, ">") && --depth == 0) break;
+      if (is_punct(a, ";")) break;
+      if (depth == 1 && is_punct(a, ",")) break;
+      if (a.kind == TokKind::kIdentifier && kFloatTypes.count(a.text)) {
+        flag(out, path, t.line, "float-key",
+             "'" + t.text + "' keyed on '" + a.text +
+                 "' in an output path — float keys order and compare by "
+                 "rounding-sensitive bits; quantize to an integer key "
+                 "before it can reach the emitted bytes");
+        break;
+      }
+    }
+  }
+}
+
 void check_wire_format(const Tokens& toks, std::string_view path,
                        std::vector<Finding>& out) {
   for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
@@ -251,17 +289,28 @@ FileRole classify_path(std::string_view path) {
                         is("bench/common.cc") ||
                         is("tests/test_thread_pool.cc") ||
                         is("tests/test_fleet_parallel.cc");
+  // The cluster scheduler's clock: stall timeouts and retry backoff need
+  // real elapsed time; process.cc concentrates every wall-clock read so
+  // nothing else in src/cluster/ can touch one.
+  role.wallclock_allowed = is("src/cluster/process.cc");
   // Everything whose iteration order can reach emitted bytes: the fleet
-  // serialization/reduction layer, every bench (stdout tables + CSVs),
-  // the table/plot writers, the CSV trace writer, and the CLI.
-  role.output_path = under("src/fleet/") || under("bench/") ||
+  // serialization/reduction layer, the cluster orchestrator (shard paths
+  // and the merged dataset), every bench (stdout tables + CSVs), the
+  // table/plot writers, the CSV trace writer, and the CLI.
+  role.output_path = under("src/fleet/") || under("src/cluster/") ||
+                     under("bench/") ||
                      is("src/util/table.cc") || is("src/util/table.h") ||
                      is("src/util/ascii_plot.cc") ||
                      is("src/util/ascii_plot.h") ||
                      is("src/analysis/trace_io.cc") ||
                      is("src/analysis/trace_io.h") ||
                      is("tools/msampctl.cc");
-  role.wire_format = is("src/fleet/dataset.cc");
+  // Every file that writes dataset bytes: the whole-blob codec, the
+  // shared field-wise codecs, the spill sink, and the streaming merge.
+  role.wire_format = is("src/fleet/dataset.cc") || is("src/fleet/wire.h") ||
+                     is("src/fleet/wire.cc") ||
+                     is("src/fleet/spill_sink.cc") ||
+                     is("src/fleet/merge.cc");
   return role;
 }
 
@@ -275,6 +324,7 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view src,
   }
   if (derived.output_path) {
     check_unordered_iteration(lexed.tokens, path, findings);
+    check_float_keys(lexed.tokens, path, findings);
   }
   if (derived.wire_format) {
     check_wire_format(lexed.tokens, path, findings);

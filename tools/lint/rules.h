@@ -5,9 +5,11 @@
 // Rule ids (stable; used in findings and in suppression comments):
 //   nondet-random         rand()/srand()/std::random_device & friends
 //   nondet-time           time()/clock()/std::chrono::*_clock wall clocks
+//                         outside the sanctioned scheduler clock
 //   nondet-getenv         getenv outside the documented MSAMP_* readers
 //   unordered-iter        range-for over unordered containers in output
 //                         paths (serialization / reduction / CSV emitters)
+//   float-key             float/double-keyed map/set in output paths
 //   wire-struct-copy      whole-struct memcpy/sizeof in the wire format
 //   fingerprint-coverage  FleetConfig field missing from fingerprint()
 //
@@ -41,9 +43,13 @@ struct FileRole {
   bool nondet_exempt = false;
   /// Documented MSAMP_* environment readers: getenv is allowed.
   bool getenv_allowed = false;
+  /// The cluster scheduler's monotonic clock (src/cluster/process.cc):
+  /// wall-clock reads are allowed — stall timeouts and retry backoff are
+  /// execution detail that never reaches dataset bytes.
+  bool wallclock_allowed = false;
   /// Serialization, reduction, or CSV-emitting file: iteration order
-  /// reaches the output bytes, so unordered-container range-fors are
-  /// banned.
+  /// reaches the output bytes, so unordered-container range-fors and
+  /// float-keyed associative containers are banned.
   bool output_path = false;
   /// Wire-format codec (src/fleet/dataset.cc): whole-struct copies are
   /// banned; records must be serialized field by field.

@@ -24,6 +24,26 @@
 //       Validate (fingerprint, shard coverage, per-window record counts)
 //       and merge shard files into the full dataset — byte-identical to a
 //       single-process `msampctl fleet` run at the same seed and scale.
+//       Streams section-by-section, so merging never holds the day's
+//       records in memory.
+//
+//   msampctl cluster [--workers N] [fleet flags] [--out dataset.bin]
+//                    [--shard-dir D] [--keep-shards 1] [--max-parallel M]
+//                    [--stall-ms T] [--retry-max A] [--retry-base-ms B]
+//                    [--chunk-bytes C] [--fault-rate p]
+//       Fault-tolerant multi-process generation: N worker processes (one
+//       per shard, re-exec'd `msampctl worker`), crash/stall detection,
+//       capped-backoff retries, then a streaming merge — byte-identical
+//       to `msampctl fleet` at the same seed and scale, even under
+//       injected worker kills (--fault-rate, test-only).  docs/CLUSTER.md
+//       has the architecture and the worker heartbeat protocol.
+//
+//   msampctl worker --shard I/N --out shard.bin [fleet flags]
+//                   [--attempt A] [--fault-rate p] [--chunk-bytes C]
+//       The cluster worker role (normally spawned by `msampctl cluster`,
+//       but usable standalone): generates one shard through a disk-backed
+//       spill sink — peak RSS is a few spill chunks, not the shard — and
+//       emits `msamp-hb` heartbeat lines on stdout.
 //
 //   msampctl report --dataset dataset.bin
 //       Print the §7/§8 headline statistics of a saved dataset.
@@ -39,10 +59,13 @@
 #include "analysis/diagnose.h"
 #include "analysis/contention.h"
 #include "analysis/trace_io.h"
+#include "cluster/coordinator.h"
+#include "cluster/worker.h"
 #include "fleet/aggregate.h"
 #include "fleet/fleet_runner.h"
 #include "fleet/fluid_rack.h"
 #include "fleet/merge.h"
+#include "fleet/spill_sink.h"
 #include "util/flags.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -154,13 +177,22 @@ int cmd_analyze(const Flags& flags) {
   return 0;
 }
 
-int cmd_fleet(const Flags& flags) {
+/// The CLI-expressible FleetConfig fields, parsed identically for
+/// `fleet`, `cluster`, and `worker` — the cluster coordinator re-execs
+/// workers with exactly these flags, so the three commands must agree on
+/// names and defaults or the workers' fingerprints would diverge.
+fleet::FleetConfig fleet_config_from_flags(const Flags& flags) {
   fleet::FleetConfig cfg;
   cfg.seed = static_cast<std::uint64_t>(flags.num("seed", 42));
   cfg.racks_per_region = static_cast<int>(flags.num("racks", 32));
   cfg.hours = static_cast<int>(flags.num("hours", 24));
   cfg.samples_per_run = static_cast<int>(flags.num("samples", 500));
   cfg.threads = static_cast<int>(flags.num("threads", 0));
+  return cfg;
+}
+
+int cmd_fleet(const Flags& flags) {
+  const fleet::FleetConfig cfg = fleet_config_from_flags(flags);
   const auto [shard_index, shard_count] = flags.index_count("shard", {0, 1});
   const fleet::ShardSpec shard{static_cast<std::uint32_t>(shard_index),
                                static_cast<std::uint32_t>(shard_count)};
@@ -199,29 +231,75 @@ int cmd_merge(const Flags& flags) {
     die_usage("merge needs at least one shard file "
               "(msampctl merge shard0.bin shard1.bin ... --out dataset.bin)");
   }
-  std::vector<fleet::Dataset> shards(paths.size());
-  for (std::size_t i = 0; i < paths.size(); ++i) {
-    if (!shards[i].load(paths[i])) {
-      std::cerr << "error: cannot load shard " << paths[i]
-                << " (missing, truncated, or not a dataset file)\n";
-      return 1;
-    }
-  }
+  const std::string out = flags.str("out", "dataset.bin");
   std::string err;
-  auto merged = fleet::merge_datasets(std::move(shards), &err);
-  if (!merged.has_value()) {
+  fleet::MergeStats stats;
+  // Streaming merge: the bulky record sections are copied file-to-file
+  // through a bounded buffer, so this never loads a whole day.
+  if (!fleet::merge_shards(paths, out, &err, &stats)) {
     std::cerr << "error: " << err << "\n";
     return 1;
   }
-  const std::string out = flags.str("out", "dataset.bin");
-  if (!merged->save(out)) {
-    std::cerr << "error: cannot write " << out << "\n";
+  std::cout << "merged " << stats.shards << " shard(s) into " << out << ": "
+            << stats.rack_runs << " rack runs, " << stats.server_runs
+            << " server runs, " << stats.bursts << " bursts\n";
+  return 0;
+}
+
+int cmd_worker(const Flags& flags) {
+  cluster::WorkerConfig cfg;
+  cfg.fleet = fleet_config_from_flags(flags);
+  const auto [shard_index, shard_count] = flags.index_count("shard", {0, 1});
+  cfg.shard = fleet::ShardSpec{static_cast<std::uint32_t>(shard_index),
+                               static_cast<std::uint32_t>(shard_count)};
+  cfg.out_path = flags.str("out", "shard.bin");
+  cfg.attempt = static_cast<std::uint32_t>(flags.num("attempt", 0));
+  cfg.fault_rate = flags.real("fault-rate", 0.0);
+  cfg.chunk_bytes = static_cast<std::size_t>(flags.num(
+      "chunk-bytes",
+      static_cast<long>(fleet::SpillSink::kDefaultChunkBytes)));
+  return cluster::run_worker(cfg, std::cout);
+}
+
+int cmd_cluster(const Flags& flags) {
+  cluster::ClusterConfig cfg;
+  cfg.fleet = fleet_config_from_flags(flags);
+  cfg.workers = static_cast<int>(flags.num("workers", 2));
+  cfg.out_path = flags.str("out", "dataset.bin");
+  cfg.shard_dir = flags.str("shard-dir", "");
+  cfg.keep_shards = flags.num("keep-shards", 0) != 0;
+  cfg.fault_rate = flags.real("fault-rate", 0.0);
+  cfg.chunk_bytes = static_cast<std::size_t>(flags.num(
+      "chunk-bytes",
+      static_cast<long>(fleet::SpillSink::kDefaultChunkBytes)));
+  cfg.stall_timeout_ms = static_cast<int>(flags.num("stall-ms", 30000));
+  cfg.max_parallel = static_cast<int>(flags.num("max-parallel", 0));
+  cfg.retry.max_attempts = static_cast<int>(flags.num("retry-max", 5));
+  cfg.retry.base_delay_ms = static_cast<int>(flags.num("retry-base-ms", 200));
+
+  std::cout << "generating " << 2 * cfg.fleet.racks_per_region << " racks x "
+            << cfg.fleet.hours << " hours on " << cfg.workers
+            << " worker process(es)";
+  if (cfg.fault_rate > 0.0) {
+    std::cout << " (fault injection p=" << cfg.fault_rate << ")";
+  }
+  std::cout << "...\n";
+  cluster::Coordinator coordinator(cfg);
+  std::string err;
+  const bool ok = coordinator.run(
+      [](double p) {
+        std::cout << "  " << static_cast<int>(100 * p) << "%\r" << std::flush;
+      },
+      &std::cerr, &err);
+  if (!ok) {
+    std::cerr << "error: " << err << "\n";
     return 1;
   }
-  std::cout << "merged " << paths.size() << " shard(s) into " << out << ": "
-            << merged->rack_runs.size() << " rack runs, "
-            << merged->server_runs.size() << " server runs, "
-            << merged->bursts.size() << " bursts\n";
+  const auto& stats = coordinator.stats();
+  std::cout << "\nwrote " << cfg.out_path << ": " << stats.rack_runs
+            << " rack runs, " << stats.server_runs << " server runs, "
+            << stats.bursts << " bursts (" << stats.shards
+            << " worker shards)\n";
   return 0;
 }
 
@@ -265,7 +343,8 @@ int cmd_report(const Flags& flags) {
 }
 
 void usage() {
-  std::cout << "usage: msampctl <simulate-rack|analyze|fleet|merge|report> "
+  std::cout << "usage: msampctl "
+               "<simulate-rack|analyze|fleet|merge|cluster|worker|report> "
                "[--flag value ...]\n"
                "see the header of tools/msampctl.cc for full flag lists\n";
 }
@@ -287,6 +366,12 @@ int main(int argc, char** argv) {
       {"fleet", {"racks", "hours", "samples", "seed", "threads", "shard",
                  "out"}},
       {"merge", {"out"}},
+      {"cluster", {"racks", "hours", "samples", "seed", "threads", "workers",
+                   "out", "shard-dir", "keep-shards", "fault-rate",
+                   "chunk-bytes", "stall-ms", "max-parallel", "retry-max",
+                   "retry-base-ms"}},
+      {"worker", {"racks", "hours", "samples", "seed", "threads", "shard",
+                  "out", "attempt", "fault-rate", "chunk-bytes"}},
       {"report", {"dataset"}},
   };
   const auto it = known_flags.find(cmd);
@@ -301,6 +386,8 @@ int main(int argc, char** argv) {
     if (cmd == "analyze") return cmd_analyze(flags);
     if (cmd == "fleet") return cmd_fleet(flags);
     if (cmd == "merge") return cmd_merge(flags);
+    if (cmd == "cluster") return cmd_cluster(flags);
+    if (cmd == "worker") return cmd_worker(flags);
     return cmd_report(flags);
   } catch (const util::UsageError& e) {
     die_usage(e.what());
