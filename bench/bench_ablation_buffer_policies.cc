@@ -1,16 +1,21 @@
 // Ablation (§9 / §10): buffer-sharing policies under the two workload
-// regimes the paper distinguishes.  Compares Dynamic Threshold (deployed),
-// static partitioning, complete sharing, and burst-absorbing enhanced DT
-// (Shan et al.) on a typical incast-heavy rack and an ML-dense rack.
+// regimes the paper distinguishes, driven through the real
+// net::BufferSharingPolicy interface (the same objects `msampctl sweep`
+// fans across the cluster).  Compares Dynamic Threshold at three alphas,
+// static partitioning, complete sharing, burst-absorbing enhanced DT
+// (Shan et al.), and BShare-style delay-driven sharing on a typical
+// incast-heavy rack and an ML-dense rack.
 //
-// Expected reading, per the paper's implications: DT's trade-off matters
-// most for the variable, incast-heavy workload; persistently-contended
-// adaptive racks are far less sensitive — supporting per-rack-group
-// buffer configurations.
+// Expected reading, per the paper's implications: the sharing discipline
+// matters most for the variable, incast-heavy workload; persistently-
+// contended adaptive racks are far less sensitive — supporting
+// per-rack-group buffer configurations.
 #include <iostream>
+#include <string>
 
 #include "common.h"
 #include "fleet/fluid_rack.h"
+#include "net/buffer_policy.h"
 
 using namespace msamp;
 
@@ -19,7 +24,6 @@ namespace {
 struct Outcome {
   double loss_kb_per_gb;
   double ecn_mb_per_gb;
-  double victim_drop_share;  ///< share of drops hitting non-bursty queues
 };
 
 workload::RackMeta mixed_rack() {
@@ -49,17 +53,60 @@ workload::RackMeta ml_rack() {
   return rack;
 }
 
-/// One (rack, policy, seed) fluid simulation — the parallel window unit.
+/// One row of the comparison = one fully-specified MMU config.
+struct PolicyCell {
+  const char* label;
+  net::SharedBufferConfig buffer;
+};
+
+std::vector<PolicyCell> policy_grid() {
+  std::vector<PolicyCell> cells;
+  const double kAlphas[] = {0.25, 1.0, 4.0};
+  const char* kAlphaLabels[] = {"dt alpha=1/4", "dt alpha=1 (deployed)",
+                                "dt alpha=4"};
+  for (int i = 0; i < 3; ++i) {
+    net::SharedBufferConfig b;
+    b.policy = net::BufferPolicy::kDynamicThreshold;
+    b.alpha = kAlphas[i];
+    cells.push_back({kAlphaLabels[i], b});
+  }
+  {
+    net::SharedBufferConfig b;
+    b.policy = net::BufferPolicy::kStaticPartition;
+    cells.push_back({"static partition", b});
+  }
+  {
+    net::SharedBufferConfig b;
+    b.policy = net::BufferPolicy::kCompleteSharing;
+    cells.push_back({"complete sharing", b});
+  }
+  {
+    net::SharedBufferConfig b;
+    b.policy = net::BufferPolicy::kBurstAbsorbDt;
+    cells.push_back({"burst-absorbing DT", b});
+  }
+  {
+    net::SharedBufferConfig b;
+    b.policy = net::BufferPolicy::kDelayDriven;
+    cells.push_back({"delay-driven (BShare)", b});
+  }
+  return cells;
+}
+
+/// One (rack, policy cell, seed) fluid simulation — the parallel window
+/// unit.  The FluidRack builds its policy object via net::make_policy, so
+/// this exercises exactly the virtual-dispatch path the fleet runs.
 struct SeedTotals {
   double drops = 0, ecn = 0, bytes = 0;
 };
 
-SeedTotals run_seed(const workload::RackMeta& rack, net::BufferPolicy policy,
+SeedTotals run_seed(const workload::RackMeta& rack,
+                    const net::SharedBufferConfig& buffer,
                     std::uint64_t seed) {
   fleet::FleetConfig cfg;
   cfg.samples_per_run = 1500;
   cfg.warmup_ms = 100;
-  cfg.buffer.policy = policy;
+  cfg.buffer = buffer;
   fleet::FluidRack fluid(rack, cfg, /*hour=*/6, util::Rng(seed));
   const auto res = fluid.run();
   return {static_cast<double>(res.drop_bytes),
@@ -67,9 +114,9 @@ SeedTotals run_seed(const workload::RackMeta& rack, net::BufferPolicy policy,
           static_cast<double>(res.delivered_bytes)};
 }
 
-/// Folds the three per-seed windows in canonical seed order (the same
-/// summation order as the old serial loop, so the doubles — and therefore
-/// the printed table — are bit-identical).
+/// Folds the three per-seed windows in canonical seed order, so the
+/// doubles — and therefore the printed table — do not depend on the
+/// parallel completion order.
 Outcome reduce(const SeedTotals* seeds) {
   double drops = 0, ecn = 0, bytes = 0;
   for (int s = 0; s < 3; ++s) {
@@ -77,21 +124,7 @@ Outcome reduce(const SeedTotals* seeds) {
     ecn += seeds[s].ecn;
     bytes += seeds[s].bytes;
   }
-  return {drops / (bytes / 1e9) / 1e3, ecn / (bytes / 1e9) / 1e6, 0.0};
-}
-
-const char* policy_name(net::BufferPolicy p) {
-  switch (p) {
-    case net::BufferPolicy::kDynamicThreshold:
-      return "dynamic-threshold (deployed)";
-    case net::BufferPolicy::kStaticPartition:
-      return "static partition";
-    case net::BufferPolicy::kCompleteSharing:
-      return "complete sharing";
-    case net::BufferPolicy::kBurstAbsorbDt:
-      return "burst-absorbing DT";
-  }
-  return "?";
+  return {drops / (bytes / 1e9) / 1e3, ecn / (bytes / 1e9) / 1e6};
 }
 
 }  // namespace
@@ -100,27 +133,26 @@ int main() {
   bench::header(
       "Ablation — buffer sharing policies",
       "§9: buffer policies should be tailored per rack group; "
-      "§10: burst-absorbing DT variants aim to absorb microbursts");
+      "§10: burst-absorbing and delay-driven DT variants aim to absorb "
+      "microbursts (docs/POLICIES.md has the math)");
   util::Table table({"policy", "typical loss (KB/GB)", "typical ECN (MB/GB)",
                      "ml-dense loss (KB/GB)", "ml-dense ECN (MB/GB)"});
-  constexpr net::BufferPolicy kPolicies[] = {
-      net::BufferPolicy::kDynamicThreshold,
-      net::BufferPolicy::kStaticPartition,
-      net::BufferPolicy::kCompleteSharing,
-      net::BufferPolicy::kBurstAbsorbDt};
+  const std::vector<PolicyCell> cells = policy_grid();
   constexpr std::uint64_t kSeeds[] = {11, 12, 13};
   const workload::RackMeta racks[] = {mixed_rack(), ml_rack()};
-  // 4 policies x 2 racks x 3 seeds = 24 independent fluid simulations;
-  // window w is policy w/6, rack (w/3)%2, seed w%3.
+  // |cells| policy cells x 2 racks x 3 seeds independent fluid
+  // simulations; window w is cell w/6, rack (w/3)%2, seed w%3.
+  const std::size_t n_windows = cells.size() * 6;
   const std::vector<SeedTotals> windows =
-      bench::parallel_windows(24, [&](std::size_t w) {
-        return run_seed(racks[(w / 3) % 2], kPolicies[w / 6], kSeeds[w % 3]);
+      bench::parallel_windows(n_windows, [&](std::size_t w) {
+        return run_seed(racks[(w / 3) % 2], cells[w / 6].buffer,
+                        kSeeds[w % 3]);
       });
-  for (std::size_t p = 0; p < 4; ++p) {
+  for (std::size_t p = 0; p < cells.size(); ++p) {
     const Outcome typical = reduce(&windows[p * 6]);
     const Outcome ml = reduce(&windows[p * 6 + 3]);
     table.row()
-        .cell(policy_name(kPolicies[p]))
+        .cell(cells[p].label)
         .cell(typical.loss_kb_per_gb, 2)
         .cell(typical.ecn_mb_per_gb, 2)
         .cell(ml.loss_kb_per_gb, 2)
@@ -132,8 +164,10 @@ int main() {
          "traffic (each queue gets ~1/23 of the quadrant); complete "
          "sharing absorbs the most bursts but gives up all isolation "
          "(one hog can take the whole quadrant); burst-absorbing DT "
-         "shaves loss off plain DT for fresh microbursts.  The ML-dense "
-         "rack barely cares about any of this — the paper's case for "
-         "per-rack-group buffer configurations (§9).\n";
+         "shaves loss off plain DT for fresh microbursts, and the "
+         "delay-driven controller trades a little burst absorption for "
+         "bounded queueing delay.  The ML-dense rack barely cares about "
+         "any of this — the paper's case for per-rack-group buffer "
+         "configurations (§9).\n";
   return 0;
 }

@@ -3,11 +3,13 @@
 #include <poll.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <ostream>
 #include <utility>
 
 #include "cluster/protocol.h"
+#include "net/buffer_policy.h"
 
 namespace msamp::cluster {
 namespace {
@@ -16,6 +18,15 @@ constexpr std::int64_t kMaxPollMs = 100;
 
 std::string shard_label(const fleet::ShardSpec& s) {
   return "shard " + std::to_string(s.index) + "/" + std::to_string(s.count);
+}
+
+/// Shortest round-trip-exact spelling of a double: the worker re-parses
+/// these flags with strtod, and its config must fingerprint identically
+/// to the coordinator's or the post-merge guard fails the run.
+std::string exact_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
 }
 
 }  // namespace
@@ -42,6 +53,14 @@ std::vector<std::string> Coordinator::command_for(const Slot& slot) const {
           std::to_string(f.samples_per_run),
           "--threads",
           std::to_string(f.threads),
+          "--policy",
+          std::string(net::policy_name(f.buffer.policy)),
+          "--alpha",
+          exact_double(f.buffer.alpha),
+          "--boost",
+          exact_double(f.buffer.burst_alpha_boost),
+          "--target-delay",
+          exact_double(f.buffer.delay.target_delay_ms),
           "--shard",
           std::to_string(slot.shard.index) + "/" +
               std::to_string(slot.shard.count),

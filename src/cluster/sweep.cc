@@ -1,0 +1,173 @@
+#include "cluster/sweep.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <ostream>
+#include <stdexcept>
+
+#include "fleet/fleet_runner.h"
+#include "util/stats.h"
+
+namespace msamp::cluster {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Shortest decimal spelling of a parameter value ("0.25", "1", "4"), so
+/// cell names are stable and readable.
+std::string trim_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+fleet::FleetConfig cell_config(const fleet::FleetConfig& base,
+                               net::BufferPolicy policy) {
+  fleet::FleetConfig cfg = base;
+  cfg.buffer.policy = policy;
+  return cfg;
+}
+
+}  // namespace
+
+std::vector<SweepCell> expand_grid(const SweepConfig& config) {
+  std::vector<SweepCell> cells;
+  for (const net::BufferPolicy policy : config.policies) {
+    switch (policy) {
+      case net::BufferPolicy::kDynamicThreshold:
+        for (const double alpha : config.alphas) {
+          SweepCell cell{"dt-a" + trim_double(alpha),
+                         cell_config(config.base, policy)};
+          cell.config.buffer.alpha = alpha;
+          cells.push_back(std::move(cell));
+        }
+        break;
+      case net::BufferPolicy::kStaticPartition:
+        cells.push_back({"static", cell_config(config.base, policy)});
+        break;
+      case net::BufferPolicy::kCompleteSharing:
+        cells.push_back({"complete", cell_config(config.base, policy)});
+        break;
+      case net::BufferPolicy::kBurstAbsorbDt:
+        for (const double boost : config.boosts) {
+          SweepCell cell{"burst-absorb-b" + trim_double(boost),
+                         cell_config(config.base, policy)};
+          cell.config.buffer.burst_alpha_boost = boost;
+          cells.push_back(std::move(cell));
+        }
+        break;
+      case net::BufferPolicy::kDelayDriven:
+        for (const double target : config.target_delays_ms) {
+          SweepCell cell{"delay-d" + trim_double(target),
+                         cell_config(config.base, policy)};
+          cell.config.buffer.delay.target_delay_ms = target;
+          cells.push_back(std::move(cell));
+        }
+        break;
+    }
+  }
+  return cells;
+}
+
+CellSummary summarize_cell(const std::string& name,
+                           const fleet::Dataset& dataset) {
+  CellSummary s;
+  s.name = name;
+  for (const auto& b : dataset.bursts) {
+    ++s.bursts;
+    s.contended += b.contended ? 1 : 0;
+    s.lossy += b.lossy ? 1 : 0;
+  }
+  double in_bytes = 0.0, drop_bytes = 0.0, ecn_bytes = 0.0;
+  std::vector<double> contention;
+  for (const auto& r : dataset.rack_runs) {
+    in_bytes += static_cast<double>(r.in_bytes);
+    drop_bytes += static_cast<double>(r.drop_bytes);
+    ecn_bytes += static_cast<double>(r.ecn_bytes);
+    if (r.usable) contention.push_back(r.avg_contention);
+  }
+  if (in_bytes > 0.0) {
+    s.loss_kb_per_gb = drop_bytes / (in_bytes / 1e9) / 1e3;
+    s.ecn_mb_per_gb = ecn_bytes / (in_bytes / 1e9) / 1e6;
+  }
+  for (const int p : kSweepPercentiles) {
+    s.contention_pct.push_back(util::percentile(contention, p));
+  }
+  return s;
+}
+
+bool run_sweep(const SweepConfig& config, SweepResult* result,
+               std::ostream* log, std::string* error) {
+  const auto fail = [&](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return false;
+  };
+  const auto say = [&](const std::string& line) {
+    if (log != nullptr) *log << "sweep: " << line << "\n" << std::flush;
+  };
+
+  const std::vector<SweepCell> cells = expand_grid(config);
+  if (cells.empty()) return fail("empty sweep grid (no policies)");
+
+  std::error_code ec;
+  fs::create_directories(config.out_dir, ec);
+  if (ec) {
+    return fail("cannot create " + config.out_dir + ": " + ec.message());
+  }
+
+  result->cells.clear();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const SweepCell& cell = cells[i];
+    const std::string ds_path =
+        (fs::path(config.out_dir) / (cell.name + ".bin")).string();
+    say("cell " + std::to_string(i + 1) + "/" +
+        std::to_string(cells.size()) + " " + cell.name +
+        (config.workers > 0
+             ? " (" + std::to_string(config.workers) + " workers)"
+             : " (serial)"));
+
+    fleet::Dataset ds;
+    if (config.workers > 0) {
+      ClusterConfig cc;
+      cc.fleet = cell.config;
+      cc.workers = config.workers;
+      cc.out_path = ds_path;
+      cc.fault_rate = config.fault_rate;
+      cc.chunk_bytes = config.chunk_bytes;
+      cc.retry = config.retry;
+      cc.stall_timeout_ms = config.stall_timeout_ms;
+      cc.max_parallel = config.max_parallel;
+      Coordinator coordinator(cc);
+      std::string why;
+      if (!coordinator.run(nullptr, log, &why)) {
+        return fail("cell " + cell.name + ": " + why);
+      }
+      if (!ds.load(ds_path)) {
+        return fail("cell " + cell.name + ": cannot load " + ds_path);
+      }
+    } else {
+      const fleet::ShardSpec whole{0, 1};
+      fleet::DatasetBuilder builder(cell.config, whole);
+      try {
+        fleet::run_fleet(cell.config, whole, builder, nullptr);
+      } catch (const std::exception& e) {
+        return fail("cell " + cell.name + ": " + e.what());
+      }
+      ds = builder.take();
+      if (config.keep_datasets && !ds.save(ds_path)) {
+        return fail("cell " + cell.name + ": cannot write " + ds_path);
+      }
+    }
+
+    CellSummary summary = summarize_cell(cell.name, ds);
+    summary.fingerprint = cell.config.fingerprint();
+    result->cells.push_back(std::move(summary));
+    if (config.workers > 0 && !config.keep_datasets) {
+      fs::remove(ds_path, ec);
+    }
+  }
+  return true;
+}
+
+}  // namespace msamp::cluster

@@ -178,6 +178,10 @@ std::uint64_t FleetConfig::fingerprint() const {
   h = fnv_step(h, static_cast<std::uint64_t>(buffer.reserve_per_queue));
   h = fnv_step(h, static_cast<std::uint64_t>(buffer.quadrants));
   h = fnv_step(h, static_cast<std::uint64_t>(buffer.burst_alpha_boost * 1000));
+  h = fnv_step(h, static_cast<std::uint64_t>(buffer.delay.target_delay_ms * 1e6));
+  h = fnv_step(h, static_cast<std::uint64_t>(buffer.delay.min_gain * 1000));
+  h = fnv_step(h, static_cast<std::uint64_t>(buffer.delay.max_gain * 1000));
+  h = fnv_step(h, static_cast<std::uint64_t>(buffer.delay.drain_gbps * 1000));
   h = fnv_step(h, static_cast<std::uint64_t>(filter_cpus));
   h = fnv_step(h, static_cast<std::uint64_t>(classify.high_threshold * 100));
   h = fnv_step(h, static_cast<std::uint64_t>(buffer.policy));

@@ -28,8 +28,12 @@ FluidRack::FluidRack(const workload::RackMeta& rack, const FleetConfig& config,
   shared_used_.assign(static_cast<std::size_t>(quads), 0);
   quad_transient_.assign(static_cast<std::size_t>(quads), 0);
   bursting_prev_.assign(static_cast<std::size_t>(num_servers_), 0);
-  prev_demand_.assign(static_cast<std::size_t>(num_servers_), 0);
   fabric_carry_.assign(static_cast<std::size_t>(num_servers_), 0);
+  policy_ = net::make_policy(config.buffer, num_servers_);
+  queues_per_quadrant_.assign(static_cast<std::size_t>(quads), 0);
+  for (int s = 0; s < num_servers_; ++s) {
+    ++queues_per_quadrant_[static_cast<std::size_t>(s % quads)];
+  }
   queues_.assign(static_cast<std::size_t>(num_servers_), Queue{});
 
   const double diurnal = workload::diurnal_multiplier(rack.region, hour);
@@ -145,38 +149,18 @@ void FluidRack::step(sim::SimTime now, bool sampling, FluidRackResult* result) {
         shared_capacity_per_quadrant_ -
             shared_snapshot[static_cast<std::size_t>(quad)],
         0);
-    std::int64_t limit = reserve_;
-    switch (config_.buffer.policy) {
-      case net::BufferPolicy::kStaticPartition: {
-        int queues_in_quadrant = 0;
-        for (int i = quad; i < num_servers_; i += quads) ++queues_in_quadrant;
-        limit += shared_capacity_per_quadrant_ /
-                 std::max(queues_in_quadrant, 1);
-        break;
-      }
-      case net::BufferPolicy::kCompleteSharing:
-        // Everything not used by other queues (own usage exempt).
-        limit += free_shared + std::max<std::int64_t>(q.len - reserve_, 0);
-        break;
-      case net::BufferPolicy::kBurstAbsorbDt: {
-        // Enhanced DT (Shan et al.): a queue whose arrivals just jumped
-        // (a fresh microburst) temporarily gets a boosted alpha so the
-        // burst can be absorbed instead of dropped.
-        const bool fresh_burst =
-            d.bytes > 2 * prev_demand_[static_cast<std::size_t>(s)] &&
-            d.bytes > drain_per_ms_ / 2;
-        const double a =
-            fresh_burst ? alpha_ * config_.buffer.burst_alpha_boost : alpha_;
-        limit += static_cast<std::int64_t>(
-            a * static_cast<double>(free_shared));
-        break;
-      }
-      case net::BufferPolicy::kDynamicThreshold:
-        limit += static_cast<std::int64_t>(
-            alpha_ * static_cast<double>(free_shared));
-        break;
-    }
-    prev_demand_[static_cast<std::size_t>(s)] = d.bytes;
+    net::PolicyQueueState ps;
+    ps.queue_len = q.len;
+    ps.shared_len = std::max<std::int64_t>(q.len - reserve_, 0);
+    ps.free_shared = free_shared;
+    ps.shared_capacity = shared_capacity_per_quadrant_;
+    ps.queues_in_quadrant = queues_per_quadrant_[static_cast<std::size_t>(quad)];
+    ps.arriving_bytes = d.bytes;
+    ps.drain_bytes_per_ms = drain_per_ms_;
+    const std::int64_t limit = reserve_ + policy_->policy_limit(s, ps);
+    // The whole step's demand is one arrival observation, accepted or not
+    // (kBurstAbsorbDt keys burst freshness off offered demand).
+    policy_->on_enqueue(s, d.bytes);
     // The queue drains while it fills, so up to (limit - len) + drain bytes
     // fit within the step.
     const std::int64_t room = std::max<std::int64_t>(0, limit - q.len) + drain_per_ms_;

@@ -1,6 +1,7 @@
 // Millisecond-granularity fluid simulation of one rack for one observation
-// window.  Same Dynamic-Threshold arithmetic as net::SharedBuffer, applied
-// per 1ms step per queue, with:
+// window.  Same admission arithmetic as net::SharedBuffer — the configured
+// net::BufferSharingPolicy caps each queue's shared usage (Dynamic
+// Threshold in the deployed fleet) — applied per 1ms step per queue, with:
 //   * per-queue drain at server line rate;
 //   * static-threshold ECN marking (fraction of the step the queue spent
 //     above 120KB);
@@ -18,6 +19,7 @@
 #include "core/sync_controller.h"
 #include "core/tc_filter.h"
 #include "fleet/config.h"
+#include "net/buffer_policy.h"
 #include "util/rng.h"
 #include "workload/burst_process.h"
 #include "workload/placement.h"
@@ -61,6 +63,10 @@ class FluidRack {
   std::int64_t shared_capacity_per_quadrant_;
   double alpha_;
   std::int64_t ecn_threshold_;
+  /// The sharing discipline charging queues for shared-pool usage.  All
+  /// policy state (e.g. kBurstAbsorbDt's arrival history) lives inside.
+  std::unique_ptr<net::BufferSharingPolicy> policy_;
+  std::vector<int> queues_per_quadrant_;
 
   std::vector<workload::BurstProcess> processes_;
   std::vector<Queue> queues_;
@@ -73,8 +79,6 @@ class FluidRack {
   std::vector<std::int64_t> quad_transient_;
   /// Which servers were bursting last step (per-quadrant collision counts).
   std::vector<std::uint8_t> bursting_prev_;
-  /// Last step's offered demand per server (kBurstAbsorbDt freshness).
-  std::vector<std::int64_t> prev_demand_;
   /// Fabric stage: bytes buffered upstream per server, released next step.
   std::vector<std::int64_t> fabric_carry_;
   std::vector<std::unique_ptr<core::TcFilter>> filters_;

@@ -101,6 +101,10 @@ void put_config(Writer& w, const FleetConfig& c) {
   w.put(c.buffer.ecn_threshold);
   w.put(static_cast<std::uint8_t>(c.buffer.policy));
   w.put(c.buffer.burst_alpha_boost);
+  w.put(c.buffer.delay.target_delay_ms);
+  w.put(c.buffer.delay.min_gain);
+  w.put(c.buffer.delay.max_gain);
+  w.put(c.buffer.delay.drain_gbps);
   w.put(c.rtt_ms);
   w.put(static_cast<std::int64_t>(c.mss));
   w.put(static_cast<std::uint8_t>(c.fabric.enabled ? 1 : 0));
@@ -125,6 +129,10 @@ bool get_config(Reader& r, FleetConfig* c) {
         r.get(&quadrants) && r.get(&c->buffer.reserve_per_queue) &&
         r.get(&c->buffer.alpha) && r.get(&c->buffer.ecn_threshold) &&
         r.get(&policy) && r.get(&c->buffer.burst_alpha_boost) &&
+        r.get(&c->buffer.delay.target_delay_ms) &&
+        r.get(&c->buffer.delay.min_gain) &&
+        r.get(&c->buffer.delay.max_gain) &&
+        r.get(&c->buffer.delay.drain_gbps) &&
         r.get(&c->rtt_ms) && r.get(&mss) && r.get(&fabric_enabled) &&
         r.get(&c->fabric.uplink_gbps) && r.get(&c->fabric.smoothing) &&
         r.get(&filter_cpus) && r.get(&stddev) && r.get(&offmax) &&
@@ -137,7 +145,7 @@ bool get_config(Reader& r, FleetConfig* c) {
   if (racks < 0 || servers < 0 || hours < 0 || samples < 0 || warmup < 0) {
     return false;
   }
-  if (policy > static_cast<std::uint8_t>(net::BufferPolicy::kBurstAbsorbDt)) {
+  if (policy > static_cast<std::uint8_t>(net::BufferPolicy::kDelayDriven)) {
     return false;
   }
   c->racks_per_region = racks;

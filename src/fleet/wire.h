@@ -27,7 +27,9 @@ inline constexpr std::uint32_t kMagic = 0x4d464c54;  // "MFLT"
 // fields, reordered fields, record shape changes): old cache files then
 // fail to parse and are regenerated.  v4: field-wise records (no struct
 // padding on the wire), serialized FleetConfig, and the shard header.
-inline constexpr std::uint32_t kVersion = 4;
+// v5: kDelayDriven policy parameters (SharedBufferConfig::delay) in the
+// serialized config.
+inline constexpr std::uint32_t kVersion = 5;
 
 struct Writer {
   std::vector<std::uint8_t> out;

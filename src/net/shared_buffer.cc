@@ -6,7 +6,9 @@
 namespace msamp::net {
 
 SharedBuffer::SharedBuffer(const SharedBufferConfig& config, int num_queues)
-    : config_(config), queues_(static_cast<std::size_t>(num_queues)) {
+    : config_(config),
+      policy_(make_policy(config, num_queues)),
+      queues_(static_cast<std::size_t>(num_queues)) {
   assert(config_.quadrants > 0);
   assert(num_queues > 0);
   // Reserves are carved out of each quadrant; what remains is the shared
@@ -25,36 +27,26 @@ SharedBuffer::SharedBuffer(const SharedBufferConfig& config, int num_queues)
   shared_used_.assign(static_cast<std::size_t>(config_.quadrants), 0);
 }
 
-std::int64_t SharedBuffer::policy_limit(int queue) const {
+std::int64_t SharedBuffer::policy_limit(int queue,
+                                        std::int64_t arriving) const {
   const int quad = quadrant_of(queue);
-  const std::int64_t free_shared =
-      shared_capacity_per_quadrant_ -
-      shared_used_[static_cast<std::size_t>(quad)];
-  switch (config_.policy) {
-    case BufferPolicy::kStaticPartition: {
-      int queues_in_quadrant = 0;
-      for (int i = quad; i < num_queues(); i += config_.quadrants) {
-        ++queues_in_quadrant;
-      }
-      return shared_capacity_per_quadrant_ /
-             std::max(queues_in_quadrant, 1);
-    }
-    case BufferPolicy::kCompleteSharing:
-      // The queue may take everything not used by OTHER queues (its own
-      // usage does not count against it) — no isolation at all.
-      return free_shared +
-             shared_part(queues_[static_cast<std::size_t>(queue)].len);
-    case BufferPolicy::kBurstAbsorbDt:
-      // Burst detection needs arrival-rate history the packet-level MMU
-      // does not track; behaves as plain DT here (the fluid simulator
-      // implements the boost — see fleet/fluid_rack.cc).
-    case BufferPolicy::kDynamicThreshold:
-      break;
+  PolicyQueueState qs;
+  qs.queue_len = queues_[static_cast<std::size_t>(queue)].len;
+  qs.shared_len = shared_part(qs.queue_len);
+  qs.free_shared = shared_capacity_per_quadrant_ -
+                   shared_used_[static_cast<std::size_t>(quad)];
+  qs.shared_capacity = shared_capacity_per_quadrant_;
+  int queues_in_quadrant = 0;
+  for (int i = quad; i < num_queues(); i += config_.quadrants) {
+    ++queues_in_quadrant;
   }
-  // Choudhury-Hahne: the queue's shared usage may not exceed
-  // alpha * (free shared space), evaluated at arrival.
-  return static_cast<std::int64_t>(config_.alpha *
-                                   static_cast<double>(free_shared));
+  qs.queues_in_quadrant = queues_in_quadrant;
+  qs.arriving_bytes = arriving;
+  // The packet MMU does not model egress drain, so rate-based burst
+  // detection is neutralized (kBurstAbsorbDt behaves as plain DT here; the
+  // fluid simulator supplies the real drain rate — see fleet/fluid_rack.cc).
+  qs.drain_bytes_per_ms = kInfiniteDrain;
+  return policy_->policy_limit(queue, qs);
 }
 
 bool SharedBuffer::admit(int queue, std::int64_t bytes, bool ect,
@@ -65,7 +57,7 @@ bool SharedBuffer::admit(int queue, std::int64_t bytes, bool ect,
   const std::int64_t after = shared_part(q.len + bytes);
   const std::int64_t delta = after - before;
 
-  const std::int64_t limit = policy_limit(queue);
+  const std::int64_t limit = policy_limit(queue, bytes);
   if (delta > 0 && after > limit) {
     q.counters.dropped_bytes += bytes;
     q.counters.dropped_packets += 1;
@@ -81,6 +73,7 @@ bool SharedBuffer::admit(int queue, std::int64_t bytes, bool ect,
   q.counters.enqueued_bytes += bytes;
   if (ce) q.counters.ce_marked_bytes += bytes;
   if (mark_ce != nullptr) *mark_ce = ce;
+  policy_->on_enqueue(queue, bytes);
   return true;
 }
 
@@ -92,10 +85,11 @@ void SharedBuffer::release(int queue, std::int64_t bytes) {
   q.len -= bytes;
   const std::int64_t after = shared_part(q.len);
   shared_used_[static_cast<std::size_t>(quad)] -= before - after;
+  policy_->on_dequeue(queue, bytes);
 }
 
 std::int64_t SharedBuffer::dynamic_limit(int queue) const {
-  return policy_limit(queue);
+  return policy_limit(queue, 0);
 }
 
 std::int64_t SharedBuffer::shared_occupancy(int queue) const {

@@ -1,50 +1,30 @@
-// Shared-memory MMU with Dynamic Threshold (DT) buffer sharing and static
-// ECN marking, modeled on the ToR described in §2.1/§3 of the paper:
+// Shared-memory MMU with pluggable buffer sharing and static ECN marking,
+// modeled on the ToR described in §2.1/§3 of the paper:
 //
 //   * total buffer B split into quadrants (16MB -> 4 x 4MB on the studied
 //     ASIC); an egress queue maps to exactly one quadrant;
 //   * per-queue small dedicated reserve; the remainder of each quadrant
 //     (~3.6MB) is shared across its queues;
 //   * a packet is admitted iff the queue's shared usage stays within the
-//     Choudhury-Hahne limit  T(t) = alpha * (B_shared - Q_shared(t));
+//     configured BufferSharingPolicy's limit — under the deployed Dynamic
+//     Threshold policy, the Choudhury-Hahne limit
+//     T(t) = alpha * (B_shared - Q_shared(t));
 //   * packets are CE-marked when the queue length at enqueue is at or above
 //     a static ECN threshold (120KB in the Meta fleet).
 //
 // The same arithmetic (admission + fixed point T = aB/(1+aS)) is reused by
-// the millisecond-granularity fluid simulator in src/fleet.
+// the millisecond-granularity fluid simulator in src/fleet.  The policy
+// catalogue and its extension contract live in net/buffer_policy.h and
+// docs/POLICIES.md.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "net/buffer_policy.h"
+
 namespace msamp::net {
-
-/// Buffer-sharing policy.  The studied fleet runs Dynamic Threshold
-/// (Choudhury-Hahne); the alternatives implement the §10 related-work
-/// algorithms for the ablation benches:
-///   * kStaticPartition — each queue owns an equal fixed slice;
-///   * kCompleteSharing — any queue may take all free space (no isolation);
-///   * kBurstAbsorbDt   — DT, but a queue whose arrival rate just jumped
-///     (a fresh burst) is temporarily allowed a larger alpha, per Shan et
-///     al.'s enhanced dynamic threshold.
-enum class BufferPolicy : std::uint8_t {
-  kDynamicThreshold = 0,
-  kStaticPartition,
-  kCompleteSharing,
-  kBurstAbsorbDt,
-};
-
-/// Configuration of the MMU; defaults reproduce the paper's ToR.
-struct SharedBufferConfig {
-  std::int64_t total_bytes = 16 << 20;    ///< 16 MB packet buffer
-  int quadrants = 4;                      ///< 4 x 4MB quadrants
-  std::int64_t reserve_per_queue = 16 << 10;  ///< dedicated bytes per queue
-  double alpha = 1.0;                     ///< DT alpha (Meta default)
-  std::int64_t ecn_threshold = 120 << 10; ///< static CE-mark threshold
-  BufferPolicy policy = BufferPolicy::kDynamicThreshold;
-  /// kBurstAbsorbDt: alpha multiplier granted to freshly bursting queues.
-  double burst_alpha_boost = 4.0;
-};
 
 /// Per-queue counters exported by the MMU (the "switch counters" the paper
 /// reads at 1-minute granularity for Figure 17).
@@ -55,21 +35,26 @@ struct QueueCounters {
   std::int64_t ce_marked_bytes = 0;
 };
 
-/// The MMU proper.  Queue ids are dense [0, num_queues).
+/// The MMU proper.  Queue ids are dense [0, num_queues).  Owns the policy
+/// object built for its config, so the class is move-only.
 class SharedBuffer {
  public:
   SharedBuffer(const SharedBufferConfig& config, int num_queues);
 
+  SharedBuffer(SharedBuffer&&) noexcept = default;
+  SharedBuffer& operator=(SharedBuffer&&) noexcept = default;
+
   /// Attempts to admit `bytes` into `queue`.  On success the queue length
   /// grows and `*mark_ce` reports whether the packet must carry CE.
-  /// On failure (DT limit exceeded) the drop counters grow instead.
+  /// On failure (policy limit exceeded) the drop counters grow instead.
   bool admit(int queue, std::int64_t bytes, bool ect, bool* mark_ce);
 
   /// Removes `bytes` from `queue` (packet transmitted out the port).
   void release(int queue, std::int64_t bytes);
 
-  /// Current DT limit T(t) for the quadrant that `queue` maps to, i.e. the
-  /// maximum shared usage a queue may reach right now.
+  /// Current policy limit T(t) for `queue`, i.e. the maximum shared usage
+  /// the queue may reach right now (under DT this is the dynamic
+  /// threshold, hence the name).
   std::int64_t dynamic_limit(int queue) const;
 
   /// Current length of `queue` in bytes.
@@ -92,6 +77,9 @@ class SharedBuffer {
   int num_queues() const noexcept { return static_cast<int>(queues_.size()); }
   const SharedBufferConfig& config() const noexcept { return config_; }
 
+  /// The sharing discipline in charge of admission limits.
+  const BufferSharingPolicy& policy() const noexcept { return *policy_; }
+
   /// Quadrant a queue maps to (round-robin by queue id, as an egress queue
   /// maps to a quadrant as a function of the port).
   int quadrant_of(int queue) const {
@@ -109,8 +97,9 @@ class SharedBuffer {
     QueueCounters counters;
   };
 
-  /// The policy's current per-queue shared-usage cap.
-  std::int64_t policy_limit(int queue) const;
+  /// The policy's current per-queue shared-usage cap when `arriving`
+  /// bytes ask for admission.
+  std::int64_t policy_limit(int queue, std::int64_t arriving) const;
 
   /// Bytes of `len` that count against the shared pool.
   std::int64_t shared_part(std::int64_t len) const {
@@ -120,6 +109,7 @@ class SharedBuffer {
 
   SharedBufferConfig config_;
   std::int64_t shared_capacity_per_quadrant_;
+  std::unique_ptr<BufferSharingPolicy> policy_;
   std::vector<Queue> queues_;
   std::vector<std::int64_t> shared_used_;  ///< per quadrant
 };

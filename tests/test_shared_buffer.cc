@@ -234,7 +234,7 @@ TEST_P(SharedBufferFuzzTest, InvariantsHoldUnderRandomOps) {
   cfg.total_bytes = 2 << 20;
   cfg.quadrants = 2;
   cfg.reserve_per_queue = 8 << 10;
-  cfg.policy = static_cast<BufferPolicy>(GetParam() % 4);
+  cfg.policy = static_cast<BufferPolicy>(GetParam() % 5);
   constexpr int kQueues = 6;
   SharedBuffer buf(cfg, kQueues);
 

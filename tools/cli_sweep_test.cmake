@@ -1,0 +1,54 @@
+# Sweep-grid determinism: `msampctl sweep` must emit byte-identical
+# summary CSVs on re-runs, whether each cell is generated serially
+# in-process or fanned across cluster worker processes — and a kept cell
+# dataset must equal the bytes of a direct `msampctl fleet` run at the
+# same policy parameters.
+set(work ${CMAKE_CURRENT_BINARY_DIR}/cli_sweep_work)
+file(REMOVE_RECURSE ${work})
+file(MAKE_DIRECTORY ${work})
+
+function(run)
+  execute_process(COMMAND ${MSAMPCTL} ${ARGN}
+                  WORKING_DIRECTORY ${work} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "msampctl ${ARGN} failed with ${rc}")
+  endif()
+endfunction()
+
+set(scale --racks 2 --hours 2 --samples 120 --threads 2)
+set(grid --policies dt,static,delay --alphas 0.25,1,4 --target-delays 0.5)
+
+# Clustered grid, run twice: identical CSV bytes.
+run(sweep ${scale} ${grid} --workers 2 --out-dir c1)
+run(sweep ${scale} ${grid} --workers 2 --out-dir c2)
+foreach(csv sweep_summary.csv sweep_contention_cdf.csv)
+  file(SHA256 ${work}/c1/${csv} a)
+  file(SHA256 ${work}/c2/${csv} b)
+  if(NOT a STREQUAL b)
+    message(FATAL_ERROR "clustered sweep re-run changed ${csv}")
+  endif()
+endforeach()
+
+# Serial grid (each cell in-process): same CSVs as the clustered runs.
+run(sweep ${scale} ${grid} --workers 0 --out-dir serial)
+foreach(csv sweep_summary.csv sweep_contention_cdf.csv)
+  file(SHA256 ${work}/c1/${csv} a)
+  file(SHA256 ${work}/serial/${csv} b)
+  if(NOT a STREQUAL b)
+    message(FATAL_ERROR "serial sweep differs from clustered sweep in ${csv}")
+  endif()
+endforeach()
+
+# A kept cell dataset is just a fleet run at that cell's config: the
+# DT alpha=1 cell must be byte-identical to `msampctl fleet` with the
+# default policy flags (the pre-sweep path).
+run(sweep ${scale} --policies dt --alphas 1 --workers 2 --keep-datasets 1
+    --out-dir kept)
+run(fleet ${scale} --out plain.bin)
+file(SHA256 ${work}/kept/dt-a1.bin kept_hash)
+file(SHA256 ${work}/plain.bin plain_hash)
+if(NOT kept_hash STREQUAL plain_hash)
+  message(FATAL_ERROR "kept sweep cell differs from a direct fleet run")
+endif()
+
+file(REMOVE_RECURSE ${work})

@@ -115,7 +115,8 @@ int main(int argc, char** argv) {
   const Header headers[] = {
       {"FleetConfig", "src/fleet/config.h"},
       {"FabricConfig", "src/fleet/config.h"},
-      {"SharedBufferConfig", "src/net/shared_buffer.h"},
+      {"SharedBufferConfig", "src/net/buffer_policy.h"},
+      {"DelayDrivenConfig", "src/net/buffer_policy.h"},
       {"ClockModelConfig", "src/core/clock_model.h"},
       {"LossAssocConfig", "src/analysis/loss_assoc.h"},
       {"ClassifyConfig", "src/analysis/rack_classify.h"},

@@ -288,7 +288,8 @@ FileRole classify_path(std::string_view path) {
   role.getenv_allowed = is("src/util/thread_pool.cc") ||
                         is("bench/common.cc") ||
                         is("tests/test_thread_pool.cc") ||
-                        is("tests/test_fleet_parallel.cc");
+                        is("tests/test_fleet_parallel.cc") ||
+                        is("tests/test_buffer_policy.cc");
   // The cluster scheduler's clock: stall timeouts and retry backoff need
   // real elapsed time; process.cc concentrates every wall-clock read so
   // nothing else in src/cluster/ can touch one.

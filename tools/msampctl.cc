@@ -11,8 +11,14 @@
 //
 //   msampctl fleet [--racks N] [--hours H] [--samples N] [--seed S]
 //                  [--threads T] [--shard I/N] [--out dataset.bin]
+//                  [policy flags]
 //       Generate a two-region measurement day and save the distilled
-//       dataset.  An explicit --threads N wins; --threads 0 (the default)
+//       dataset.  The buffer-sharing policy flags — shared with `cluster`,
+//       `worker`, and `sweep` — select the MMU discipline (see
+//       docs/POLICIES.md): --policy dt|static|complete|burst-absorb|delay,
+//       --alpha A (DT alpha), --boost B (burst-absorb alpha multiplier),
+//       --target-delay D (delay-driven target, ms).
+//       An explicit --threads N wins; --threads 0 (the default)
 //       defers to the MSAMP_THREADS environment variable, else uses every
 //       hardware core.  --shard I/N generates only shard I of an N-way
 //       split of the day (a first-class partial dataset file); run the N
@@ -45,6 +51,19 @@
 //       spill sink — peak RSS is a few spill chunks, not the shard — and
 //       emits `msamp-hb` heartbeat lines on stdout.
 //
+//   msampctl sweep [--policies dt,static,delay] [--alphas 0.25,1,4]
+//                  [--boosts 4] [--target-delays 0.5] [--workers W]
+//                  [--out-dir D] [--keep-datasets 1] [fleet scale flags]
+//                  [cluster knobs]
+//       Policy lab: expand the buffer-sharing policy x parameter grid
+//       into deterministic cells, generate each cell's measurement day
+//       (serially with --workers 0, else fanned across the cluster
+//       coordinator per cell), and emit the comparison tables — burst
+//       absorption, contention CDF, and loss per policy — plus
+//       sweep_summary.csv / sweep_contention_cdf.csv under --out-dir.
+//       Re-runs are byte-identical, serial or clustered; docs/POLICIES.md
+//       has a worked walkthrough.
+//
 //   msampctl report --dataset dataset.bin
 //       Print the §7/§8 headline statistics of a saved dataset.
 //
@@ -60,7 +79,9 @@
 #include "analysis/contention.h"
 #include "analysis/trace_io.h"
 #include "cluster/coordinator.h"
+#include "cluster/sweep.h"
 #include "cluster/worker.h"
+#include "net/buffer_policy.h"
 #include "fleet/aggregate.h"
 #include "fleet/fleet_runner.h"
 #include "fleet/fluid_rack.h"
@@ -178,9 +199,10 @@ int cmd_analyze(const Flags& flags) {
 }
 
 /// The CLI-expressible FleetConfig fields, parsed identically for
-/// `fleet`, `cluster`, and `worker` — the cluster coordinator re-execs
-/// workers with exactly these flags, so the three commands must agree on
-/// names and defaults or the workers' fingerprints would diverge.
+/// `fleet`, `cluster`, `worker`, and `sweep` — the cluster coordinator
+/// re-execs workers with exactly these flags (cluster::Coordinator::
+/// command_for), so the commands must agree on names and defaults or the
+/// workers' fingerprints would diverge.
 fleet::FleetConfig fleet_config_from_flags(const Flags& flags) {
   fleet::FleetConfig cfg;
   cfg.seed = static_cast<std::uint64_t>(flags.num("seed", 42));
@@ -188,7 +210,53 @@ fleet::FleetConfig fleet_config_from_flags(const Flags& flags) {
   cfg.hours = static_cast<int>(flags.num("hours", 24));
   cfg.samples_per_run = static_cast<int>(flags.num("samples", 500));
   cfg.threads = static_cast<int>(flags.num("threads", 0));
+  const std::string policy = flags.str("policy", "dt");
+  if (!net::parse_policy(policy, &cfg.buffer.policy)) {
+    throw util::UsageError("unknown --policy '" + policy +
+                           "' (dt|static|complete|burst-absorb|delay)");
+  }
+  cfg.buffer.alpha = flags.real("alpha", cfg.buffer.alpha);
+  cfg.buffer.burst_alpha_boost =
+      flags.real("boost", cfg.buffer.burst_alpha_boost);
+  cfg.buffer.delay.target_delay_ms =
+      flags.real("target-delay", cfg.buffer.delay.target_delay_ms);
   return cfg;
+}
+
+/// The shared buffer-policy flags (appended to each command's scale
+/// flags below).
+const std::vector<std::string> kPolicyFlags = {"policy", "alpha", "boost",
+                                               "target-delay"};
+
+std::vector<std::string> with_policy_flags(std::vector<std::string> flags) {
+  flags.insert(flags.end(), kPolicyFlags.begin(), kPolicyFlags.end());
+  return flags;
+}
+
+/// Parses a comma-separated list of doubles ("0.25,1,4").
+std::vector<double> parse_double_list(const std::string& text,
+                                      const std::string& flag) {
+  std::vector<double> values;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string tok =
+        text.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    std::size_t used = 0;
+    double v = 0.0;
+    try {
+      v = std::stod(tok, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != tok.size() || tok.empty()) {
+      throw util::UsageError("bad --" + flag + " entry '" + tok + "'");
+    }
+    values.push_back(v);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return values;
 }
 
 int cmd_fleet(const Flags& flags) {
@@ -303,6 +371,102 @@ int cmd_cluster(const Flags& flags) {
   return 0;
 }
 
+int cmd_sweep(const Flags& flags) {
+  cluster::SweepConfig cfg;
+  cfg.base = fleet_config_from_flags(flags);
+  const std::string policies = flags.str("policies", "dt,static,delay");
+  cfg.policies.clear();
+  std::size_t pos = 0;
+  while (pos <= policies.size()) {
+    const std::size_t comma = policies.find(',', pos);
+    const std::string tok = policies.substr(
+        pos, comma == std::string::npos ? comma : comma - pos);
+    net::BufferPolicy p;
+    if (!net::parse_policy(tok, &p)) {
+      die_usage("unknown policy '" + tok +
+                "' in --policies (dt|static|complete|burst-absorb|delay)");
+    }
+    cfg.policies.push_back(p);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (flags.has("alphas")) {
+    cfg.alphas = parse_double_list(flags.str("alphas", ""), "alphas");
+  }
+  if (flags.has("boosts")) {
+    cfg.boosts = parse_double_list(flags.str("boosts", ""), "boosts");
+  }
+  if (flags.has("target-delays")) {
+    cfg.target_delays_ms =
+        parse_double_list(flags.str("target-delays", ""), "target-delays");
+  }
+  cfg.workers = static_cast<int>(flags.num("workers", 0));
+  cfg.out_dir = flags.str("out-dir", "sweep-out");
+  cfg.keep_datasets = flags.num("keep-datasets", 0) != 0;
+  cfg.fault_rate = flags.real("fault-rate", 0.0);
+  cfg.chunk_bytes = static_cast<std::size_t>(flags.num(
+      "chunk-bytes",
+      static_cast<long>(fleet::SpillSink::kDefaultChunkBytes)));
+  cfg.stall_timeout_ms = static_cast<int>(flags.num("stall-ms", 30000));
+  cfg.max_parallel = static_cast<int>(flags.num("max-parallel", 0));
+  cfg.retry.max_attempts = static_cast<int>(flags.num("retry-max", 5));
+  cfg.retry.base_delay_ms = static_cast<int>(flags.num("retry-base-ms", 200));
+
+  const auto cells = cluster::expand_grid(cfg);
+  std::cout << "sweeping " << cells.size() << " policy cells x "
+            << 2 * cfg.base.racks_per_region << " racks x " << cfg.base.hours
+            << " hours"
+            << (cfg.workers > 0 ? " via " + std::to_string(cfg.workers) +
+                                      " worker process(es) per cell"
+                                : " serially")
+            << "...\n";
+  cluster::SweepResult result;
+  std::string err;
+  if (!cluster::run_sweep(cfg, &result, &std::cout, &err)) {
+    std::cerr << "error: " << err << "\n";
+    return 1;
+  }
+
+  // Headline comparison: loss and burst absorption per policy cell.
+  util::Table summary({"cell", "bursts", "% contended", "% lossy",
+                       "% absorbed", "loss (KB/GB)", "ECN (MB/GB)"});
+  for (const auto& c : result.cells) {
+    summary.row()
+        .cell(c.name)
+        .cell(c.bursts)
+        .cell(c.pct_contended(), 1)
+        .cell(c.pct_lossy(), 2)
+        .cell(c.pct_absorbed(), 2)
+        .cell(c.loss_kb_per_gb, 2)
+        .cell(c.ecn_mb_per_gb, 2);
+  }
+  std::cout << "\n";
+  summary.print(std::cout);
+
+  // Contention CDF: one column per cell, one row per percentile.
+  std::vector<std::string> cdf_headers = {"percentile"};
+  for (const auto& c : result.cells) cdf_headers.push_back(c.name);
+  util::Table cdf(cdf_headers);
+  for (std::size_t i = 0;
+       i < sizeof(cluster::kSweepPercentiles) / sizeof(int); ++i) {
+    auto& row = cdf.row().cell("p" + std::to_string(
+                                         cluster::kSweepPercentiles[i]));
+    for (const auto& c : result.cells) row.cell(c.contention_pct[i], 2);
+  }
+  std::cout << "\nrack avg contention CDF (usable busy racks):\n";
+  cdf.print(std::cout);
+
+  const std::string summary_csv = cfg.out_dir + "/sweep_summary.csv";
+  const std::string cdf_csv = cfg.out_dir + "/sweep_contention_cdf.csv";
+  if (!summary.write_csv_file(summary_csv) ||
+      !cdf.write_csv_file(cdf_csv)) {
+    std::cerr << "error: cannot write CSVs under " << cfg.out_dir << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << summary_csv << " and " << cdf_csv << "\n";
+  return 0;
+}
+
 int cmd_report(const Flags& flags) {
   const std::string path = flags.str("dataset", "dataset.bin");
   fleet::Dataset ds;
@@ -344,8 +508,8 @@ int cmd_report(const Flags& flags) {
 
 void usage() {
   std::cout << "usage: msampctl "
-               "<simulate-rack|analyze|fleet|merge|cluster|worker|report> "
-               "[--flag value ...]\n"
+               "<simulate-rack|analyze|fleet|merge|cluster|worker|sweep|"
+               "report> [--flag value ...]\n"
                "see the header of tools/msampctl.cc for full flag lists\n";
 }
 
@@ -363,15 +527,23 @@ int main(int argc, char** argv) {
       {"simulate-rack",
        {"servers", "task", "intensity", "samples", "hour", "seed", "out"}},
       {"analyze", {"trace", "gbps"}},
-      {"fleet", {"racks", "hours", "samples", "seed", "threads", "shard",
-                 "out"}},
+      {"fleet", with_policy_flags({"racks", "hours", "samples", "seed",
+                                   "threads", "shard", "out"})},
       {"merge", {"out"}},
-      {"cluster", {"racks", "hours", "samples", "seed", "threads", "workers",
-                   "out", "shard-dir", "keep-shards", "fault-rate",
-                   "chunk-bytes", "stall-ms", "max-parallel", "retry-max",
-                   "retry-base-ms"}},
-      {"worker", {"racks", "hours", "samples", "seed", "threads", "shard",
-                  "out", "attempt", "fault-rate", "chunk-bytes"}},
+      {"cluster", with_policy_flags(
+                      {"racks", "hours", "samples", "seed", "threads",
+                       "workers", "out", "shard-dir", "keep-shards",
+                       "fault-rate", "chunk-bytes", "stall-ms",
+                       "max-parallel", "retry-max", "retry-base-ms"})},
+      {"worker", with_policy_flags({"racks", "hours", "samples", "seed",
+                                    "threads", "shard", "out", "attempt",
+                                    "fault-rate", "chunk-bytes"})},
+      {"sweep", with_policy_flags(
+                    {"racks", "hours", "samples", "seed", "threads",
+                     "policies", "alphas", "boosts", "target-delays",
+                     "workers", "out-dir", "keep-datasets", "fault-rate",
+                     "chunk-bytes", "stall-ms", "max-parallel", "retry-max",
+                     "retry-base-ms"})},
       {"report", {"dataset"}},
   };
   const auto it = known_flags.find(cmd);
@@ -388,6 +560,7 @@ int main(int argc, char** argv) {
     if (cmd == "merge") return cmd_merge(flags);
     if (cmd == "cluster") return cmd_cluster(flags);
     if (cmd == "worker") return cmd_worker(flags);
+    if (cmd == "sweep") return cmd_sweep(flags);
     return cmd_report(flags);
   } catch (const util::UsageError& e) {
     die_usage(e.what());
