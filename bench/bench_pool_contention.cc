@@ -1,0 +1,150 @@
+// Contention rate vs thread count for util::ThreadPool and the SPSC
+// handoff rings — the observability the NUMA-pinning and SIMD work will
+// steer by (docs/OBSERVABILITY.md explains how to read each column).
+//
+// This is the ONE sanctioned reader of the contention counters: every
+// other output path is barred from them by msamp_lint's
+// counters-not-in-output rule.  Its CSV is deliberately absent from
+// scripts/check_bench_determinism.sh — the numbers describe *execution*
+// (which lane won a CAS, how often a trylock failed) and legitimately
+// vary run to run; only their shape (contention grows with thread count)
+// is stable.
+//
+// The workload mirrors the fleet runner's shape at miniature scale: many
+// short parallel_for bodies claiming indices from the shared counter,
+// each body pushing its index into a per-lane SpscRing drained by one
+// consumer thread in canonical order.  Bodies are a few hundred
+// nanoseconds on purpose — short bodies maximize claims (and therefore
+// contention pressure) per second, the worst case the counters exist to
+// expose.  No wall clocks anywhere: the columns are pure event tallies.
+#include <atomic>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "util/contention_counters.h"
+#include "util/spsc_ring.h"
+#include "util/thread_pool.h"
+
+using namespace msamp;
+
+namespace {
+
+constexpr std::size_t kIndicesPerRound = 4096;
+constexpr std::size_t kRounds = 8;
+constexpr std::size_t kRingCapacity = 64;
+
+/// A few hundred nanoseconds of deterministic register work, standing in
+/// for one simulation window at 1/1000000 scale.
+std::uint64_t spin_work(std::uint64_t x) {
+  for (int k = 0; k < 64; ++k) x = (x ^ (x >> 13)) * 0x100000001b3ULL;
+  return x;
+}
+
+struct RunTallies {
+  util::ContentionSnapshot pool;
+  util::ContentionSnapshot rings;  ///< handoff_* fields summed over lanes
+  std::uint64_t checksum = 0;      ///< consumer-side fold (keeps work honest)
+};
+
+RunTallies run_workload(int threads) {
+  util::ThreadPool pool(threads);
+  const int lanes = pool.size();
+  std::vector<std::unique_ptr<util::SpscRing<std::size_t>>> rings;
+  for (int l = 0; l < lanes; ++l) {
+    rings.push_back(
+        std::make_unique<util::SpscRing<std::size_t>>(kRingCapacity));
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> checksum{0};
+  std::thread consumer([&] {
+    std::uint64_t local = 0;
+    for (;;) {
+      bool popped = false;
+      for (auto& ring : rings) {
+        std::size_t i = 0;
+        while (ring->try_pop(i)) {
+          local += spin_work(i);
+          popped = true;
+        }
+      }
+      if (!popped) {
+        if (done.load(std::memory_order_acquire)) break;
+        std::this_thread::yield();
+      }
+    }
+    checksum.store(local, std::memory_order_release);
+  });
+
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    pool.parallel_for(
+        kIndicesPerRound,
+        std::function<void(int, std::size_t)>([&](int lane, std::size_t i) {
+          spin_work(i + round);
+          while (!rings[static_cast<std::size_t>(lane)]->try_push(
+              std::size_t{i})) {
+            std::this_thread::yield();
+          }
+        }));
+  }
+  done.store(true, std::memory_order_release);
+  consumer.join();
+
+  RunTallies out;
+  out.pool = pool.contention_snapshot();
+  for (auto& ring : rings) {
+    const util::ContentionSnapshot s = ring->contention_snapshot();
+    out.rings.handoff_pushes += s.handoff_pushes;
+    out.rings.handoff_full_spins += s.handoff_full_spins;
+    out.rings.handoff_pops += s.handoff_pops;
+    out.rings.handoff_empty_spins += s.handoff_empty_spins;
+  }
+  out.checksum = checksum.load(std::memory_order_acquire);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Pool contention — trylock/CAS/handoff rates vs thread count",
+      "observability companion: rates should be ~0 at 1 thread and grow "
+      "with thread count on a multi-core host");
+
+  util::Table table({"threads", "lock acq", "lock cont", "lock rate",
+                     "cas claims", "cas retries", "cas rate", "waits",
+                     "notifies", "ring pushes", "ring full rate",
+                     "ring empty rate"});
+  std::uint64_t fold = 0;
+  for (const int threads : {1, 2, 4, 8}) {
+    const RunTallies t = run_workload(threads);
+    fold ^= t.checksum;
+    table.row()
+        .cell(static_cast<long long>(threads))
+        .cell(static_cast<unsigned long long>(t.pool.lock_acquisitions()))
+        .cell(static_cast<unsigned long long>(t.pool.lock_contended))
+        .cell(t.pool.lock_contention_rate(), 4)
+        .cell(static_cast<unsigned long long>(t.pool.cas_attempts))
+        .cell(static_cast<unsigned long long>(t.pool.cas_retries))
+        .cell(t.pool.cas_retry_rate(), 4)
+        .cell(static_cast<unsigned long long>(t.pool.waits))
+        .cell(static_cast<unsigned long long>(t.pool.notifies))
+        .cell(static_cast<unsigned long long>(t.rings.handoff_pushes))
+        .cell(t.rings.handoff_full_rate(), 4)
+        .cell(t.rings.handoff_empty_rate(), 4);
+  }
+  bench::emit_table("pool_contention", table);
+
+  std::cout << "\nrows are event tallies over " << kRounds << " rounds x "
+            << kIndicesPerRound
+            << " claimed indices; rates are contended/total.  The 1-thread "
+               "row is the serial fast path: its pool columns are zero by "
+               "construction (the rings still carry the handoff).\n"
+               "(workload checksum " << fold
+            << " — consumed through the rings, never part of the CSV)\n";
+  return 0;
+}

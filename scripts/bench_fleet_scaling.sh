@@ -8,20 +8,45 @@
 #
 # Each (racks, threads) cell is one full two-region measurement day
 # (24 hours x 700 samples by default) through `msampctl fleet`.
+#
+# Besides the CSV on stdout, each run overwrites BENCH_fleet_scaling.json
+# with the same rows plus the host's core count and the pool's lock
+# contention rate at each thread count (from bench_pool_contention, null
+# when that binary isn't built).  The committed file's git history is the
+# perf trajectory future re-anchors read (docs/OBSERVABILITY.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BIN=${BIN:-build/tools/msampctl}
+CONTENTION_BIN=${CONTENTION_BIN:-build/bench/bench_pool_contention}
 RACKS=${RACKS:-"96 1000"}
 THREADS=${THREADS:-"1 2 4 8"}
 HOURS=${HOURS:-24}
 SAMPLES=${SAMPLES:-700}
+JSON=${JSON:-BENCH_fleet_scaling.json}
 
 [ -x "$BIN" ] || { echo "error: $BIN not built (run cmake --build build)"; exit 1; }
 
 out=$(mktemp -d)
 trap 'rm -rf "$out"' EXIT
 
+# Refresh the contention table first (bench_out/pool_contention.csv) so
+# each thread count's lock rate can ride along in the JSON rows.
+contention_csv=""
+if [ -x "$CONTENTION_BIN" ]; then
+  "$CONTENTION_BIN" > /dev/null
+  contention_csv="bench_out/pool_contention.csv"
+fi
+
+# Lock contention rate for a thread count, or the literal string `null`.
+contention_rate() {
+  local t="$1"
+  [ -n "$contention_csv" ] && [ -f "$contention_csv" ] || { echo null; return; }
+  awk -F, -v t="$t" 'NR > 1 && $1 == t { print $4; found = 1 } END { if (!found) print "null" }' \
+      "$contention_csv"
+}
+
+rows=""
 echo "racks_per_region,threads,seconds"
 for r in $RACKS; do
   ref=""
@@ -31,8 +56,12 @@ for r in $RACKS; do
     "$BIN" fleet --racks "$r" --hours "$HOURS" --samples "$SAMPLES" \
         --threads "$t" --out "$ds" > /dev/null
     end=$(date +%s.%N)
-    awk -v r="$r" -v t="$t" -v a="$start" -v b="$end" \
-        'BEGIN { printf "%s,%s,%.1f\n", r, t, b - a }'
+    secs=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.1f", b - a }')
+    echo "$r,$t,$secs"
+    rate=$(contention_rate "$t")
+    row=$(printf '{"racks_per_region": %s, "threads": %s, "seconds": %s, "lock_contention_rate": %s}' \
+                 "$r" "$t" "$secs" "$rate")
+    rows="${rows:+$rows,$'\n'    }$row"
     # Determinism contract: every thread count must produce the same bytes.
     if [ -z "$ref" ]; then
       ref="$ds"
@@ -42,3 +71,16 @@ for r in $RACKS; do
     fi
   done
 done
+
+cat > "$JSON" <<EOF
+{
+  "bench": "fleet_scaling",
+  "hours": $HOURS,
+  "samples_per_run": $SAMPLES,
+  "host_cores": $(nproc),
+  "rows": [
+    $rows
+  ]
+}
+EOF
+echo "wrote $JSON" >&2

@@ -1,16 +1,19 @@
 #include "fleet/fleet_runner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "analysis/burst_stats.h"
 #include "analysis/contention.h"
 #include "analysis/loss_assoc.h"
 #include "fleet/fluid_rack.h"
-#include "util/parallel_map.h"
+#include "util/spsc_ring.h"
 #include "util/thread_pool.h"
 #include "workload/diurnal.h"
 #include "workload/placement.h"
@@ -222,34 +225,109 @@ void run_fleet(const FleetConfig& config, const ShardSpec& shard,
   const std::size_t shard_windows = end - begin;
 
   util::ThreadPool pool(config.threads);
+  const int lanes = pool.size();
   std::mutex progress_mu;
   std::size_t completed = 0;
+  auto note_progress = [&] {
+    if (!progress) return;
+    // Serialized and strictly increasing: each completion bumps the
+    // counter exactly once, and total/total is exactly 1.0.
+    std::lock_guard<std::mutex> lock(progress_mu);
+    ++completed;
+    progress(static_cast<double>(completed) /
+             static_cast<double>(shard_windows));
+  };
+
+  if (lanes == 1) {
+    // Single lane: simulate and stream straight into the sink — no
+    // consumer thread, no rings, and trivially the canonical order.
+    for (std::size_t w = begin; w < end; ++w) {
+      const int hour = static_cast<int>(w / racks.size());
+      const workload::RackMeta& rack = racks[w % racks.size()];
+      sink.on_window(w, simulate_window(config, burst_cfg, rack, hour));
+      note_progress();
+    }
+    if (progress && shard_windows == 0) progress(1.0);
+    return;
+  }
+
   // Windows are simulated in bounded chunks: each chunk fans out over the
-  // pool, then drains into the sink in canonical order.  Peak memory is
-  // one chunk of window records, independent of shard (or day) size.
+  // pool while a dedicated consumer thread merges completed windows into
+  // the sink in canonical order.  Peak memory is one chunk of window
+  // records, independent of shard (or day) size.
+  //
+  // Handoff: each lane owns one SPSC ring and pushes the *slot index* of
+  // every window it finishes; the ring's release/acquire edge publishes
+  // the slot's contents to the consumer, which marks indices ready and
+  // advances a cursor so the sink sees windows strictly in canonical
+  // order with no gaps — the bytes cannot depend on which lane ran which
+  // window, or in what order.  The rings replace the old mutexed
+  // collect-then-drain step on the caller thread.
   const std::size_t chunk_windows =
-      std::max<std::size_t>(static_cast<std::size_t>(pool.size()) * 8, 64);
+      std::max<std::size_t>(static_cast<std::size_t>(lanes) * 8, 64);
+  constexpr std::size_t kRingCapacity = 256;
+  std::vector<std::unique_ptr<util::SpscRing<std::size_t>>> rings;
+  rings.reserve(static_cast<std::size_t>(lanes));
+  for (int l = 0; l < lanes; ++l) {
+    rings.push_back(
+        std::make_unique<util::SpscRing<std::size_t>>(kRingCapacity));
+  }
+
   for (std::size_t chunk = begin; chunk < end; chunk += chunk_windows) {
     const std::size_t n = std::min(chunk_windows, end - chunk);
-    std::vector<WindowRecords> outputs =
-        util::parallel_map(pool, n, [&](std::size_t i) {
-          const std::size_t w = chunk + i;
-          const int hour = static_cast<int>(w / racks.size());
-          const workload::RackMeta& rack = racks[w % racks.size()];
-          WindowRecords out = simulate_window(config, burst_cfg, rack, hour);
-          if (progress) {
-            // Serialized and strictly increasing: each completion bumps
-            // the counter exactly once, and total/total is exactly 1.0.
-            std::lock_guard<std::mutex> lock(progress_mu);
-            ++completed;
-            progress(static_cast<double>(completed) /
-                     static_cast<double>(shard_windows));
+    std::vector<WindowRecords> slots(n);
+    // `abort` is the one cross-thread escape hatch: the consumer raises it
+    // when the sink throws (so blocked producers stop spinning on a full
+    // ring), and the producer side raises it when a body throws (so the
+    // consumer stops waiting for windows that will never arrive).
+    std::atomic<bool> abort{false};
+    std::exception_ptr consumer_error;
+    std::thread consumer([&] {
+      try {
+        std::vector<unsigned char> ready(n, 0);
+        std::size_t cursor = 0;
+        while (cursor < n && !abort.load(std::memory_order_acquire)) {
+          bool popped = false;
+          for (auto& ring : rings) {
+            std::size_t i = 0;
+            while (ring->try_pop(i)) {
+              ready[i] = 1;
+              popped = true;
+            }
           }
-          return out;
-        });
-    for (std::size_t i = 0; i < n; ++i) {
-      sink.on_window(chunk + i, std::move(outputs[i]));
+          while (cursor < n && ready[cursor]) {
+            sink.on_window(chunk + cursor, std::move(slots[cursor]));
+            ++cursor;
+          }
+          if (!popped) std::this_thread::yield();
+        }
+      } catch (...) {
+        consumer_error = std::current_exception();
+        abort.store(true, std::memory_order_release);
+      }
+    });
+    try {
+      pool.parallel_for(
+          n, std::function<void(int, std::size_t)>(
+                 [&](int lane, std::size_t i) {
+                   const std::size_t w = chunk + i;
+                   const int hour = static_cast<int>(w / racks.size());
+                   const workload::RackMeta& rack = racks[w % racks.size()];
+                   slots[i] = simulate_window(config, burst_cfg, rack, hour);
+                   note_progress();
+                   while (!rings[static_cast<std::size_t>(lane)]->try_push(
+                       std::size_t{i})) {
+                     if (abort.load(std::memory_order_acquire)) return;
+                     std::this_thread::yield();
+                   }
+                 }));
+    } catch (...) {
+      abort.store(true, std::memory_order_release);
+      consumer.join();
+      throw;
     }
+    consumer.join();
+    if (consumer_error) std::rethrow_exception(consumer_error);
   }
   if (progress && shard_windows == 0) progress(1.0);
 }

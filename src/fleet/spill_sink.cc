@@ -189,15 +189,19 @@ bool SpillSink::finalize(std::string* error) {
       len.put(s->records);
       out.write(reinterpret_cast<const char*>(len.out.data()),
                 static_cast<std::streamsize>(len.out.size()));
+      // Non-throwing file_size: a spill file that vanished (or sits on a
+      // flaky mount) must surface as fail(...), not as a filesystem_error
+      // unwinding through the worker.
+      std::error_code size_ec;
+      const std::uintmax_t spill_size =
+          std::filesystem::file_size(s->path, size_ec);
       std::ifstream in(s->path, std::ios::binary);
-      if (!in) {
+      if (!in || size_ec) {
         ok = false;
         break;
       }
       ok = static_cast<bool>(out) &&
-           copy_bytes(in, out,
-                      static_cast<std::uint64_t>(
-                          std::filesystem::file_size(s->path)),
+           copy_bytes(in, out, static_cast<std::uint64_t>(spill_size),
                       chunk_bytes_);
     }
     if (ok) {

@@ -1,0 +1,146 @@
+// Bounded single-producer / single-consumer ring with acquire/release
+// handoff and cache-line-padded indices.
+//
+// The contract is exactly SPSC: one thread pushes, one (different or
+// same) thread pops, concurrently.  `try_push` publishes the element with
+// a release store of the tail index; `try_pop` observes it with an
+// acquire load, so everything the producer wrote before the push —
+// including writes to memory the pushed value merely *points at* — is
+// visible to the consumer after the pop.  That edge is what lets the
+// fleet runner hand whole WindowRecords slots across threads by pushing
+// just the slot index.
+//
+// Head and tail live on separate cache lines (no false sharing between
+// producer and consumer), and each side keeps a same-line cached copy of
+// the other side's index so the common case touches no shared line at
+// all: the producer re-reads `head_` only when the ring looks full, the
+// consumer re-reads `tail_` only when it looks empty.
+//
+// Capacity is rounded up to a power of two; indices are free-running
+// (wrap-around is handled by the mask, full/empty by the difference).
+// Failed pushes (ring full) and failed pops (ring empty) are tallied in
+// an embedded ContentionCounters — observability-only, never consulted
+// by the ring itself (see docs/OBSERVABILITY.md).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "util/contention_counters.h"
+
+namespace msamp::util {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Fallback when std::hardware_destructive_interference_size is absent;
+  /// 64 bytes covers x86-64 and most AArch64 parts.
+  static constexpr std::size_t kCacheLine = 64;
+
+  /// Rounds `capacity` up to the next power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity)
+      : capacity_(round_up_pow2(capacity)),
+        mask_(capacity_ - 1),
+        slots_(std::make_unique<Slot[]>(capacity_)) {}
+
+  /// Destroys any items still in flight (pushed but never popped).
+  ~SpscRing() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    for (std::size_t i = head_.load(std::memory_order_relaxed); i != tail;
+         ++i) {
+      item(i)->~T();
+    }
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side.  Returns false (and counts a full-spin) when the ring
+  /// is full; the value is untouched and the caller retries.
+  bool try_push(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ == capacity_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ == capacity_) {
+        counters_.handoff_full_spins.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+    ::new (static_cast<void*>(item(tail))) T(std::move(value));
+    tail_.store(tail + 1, std::memory_order_release);
+    counters_.handoff_pushes.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  bool try_push(const T& value) {
+    T copy(value);
+    return try_push(std::move(copy));
+  }
+
+  /// Consumer side.  Returns false (and counts an empty-spin) when the
+  /// ring is empty; `out` is untouched.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) {
+        counters_.handoff_empty_spins.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+    T* p = item(head);
+    out = std::move(*p);
+    p->~T();
+    head_.store(head + 1, std::memory_order_release);
+    counters_.handoff_pops.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Approximate occupancy — exact only when both sides are quiescent.
+  std::size_t size() const noexcept {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+  bool empty() const noexcept { return size() == 0; }
+
+  /// Observability-only handoff tallies (docs/OBSERVABILITY.md); only the
+  /// handoff_* fields of the snapshot are populated.
+  ContentionSnapshot contention_snapshot() const noexcept {
+    return counters_.snapshot();
+  }
+
+ private:
+  struct Slot {
+    alignas(alignof(T)) unsigned char storage[sizeof(T)];
+  };
+
+  static std::size_t round_up_pow2(std::size_t v) {
+    std::size_t p = 2;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  T* item(std::size_t index) noexcept {
+    return std::launder(
+        reinterpret_cast<T*>(slots_[index & mask_].storage));
+  }
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  const std::unique_ptr<Slot[]> slots_;
+
+  // Producer-owned line: tail plus the producer's cached view of head.
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+  std::size_t head_cache_ = 0;
+  // Consumer-owned line: head plus the consumer's cached view of tail.
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+  std::size_t tail_cache_ = 0;
+  // Counters on their own line so tallies never bounce the index lines.
+  alignas(kCacheLine) ContentionCounters counters_;
+};
+
+}  // namespace msamp::util

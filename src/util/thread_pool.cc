@@ -2,32 +2,43 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <stdexcept>
 #include <utility>
 
 namespace msamp::util {
+
+int ThreadPool::resolve_values(int requested, const char* env,
+                               unsigned hardware) noexcept {
+  // Every path clamps to 1024 so a typo (or a pathological cpuset report)
+  // degrades to "many threads", never std::system_error from exhaustion.
+  constexpr int kMaxThreads = 1024;
+  if (requested > 0) return std::min(requested, kMaxThreads);
+  if (env != nullptr) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<int>(std::min<long>(v, kMaxThreads));
+    }
+  }
+  if (hardware == 0) return 1;
+  return static_cast<int>(
+      std::min<unsigned>(hardware, static_cast<unsigned>(kMaxThreads)));
+}
 
 int ThreadPool::resolve(int requested) noexcept {
   // An explicit request wins; MSAMP_THREADS only fills in the default.
   // This getenv is one of the two documented MSAMP_* readers allowlisted
   // by msamp_lint's nondet-getenv rule (docs/STATIC_ANALYSIS.md) — it may
   // change wall-clock, never bytes.
-  if (requested > 0) return std::min(requested, 1024);
-  if (const char* env = std::getenv("MSAMP_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0) {
-      return static_cast<int>(std::min<long>(v, 1024));
-    }
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  return resolve_values(requested, std::getenv("MSAMP_THREADS"),
+                        std::thread::hardware_concurrency());
 }
 
 ThreadPool::ThreadPool(int threads) {
   const int lanes = resolve(threads);
   workers_.reserve(static_cast<std::size_t>(lanes - 1));
   for (int i = 1; i < lanes; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -40,15 +51,43 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::drain_current_job() {
+void ThreadPool::lock_probed(std::unique_lock<std::mutex>& lock) {
+  // Tier-0 trylock probe: the uncontended case costs one try_lock (same
+  // atomic op a plain lock starts with) plus a relaxed increment.
+  if (lock.try_lock()) {
+    counters_.count_lock(true);
+    return;
+  }
+  counters_.count_lock(false);
+  lock.lock();
+}
+
+std::size_t ThreadPool::claim_index() {
+  // CAS claim loop instead of a blind fetch_add: the counter never
+  // overshoots n_, and every failed exchange is a measured contention
+  // event.  Returns n_ when the job is drained (or abandoned).
+  counters_.cas_attempts.fetch_add(1, std::memory_order_relaxed);
+  std::size_t i = next_.load(std::memory_order_relaxed);
+  while (i < n_) {
+    if (next_.compare_exchange_weak(i, i + 1, std::memory_order_relaxed,
+                                    std::memory_order_relaxed)) {
+      return i;
+    }
+    counters_.cas_retries.fetch_add(1, std::memory_order_relaxed);
+  }
+  return n_;
+}
+
+void ThreadPool::drain_current_job(int lane) {
   for (;;) {
-    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t i = claim_index();
     if (i >= n_) return;
     try {
-      (*body_)(i);
+      (*body_)(lane, i);
     } catch (...) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+        lock_probed(lock);
         if (!error_) error_ = std::current_exception();
       }
       // Abandon unclaimed indices so every lane falls out of the job and
@@ -58,19 +97,27 @@ void ThreadPool::drain_current_job() {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int lane) {
   std::uint64_t seen = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+      lock_probed(lock);
+      while (!stop_ && generation_ == seen) {
+        counters_.waits.fetch_add(1, std::memory_order_relaxed);
+        cv_start_.wait(lock);
+      }
       if (stop_) return;
       seen = generation_;
     }
-    drain_current_job();
+    drain_current_job(lane);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--active_ == 0) cv_done_.notify_one();
+      std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+      lock_probed(lock);
+      if (--active_ == 0) {
+        counters_.notifies.fetch_add(1, std::memory_order_relaxed);
+        cv_done_.notify_one();
+      }
     }
   }
 }
@@ -78,12 +125,38 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
+  parallel_for(n, std::function<void(int, std::size_t)>(
+                      [&body](int, std::size_t i) { body(i); }));
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(int, std::size_t)>& body) {
+  if (n == 0) return;
+  bool expected = false;
+  if (!busy_.compare_exchange_strong(expected, true,
+                                     std::memory_order_acq_rel)) {
+    throw std::logic_error(
+        "ThreadPool::parallel_for is not reentrant: another parallel_for is "
+        "already running on this pool, and the pool holds only one job's "
+        "state (n/body/generation) — a nested or concurrent job would "
+        "silently corrupt it. Nest over a SEPARATE ThreadPool instead; the "
+        "pools are work-conserving, so nesting distinct pools cannot "
+        "deadlock.");
+  }
+  struct BusyReset {
+    std::atomic<bool>& flag;
+    ~BusyReset() { flag.store(false, std::memory_order_release); }
+  } reset{busy_};
   if (workers_.empty() || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    // Serial fast path: no locks, no claims — which is also what keeps
+    // the 1-lane contention baseline at exactly zero (no false positives
+    // from single-threaded runs).
+    for (std::size_t i = 0; i < n; ++i) body(0, i);
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+    lock_probed(lock);
     n_ = n;
     body_ = &body;
     error_ = nullptr;
@@ -91,10 +164,15 @@ void ThreadPool::parallel_for(std::size_t n,
     active_ = workers_.size();
     ++generation_;
   }
+  counters_.notifies.fetch_add(1, std::memory_order_relaxed);
   cv_start_.notify_all();
-  drain_current_job();
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [&] { return active_ == 0; });
+  drain_current_job(0);
+  std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+  lock_probed(lock);
+  while (active_ != 0) {
+    counters_.waits.fetch_add(1, std::memory_order_relaxed);
+    cv_done_.wait(lock);
+  }
   body_ = nullptr;
   if (error_) {
     const std::exception_ptr e = std::exchange(error_, nullptr);

@@ -326,6 +326,59 @@ TEST(LintWire, RuleIsScopedToTheWireFormatFiles) {
   EXPECT_FALSE(lint_source("src/fleet/spill_sink.cc", src).empty());
 }
 
+TEST(LintCounters, CounterReadInOutputPathIsFlagged) {
+  const char* src = R"(void emit_rows() {
+  const auto s = pool.contention_snapshot();
+  csv << s.cas_retries;
+}
+)";
+  const auto findings = lint_source("src/fleet/fleet_runner.cc", src);
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::string>{
+                "src/fleet/fleet_runner.cc:2: counters-not-in-output"}));
+  // Same snippet trips in every other output path: the cluster
+  // orchestrator, ordinary benches, and the CLI.
+  EXPECT_FALSE(lint_source("src/cluster/worker.cc", src).empty());
+  EXPECT_FALSE(lint_source("bench/bench_table1_dataset.cc", src).empty());
+  EXPECT_FALSE(lint_source("tools/msampctl.cc", src).empty());
+}
+
+TEST(LintCounters, NamingTheCounterTypesIsFlaggedToo) {
+  const char* src = R"(#include "util/contention_counters.h"
+msamp::util::ContentionSnapshot grab();
+void keep(const msamp::util::ContentionCounters& c);
+)";
+  const auto findings = lint_source("src/fleet/merge.cc", src);
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::string>{
+                "src/fleet/merge.cc:2: counters-not-in-output",
+                "src/fleet/merge.cc:3: counters-not-in-output"}));
+}
+
+TEST(LintCounters, SanctionedBenchAndNonOutputPathsAreClean) {
+  const char* src = R"(void report() {
+  const auto s = pool.contention_snapshot();
+  table.cell(s.lock_contention_rate(), 4);
+}
+)";
+  // The one sanctioned reader: the contention bench itself.
+  EXPECT_TRUE(lint_source("bench/bench_pool_contention.cc", src).empty());
+  // Non-output paths (the instrumented components, their tests) may of
+  // course name their own counters.
+  EXPECT_TRUE(lint_source("src/util/thread_pool.cc", src).empty());
+  EXPECT_TRUE(lint_source("src/util/spsc_ring.h", src).empty());
+  EXPECT_TRUE(lint_source("tests/test_thread_pool.cc", src).empty());
+}
+
+TEST(LintCounters, SuppressionCommentSilencesTheRule) {
+  const char* src = R"(void debug_dump() {
+  auto s = pool.contention_snapshot();  // msamp-lint: allow(counters-not-in-output)
+  log(s.waits);
+}
+)";
+  EXPECT_TRUE(lint_source("src/fleet/fleet_runner.cc", src).empty());
+}
+
 // --- fingerprint coverage ----------------------------------------------
 
 constexpr const char* kConfigHeader = R"(#pragma once

@@ -176,6 +176,35 @@ TEST(SpillSink, FinalizedRunRemovesSpillTempsAndLeavesOnlyTheOutput) {
   fs::remove_all(dir);
 }
 
+TEST(SpillSink, VanishedSpillFileFailsFinalizeInsteadOfThrowing) {
+  // Fault injection for the assemble step: between the last on_window and
+  // finalize, one spill temp is replaced by a directory, so both the
+  // ifstream read and (crucially) std::filesystem::file_size on it fail.
+  // finalize must funnel that into a false return with a reason — never
+  // let filesystem_error unwind through the worker.
+  FleetConfig config = tiny_config();
+  config.racks_per_region = 1;
+  config.hours = 1;
+  const fs::path dir = fresh_dir("vanish");
+  const fs::path out = dir / "out.bin";
+  SpillSink sink(config, ShardSpec{}, out.string());
+  sink.on_window(0, WindowRecords{});
+  sink.on_window(1, WindowRecords{});
+
+  const fs::path runs_spill = dir / "out.bin.spill-runs";
+  fs::remove(runs_spill);
+  fs::create_directory(runs_spill);  // file_size on this sets error_code
+
+  std::string why;
+  bool ok = true;
+  EXPECT_NO_THROW(ok = sink.finalize(&why));
+  EXPECT_FALSE(ok);
+  EXPECT_FALSE(why.empty());
+  EXPECT_FALSE(fs::exists(out));
+  EXPECT_FALSE(fs::exists(dir / "out.bin.tmp"));  // tmp cleaned up
+  fs::remove_all(dir);
+}
+
 TEST(SpillSink, TruncatesSpillTempsLeftByAKilledAttempt) {
   // Retry idempotence: garbage spill temps from a previous attempt must
   // not leak into the next attempt's bytes.

@@ -3,8 +3,11 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <functional>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -99,6 +102,167 @@ TEST(ThreadPool, ResolveClampsBothRequestAndEnv) {
   setenv("MSAMP_THREADS", "999999", 1);
   EXPECT_EQ(ThreadPool::resolve(0), 1024);
   unsetenv("MSAMP_THREADS");
+}
+
+TEST(ThreadPool, ResolveValuesClampsEveryPath) {
+  // The pure rule behind resolve(): request, env, and — the regression
+  // this test exists for — the hardware_concurrency fallback all clamp
+  // to 1024.
+  EXPECT_EQ(ThreadPool::resolve_values(5, nullptr, 8), 5);
+  EXPECT_EQ(ThreadPool::resolve_values(5000, nullptr, 8), 1024);
+  EXPECT_EQ(ThreadPool::resolve_values(0, "12", 8), 12);
+  EXPECT_EQ(ThreadPool::resolve_values(0, "999999", 8), 1024);
+  EXPECT_EQ(ThreadPool::resolve_values(0, "garbage", 8), 8);
+  EXPECT_EQ(ThreadPool::resolve_values(0, nullptr, 8), 8);
+  EXPECT_EQ(ThreadPool::resolve_values(0, nullptr, 5000u), 1024);
+  EXPECT_EQ(ThreadPool::resolve_values(0, nullptr, 0), 1);  // unknown hw
+}
+
+TEST(ThreadPool, NestedParallelForOnSamePoolThrows) {
+  ScopedNoEnvThreads no_env;
+  for (int threads : {1, 4}) {  // serial fast path and the worker path
+    ThreadPool pool(threads);
+    EXPECT_THROW(pool.parallel_for(
+                     4,
+                     [&](std::size_t) {
+                       pool.parallel_for(2, [](std::size_t) {});
+                     }),
+                 std::logic_error)
+        << "threads=" << threads;
+    // The guard must release: the pool stays usable after the throw.
+    std::atomic<long> sum{0};
+    pool.parallel_for(10, [&](std::size_t i) {
+      sum.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 45L);
+  }
+}
+
+TEST(ThreadPool, ConcurrentParallelForFromAnotherThreadThrows) {
+  ScopedNoEnvThreads no_env;
+  ThreadPool pool(2);
+  std::atomic<bool> threw{false};
+  pool.parallel_for(4, [&](std::size_t i) {
+    if (i != 0) return;
+    // While this body (and therefore the outer job) is live, a second
+    // thread's attempt to use the same pool must fail loudly.
+    std::thread second([&] {
+      try {
+        pool.parallel_for(2, [](std::size_t) {});
+      } catch (const std::logic_error&) {
+        threw.store(true, std::memory_order_relaxed);
+      }
+    });
+    second.join();
+  });
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(ThreadPool, NestedParallelForOnDistinctPoolsWorks) {
+  // Regression guard for the nested benches: nesting is fine as long as
+  // each nesting level runs on its own pool.
+  ScopedNoEnvThreads no_env;
+  ThreadPool outer(2);
+  std::vector<std::unique_ptr<ThreadPool>> inner;
+  inner.push_back(std::make_unique<ThreadPool>(2));
+  inner.push_back(std::make_unique<ThreadPool>(2));
+  std::atomic<long> sum{0};
+  outer.parallel_for(2, [&](std::size_t i) {
+    inner[i]->parallel_for(100, [&](std::size_t j) {
+      sum.fetch_add(static_cast<long>(j), std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(sum.load(), 2L * (99L * 100L / 2));
+}
+
+TEST(ThreadPool, LaneAwareOverloadPinsLanesAndCoversAllIndices) {
+  ScopedNoEnvThreads no_env;
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 2000;
+  std::vector<std::atomic<int>> lane_of(kN);
+  for (auto& l : lane_of) l.store(-1);
+  pool.parallel_for(kN, std::function<void(int, std::size_t)>(
+                            [&](int lane, std::size_t i) {
+                              EXPECT_GE(lane, 0);
+                              EXPECT_LT(lane, pool.size());
+                              lane_of[i].store(lane,
+                                               std::memory_order_relaxed);
+                            }));
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_GE(lane_of[i].load(), 0);
+}
+
+TEST(ThreadPool, CounterSnapshotsAreMonotonic) {
+  ScopedNoEnvThreads no_env;
+  ThreadPool pool(4);
+  const ContentionSnapshot s0 = pool.contention_snapshot();
+  pool.parallel_for(500, [](std::size_t) {});
+  const ContentionSnapshot s1 = pool.contention_snapshot();
+  pool.parallel_for(500, [](std::size_t) {});
+  const ContentionSnapshot s2 = pool.contention_snapshot();
+
+  const auto leq = [](const ContentionSnapshot& a,
+                      const ContentionSnapshot& b) {
+    EXPECT_LE(a.lock_fast, b.lock_fast);
+    EXPECT_LE(a.lock_contended, b.lock_contended);
+    EXPECT_LE(a.cas_attempts, b.cas_attempts);
+    EXPECT_LE(a.cas_retries, b.cas_retries);
+    EXPECT_LE(a.waits, b.waits);
+    EXPECT_LE(a.notifies, b.notifies);
+  };
+  leq(s0, s1);
+  leq(s1, s2);
+  // Each of the 500 claimed indices is one CAS claim (plus each lane's
+  // final drained-check), so the per-job delta has a hard floor.
+  EXPECT_GE(s1.cas_attempts - s0.cas_attempts, 500u);
+  EXPECT_GE(s2.cas_attempts - s1.cas_attempts, 500u);
+  EXPECT_GT(s1.lock_acquisitions(), s0.lock_acquisitions());
+  EXPECT_GE(s1.notifies, 1u);
+  // Denominator-free rates stay in [0, 1].
+  EXPECT_GE(s2.lock_contention_rate(), 0.0);
+  EXPECT_LE(s2.lock_contention_rate(), 1.0);
+  EXPECT_GE(s2.cas_retry_rate(), 0.0);
+  EXPECT_LE(s2.cas_retry_rate(), 1.0);
+}
+
+TEST(ThreadPool, SerialFastPathLeavesCountersAtZero) {
+  ScopedNoEnvThreads no_env;
+  ThreadPool one(1);
+  one.parallel_for(100, [](std::size_t) {});
+  const ContentionSnapshot s = one.contention_snapshot();
+  EXPECT_EQ(s.lock_acquisitions(), 0u);
+  EXPECT_EQ(s.cas_attempts, 0u);
+  EXPECT_EQ(s.waits, 0u);
+  EXPECT_EQ(s.notifies, 0u);
+  EXPECT_EQ(s.lock_contention_rate(), 0.0);  // 0/0 reads as 0, not NaN
+
+  // n == 1 takes the serial path on any pool: no counter movement.
+  ThreadPool four(4);
+  const ContentionSnapshot before = four.contention_snapshot();
+  four.parallel_for(1, [](std::size_t) {});
+  const ContentionSnapshot after = four.contention_snapshot();
+  EXPECT_EQ(before.cas_attempts, after.cas_attempts);
+  EXPECT_EQ(before.lock_acquisitions(), after.lock_acquisitions());
+}
+
+TEST(ThreadPool, SnapshotIsSafeConcurrentWithARunningJob) {
+  // Race-freedom of snapshot() while lanes hammer the counters — the
+  // TSan lane (scripts/check.sh) is what gives this test its teeth.
+  ScopedNoEnvThreads no_env;
+  ThreadPool pool(4);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    ContentionSnapshot last;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const ContentionSnapshot s = pool.contention_snapshot();
+      EXPECT_GE(s.cas_attempts, last.cas_attempts);  // monotone under load
+      last = s;
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(200, [](std::size_t) {});
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
 }
 
 TEST(ThreadPool, ThrowingBodyPropagatesAndPoolStaysUsable) {

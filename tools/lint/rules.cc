@@ -45,6 +45,12 @@ const std::set<std::string, std::less<>> kKeyedContainers = {
     "multiset",      "unordered_map", "unordered_set",
     "unordered_multimap", "unordered_multiset"};
 const std::set<std::string, std::less<>> kFloatTypes = {"float", "double"};
+// The contention-observability surface (util/contention_counters.h).
+// Merely *naming* any of these in an output-path file is a finding: the
+// counters tally execution (which lane won a CAS, how often a trylock
+// failed), and execution must never influence emitted bytes.
+const std::set<std::string, std::less<>> kCounterIdents = {
+    "ContentionCounters", "ContentionSnapshot", "contention_snapshot"};
 
 // True when tokens[i] is a *free or std::-qualified call* of the named
 // function: `name(` not reached through `.`, `->`, or a non-std `::`
@@ -243,6 +249,20 @@ void check_wire_format(const Tokens& toks, std::string_view path,
   }
 }
 
+void check_counter_reads(const Tokens& toks, std::string_view path,
+                         std::vector<Finding>& out) {
+  for (const Token& t : toks) {
+    if (t.kind != TokKind::kIdentifier || !kCounterIdents.count(t.text)) {
+      continue;
+    }
+    flag(out, path, t.line, "counters-not-in-output",
+         "'" + t.text +
+             "' in an output path — contention counters measure execution "
+             "and must never feed emitted bytes; the sanctioned reader is "
+             "bench/bench_pool_contention.cc (docs/OBSERVABILITY.md)");
+  }
+}
+
 bool comment_suppresses(const LexOutput& lexed, int line,
                         const std::string& rule) {
   const auto it = lexed.comments.find(line);
@@ -312,6 +332,11 @@ FileRole classify_path(std::string_view path) {
                      is("src/fleet/wire.cc") ||
                      is("src/fleet/spill_sink.cc") ||
                      is("src/fleet/merge.cc");
+  // Counter reads are banned exactly where output bytes are produced —
+  // except the one bench whose whole point is printing the counters (its
+  // CSV is deliberately absent from check_bench_determinism.sh).
+  role.counters_banned =
+      role.output_path && !is("bench/bench_pool_contention.cc");
   return role;
 }
 
@@ -329,6 +354,9 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view src,
   }
   if (derived.wire_format) {
     check_wire_format(lexed.tokens, path, findings);
+  }
+  if (derived.counters_banned) {
+    check_counter_reads(lexed.tokens, path, findings);
   }
   std::erase_if(findings, [&](const Finding& f) {
     return comment_suppresses(lexed, f.line, f.rule);

@@ -12,6 +12,12 @@
 //   float-key             float/double-keyed map/set in output paths
 //   wire-struct-copy      whole-struct memcpy/sizeof in the wire format
 //   fingerprint-coverage  FleetConfig field missing from fingerprint()
+//   counters-not-in-output  contention-counter reads (ContentionCounters,
+//                         ContentionSnapshot, contention_snapshot) in
+//                         output paths — the counters measure execution,
+//                         and execution must never reach emitted bytes;
+//                         the one sanctioned reader is
+//                         bench/bench_pool_contention.cc
 //
 // A finding on line L is suppressed by a comment on that line containing
 // `msamp-lint: allow(<rule-id>)` (or `allow(all)`).
@@ -54,6 +60,11 @@ struct FileRole {
   /// Wire-format codec (src/fleet/dataset.cc): whole-struct copies are
   /// banned; records must be serialized field by field.
   bool wire_format = false;
+  /// Output-path file that is NOT the sanctioned contention-bench:
+  /// naming ContentionCounters / ContentionSnapshot / contention_snapshot
+  /// is banned, so an execution-dependent tally can never be folded into
+  /// emitted bytes (docs/OBSERVABILITY.md).
+  bool counters_banned = false;
 };
 
 /// Derives the role from a repo-relative path (forward slashes).
