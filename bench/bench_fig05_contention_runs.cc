@@ -61,8 +61,8 @@ int main() {
   bench::header("Figure 5 — deep dive into two sync runs",
                 "(a) low-contention run varying 0-3; (b) high-contention "
                 "run varying ~3-12");
-  const auto& ds = bench::dataset();
-  show(ds.low_contention_example, "(a) low-contention run");
-  show(ds.high_contention_example, "(b) high-contention run");
+  const auto& ds = bench::dataset_view();
+  show(ds.low_contention_example(), "(a) low-contention run");
+  show(ds.high_contention_example(), "(b) high-contention run");
   return 0;
 }

@@ -7,11 +7,12 @@ using namespace msamp;
 int main() {
   bench::header("Figure 6 — frequency of bursts in a run",
                 "median run sees 7.5 bursts/s; p90 is 39.8 bursts/s (RegA)");
-  const auto& ds = bench::dataset();
+  const auto& ds = bench::dataset_view();
+  const auto& srs = ds.server_runs();
   std::vector<double> bursts_per_sec;
-  for (const auto& sr : ds.server_runs) {
-    if (sr.region == 0 && sr.bursty) {
-      bursts_per_sec.push_back(sr.bursts_per_sec);
+  for (std::size_t i = 0; i < srs.size(); ++i) {
+    if (srs.region[i] == 0 && srs.bursty[i]) {
+      bursts_per_sec.push_back(srs.bursts_per_sec[i]);
     }
   }
   bench::print_cdf_figure(
@@ -21,11 +22,11 @@ int main() {
 
   // §6 utilization companions.
   std::vector<double> avg, in, out;
-  for (const auto& sr : ds.server_runs) {
-    if (sr.region == 0 && sr.bursty) {
-      avg.push_back(sr.avg_util * 100);
-      in.push_back(sr.util_inside * 100);
-      out.push_back(sr.util_outside * 100);
+  for (std::size_t i = 0; i < srs.size(); ++i) {
+    if (srs.region[i] == 0 && srs.bursty[i]) {
+      avg.push_back(srs.avg_util[i] * 100);
+      in.push_back(srs.util_inside[i] * 100);
+      out.push_back(srs.util_outside[i] * 100);
     }
   }
   util::Table t({"metric", "median %", "paper %"});

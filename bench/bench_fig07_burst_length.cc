@@ -11,21 +11,22 @@ int main() {
   bench::header("Figure 7 — burst length distribution",
                 "median 2ms / p90 8ms; non-contended bursts shorter (88% "
                 "< 3ms); volumes: median 1.8MB, p90 9MB");
-  const auto& ds = bench::dataset();
+  const auto& ds = bench::dataset_view();
+  const auto& bs = ds.bursts();
   std::vector<double> all, contended, free_of_contention;
   std::vector<double> vol_all, vol_free;
   long total = 0, n_contended = 0;
-  for (const auto& b : ds.bursts) {
-    if (b.region != 0) continue;
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    if (bs.region[i] != 0) continue;
     ++total;
-    all.push_back(b.len_ms);
-    vol_all.push_back(b.volume_bytes / 1e6);
-    if (b.contended) {
+    all.push_back(bs.len_ms[i]);
+    vol_all.push_back(bs.volume_bytes[i] / 1e6);
+    if (bs.contended[i]) {
       ++n_contended;
-      contended.push_back(b.len_ms);
+      contended.push_back(bs.len_ms[i]);
     } else {
-      free_of_contention.push_back(b.len_ms);
-      vol_free.push_back(b.volume_bytes / 1e6);
+      free_of_contention.push_back(bs.len_ms[i]);
+      vol_free.push_back(bs.volume_bytes[i] / 1e6);
     }
   }
   bench::print_cdf_figure(

@@ -10,14 +10,15 @@ int main() {
   bench::header("Figure 8 — connection counts inside/outside bursts",
                 "more connections are active inside bursts; median "
                 "difference 2.7x");
-  const auto& ds = bench::dataset();
+  const auto& ds = bench::dataset_view();
+  const auto& srs = ds.server_runs();
   std::vector<double> inside, outside, ratio;
-  for (const auto& sr : ds.server_runs) {
-    if (sr.region != 0 || !sr.bursty) continue;
-    inside.push_back(sr.conns_inside);
-    outside.push_back(sr.conns_outside);
-    if (sr.conns_outside > 0.1) {
-      ratio.push_back(sr.conns_inside / sr.conns_outside);
+  for (std::size_t i = 0; i < srs.size(); ++i) {
+    if (srs.region[i] != 0 || !srs.bursty[i]) continue;
+    inside.push_back(srs.conns_inside[i]);
+    outside.push_back(srs.conns_outside[i]);
+    if (srs.conns_outside[i] > 0.1) {
+      ratio.push_back(srs.conns_inside[i] / srs.conns_outside[i]);
     }
   }
   bench::print_cdf_figure(

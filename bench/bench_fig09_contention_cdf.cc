@@ -12,11 +12,12 @@ int main() {
   bench::header("Figure 9 — average contention across racks (busy hour)",
                 "RegA bimodal: 75% of racks < 2.2 avg contention, top 20% "
                 "> 7.5 (3.4x higher); RegB higher and fairly uniform");
-  const auto& ds = bench::dataset();
+  const auto& ds = bench::dataset_view();
+  const auto& rrs = ds.rack_runs();
   std::vector<double> rega, regb;
-  for (const auto& rr : ds.rack_runs) {
-    if (rr.hour != workload::kBusyHour) continue;
-    (rr.region == 0 ? rega : regb).push_back(rr.avg_contention);
+  for (std::size_t i = 0; i < rrs.size(); ++i) {
+    if (rrs.hour[i] != workload::kBusyHour) continue;
+    (rrs.region[i] == 0 ? rega : regb).push_back(rrs.avg_contention[i]);
   }
   bench::print_cdf_figure("fig09_contention_cdf",
                           "CDF of avg rack contention, busy hour",

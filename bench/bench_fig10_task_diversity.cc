@@ -8,18 +8,19 @@ int main() {
   bench::header("Figure 10 — task diversity across racks",
                 "RegA-High racks run far fewer distinct tasks (median 8) "
                 "than RegA-Typical (14) and RegB (15)");
-  const auto& ds = bench::dataset();
+  const auto& ds = bench::dataset_view();
+  const auto& racks = ds.racks();
   std::vector<double> typical, high, regb;
-  for (const auto& r : ds.racks) {
-    switch (static_cast<analysis::RackClass>(r.rack_class)) {
+  for (std::size_t i = 0; i < racks.size(); ++i) {
+    switch (static_cast<analysis::RackClass>(racks.rack_class[i])) {
       case analysis::RackClass::kRegATypical:
-        typical.push_back(r.distinct_tasks);
+        typical.push_back(racks.distinct_tasks[i]);
         break;
       case analysis::RackClass::kRegAHigh:
-        high.push_back(r.distinct_tasks);
+        high.push_back(racks.distinct_tasks[i]);
         break;
       case analysis::RackClass::kRegB:
-        regb.push_back(r.distinct_tasks);
+        regb.push_back(racks.distinct_tasks[i]);
         break;
     }
   }

@@ -12,7 +12,8 @@ int main() {
   bench::header("Figure 11 — dominant task density across racks",
                 "racks sorted by contention: the high-contention tail runs "
                 "one task on 60-100% of servers; typical median is ~25%");
-  const auto& ds = bench::dataset();
+  const auto& ds = bench::dataset_view();
+  const auto& racks = ds.racks();
 
   for (int region = 0; region < 2; ++region) {
     struct Row {
@@ -20,9 +21,10 @@ int main() {
       double share;
     };
     std::vector<Row> rows;
-    for (const auto& r : ds.racks) {
-      if (r.region != region) continue;
-      rows.push_back({r.busy_hour_avg_contention, r.dominant_share * 100.0});
+    for (std::size_t i = 0; i < racks.size(); ++i) {
+      if (racks.region[i] != region) continue;
+      rows.push_back({racks.busy_hour_avg_contention[i],
+                      racks.dominant_share[i] * 100.0});
     }
     std::sort(rows.begin(), rows.end(),
               [](const Row& a, const Row& b) { return a.contention < b.contention; });
@@ -46,13 +48,13 @@ int main() {
 
   // Quantitative summary per class.
   std::vector<double> typical, high;
-  for (const auto& r : ds.racks) {
-    if (r.region != 0) continue;
-    if (static_cast<analysis::RackClass>(r.rack_class) ==
+  for (std::size_t i = 0; i < racks.size(); ++i) {
+    if (racks.region[i] != 0) continue;
+    if (static_cast<analysis::RackClass>(racks.rack_class[i]) ==
         analysis::RackClass::kRegAHigh) {
-      high.push_back(r.dominant_share * 100);
+      high.push_back(racks.dominant_share[i] * 100);
     } else {
-      typical.push_back(r.dominant_share * 100);
+      typical.push_back(racks.dominant_share[i] * 100);
     }
   }
   util::Table t({"class", "median dominant %", "p90 dominant %", "paper"});

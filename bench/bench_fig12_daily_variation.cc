@@ -15,13 +15,16 @@ int main() {
                 "racks keep their contention level all day: RegA typical "
                 "racks vary by ~0.8 on average, high racks by ~5.3, and "
                 "the two groups' ranges do not overlap");
-  const auto& ds = bench::dataset();
+  const auto& ds = bench::dataset_view();
+  const auto& rrs = ds.rack_runs();
 
   for (int region = 0; region < 2; ++region) {
     // Collect each rack's per-hour average contentions.
     std::map<std::uint32_t, std::vector<double>> by_rack;
-    for (const auto& rr : ds.rack_runs) {
-      if (rr.region == region) by_rack[rr.rack_id].push_back(rr.avg_contention);
+    for (std::size_t i = 0; i < rrs.size(); ++i) {
+      if (rrs.region[i] == region) {
+        by_rack[rrs.rack_id[i]].push_back(rrs.avg_contention[i]);
+      }
     }
     struct Row {
       double mean, min, max;

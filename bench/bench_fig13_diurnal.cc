@@ -10,8 +10,8 @@ using namespace msamp;
 
 namespace {
 
-void diurnal_panel(const fleet::Dataset& ds, const std::string& label,
-                   const std::function<bool(const fleet::RackRunRecord&)>& pick,
+void diurnal_panel(const fleet::RackRunColumns& rrs, const std::string& label,
+                   const std::function<bool(std::size_t)>& pick,
                    const std::string& csv_name) {
   util::Table table(
       {"hour", "min", "p25", "median", "p75", "p90", "max", "mean"});
@@ -20,8 +20,10 @@ void diurnal_panel(const fleet::Dataset& ds, const std::string& label,
   int peak_n = 0, off_n = 0;
   for (int hour = 0; hour < 24; ++hour) {
     std::vector<double> values;
-    for (const auto& rr : ds.rack_runs) {
-      if (rr.hour == hour && pick(rr)) values.push_back(rr.avg_contention);
+    for (std::size_t i = 0; i < rrs.size(); ++i) {
+      if (rrs.hour[i] == hour && pick(i)) {
+        values.push_back(rrs.avg_contention[i]);
+      }
     }
     if (values.empty()) continue;
     const auto box = util::box_summary(values);
@@ -70,21 +72,21 @@ int main() {
                 "clear diurnal pattern: RegA-High contention rises between "
                 "hours 4 and 10 (avg +27.6%); RegB rises at high "
                 "percentiles later in the day");
-  const auto& ds = bench::dataset();
+  const auto& ds = bench::dataset_view();
   const auto classes = bench::class_map(ds);
+  const auto& rrs = ds.rack_runs();
 
   diurnal_panel(
-      ds, "RegA-High",
-      [&](const fleet::RackRunRecord& rr) {
-        if (rr.region != 0) return false;
-        const auto it = classes.find(rr.rack_id);
+      rrs, "RegA-High",
+      [&](std::size_t i) {
+        if (rrs.region[i] != 0) return false;
+        const auto it = classes.find(rrs.rack_id[i]);
         return it != classes.end() &&
                it->second == analysis::RackClass::kRegAHigh;
       },
       "fig13_rega_high");
   diurnal_panel(
-      ds, "RegB",
-      [](const fleet::RackRunRecord& rr) { return rr.region == 1; },
+      rrs, "RegB", [&](std::size_t i) { return rrs.region[i] == 1; },
       "fig13_regb");
   return 0;
 }

@@ -12,18 +12,20 @@ using namespace msamp;
 int main() {
   bench::header("Figure 14 — contention vs rack ingress volume",
                 "ingress volumes clearly correlate with average contention");
-  const auto& ds = bench::dataset();
+  const auto& ds = bench::dataset_view();
 
   // Scale window bytes to a 1-minute equivalent (the paper's counter
   // granularity), then bucket by volume.
   const double window_sec =
-      static_cast<double>(ds.config.samples_per_run) / 1000.0;
+      static_cast<double>(ds.config().samples_per_run) / 1000.0;
   const double to_minute = 60.0 / window_sec;
 
+  const auto& rrs = ds.rack_runs();
   std::vector<std::pair<double, double>> points;  // (GB per minute, contention)
-  for (const auto& rr : ds.rack_runs) {
-    if (rr.region != 0) continue;  // the paper shows RegA
-    points.push_back({rr.in_bytes * to_minute / 1e9, rr.avg_contention});
+  for (std::size_t i = 0; i < rrs.size(); ++i) {
+    if (rrs.region[i] != 0) continue;  // the paper shows RegA
+    points.push_back(
+        {rrs.in_bytes[i] * to_minute / 1e9, rrs.avg_contention[i]});
   }
   double max_gb = 0;
   for (const auto& p : points) max_gb = std::max(max_gb, p.first);

@@ -15,23 +15,24 @@ int main() {
   bench::header("Figure 15 — contention variation within runs",
                 "median run: 33.3% buffer-share drop between min and p90 "
                 "contention; >=70% drop for 15% of runs");
-  const auto& ds = bench::dataset();
-  const double alpha = ds.config.buffer.alpha;
+  const auto& ds = bench::dataset_view();
+  const double alpha = ds.config().buffer.alpha;
 
   struct Run {
     int min_active;
     int p90;
   };
+  const auto& rrs = ds.rack_runs();
   std::vector<Run> runs;
   long excluded = 0, total = 0;
-  for (const auto& rr : ds.rack_runs) {
-    if (rr.region != 0) continue;
+  for (std::size_t i = 0; i < rrs.size(); ++i) {
+    if (rrs.region[i] != 0) continue;
     ++total;
-    if (!rr.usable) {
+    if (!rrs.usable[i]) {
       ++excluded;
       continue;
     }
-    runs.push_back({rr.min_active_contention, rr.p90_contention});
+    runs.push_back({rrs.min_active_contention[i], rrs.p90_contention[i]});
   }
   std::sort(runs.begin(), runs.end(), [](const Run& a, const Run& b) {
     return a.min_active != b.min_active ? a.min_active < b.min_active

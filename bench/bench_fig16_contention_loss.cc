@@ -13,7 +13,7 @@ int main() {
                 "% lossy bursts rises with contention per class; "
                 "RegA-Typical at contention <5 out-losses RegA-High at much "
                 "higher contention");
-  const auto& ds = bench::dataset();
+  const auto& ds = bench::dataset_view();
   const auto classes = fleet::build_class_map(ds);
 
   util::Table table({"class", "contention", "bursts", "% lossy"});

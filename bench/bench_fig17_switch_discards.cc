@@ -13,19 +13,20 @@ int main() {
                 "RegA-High racks see fewer discards per byte than "
                 "RegA-Typical, confirming the Table 2 loss inversion with "
                 "switch counters");
-  const auto& ds = bench::dataset();
+  const auto& ds = bench::dataset_view();
   const auto classes = bench::class_map(ds);
 
   // Aggregate each rack's discards and volume across the whole day, then
   // normalize (discarded bytes per delivered GB).  Ordered map: the
   // iteration below feeds the CDF series, so rack order must be stable
   // (msamp-lint's unordered-iter rule).
+  const auto& rrs = ds.rack_runs();
   std::map<std::uint32_t, std::pair<double, double>> per_rack;
-  for (const auto& rr : ds.rack_runs) {
-    if (rr.region != 0) continue;
-    auto& [drops, bytes] = per_rack[rr.rack_id];
-    drops += rr.drop_bytes;
-    bytes += rr.in_bytes;
+  for (std::size_t i = 0; i < rrs.size(); ++i) {
+    if (rrs.region[i] != 0) continue;
+    auto& [drops, bytes] = per_rack[rrs.rack_id[i]];
+    drops += rrs.drop_bytes[i];
+    bytes += rrs.in_bytes[i];
   }
   std::vector<double> typical, high;
   for (const auto& [rack, agg] : per_rack) {

@@ -14,7 +14,7 @@ int main() {
   bench::header("Figure 18 — burst length vs loss (RegA-Typical)",
                 "loss rises with length then stabilizes (CC adapts); "
                 "contended bursts lose more and stabilize later");
-  const auto& ds = bench::dataset();
+  const auto& ds = bench::dataset_view();
   const auto classes = fleet::build_class_map(ds);
   constexpr int kMaxLen = 16;
   const auto non_contended = fleet::loss_by_length(

@@ -13,7 +13,7 @@ int main() {
   bench::header("Figure 19 — incast vs loss (RegA-Typical)",
                 "loss rises with connection count then stabilizes; "
                 "contended incast bursts lose 3-4x more");
-  const auto& ds = bench::dataset();
+  const auto& ds = bench::dataset_view();
   const auto classes = fleet::build_class_map(ds);
   constexpr int kBin = 10;
   constexpr int kBins = 9;  // 0..90 connections

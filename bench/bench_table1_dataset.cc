@@ -11,21 +11,22 @@ int main() {
   bench::header("Table 1 — dataset summary",
                 "RegA: 22.4K runs / 1.98M server runs / 0.67M bursty (34%) "
                 "/ 19.5M bursts; RegB: 22.4K / 2.1M / 0.58M / 23.9M");
-  const auto& ds = bench::dataset();
+  const auto& ds = bench::dataset_view();
 
   util::Table table({"Region", "# of runs", "# of server runs",
                      "# bursty server runs", "bursty %", "# of bursts",
                      "# of racks"});
   for (int region = 0; region < 2; ++region) {
     long runs = 0, server_runs = 0, bursty = 0, bursts = 0, racks = 0;
-    for (const auto& rr : ds.rack_runs) runs += rr.region == region;
-    for (const auto& sr : ds.server_runs) {
-      if (sr.region != region) continue;
+    for (auto r : ds.rack_runs().region) runs += r == region;
+    const auto& srs = ds.server_runs();
+    for (std::size_t i = 0; i < srs.size(); ++i) {
+      if (srs.region[i] != region) continue;
       ++server_runs;
-      bursty += sr.bursty;
+      bursty += srs.bursty[i];
     }
-    for (const auto& b : ds.bursts) bursts += b.region == region;
-    for (const auto& r : ds.racks) racks += r.region == region;
+    for (auto r : ds.bursts().region) bursts += r == region;
+    for (auto r : ds.racks().region) racks += r == region;
     table.row()
         .cell(region == 0 ? "RegA" : "RegB")
         .cell(runs)
@@ -42,13 +43,13 @@ int main() {
   // §5 companion stats: fraction of ingress transferred in bursts and the
   // average trimmed run length.
   double burst_bytes = 0;
-  for (const auto& b : ds.bursts) burst_bytes += b.volume_bytes;
+  for (auto v : ds.bursts().volume_bytes) burst_bytes += v;
   double total_bytes = 0;
-  for (const auto& rr : ds.rack_runs) total_bytes += rr.in_bytes;
+  for (auto v : ds.rack_runs().in_bytes) total_bytes += v;
   std::cout << "\ningress bytes carried in bursts: "
             << util::format_double(100.0 * burst_bytes / total_bytes, 1)
             << "% (paper: 49.7% of server-link ingress)\n"
-            << "window per run: " << ds.config.samples_per_run
+            << "window per run: " << ds.config().samples_per_run
             << " x 1ms samples (paper: ~1850 after trim)\n";
   return 0;
 }

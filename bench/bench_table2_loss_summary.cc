@@ -13,7 +13,7 @@ int main() {
   bench::header("Table 2 — bursts, contention and loss per rack class",
                 "RegA-High carries ~47.8% of RegA bursts on 20% of racks, "
                 "is 100% contended yet 2.9x LESS lossy than RegA-Typical");
-  const auto& ds = bench::dataset();
+  const auto& ds = bench::dataset_view();
   const auto summary = fleet::table2_summary(ds, fleet::build_class_map(ds));
 
   util::Table table({"Region", "# of bursts", "% contended", "% lossy",

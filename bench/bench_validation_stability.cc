@@ -2,9 +2,11 @@
 // the results similar.  We regenerate three scaled-down measurement days
 // with different seeds and compare the headline statistics side by side —
 // the qualitative findings must be stable across days.
+#include <cstdlib>
 #include <iostream>
 
 #include "common.h"
+#include "fleet/aggregate.h"
 #include "workload/diurnal.h"
 
 using namespace msamp;
@@ -25,25 +27,36 @@ DayStats run_day(std::uint64_t seed) {
   cfg.servers_per_rack = 92;
   cfg.hours = 12;
   cfg.samples_per_run = 500;
-  const fleet::Dataset ds = fleet::run_fleet(cfg);
-  const auto classes = bench::class_map(ds);
+  // Each day is analyzed through a DatasetView attached to the in-memory
+  // v6 blob — same read path as the mapped benches, no file needed.
+  const std::vector<std::uint8_t> blob = fleet::run_fleet(cfg).serialize();
+  fleet::DatasetView view;
+  if (auto st = fleet::DatasetView::attach(blob.data(), blob.size(), &view);
+      !st) {
+    std::cerr << "attach failed: " << st.to_string() << "\n";
+    std::abort();
+  }
+  const auto classes = bench::class_map(view);
 
   DayStats out{};
   long bursty = 0, servers = 0;
-  for (const auto& sr : ds.server_runs) {
-    if (sr.region != 0) continue;
+  const auto& srs = view.server_runs();
+  for (std::size_t i = 0; i < srs.size(); ++i) {
+    if (srs.region[i] != 0) continue;
     ++servers;
-    bursty += sr.bursty;
+    bursty += srs.bursty[i];
   }
   out.bursty_pct_rega = 100.0 * static_cast<double>(bursty) /
                         static_cast<double>(std::max(servers, 1L));
 
   long bursts[3] = {}, contended[3] = {}, lossy[3] = {};
-  for (const auto& b : ds.bursts) {
-    const int c = static_cast<int>(bench::burst_class(b, classes));
+  const auto& bs = view.bursts();
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    const int c = static_cast<int>(
+        fleet::burst_class(bs.region[i], bs.rack_id[i], classes));
     ++bursts[c];
-    contended[c] += b.contended;
-    lossy[c] += b.lossy;
+    contended[c] += bs.contended[i];
+    lossy[c] += bs.lossy[i];
   }
   for (int c = 0; c < 3; ++c) {
     out.contended_pct[c] = 100.0 * static_cast<double>(contended[c]) /
@@ -53,9 +66,10 @@ DayStats run_day(std::uint64_t seed) {
   }
 
   std::vector<double> busy;
-  for (const auto& rr : ds.rack_runs) {
-    if (rr.region == 0 && rr.hour == workload::kBusyHour) {
-      busy.push_back(rr.avg_contention);
+  const auto& rrs = view.rack_runs();
+  for (std::size_t i = 0; i < rrs.size(); ++i) {
+    if (rrs.region[i] == 0 && rrs.hour[i] == workload::kBusyHour) {
+      busy.push_back(rrs.avg_contention[i]);
     }
   }
   out.rega_p75_contention = util::percentile(busy, 75);

@@ -29,11 +29,11 @@ util::ThreadPool& bench_pool() {
   return pool;
 }
 
-const fleet::Dataset& dataset() {
+const fleet::DatasetView& dataset_view() {
   // MSAMP_DATASET points the benches at a pre-built cache file — e.g. a
   // dataset assembled from shards with `msampctl merge` on a big host.
   // The file must fingerprint-match bench_config() and cover the full day
-  // (shared_dataset checks both), else it is regenerated in place.  The
+  // (shared_view checks both), else it is regenerated in place.  The
   // other documented MSAMP_* reader allowlisted by msamp_lint's
   // nondet-getenv rule (docs/STATIC_ANALYSIS.md): a cache *location*,
   // never data — the fingerprint check is what keeps it that way.
@@ -49,12 +49,12 @@ const fleet::Dataset& dataset() {
                  util::ThreadPool::resolve(bench_config().threads),
                  cache_path.c_str());
   }
-  return fleet::shared_dataset(bench_config(), cache_path);
+  return fleet::shared_view(bench_config(), cache_path);
 }
 
 std::unordered_map<std::uint32_t, analysis::RackClass> class_map(
-    const fleet::Dataset& ds) {
-  return fleet::build_class_map(ds);
+    const fleet::DatasetView& view) {
+  return fleet::build_class_map(view);
 }
 
 analysis::RackClass burst_class(

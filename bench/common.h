@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "analysis/rack_classify.h"
-#include "fleet/dataset.h"
+#include "fleet/dataset_view.h"
 #include "fleet/fleet_runner.h"
 #include "util/ascii_plot.h"
 #include "util/parallel_map.h"
@@ -39,16 +39,18 @@ auto parallel_windows(std::size_t n, Fn&& body) {
   return util::parallel_map(bench_pool(), n, std::forward<Fn>(body));
 }
 
-/// The shared dataset (generated on first use, cached under bench_out/).
-/// Set MSAMP_DATASET=/path/to/dataset.bin to use a pre-built cache — e.g.
-/// one assembled from `msampctl fleet --shard I/N` runs via `msampctl
-/// merge` at the bench scale/seed; a fingerprint mismatch or partial
-/// shard file is regenerated, never silently served.
-const fleet::Dataset& dataset();
+/// The shared dataset, as a zero-copy mapped view (generated on first
+/// use, cached under bench_out/).  Set MSAMP_DATASET=/path/to/dataset.bin
+/// to use a pre-built cache — e.g. one assembled from `msampctl fleet
+/// --shard I/N` runs via `msampctl merge` at the bench scale/seed; a
+/// fingerprint mismatch or partial shard file is regenerated, never
+/// silently served.  Benches read the v6 columns straight from the
+/// mapping — no record vectors are materialized.
+const fleet::DatasetView& dataset_view();
 
 /// rack_id -> measured RackClass for the dataset.
 std::unordered_map<std::uint32_t, analysis::RackClass> class_map(
-    const fleet::Dataset& ds);
+    const fleet::DatasetView& view);
 
 /// Resolves a burst record's class (RegB bursts are always kRegB).
 analysis::RackClass burst_class(

@@ -2,12 +2,14 @@
 // pipeline and print a §7/§8-style operator report — the library's
 // top-level API in one sitting (placement -> fluid racks -> real
 // Millisampler filters -> SyncMillisampler combining -> analysis ->
-// distilled dataset).
+// distilled dataset, read back through a zero-copy DatasetView).
 //
 //   $ ./build/examples/fleet_report          # ~5s, deterministic
+#include <cstdlib>
 #include <iostream>
 #include <map>
 
+#include "fleet/dataset_view.h"
 #include "fleet/fleet_runner.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -25,22 +27,32 @@ int main() {
   std::cout << "simulating " << 2 * cfg.racks_per_region << " racks x "
             << cfg.hours << " hourly SyncMillisampler windows ("
             << cfg.servers_per_rack << " servers each)...\n";
-  const fleet::Dataset ds = fleet::run_fleet(cfg, [](double p) {
-    std::cout << "  " << static_cast<int>(100 * p) << "%\r" << std::flush;
-  });
+  const std::vector<std::uint8_t> blob =
+      fleet::run_fleet(cfg, [](double p) {
+        std::cout << "  " << static_cast<int>(100 * p) << "%\r" << std::flush;
+      }).serialize();
+  // Analysis goes through the same zero-copy view the benches and
+  // `msampctl query` use — here attached to the in-memory v6 blob.
+  fleet::DatasetView ds;
+  if (auto st = fleet::DatasetView::attach(blob.data(), blob.size(), &ds);
+      !st) {
+    std::cerr << "attach failed: " << st.to_string() << "\n";
+    return 1;
+  }
   std::cout << "\n\n";
 
   // --- §7-style contention report ---
   util::Table contention({"region", "racks", "busy-hr avg contention "
                           "(p25/med/p75/p90)", "high racks"});
+  const auto& rack_cols = ds.racks();
   for (int region = 0; region < 2; ++region) {
     std::vector<double> busy;
     int high = 0, racks = 0;
-    for (const auto& r : ds.racks) {
-      if (r.region != region) continue;
+    for (std::size_t i = 0; i < rack_cols.size(); ++i) {
+      if (rack_cols.region[i] != region) continue;
       ++racks;
-      busy.push_back(r.busy_hour_avg_contention);
-      high += static_cast<analysis::RackClass>(r.rack_class) ==
+      busy.push_back(rack_cols.busy_hour_avg_contention[i]);
+      high += static_cast<analysis::RackClass>(rack_cols.rack_class[i]) ==
               analysis::RackClass::kRegAHigh;
     }
     contention.row()
@@ -57,12 +69,13 @@ int main() {
   // --- §8-style loss report per class ---
   std::cout << "\n";
   std::map<int, std::pair<long, long>> per_class;  // class -> (bursts, lossy)
-  for (const auto& b : ds.bursts) {
-    int c = static_cast<int>(ds.class_of(b.rack_id));
-    if (b.region == 1) c = static_cast<int>(analysis::RackClass::kRegB);
+  const auto& bursts = ds.bursts();
+  for (std::size_t i = 0; i < bursts.size(); ++i) {
+    int c = static_cast<int>(ds.class_of(bursts.rack_id[i]));
+    if (bursts.region[i] == 1) c = static_cast<int>(analysis::RackClass::kRegB);
     auto& [n, lossy] = per_class[c];
     ++n;
-    lossy += b.lossy;
+    lossy += bursts.lossy[i];
   }
   util::Table loss({"class", "bursts", "% lossy"});
   for (const auto& [c, stats] : per_class) {
@@ -77,18 +90,21 @@ int main() {
   loss.print(std::cout);
 
   // --- the rack an operator would look at first ---
-  const fleet::RackRunRecord* worst = nullptr;
-  for (const auto& rr : ds.rack_runs) {
-    if (worst == nullptr || rr.drop_bytes > worst->drop_bytes) worst = &rr;
+  const auto& runs = ds.rack_runs();
+  std::size_t worst = runs.size();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (worst == runs.size() || runs.drop_bytes[i] > runs.drop_bytes[worst]) {
+      worst = i;
+    }
   }
-  if (worst != nullptr) {
-    std::cout << "\nworst window: rack " << worst->rack_id << " at hour "
-              << static_cast<int>(worst->hour) << " — dropped "
-              << util::format_bytes(worst->drop_bytes) << " of "
-              << util::format_bytes(worst->in_bytes)
+  if (worst != runs.size()) {
+    std::cout << "\nworst window: rack " << runs.rack_id[worst] << " at hour "
+              << static_cast<int>(runs.hour[worst]) << " — dropped "
+              << util::format_bytes(runs.drop_bytes[worst]) << " of "
+              << util::format_bytes(runs.in_bytes[worst])
               << " delivered (avg contention "
-              << util::format_double(worst->avg_contention, 2) << ", p90 "
-              << worst->p90_contention
+              << util::format_double(runs.avg_contention[worst], 2) << ", p90 "
+              << runs.p90_contention[worst]
               << ") — follow up with examples/rack_forensics.\n";
   }
   return 0;

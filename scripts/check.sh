@@ -37,7 +37,7 @@ if [ "${MSAMP_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan "${GEN[@]}" -DMSAMP_TSAN=ON
   cmake --build build-tsan --target msamp_tests msamp_lint
   ctest --test-dir build-tsan --output-on-failure \
-    -R '^(ThreadPool|SpscRing|FleetParallel|FleetRunner|FleetConfig|FluidRack|Dataset|Shard|SpillSink|Merge|Aggregate|Worker|Coordinator|Rng|Lint|BufferPolicy)'
+    -R '^(ThreadPool|SpscRing|FleetParallel|FleetRunner|FleetConfig|FluidRack|Dataset|DatasetView|Shard|SpillSink|Merge|Aggregate|Worker|Coordinator|Rng|Lint|BufferPolicy)'
 fi
 
 # ASan+UBSan lane: a third build tree with -DMSAMP_ASAN=ON, running the
@@ -49,7 +49,7 @@ if [ "${MSAMP_SKIP_ASAN:-0}" != "1" ]; then
   cmake -B build-asan "${GEN[@]}" -DMSAMP_ASAN=ON
   cmake --build build-asan --target msamp_tests msampctl msamp_lint
   ctest --test-dir build-asan --output-on-failure \
-    -R '^(Dataset|FleetConfig|Shard|SpillSink|SpscRing|ThreadPool|Merge|Protocol|Flags|cli_usage|cli_pipeline|cli_cluster|cli_sweep|Lint)'
+    -R '^(Dataset|DatasetView|FleetConfig|Shard|SpillSink|SpscRing|ThreadPool|Merge|Protocol|Flags|cli_usage|cli_pipeline|cli_cluster|cli_query|cli_sweep|Lint)'
 fi
 
 # Bench-parallelism determinism: the parallelized benches must emit
@@ -66,6 +66,11 @@ scripts/check_shard_determinism.sh build
 # single-process bytes — including with workers killed and retried under
 # --fault-rate.
 scripts/check_cluster_determinism.sh build
+
+# Zero-copy read-path determinism: v6 bytes identical across MSAMP_THREADS
+# and fleet-vs-merged-shards, and the mapped readers (`msampctl report`,
+# `msampctl query`) emit byte-identical tables over every copy.
+scripts/check_view_determinism.sh build
 
 for b in build/bench/bench_*; do
   echo "== $b"

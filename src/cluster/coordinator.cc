@@ -252,9 +252,8 @@ bool Coordinator::run(std::function<void(double)> progress, std::ostream* log,
   std::vector<std::string> paths;
   paths.reserve(slots.size());
   for (const Slot& s : slots) paths.push_back(s.out);
-  std::string why;
-  if (!fleet::merge_shards(paths, cfg_.out_path, &why, &stats_)) {
-    return fail("merge failed: " + why);
+  if (auto st = fleet::merge_shards(paths, cfg_.out_path, &stats_); !st) {
+    return fail("merge failed: " + st.to_string());
   }
   if (stats_.fingerprint != cfg_.fleet.fingerprint()) {
     return fail(
@@ -264,9 +263,21 @@ bool Coordinator::run(std::function<void(double)> progress, std::ostream* log,
   }
   if (!cfg_.keep_shards) {
     for (const Slot& s : slots) {
-      for (const char* suffix :
-           {"", ".tmp", ".spill-runs", ".spill-servers", ".spill-bursts"}) {
+      for (const char* suffix : {"", ".tmp"}) {
         std::filesystem::remove(s.out + suffix, ec);
+      }
+      // Crashed attempts can leave per-column spill files behind
+      // (<out>.spill-<section>-c<N>); finalize removes them on success.
+      const std::filesystem::path dir =
+          std::filesystem::path(s.out).parent_path();
+      const std::string spill_prefix =
+          std::filesystem::path(s.out).filename().string() + ".spill-";
+      std::error_code iter_ec;
+      for (const auto& entry :
+           std::filesystem::directory_iterator(dir, iter_ec)) {
+        if (entry.path().filename().string().rfind(spill_prefix, 0) == 0) {
+          std::filesystem::remove(entry.path(), ec);
+        }
       }
     }
     std::filesystem::remove(cfg_.shard_dir, ec);  // only when empty

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "fleet/fleet_runner.h"
+#include "fleet/spill_sink.h"
 #include "util/stats.h"
 
 namespace msamp::cluster {
@@ -71,21 +72,21 @@ std::vector<SweepCell> expand_grid(const SweepConfig& config) {
 }
 
 CellSummary summarize_cell(const std::string& name,
-                           const fleet::Dataset& dataset) {
+                           const fleet::DatasetView& view) {
   CellSummary s;
   s.name = name;
-  for (const auto& b : dataset.bursts) {
-    ++s.bursts;
-    s.contended += b.contended ? 1 : 0;
-    s.lossy += b.lossy ? 1 : 0;
-  }
+  const auto& bursts = view.bursts();
+  s.bursts = static_cast<long>(bursts.size());
+  for (auto c : bursts.contended) s.contended += c ? 1 : 0;
+  for (auto l : bursts.lossy) s.lossy += l ? 1 : 0;
   double in_bytes = 0.0, drop_bytes = 0.0, ecn_bytes = 0.0;
   std::vector<double> contention;
-  for (const auto& r : dataset.rack_runs) {
-    in_bytes += static_cast<double>(r.in_bytes);
-    drop_bytes += static_cast<double>(r.drop_bytes);
-    ecn_bytes += static_cast<double>(r.ecn_bytes);
-    if (r.usable) contention.push_back(r.avg_contention);
+  const auto& runs = view.rack_runs();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    in_bytes += runs.in_bytes[i];
+    drop_bytes += runs.drop_bytes[i];
+    ecn_bytes += runs.ecn_bytes[i];
+    if (runs.usable[i]) contention.push_back(runs.avg_contention[i]);
   }
   if (in_bytes > 0.0) {
     s.loss_kb_per_gb = drop_bytes / (in_bytes / 1e9) / 1e3;
@@ -127,7 +128,8 @@ bool run_sweep(const SweepConfig& config, SweepResult* result,
              ? " (" + std::to_string(config.workers) + " workers)"
              : " (serial)"));
 
-    fleet::Dataset ds;
+    // Both paths produce a v6 file at ds_path and summarize it through a
+    // mapped view — the summary never materializes record vectors.
     if (config.workers > 0) {
       ClusterConfig cc;
       cc.fleet = cell.config;
@@ -143,27 +145,29 @@ bool run_sweep(const SweepConfig& config, SweepResult* result,
       if (!coordinator.run(nullptr, log, &why)) {
         return fail("cell " + cell.name + ": " + why);
       }
-      if (!ds.load(ds_path)) {
-        return fail("cell " + cell.name + ": cannot load " + ds_path);
-      }
     } else {
-      const fleet::ShardSpec whole{0, 1};
-      fleet::DatasetBuilder builder(cell.config, whole);
+      fleet::SpillSink sink(cell.config, fleet::ShardSpec{}, ds_path,
+                            config.chunk_bytes);
       try {
-        fleet::run_fleet(cell.config, whole, builder, nullptr);
+        fleet::run_fleet(cell.config, fleet::ShardSpec{}, sink, nullptr);
       } catch (const std::exception& e) {
         return fail("cell " + cell.name + ": " + e.what());
       }
-      ds = builder.take();
-      if (config.keep_datasets && !ds.save(ds_path)) {
-        return fail("cell " + cell.name + ": cannot write " + ds_path);
+      if (auto st = sink.finalize(); !st) {
+        return fail("cell " + cell.name + ": " + st.to_string());
       }
     }
 
-    CellSummary summary = summarize_cell(cell.name, ds);
+    fleet::DatasetView view;
+    if (auto st = fleet::Dataset::open_mapped(ds_path, &view); !st) {
+      return fail("cell " + cell.name + ": " + st.to_string());
+    }
+
+    CellSummary summary = summarize_cell(cell.name, view);
     summary.fingerprint = cell.config.fingerprint();
     result->cells.push_back(std::move(summary));
-    if (config.workers > 0 && !config.keep_datasets) {
+    view.close();
+    if (!config.keep_datasets) {
       fs::remove(ds_path, ec);
     }
   }

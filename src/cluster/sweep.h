@@ -20,6 +20,7 @@
 
 #include "cluster/coordinator.h"
 #include "fleet/config.h"
+#include "fleet/dataset_view.h"
 #include "net/buffer_policy.h"
 
 namespace msamp::cluster {
@@ -103,9 +104,9 @@ struct SweepResult {
   std::vector<CellSummary> cells;  ///< one per grid cell, grid order
 };
 
-/// Reduces one loaded dataset to its cell summary (exposed for tests).
+/// Reduces one mapped dataset to its cell summary (exposed for tests).
 CellSummary summarize_cell(const std::string& name,
-                           const fleet::Dataset& dataset);
+                           const fleet::DatasetView& view);
 
 /// Runs the whole grid.  `log` (optional) receives one line per cell.
 /// Returns false with a reason in `*error` on the first cell that fails

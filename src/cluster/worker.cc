@@ -91,8 +91,7 @@ int run_worker(const WorkerConfig& config, std::ostream& heartbeats) {
       // Empty shards never reach the sink; the pre-finalize kill point.
       std::_Exit(kFaultExitCode);
     }
-    std::string err;
-    if (!sink.finalize(&err)) return emit_error(std::move(err));
+    if (auto st = sink.finalize(); !st) return emit_error(st.to_string());
     Heartbeat done;
     done.kind = Heartbeat::Kind::kDone;
     emit(done);

@@ -5,51 +5,55 @@
 namespace msamp::fleet {
 namespace {
 
-bool passes(const BurstRecord& burst, BurstFilter filter) {
+bool passes(const BurstColumns& bursts, std::size_t i, BurstFilter filter) {
   switch (filter) {
     case BurstFilter::kAll:
       return true;
     case BurstFilter::kContended:
-      return burst.contended != 0;
+      return bursts.contended[i] != 0;
     case BurstFilter::kNonContended:
-      return burst.contended == 0;
+      return bursts.contended[i] == 0;
   }
   return true;
 }
 
 }  // namespace
 
-ClassMap build_class_map(const Dataset& dataset) {
+ClassMap build_class_map(const DatasetView& view) {
+  const RackInfoColumns& racks = view.racks();
   ClassMap out;
-  out.reserve(dataset.racks.size());
-  for (const auto& rack : dataset.racks) {
-    out[rack.rack_id] = static_cast<analysis::RackClass>(rack.rack_class);
+  out.reserve(racks.size());
+  for (std::size_t i = 0; i < racks.size(); ++i) {
+    out[racks.rack_id[i]] =
+        static_cast<analysis::RackClass>(racks.rack_class[i]);
   }
   return out;
 }
 
-analysis::RackClass burst_class(const BurstRecord& burst,
+analysis::RackClass burst_class(std::uint8_t region, std::uint32_t rack_id,
                                 const ClassMap& classes) {
-  if (burst.region == static_cast<std::uint8_t>(workload::RegionId::kRegB)) {
+  if (region == static_cast<std::uint8_t>(workload::RegionId::kRegB)) {
     return analysis::RackClass::kRegB;
   }
-  const auto it = classes.find(burst.rack_id);
+  const auto it = classes.find(rack_id);
   return it == classes.end() ? analysis::RackClass::kRegATypical : it->second;
 }
 
 std::array<ClassBurstStats, analysis::kNumRackClasses> table2_summary(
-    const Dataset& dataset, const ClassMap& classes) {
+    const DatasetView& view, const ClassMap& classes) {
+  const BurstColumns& bursts = view.bursts();
   std::array<ClassBurstStats, analysis::kNumRackClasses> out{};
-  for (const auto& burst : dataset.bursts) {
-    auto& stats = out[static_cast<std::size_t>(burst_class(burst, classes))];
+  for (std::size_t i = 0; i < bursts.size(); ++i) {
+    const auto cls = burst_class(bursts.region[i], bursts.rack_id[i], classes);
+    auto& stats = out[static_cast<std::size_t>(cls)];
     ++stats.bursts;
-    stats.contended += burst.contended;
-    stats.lossy += burst.lossy;
+    stats.contended += bursts.contended[i];
+    stats.lossy += bursts.lossy[i];
   }
   return out;
 }
 
-std::vector<LossBucket> loss_by_contention(const Dataset& dataset,
+std::vector<LossBucket> loss_by_contention(const DatasetView& view,
                                            const ClassMap& classes,
                                            analysis::RackClass rack_class,
                                            int bin_width, int max_contention) {
@@ -59,18 +63,22 @@ std::vector<LossBucket> loss_by_contention(const Dataset& dataset,
     out[static_cast<std::size_t>(b)].lo = b * bin_width;
     out[static_cast<std::size_t>(b)].hi = (b + 1) * bin_width;
   }
-  for (const auto& burst : dataset.bursts) {
-    if (burst_class(burst, classes) != rack_class) continue;
+  const BurstColumns& bursts = view.bursts();
+  for (std::size_t i = 0; i < bursts.size(); ++i) {
+    if (burst_class(bursts.region[i], bursts.rack_id[i], classes) !=
+        rack_class) {
+      continue;
+    }
     const int bin =
-        std::min(burst.max_contention / bin_width, bins - 1);
+        std::min(bursts.max_contention[i] / bin_width, bins - 1);
     auto& bucket = out[static_cast<std::size_t>(bin)];
     ++bucket.bursts;
-    bucket.lossy += burst.lossy;
+    bucket.lossy += bursts.lossy[i];
   }
   return out;
 }
 
-std::vector<LossBucket> loss_by_length(const Dataset& dataset,
+std::vector<LossBucket> loss_by_length(const DatasetView& view,
                                        const ClassMap& classes,
                                        analysis::RackClass rack_class,
                                        BurstFilter filter, int max_len_ms) {
@@ -79,19 +87,22 @@ std::vector<LossBucket> loss_by_length(const Dataset& dataset,
     out[static_cast<std::size_t>(len - 1)].lo = len;
     out[static_cast<std::size_t>(len - 1)].hi = len + 1;
   }
-  for (const auto& burst : dataset.bursts) {
-    if (burst_class(burst, classes) != rack_class || !passes(burst, filter)) {
+  const BurstColumns& bursts = view.bursts();
+  for (std::size_t i = 0; i < bursts.size(); ++i) {
+    if (burst_class(bursts.region[i], bursts.rack_id[i], classes) !=
+            rack_class ||
+        !passes(bursts, i, filter)) {
       continue;
     }
-    const int len = std::clamp<int>(burst.len_ms, 1, max_len_ms);
+    const int len = std::clamp<int>(bursts.len_ms[i], 1, max_len_ms);
     auto& bucket = out[static_cast<std::size_t>(len - 1)];
     ++bucket.bursts;
-    bucket.lossy += burst.lossy;
+    bucket.lossy += bursts.lossy[i];
   }
   return out;
 }
 
-std::vector<LossBucket> loss_by_connections(const Dataset& dataset,
+std::vector<LossBucket> loss_by_connections(const DatasetView& view,
                                             const ClassMap& classes,
                                             analysis::RackClass rack_class,
                                             BurstFilter filter, int bin_width,
@@ -101,27 +112,31 @@ std::vector<LossBucket> loss_by_connections(const Dataset& dataset,
     out[static_cast<std::size_t>(b)].lo = b * bin_width;
     out[static_cast<std::size_t>(b)].hi = (b + 1) * bin_width;
   }
-  for (const auto& burst : dataset.bursts) {
-    if (burst_class(burst, classes) != rack_class || !passes(burst, filter)) {
+  const BurstColumns& bursts = view.bursts();
+  for (std::size_t i = 0; i < bursts.size(); ++i) {
+    if (burst_class(bursts.region[i], bursts.rack_id[i], classes) !=
+            rack_class ||
+        !passes(bursts, i, filter)) {
       continue;
     }
-    const int bin = std::min(static_cast<int>(burst.avg_conns) / bin_width,
+    const int bin = std::min(static_cast<int>(bursts.avg_conns[i]) / bin_width,
                              num_bins - 1);
     auto& bucket = out[static_cast<std::size_t>(bin)];
     ++bucket.bursts;
-    bucket.lossy += burst.lossy;
+    bucket.lossy += bursts.lossy[i];
   }
   return out;
 }
 
-std::vector<double> busy_hour_contention(const Dataset& dataset,
+std::vector<double> busy_hour_contention(const DatasetView& view,
                                          workload::RegionId region,
                                          int busy_hour) {
+  const RackRunColumns& runs = view.rack_runs();
   std::vector<double> out;
-  for (const auto& rr : dataset.rack_runs) {
-    if (rr.region == static_cast<std::uint8_t>(region) &&
-        rr.hour == busy_hour) {
-      out.push_back(rr.avg_contention);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (runs.region[i] == static_cast<std::uint8_t>(region) &&
+        runs.hour[i] == busy_hour) {
+      out.push_back(runs.avg_contention[i]);
     }
   }
   return out;

@@ -2,6 +2,10 @@
 // summaries, loss-rate curves, busy-hour contention) as reusable library
 // functions.  The figure benches and the fleet_report example are thin
 // printers over these.
+//
+// All aggregations read a mapped `DatasetView` and walk the v6 columns
+// directly — no record materialization, so a cluster-scale day streams
+// through them with bounded RSS.
 #pragma once
 
 #include <array>
@@ -9,7 +13,7 @@
 #include <vector>
 
 #include "analysis/rack_classify.h"
-#include "fleet/dataset.h"
+#include "fleet/dataset_view.h"
 
 namespace msamp::fleet {
 
@@ -17,11 +21,17 @@ namespace msamp::fleet {
 using ClassMap = std::unordered_map<std::uint32_t, analysis::RackClass>;
 
 /// Builds the class map from the dataset's rack table.
-ClassMap build_class_map(const Dataset& dataset);
+ClassMap build_class_map(const DatasetView& view);
 
-/// Class of one burst record (RegB bursts are always kRegB).
-analysis::RackClass burst_class(const BurstRecord& burst,
+/// Class of one burst (RegB bursts are always kRegB).
+analysis::RackClass burst_class(std::uint8_t region, std::uint32_t rack_id,
                                 const ClassMap& classes);
+
+/// Row-access overload for call sites holding a materialized record.
+inline analysis::RackClass burst_class(const BurstRecord& burst,
+                                       const ClassMap& classes) {
+  return burst_class(burst.region, burst.rack_id, classes);
+}
 
 /// Per-class burst summary — the rows of Table 2.
 struct ClassBurstStats {
@@ -41,7 +51,7 @@ struct ClassBurstStats {
 
 /// Table 2: one summary per rack class, indexed by RackClass value.
 std::array<ClassBurstStats, analysis::kNumRackClasses> table2_summary(
-    const Dataset& dataset, const ClassMap& classes);
+    const DatasetView& view, const ClassMap& classes);
 
 /// One bucket of a loss-rate curve.
 struct LossBucket {
@@ -57,7 +67,7 @@ struct LossBucket {
 };
 
 /// Figure 16: % lossy bursts vs max contention for one class.
-std::vector<LossBucket> loss_by_contention(const Dataset& dataset,
+std::vector<LossBucket> loss_by_contention(const DatasetView& view,
                                            const ClassMap& classes,
                                            analysis::RackClass rack_class,
                                            int bin_width, int max_contention);
@@ -67,20 +77,20 @@ enum class BurstFilter { kAll, kContended, kNonContended };
 
 /// Figure 18: % lossy bursts vs burst length (1ms bins up to max_len_ms,
 /// longer bursts clamp into the last bin) for one class.
-std::vector<LossBucket> loss_by_length(const Dataset& dataset,
+std::vector<LossBucket> loss_by_length(const DatasetView& view,
                                        const ClassMap& classes,
                                        analysis::RackClass rack_class,
                                        BurstFilter filter, int max_len_ms);
 
 /// Figure 19: % lossy bursts vs average in-burst connection count.
-std::vector<LossBucket> loss_by_connections(const Dataset& dataset,
+std::vector<LossBucket> loss_by_connections(const DatasetView& view,
                                             const ClassMap& classes,
                                             analysis::RackClass rack_class,
                                             BurstFilter filter, int bin_width,
                                             int num_bins);
 
 /// Figure 9: busy-hour average rack contentions for one region.
-std::vector<double> busy_hour_contention(const Dataset& dataset,
+std::vector<double> busy_hour_contention(const DatasetView& view,
                                          workload::RegionId region,
                                          int busy_hour);
 

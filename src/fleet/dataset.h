@@ -20,9 +20,12 @@
 
 #include "analysis/rack_classify.h"
 #include "fleet/config.h"
+#include "util/status.h"
 #include "workload/region_id.h"
 
 namespace msamp::fleet {
+
+class DatasetView;
 
 /// Which contiguous slice of the canonical (hour-major, rack-minor) window
 /// sequence a generation run covers.  `{0, 1}` is the full day.  The
@@ -145,11 +148,28 @@ struct Dataset {
   /// Measured class of a rack (RegA-Typical / RegA-High / RegB).
   analysis::RackClass class_of(std::uint32_t rack_id) const;
 
+  /// Serializes to the current (v6, columnar) wire format.
   std::vector<std::uint8_t> serialize() const;
+  /// Parses a v6 blob (validated through DatasetView::attach, then
+  /// materialized via from_view).
   bool deserialize(const std::vector<std::uint8_t>& blob);
 
-  bool save(const std::string& path) const;
-  bool load(const std::string& path);
+  /// Writes the v6 file atomically (temp + rename).
+  util::Status save(const std::string& path) const;
+
+  /// The LEGACY materializing loader: reads row-wise v4/v5 files only,
+  /// for `msampctl migrate` and old caches.  A v6 file is rejected with a
+  /// Status pointing at `open_mapped`; new read paths should use
+  /// `open_mapped` + DatasetView (or `from_view` when rows are needed).
+  util::Status load(const std::string& path);
+
+  /// Maps a v6 file read-only with zero-copy column access (the read path
+  /// of every bench/analysis consumer; see fleet/dataset_view.h).
+  static util::Status open_mapped(const std::string& path, DatasetView* out);
+
+  /// Materializes a Dataset from a view, so write-side callers (builders,
+  /// merges, tests) keep working with owned vectors.
+  static Dataset from_view(const DatasetView& view);
 };
 
 }  // namespace msamp::fleet

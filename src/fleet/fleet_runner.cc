@@ -12,7 +12,9 @@
 #include "analysis/burst_stats.h"
 #include "analysis/contention.h"
 #include "analysis/loss_assoc.h"
+#include "fleet/dataset_view.h"
 #include "fleet/fluid_rack.h"
+#include "fleet/spill_sink.h"
 #include "util/spsc_ring.h"
 #include "util/thread_pool.h"
 #include "workload/diurnal.h"
@@ -339,21 +341,64 @@ Dataset run_fleet(const FleetConfig& config,
   return builder.take();
 }
 
+namespace {
+
+/// Serves the shared cache file for `config`: reuses it when the
+/// fingerprint matches and it covers the full day (a partial shard file
+/// is never silently served), otherwise regenerates it through a
+/// SpillSink (bounded RSS even at cluster scale) and maps the result.
+/// Callers hold the shared_* mutex.
+util::Status ensure_cache_file(const FleetConfig& config,
+                               const std::string& cache_path,
+                               DatasetView* view) {
+  if (Dataset::open_mapped(cache_path, view) &&
+      view->fingerprint() == config.fingerprint() &&
+      view->shard().full_range()) {
+    return util::Status::ok();
+  }
+  SpillSink sink(config, ShardSpec{}, cache_path);
+  run_fleet(config, ShardSpec{}, sink);
+  if (auto st = sink.finalize(); !st) return st;
+  auto st = Dataset::open_mapped(cache_path, view);
+  if (st && view->fingerprint() != config.fingerprint()) {
+    return util::Status::error("freshly generated cache has the wrong "
+                               "fingerprint",
+                               cache_path);
+  }
+  return st;
+}
+
+}  // namespace
+
+const DatasetView& shared_view(const FleetConfig& config,
+                               const std::string& cache_path) {
+  static std::mutex mu;
+  static std::unique_ptr<DatasetView> cached;
+  static std::uint64_t cached_fingerprint = 0;
+  std::lock_guard<std::mutex> lock(mu);
+  if (cached && cached->ok() && cached_fingerprint == config.fingerprint()) {
+    return *cached;
+  }
+  auto view = std::make_unique<DatasetView>();
+  if (auto st = ensure_cache_file(config, cache_path, view.get()); !st) {
+    throw std::runtime_error("shared_view: " + st.to_string());
+  }
+  cached = std::move(view);
+  cached_fingerprint = config.fingerprint();
+  return *cached;
+}
+
 const Dataset& shared_dataset(const FleetConfig& config,
                               const std::string& cache_path) {
   static std::mutex mu;
   static std::unique_ptr<Dataset> cached;
   std::lock_guard<std::mutex> lock(mu);
   if (cached && cached->fingerprint == config.fingerprint()) return *cached;
-  auto ds = std::make_unique<Dataset>();
-  if (ds->load(cache_path) && ds->fingerprint == config.fingerprint() &&
-      ds->shard.full_range()) {
-    cached = std::move(ds);
-    return *cached;
+  DatasetView view;
+  if (auto st = ensure_cache_file(config, cache_path, &view); !st) {
+    throw std::runtime_error("shared_dataset: " + st.to_string());
   }
-  *ds = run_fleet(config);
-  ds->save(cache_path);
-  cached = std::move(ds);
+  cached = std::make_unique<Dataset>(Dataset::from_view(view));
   return *cached;
 }
 

@@ -44,14 +44,23 @@ void run_fleet(const FleetConfig& config, const ShardSpec& shard,
 Dataset run_fleet(const FleetConfig& config,
                   std::function<void(double)> progress = nullptr);
 
-/// Returns a process-wide dataset for `config`, loading it from
-/// `cache_path` when the fingerprint matches and the file covers the full
-/// day (a partial shard file is never silently served), otherwise
-/// generating and saving it.  The default path keeps bench binaries in
-/// one cache.  Safe for concurrent first-callers: exactly one thread
-/// generates, the rest block and then share the same instance; the cache
-/// file is written via an atomic rename so a crashed run never leaves a
-/// truncated file.
+/// Returns a process-wide mapped view of the dataset for `config`,
+/// reusing `cache_path` when the fingerprint matches and the file covers
+/// the full day (a partial shard file is never silently served),
+/// otherwise generating it through a SpillSink (bounded RSS even at
+/// cluster scale) and mapping the result.  The default path keeps bench
+/// binaries in one cache.  This is the read path of every bench/analysis
+/// consumer: records stream from the mapping, zero-copy.  Safe for
+/// concurrent first-callers: exactly one thread generates, the rest block
+/// and then share the same instance; the cache file is written via an
+/// atomic rename so a crashed run never leaves a truncated file.  Throws
+/// std::runtime_error when the cache can neither be opened nor rebuilt.
+const DatasetView& shared_view(const FleetConfig& config = {},
+                               const std::string& cache_path =
+                                   "bench_out/fleet_dataset.bin");
+
+/// Materialized variant of `shared_view` for write-side callers that need
+/// owned record vectors; same cache file, same regeneration rules.
 const Dataset& shared_dataset(const FleetConfig& config = {},
                               const std::string& cache_path =
                                   "bench_out/fleet_dataset.bin");

@@ -9,16 +9,17 @@
 #include <fstream>
 #include <utility>
 
+#include "fleet/dataset_view.h"
 #include "fleet/shard.h"
 #include "fleet/wire.h"
 
 namespace msamp::fleet {
 namespace {
 
-// Bounded buffer for the file-to-file section copies; also the read size
-// for header parsing.  The merge's peak memory is a couple of these plus
-// the count and rack-run tables.
-constexpr std::size_t kCopyChunk = std::size_t{1} << 20;
+// Flush threshold for the buffered column writes; the merge's peak heap is
+// a couple of these plus the count and rack-run tables (the shard record
+// bytes stay behind read-only mappings).
+constexpr std::size_t kWriteChunk = std::size_t{1} << 20;
 
 bool same_rack_info(const RackInfo& a, const RackInfo& b) {
   // Classification fields are intentionally excluded: shards leave them
@@ -29,257 +30,113 @@ bool same_rack_info(const RackInfo& a, const RackInfo& b) {
          a.dominant_share == b.dominant_share && a.intensity == b.intensity;
 }
 
-// The fixed wire size of a serialized FleetConfig (it contains no
-// variable-length fields), so the header prefix can be read in one go.
-std::size_t config_wire_size() {
-  wire::Writer w;
-  wire::put_config(w, FleetConfig{});
-  return w.out.size();
-}
+/// Buffered writer onto an ofstream that tracks the absolute position so
+/// columns land exactly where the layout says.
+struct StreamOut {
+  std::ofstream& out;
+  std::uint64_t pos = 0;
+  wire::Writer buf;
 
-bool read_exact(std::ifstream& in, std::size_t n, std::vector<std::uint8_t>* out) {
-  out->resize(n);
-  return n == 0 ||
-         static_cast<bool>(in.read(reinterpret_cast<char*>(out->data()),
-                                   static_cast<std::streamsize>(n)));
-}
-
-/// Everything `merge_shards` needs from one shard file without touching
-/// its bulky record sections: the header, the count and rack tables, the
-/// rack runs (bounded by one per window), the exemplars, and the file
-/// offsets of the server-run and burst sections for the streamed copy.
-struct ShardHead {
-  std::string path;
-  std::uint64_t file_size = 0;
-  std::uint64_t fingerprint = 0;
-  FleetConfig config;
-  ShardSpec shard;
-  std::uint64_t window_begin = 0;
-  std::uint64_t window_end = 0;
-  std::vector<WindowCounts> counts;
-  std::vector<RackInfo> racks;
-  std::vector<RackRunRecord> rack_runs;
-  std::uint64_t servers_count = 0;  ///< section's own length prefix
-  std::uint64_t bursts_count = 0;
-  std::uint64_t servers_off = 0;  ///< file offset of the section's records
-  std::uint64_t bursts_off = 0;
-  ExemplarRun low;
-  ExemplarRun high;
-};
-
-/// Parses the head of one shard file.  On failure fills `*error` with a
-/// message prefixed by the path.
-bool read_shard_head(const std::string& path, ShardHead* h,
-                     std::string* error) {
-  const auto fail = [&](const std::string& why) {
-    *error = path + ": " + why;
-    return false;
-  };
-  h->path = path;
-  std::error_code ec;
-  if (!std::filesystem::is_regular_file(path, ec)) {
-    return fail("not a regular file");
-  }
-  h->file_size = std::filesystem::file_size(path, ec);
-  if (ec) return fail("cannot stat");
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return fail("cannot open");
-
-  std::vector<std::uint8_t> buf;
-  const std::size_t head_bytes = 4 + 4 + 8 + config_wire_size() + 4 + 4 + 8 + 8;
-  if (!read_exact(in, head_bytes, &buf)) return fail("truncated header");
-  wire::Reader r(buf);
-  std::uint32_t magic = 0, version = 0;
-  if (!r.get(&magic) || magic != wire::kMagic) {
-    return fail("not a dataset file (bad magic)");
-  }
-  if (!r.get(&version) || version != wire::kVersion) {
-    return fail("unsupported dataset version");
-  }
-  if (!r.get(&h->fingerprint) || !wire::get_config(r, &h->config) ||
-      !r.get(&h->shard.index) || !r.get(&h->shard.count) ||
-      !r.get(&h->window_begin) || !r.get(&h->window_end)) {
-    return fail("corrupt header");
-  }
-  if (!h->shard.valid()) return fail("corrupt header (invalid shard spec)");
-
-  // Each fixed-size record section: length prefix, then records.  Counts
-  // are bounded by the bytes actually left in the file before any
-  // allocation, exactly as in Dataset::deserialize.
-  const auto read_section = [&](auto* vec, const char* what) {
-    using Rec = typename std::remove_reference_t<decltype(*vec)>::value_type;
-    std::vector<std::uint8_t> lenbuf;
-    if (!read_exact(in, 8, &lenbuf)) return fail("truncated " + std::string(what));
-    wire::Reader lr(lenbuf);
-    std::uint64_t n = 0;
-    lr.get(&n);
-    const std::size_t rec = wire::wire_size(static_cast<const Rec*>(nullptr));
-    const auto pos = static_cast<std::uint64_t>(in.tellg());
-    if (n > (h->file_size - pos) / rec) {
-      return fail("corrupt " + std::string(what) + " section");
+  bool flush() {
+    if (!buf.out.empty()) {
+      out.write(reinterpret_cast<const char*>(buf.out.data()),
+                static_cast<std::streamsize>(buf.out.size()));
+      pos += buf.out.size();
+      buf.out.clear();
     }
-    std::vector<std::uint8_t> body;
-    if (!read_exact(in, static_cast<std::size_t>(n) * rec, &body)) {
-      return fail("truncated " + std::string(what));
-    }
-    wire::Reader br(body);
-    vec->clear();
-    vec->reserve(static_cast<std::size_t>(n));
-    for (std::uint64_t i = 0; i < n; ++i) {
-      Rec e;
-      if (!wire::get_record(br, &e)) {
-        return fail("corrupt " + std::string(what));
-      }
-      vec->push_back(e);
+    return static_cast<bool>(out);
+  }
+  bool flush_if_full() {
+    return buf.out.size() < kWriteChunk ? static_cast<bool>(out) : flush();
+  }
+  bool pad_to(std::uint64_t target) {
+    if (!flush()) return false;
+    static constexpr char kZeros[4096] = {};
+    while (pos < target) {
+      const auto n = static_cast<std::streamsize>(
+          std::min<std::uint64_t>(target - pos, sizeof(kZeros)));
+      if (!out.write(kZeros, n)) return false;
+      pos += static_cast<std::uint64_t>(n);
     }
     return true;
-  };
-  if (!read_section(&h->counts, "window count table")) return false;
-  if (!read_section(&h->racks, "rack table")) return false;
-  if (!read_section(&h->rack_runs, "rack run section")) return false;
-
-  // Server runs and bursts are the bulk of a shard; note where their
-  // record bytes live and skip over them — the merge copies the raw bytes.
-  const auto skip_section = [&](std::uint64_t* count, std::uint64_t* off,
-                                std::size_t rec, const char* what) {
-    std::vector<std::uint8_t> lenbuf;
-    if (!read_exact(in, 8, &lenbuf)) return fail("truncated " + std::string(what));
-    wire::Reader lr(lenbuf);
-    lr.get(count);
-    *off = static_cast<std::uint64_t>(in.tellg());
-    if (*count > (h->file_size - *off) / rec) {
-      return fail("corrupt " + std::string(what) + " section");
-    }
-    in.seekg(static_cast<std::streamoff>(*count * rec), std::ios::cur);
-    return static_cast<bool>(in) || fail("truncated " + std::string(what));
-  };
-  if (!skip_section(&h->servers_count, &h->servers_off,
-                    wire::wire_size(static_cast<const ServerRunRecord*>(nullptr)),
-                    "server run section")) {
-    return false;
   }
-  if (!skip_section(&h->bursts_count, &h->bursts_off,
-                    wire::wire_size(static_cast<const BurstRecord*>(nullptr)),
-                    "burst section")) {
-    return false;
+  bool write_raw(const void* data, std::size_t bytes) {
+    if (!flush()) return false;
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(bytes));
+    pos += bytes;
+    return static_cast<bool>(out);
   }
-
-  const auto tail_off = static_cast<std::uint64_t>(in.tellg());
-  if (!read_exact(in, static_cast<std::size_t>(h->file_size - tail_off), &buf)) {
-    return fail("truncated exemplars");
-  }
-  wire::Reader tr(buf);
-  if (!wire::get_exemplar(tr, &h->low) || !wire::get_exemplar(tr, &h->high) ||
-      tr.pos != buf.size()) {
-    return fail("corrupt exemplars");
-  }
-  return true;
-}
-
-bool copy_section(std::ifstream& in, std::uint64_t off, std::uint64_t bytes,
-                  std::ofstream& out) {
-  in.seekg(static_cast<std::streamoff>(off));
-  if (!in) return false;
-  std::vector<char> buf(static_cast<std::size_t>(
-      std::min<std::uint64_t>(bytes == 0 ? 1 : bytes, kCopyChunk)));
-  std::uint64_t left = bytes;
-  while (left > 0) {
-    const auto n = static_cast<std::streamsize>(
-        std::min<std::uint64_t>(left, buf.size()));
-    if (!in.read(buf.data(), n)) return false;
-    if (!out.write(buf.data(), n)) return false;
-    left -= static_cast<std::uint64_t>(n);
-  }
-  return true;
-}
+};
 
 }  // namespace
 
-bool merge_shards(const std::vector<std::string>& paths,
-                  const std::string& out_path, std::string* error,
-                  MergeStats* stats) {
-  const auto fail = [&](std::string msg) {
-    if (error != nullptr) *error = std::move(msg);
-    return false;
-  };
-  if (paths.empty()) return fail("no shards to merge");
+util::Status merge_shards(const std::vector<std::string>& paths,
+                          const std::string& out_path, MergeStats* stats) {
+  if (paths.empty()) return util::Status::error("no shards to merge");
 
-  std::vector<ShardHead> shards(paths.size());
+  // Map every shard read-only.  DatasetView::open already validates the
+  // header, layout, and window-directory tie-out of each file.
+  std::vector<DatasetView> shards(paths.size());
   for (std::size_t i = 0; i < paths.size(); ++i) {
-    std::string why;
-    if (!read_shard_head(paths[i], &shards[i], &why)) return fail(why);
+    if (auto st = DatasetView::open(paths[i], &shards[i]); !st) return st;
   }
   std::sort(shards.begin(), shards.end(),
-            [](const ShardHead& a, const ShardHead& b) {
-              return a.shard.index < b.shard.index;
+            [](const DatasetView& a, const DatasetView& b) {
+              return a.shard().index < b.shard().index;
             });
 
-  const ShardHead& first = shards.front();
-  const std::uint32_t count = first.shard.count;
+  const DatasetView& first = shards.front();
+  const std::uint32_t count = first.shard().count;
   if (shards.size() != count) {
-    return fail("expected " + std::to_string(count) + " shards (from shard " +
-                std::to_string(first.shard.index) + "'s header), got " +
-                std::to_string(shards.size()));
+    return util::Status::error(
+        "expected " + std::to_string(count) + " shards (from shard " +
+        std::to_string(first.shard().index) + "'s header), got " +
+        std::to_string(shards.size()));
   }
-  const std::uint64_t total =
-      2ull * static_cast<std::uint64_t>(first.config.racks_per_region) *
-      static_cast<std::uint64_t>(first.config.hours);
+  const std::uint64_t total = first.total_windows();
+  const std::vector<RackInfo> first_racks = first.rack_table();
 
   std::uint64_t n_runs = 0, n_servers = 0, n_bursts = 0;
   for (std::uint32_t i = 0; i < count; ++i) {
-    const ShardHead& s = shards[i];
-    const std::string who = "shard " + std::to_string(s.shard.index) + "/" +
-                            std::to_string(s.shard.count);
-    if (s.shard.count != count) {
-      return fail(who + ": shard count disagrees with shard " +
-                  std::to_string(first.shard.index) + "/" +
-                  std::to_string(count));
+    const DatasetView& s = shards[i];
+    const std::string who = "shard " + std::to_string(s.shard().index) + "/" +
+                            std::to_string(s.shard().count);
+    if (s.shard().count != count) {
+      return util::Status::error(
+          who + ": shard count disagrees with shard " +
+              std::to_string(first.shard().index) + "/" +
+              std::to_string(count),
+          s.path());
     }
-    if (s.shard.index != i) {
-      if (i > 0 && s.shard.index == shards[i - 1].shard.index) {
-        return fail("duplicate shard " + std::to_string(s.shard.index) + "/" +
-                    std::to_string(count));
+    if (s.shard().index != i) {
+      if (i > 0 && s.shard().index == shards[i - 1].shard().index) {
+        return util::Status::error("duplicate shard " +
+                                       std::to_string(s.shard().index) + "/" +
+                                       std::to_string(count),
+                                   s.path());
       }
-      return fail("missing shard " + std::to_string(i) + "/" +
-                  std::to_string(count));
+      return util::Status::error(
+          "missing shard " + std::to_string(i) + "/" + std::to_string(count));
     }
-    if (s.fingerprint != first.fingerprint) {
-      return fail(who + ": fingerprint mismatch (generated from a different "
-                        "config, seed, or model version)");
+    if (s.fingerprint() != first.fingerprint()) {
+      return util::Status::error(
+          who + ": fingerprint mismatch (generated from a different config, "
+                "seed, or model version)",
+          s.path());
     }
-    if (s.window_begin != s.shard.begin(static_cast<std::size_t>(total)) ||
-        s.window_end != s.shard.end(static_cast<std::size_t>(total))) {
-      return fail(who + ": covers windows [" +
-                  std::to_string(s.window_begin) + ", " +
-                  std::to_string(s.window_end) +
-                  "), not its canonical slice of [0, " +
-                  std::to_string(total) + ")");
-    }
-    if (s.counts.size() != s.window_end - s.window_begin) {
-      return fail(who + ": window count table has " +
-                  std::to_string(s.counts.size()) + " entries for " +
-                  std::to_string(s.window_end - s.window_begin) + " windows");
-    }
-    std::uint64_t runs = 0, servers = 0, bursts = 0;
-    for (const auto& c : s.counts) {
-      runs += c.has_run ? 1 : 0;
-      servers += c.server_runs;
-      bursts += c.bursts;
-    }
-    if (runs != s.rack_runs.size() || servers != s.servers_count ||
-        bursts != s.bursts_count) {
-      return fail(who + ": record vectors disagree with its window count "
-                        "table");
-    }
-    if (s.racks.size() != first.racks.size() ||
-        !std::equal(s.racks.begin(), s.racks.end(), first.racks.begin(),
+    const auto racks = s.rack_table();
+    if (racks.size() != first_racks.size() ||
+        !std::equal(racks.begin(), racks.end(), first_racks.begin(),
                     same_rack_info)) {
-      return fail(who + ": rack table differs from shard " +
-                  std::to_string(first.shard.index) + "'s");
+      return util::Status::error(
+          who + ": rack table differs from shard " +
+              std::to_string(first.shard().index) + "'s",
+          s.path());
     }
-    n_runs += runs;
-    n_servers += servers;
-    n_bursts += bursts;
+    n_runs += s.rack_runs().size();
+    n_servers += s.server_runs().size();
+    n_bursts += s.bursts().size();
   }
 
   // Head of the merged day: the rack runs are bounded by one per window,
@@ -287,36 +144,45 @@ bool merge_shards(const std::vector<std::string>& paths,
   // few dozen bytes per window while letting classification run exactly
   // as it does in DatasetBuilder::take.
   Dataset head;
-  head.fingerprint = first.fingerprint;
-  head.config = first.config;
+  head.fingerprint = first.fingerprint();
+  head.config = first.config();
   head.shard = ShardSpec{};  // full range
   head.window_begin = 0;
   head.window_end = total;
-  head.racks = first.racks;
+  head.racks = first_racks;
   head.rack_runs.reserve(static_cast<std::size_t>(n_runs));
-  for (const ShardHead& s : shards) {
-    head.rack_runs.insert(head.rack_runs.end(), s.rack_runs.begin(),
-                          s.rack_runs.end());
+  for (const DatasetView& s : shards) {
+    for (std::size_t i = 0; i < s.rack_runs().size(); ++i) {
+      head.rack_runs.push_back(s.rack_runs()[i]);
+    }
   }
   finalize_classification(head);
 
-  wire::Writer w;
-  wire::put_header(w, head);
-  w.put(total);
-  for (const ShardHead& s : shards) {
-    for (const auto& c : s.counts) wire::put_record(w, c);
-  }
-  wire::put_records(w, head.racks);
-  wire::put_records(w, head.rack_runs);
-
+  // Shards are canonical-order slices, so the first shard holding an
+  // exemplar holds the globally first qualifying window.
   const ExemplarRun* low = nullptr;
   const ExemplarRun* high = nullptr;
-  for (const ShardHead& s : shards) {
-    // Shards are canonical-order slices, so the first shard holding an
-    // exemplar holds the globally first qualifying window.
-    if (low == nullptr && s.low.num_samples != 0) low = &s.low;
-    if (high == nullptr && s.high.num_samples != 0) high = &s.high;
+  for (const DatasetView& s : shards) {
+    if (low == nullptr && s.low_contention_example().num_samples != 0) {
+      low = &s.low_contention_example();
+    }
+    if (high == nullptr && s.high_contention_example().num_samples != 0) {
+      high = &s.high_contention_example();
+    }
   }
+  static const ExemplarRun kEmptyExemplar{};
+  if (low == nullptr) low = &kEmptyExemplar;
+  if (high == nullptr) high = &kEmptyExemplar;
+
+  wire::SectionCounts counts;
+  counts.windows = total;
+  counts.racks = head.racks.size();
+  counts.rack_runs = n_runs;
+  counts.server_runs = n_servers;
+  counts.bursts = n_bursts;
+  counts.exemplar_bytes =
+      wire::exemplar_wire_bytes(*low) + wire::exemplar_wire_bytes(*high);
+  const wire::V6Layout lay = wire::v6_layout(counts);
 
   std::error_code ec;
   const std::filesystem::path target(out_path);
@@ -325,58 +191,137 @@ bool merge_shards(const std::vector<std::string>& paths,
   std::filesystem::path tmp = target;
   tmp += ".tmp";
   {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return fail("cannot open " + tmp.string());
-    out.write(reinterpret_cast<const char*>(w.out.data()),
-              static_cast<std::streamsize>(w.out.size()));
-    bool ok = static_cast<bool>(out);
-    // The bulky sections stream shard-to-output through a bounded buffer.
-    const auto stream_sections = [&](std::uint64_t n, auto member_off,
-                                     auto member_count, std::size_t rec) {
-      wire::Writer len;
-      len.put(n);
-      out.write(reinterpret_cast<const char*>(len.out.data()),
-                static_cast<std::streamsize>(len.out.size()));
-      if (!out) return false;
-      for (const ShardHead& s : shards) {
-        std::ifstream in(s.path, std::ios::binary);
-        if (!in) return false;
-        if (!copy_section(in, s.*member_off, (s.*member_count) * rec, out)) {
-          return false;
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      return util::Status::error("cannot open temp file for writing",
+                                 tmp.string());
+    }
+    StreamOut out{file};
+
+    bool ok = true;
+    {
+      wire::V6Header h;
+      h.fingerprint = head.fingerprint;
+      h.config = head.config;
+      h.shard = head.shard;
+      h.window_begin = 0;
+      h.window_end = total;
+      h.counts = counts;
+      h.dir = lay.dir;
+      wire::put_header_v6(out.buf, h);
+      ok = out.flush();
+    }
+
+    // Window directory: the count columns concatenate across shards
+    // verbatim; the running record offsets are recomputed globally (a
+    // shard's own offsets are shard-local and must not leak into the
+    // merged file).
+    const auto& wcols = lay.columns[wire::kSecWindows];
+    const auto concat_spans = [&](std::uint64_t col_off, auto member) {
+      if (!ok) return;
+      ok = out.pad_to(col_off);
+      for (const DatasetView& s : shards) {
+        if (!ok) return;
+        const auto span = (s.windows().*member);
+        ok = out.write_raw(span.data(), span.size_bytes());
+      }
+    };
+    concat_spans(wcols[0], &WindowDirColumns::has_run);
+    concat_spans(wcols[1], &WindowDirColumns::server_runs);
+    concat_spans(wcols[2], &WindowDirColumns::bursts);
+    const auto global_offsets = [&](std::uint64_t col_off, auto counter) {
+      if (!ok) return;
+      ok = out.pad_to(col_off);
+      std::uint64_t off = 0;
+      for (const DatasetView& s : shards) {
+        const auto& w = s.windows();
+        for (std::size_t i = 0; ok && i < w.size(); ++i) {
+          out.buf.put(off);
+          off += counter(w, i);
+          ok = out.flush_if_full();
         }
       }
-      return true;
+      if (ok) ok = out.flush();
     };
-    ok = ok &&
-         stream_sections(n_servers, &ShardHead::servers_off,
-                         &ShardHead::servers_count,
-                         wire::wire_size(static_cast<const ServerRunRecord*>(nullptr)));
-    ok = ok &&
-         stream_sections(n_bursts, &ShardHead::bursts_off,
-                         &ShardHead::bursts_count,
-                         wire::wire_size(static_cast<const BurstRecord*>(nullptr)));
+    global_offsets(wcols[3], [](const WindowDirColumns& w, std::size_t i) {
+      return static_cast<std::uint64_t>(w.has_run[i] != 0 ? 1 : 0);
+    });
+    global_offsets(wcols[4], [](const WindowDirColumns& w, std::size_t i) {
+      return static_cast<std::uint64_t>(w.server_runs[i]);
+    });
+    global_offsets(wcols[5], [](const WindowDirColumns& w, std::size_t i) {
+      return static_cast<std::uint64_t>(w.bursts[i]);
+    });
+
+    // Rack table and rack runs: classified/folded in RAM above.
+    const auto put_ram_section = [&](const auto& records, const auto& cols) {
+      for (std::size_t c = 0; ok && c < cols.size(); ++c) {
+        ok = out.pad_to(cols[c]);
+        for (const auto& rec : records) {
+          if (!ok) break;
+          wire::put_column(out.buf, rec, c);
+          ok = out.flush_if_full();
+        }
+        if (ok) ok = out.flush();
+      }
+    };
+    put_ram_section(head.racks, lay.columns[wire::kSecRacks]);
+    put_ram_section(head.rack_runs, lay.columns[wire::kSecRackRuns]);
+
+    // The bulky sections: each merged column is the concatenation of the
+    // shards' columns, copied straight from the mappings.
+    const auto concat_record_col = [&](std::uint64_t col_off, auto span_of) {
+      if (!ok) return;
+      ok = out.pad_to(col_off);
+      for (const DatasetView& s : shards) {
+        if (!ok) return;
+        const auto span = span_of(s);
+        ok = out.write_raw(span.data(), span.size_bytes());
+      }
+    };
+    const auto& scols = lay.columns[wire::kSecServerRuns];
+    concat_record_col(scols[0], [](const DatasetView& s) { return s.server_runs().rack_id; });
+    concat_record_col(scols[1], [](const DatasetView& s) { return s.server_runs().region; });
+    concat_record_col(scols[2], [](const DatasetView& s) { return s.server_runs().hour; });
+    concat_record_col(scols[3], [](const DatasetView& s) { return s.server_runs().bursty; });
+    concat_record_col(scols[4], [](const DatasetView& s) { return s.server_runs().avg_util; });
+    concat_record_col(scols[5], [](const DatasetView& s) { return s.server_runs().util_inside; });
+    concat_record_col(scols[6], [](const DatasetView& s) { return s.server_runs().util_outside; });
+    concat_record_col(scols[7], [](const DatasetView& s) { return s.server_runs().bursts_per_sec; });
+    concat_record_col(scols[8], [](const DatasetView& s) { return s.server_runs().conns_inside; });
+    concat_record_col(scols[9], [](const DatasetView& s) { return s.server_runs().conns_outside; });
+    const auto& bcols = lay.columns[wire::kSecBursts];
+    concat_record_col(bcols[0], [](const DatasetView& s) { return s.bursts().rack_id; });
+    concat_record_col(bcols[1], [](const DatasetView& s) { return s.bursts().region; });
+    concat_record_col(bcols[2], [](const DatasetView& s) { return s.bursts().hour; });
+    concat_record_col(bcols[3], [](const DatasetView& s) { return s.bursts().len_ms; });
+    concat_record_col(bcols[4], [](const DatasetView& s) { return s.bursts().volume_bytes; });
+    concat_record_col(bcols[5], [](const DatasetView& s) { return s.bursts().max_contention; });
+    concat_record_col(bcols[6], [](const DatasetView& s) { return s.bursts().avg_conns; });
+    concat_record_col(bcols[7], [](const DatasetView& s) { return s.bursts().contended; });
+    concat_record_col(bcols[8], [](const DatasetView& s) { return s.bursts().lossy; });
+
     if (ok) {
-      wire::Writer tail;
-      wire::put_exemplar(tail, low != nullptr ? *low : ExemplarRun{});
-      wire::put_exemplar(tail, high != nullptr ? *high : ExemplarRun{});
-      out.write(reinterpret_cast<const char*>(tail.out.data()),
-                static_cast<std::streamsize>(tail.out.size()));
-      ok = static_cast<bool>(out);
+      ok = out.pad_to(lay.columns[wire::kSecExemplars][0]);
+      wire::put_exemplar(out.buf, *low);
+      wire::put_exemplar(out.buf, *high);
+      if (ok) ok = out.flush();
     }
+    if (ok && out.pos != lay.file_bytes) ok = false;  // layout is the law
     if (!ok) {
-      out.close();
+      file.close();
       std::filesystem::remove(tmp, ec);
-      return fail("cannot write " + tmp.string());
+      return util::Status::error("cannot write", tmp.string());
     }
   }
   std::filesystem::rename(tmp, target, ec);
   if (ec) {
     std::filesystem::remove(tmp, ec);
-    return fail("cannot rename " + tmp.string() + " to " + out_path + ": " +
-                ec.message());
+    return util::Status::error(
+        "cannot rename " + tmp.string() + ": " + ec.message(), out_path);
   }
   if (stats != nullptr) {
-    stats->fingerprint = first.fingerprint;
+    stats->fingerprint = first.fingerprint();
     stats->shards = count;
     stats->windows = total;
     stats->rack_runs = n_runs;
@@ -384,7 +329,7 @@ bool merge_shards(const std::vector<std::string>& paths,
     stats->bursts = n_bursts;
     stats->bytes_written = std::filesystem::file_size(target, ec);
   }
-  return true;
+  return util::Status::ok();
 }
 
 std::optional<Dataset> merge_datasets(std::vector<Dataset> shards,
@@ -414,26 +359,30 @@ std::optional<Dataset> merge_datasets(std::vector<Dataset> shards,
   paths.reserve(shards.size());
   for (std::size_t i = 0; i < shards.size(); ++i) {
     auto path = (scratch / ("shard-" + std::to_string(i) + ".bin")).string();
-    const bool saved = shards[i].save(path);
+    const auto saved = shards[i].save(path);
     // Release each shard's records as soon as they hit disk, so peak
     // memory stays one shard plus the merged day, never two days.
     shards[i] = Dataset{};
     if (!saved) {
       std::filesystem::remove_all(scratch, ec);
-      return fail("cannot write scratch shard " + path);
+      return fail(saved.to_string());
     }
     paths.push_back(std::move(path));
   }
   const auto merged_path = (scratch / "merged.bin").string();
-  std::string why;
-  if (!merge_shards(paths, merged_path, &why)) {
+  if (auto st = merge_shards(paths, merged_path); !st) {
     std::filesystem::remove_all(scratch, ec);
-    return fail(std::move(why));
+    return fail(st.to_string());
   }
-  Dataset out;
-  const bool loaded = out.load(merged_path);
+  std::optional<Dataset> out;
+  {
+    DatasetView merged;
+    const auto opened = Dataset::open_mapped(merged_path, &merged);
+    if (opened) out = Dataset::from_view(merged);
+    // the view unmaps before the scratch files go away
+  }
   std::filesystem::remove_all(scratch, ec);
-  if (!loaded) return fail("cannot load merged dataset " + merged_path);
+  if (!out.has_value()) return fail("cannot open merged dataset " + merged_path);
   return out;
 }
 

@@ -1,12 +1,13 @@
 // SpillSink: the disk-backed WindowSink.  DatasetBuilder (fleet/shard.h)
 // accumulates a whole shard's records in RAM before `Dataset::save`
 // writes them out; SpillSink instead streams each completed window's
-// records to per-type spill files as `run_fleet` hands them over, so a
-// generation process's peak RSS is a few spill-chunk buffers (plus the
-// per-window count table and at most two exemplars) — never the shard's
-// records.  `finalize()` assembles the spill files into a dataset file
-// that is byte-identical to `DatasetBuilder` + `Dataset::save` (both
-// paths share the fleet/wire.h codecs, so this is structural, and
+// records to per-COLUMN spill files as `run_fleet` hands them over (one
+// spill per v6 column, so the final assembly is pure file concatenation),
+// keeping a generation process's peak RSS at a few spill-chunk buffers
+// plus the per-window count table and at most two exemplars — never the
+// shard's records.  `finalize()` assembles the spills into a v6 dataset
+// file byte-identical to `DatasetBuilder` + `Dataset::save` (both paths
+// share the fleet/wire.h layout arithmetic, so this is structural, and
 // tests/test_spill_sink.cc proves it with a byte compare), written via
 // the same atomic-rename discipline: a crashed or killed process never
 // leaves a partial output file, only spill temps that the next attempt
@@ -21,13 +22,15 @@
 
 #include "fleet/shard.h"
 #include "fleet/wire.h"
+#include "util/status.h"
 
 namespace msamp::fleet {
 
 class SpillSink final : public WindowSink {
  public:
-  /// Spill-buffer flush threshold: bounds both the in-RAM record buffers
-  /// and the copy buffer `finalize()` streams the spill files through.
+  /// Total spill-buffer flush budget: bounds the sum of the in-RAM
+  /// per-column buffers and the copy buffer `finalize()` streams the
+  /// spill files through.
   static constexpr std::size_t kDefaultChunkBytes = std::size_t{1} << 20;
 
   /// Streams `shard`'s windows toward `out_path`.  Spill temps live next
@@ -50,9 +53,9 @@ class SpillSink final : public WindowSink {
 
   /// Assembles header + spill files into `out_path` via atomic rename and
   /// deletes the temps.  Call once, after `run_fleet` completed the whole
-  /// shard range (else std::logic_error).  Returns false on I/O failure
-  /// with a human-readable reason in `*error`.
-  bool finalize(std::string* error = nullptr);
+  /// shard range (else std::logic_error).  Returns an error Status (with
+  /// path and reason) on I/O failure.
+  util::Status finalize();
 
   const std::string& out_path() const { return out_; }
 
@@ -61,16 +64,23 @@ class SpillSink final : public WindowSink {
     std::filesystem::path path;
     std::ofstream file;
     wire::Writer buf;
+  };
+
+  /// One spill file per column of one v6 record section.
+  struct SectionSpills {
+    std::vector<Spill> cols;
     std::uint64_t records = 0;
   };
 
-  void open_spill(Spill& s, const char* suffix);
+  void open_section(SectionSpills& s, const char* name, std::size_t n_cols);
   void flush(Spill& s);
+  void flush_full_buffers();
 
   FleetConfig config_;
   ShardSpec shard_;
   std::string out_;
   std::size_t chunk_bytes_;
+  std::size_t col_chunk_bytes_;
   std::uint64_t fingerprint_ = 0;
   std::uint64_t window_begin_ = 0;
   std::uint64_t window_end_ = 0;
@@ -78,9 +88,9 @@ class SpillSink final : public WindowSink {
   std::vector<RackInfo> racks_;
   ExemplarRun low_exemplar_;
   ExemplarRun high_exemplar_;
-  Spill runs_;
-  Spill servers_;
-  Spill bursts_;
+  SectionSpills runs_;
+  SectionSpills servers_;
+  SectionSpills bursts_;
   bool finalized_ = false;
 };
 

@@ -1,6 +1,15 @@
 #include "fleet/wire.h"
 
+#include <cstdlib>
+
 namespace msamp::fleet::wire {
+
+void pad_to(Writer& w, std::uint64_t abs_offset) {
+  // Writers lay columns out strictly forward; a backward pad means the
+  // layout arithmetic and the writer disagree, which must never ship.
+  if (w.out.size() > abs_offset) std::abort();
+  w.out.resize(static_cast<std::size_t>(abs_offset));  // zero-filled
+}
 
 void put_record(Writer& w, const WindowCounts& c) {
   w.put(c.has_run);
@@ -86,7 +95,77 @@ bool get_record(Reader& r, BurstRecord* v) {
          r.get(&v->contended) && r.get(&v->lossy);
 }
 
-void put_config(Writer& w, const FleetConfig& c) {
+// --- columnar field appenders ------------------------------------------
+// Column order must match the width tables in wire.h and the field order
+// of the row codecs above (the v6 layout is a pure re-layout of the same
+// field bytes).
+
+void put_column(Writer& w, const RackInfo& v, std::size_t col) {
+  switch (col) {
+    case 0: w.put(v.rack_id); return;
+    case 1: w.put(v.region); return;
+    case 2: w.put(v.ml_dense); return;
+    case 3: w.put(v.distinct_tasks); return;
+    case 4: w.put(v.dominant_share); return;
+    case 5: w.put(v.intensity); return;
+    case 6: w.put(v.busy_hour_avg_contention); return;
+    case 7: w.put(v.rack_class); return;
+    default: std::abort();
+  }
+}
+
+void put_column(Writer& w, const RackRunRecord& v, std::size_t col) {
+  switch (col) {
+    case 0: w.put(v.rack_id); return;
+    case 1: w.put(v.region); return;
+    case 2: w.put(v.hour); return;
+    case 3: w.put(v.usable); return;
+    case 4: w.put(v.avg_contention); return;
+    case 5: w.put(v.min_active_contention); return;
+    case 6: w.put(v.p90_contention); return;
+    case 7: w.put(v.max_contention); return;
+    case 8: w.put(v.in_bytes); return;
+    case 9: w.put(v.drop_bytes); return;
+    case 10: w.put(v.ecn_bytes); return;
+    default: std::abort();
+  }
+}
+
+void put_column(Writer& w, const ServerRunRecord& v, std::size_t col) {
+  switch (col) {
+    case 0: w.put(v.rack_id); return;
+    case 1: w.put(v.region); return;
+    case 2: w.put(v.hour); return;
+    case 3: w.put(v.bursty); return;
+    case 4: w.put(v.avg_util); return;
+    case 5: w.put(v.util_inside); return;
+    case 6: w.put(v.util_outside); return;
+    case 7: w.put(v.bursts_per_sec); return;
+    case 8: w.put(v.conns_inside); return;
+    case 9: w.put(v.conns_outside); return;
+    default: std::abort();
+  }
+}
+
+void put_column(Writer& w, const BurstRecord& v, std::size_t col) {
+  switch (col) {
+    case 0: w.put(v.rack_id); return;
+    case 1: w.put(v.region); return;
+    case 2: w.put(v.hour); return;
+    case 3: w.put(v.len_ms); return;
+    case 4: w.put(v.volume_bytes); return;
+    case 5: w.put(v.max_contention); return;
+    case 6: w.put(v.avg_conns); return;
+    case 7: w.put(v.contended); return;
+    case 8: w.put(v.lossy); return;
+    default: std::abort();
+  }
+}
+
+// --- config / exemplar codecs ------------------------------------------
+
+void put_config_legacy(Writer& w, const FleetConfig& c,
+                       std::uint32_t version) {
   w.put(c.seed);
   w.put(static_cast<std::int32_t>(c.racks_per_region));
   w.put(static_cast<std::int32_t>(c.servers_per_rack));
@@ -101,10 +180,12 @@ void put_config(Writer& w, const FleetConfig& c) {
   w.put(c.buffer.ecn_threshold);
   w.put(static_cast<std::uint8_t>(c.buffer.policy));
   w.put(c.buffer.burst_alpha_boost);
-  w.put(c.buffer.delay.target_delay_ms);
-  w.put(c.buffer.delay.min_gain);
-  w.put(c.buffer.delay.max_gain);
-  w.put(c.buffer.delay.drain_gbps);
+  if (version >= 5) {
+    w.put(c.buffer.delay.target_delay_ms);
+    w.put(c.buffer.delay.min_gain);
+    w.put(c.buffer.delay.max_gain);
+    w.put(c.buffer.delay.drain_gbps);
+  }
   w.put(c.rtt_ms);
   w.put(static_cast<std::int64_t>(c.mss));
   w.put(static_cast<std::uint8_t>(c.fabric.enabled ? 1 : 0));
@@ -118,7 +199,11 @@ void put_config(Writer& w, const FleetConfig& c) {
   w.put(c.classify.high_threshold);
 }
 
-bool get_config(Reader& r, FleetConfig* c) {
+void put_config(Writer& w, const FleetConfig& c) {
+  put_config_legacy(w, c, kVersion);
+}
+
+bool get_config_legacy(Reader& r, FleetConfig* c, std::uint32_t version) {
   std::int32_t racks = 0, servers = 0, hours = 0, samples = 0, warmup = 0;
   std::int32_t quadrants = 0, filter_cpus = 0, rtt_shift = 0, lag = 0;
   std::uint8_t policy = 0, fabric_enabled = 0;
@@ -128,12 +213,18 @@ bool get_config(Reader& r, FleetConfig* c) {
         r.get(&c->line_rate_gbps) && r.get(&c->buffer.total_bytes) &&
         r.get(&quadrants) && r.get(&c->buffer.reserve_per_queue) &&
         r.get(&c->buffer.alpha) && r.get(&c->buffer.ecn_threshold) &&
-        r.get(&policy) && r.get(&c->buffer.burst_alpha_boost) &&
-        r.get(&c->buffer.delay.target_delay_ms) &&
-        r.get(&c->buffer.delay.min_gain) &&
-        r.get(&c->buffer.delay.max_gain) &&
-        r.get(&c->buffer.delay.drain_gbps) &&
-        r.get(&c->rtt_ms) && r.get(&mss) && r.get(&fabric_enabled) &&
+        r.get(&policy) && r.get(&c->buffer.burst_alpha_boost))) {
+    return false;
+  }
+  if (version >= 5) {
+    if (!(r.get(&c->buffer.delay.target_delay_ms) &&
+          r.get(&c->buffer.delay.min_gain) &&
+          r.get(&c->buffer.delay.max_gain) &&
+          r.get(&c->buffer.delay.drain_gbps))) {
+      return false;
+    }
+  }
+  if (!(r.get(&c->rtt_ms) && r.get(&mss) && r.get(&fabric_enabled) &&
         r.get(&c->fabric.uplink_gbps) && r.get(&c->fabric.smoothing) &&
         r.get(&filter_cpus) && r.get(&stddev) && r.get(&offmax) &&
         r.get(&rtt_shift) && r.get(&lag) &&
@@ -166,6 +257,10 @@ bool get_config(Reader& r, FleetConfig* c) {
   return true;
 }
 
+bool get_config(Reader& r, FleetConfig* c) {
+  return get_config_legacy(r, c, kVersion);
+}
+
 void put_exemplar(Writer& w, const ExemplarRun& e) {
   w.put(e.rack_id);
   w.put(e.avg_contention);
@@ -181,15 +276,212 @@ bool get_exemplar(Reader& r, ExemplarRun* e) {
          r.get_vec(&e->raster) && r.get_vec(&e->contention);
 }
 
-void put_header(Writer& w, const Dataset& ds) {
+std::size_t exemplar_wire_bytes(const ExemplarRun& e) {
+  return 4 + 4 + 2 + 2 + 8 + e.raster.size() + 8 + 2 * e.contention.size();
+}
+
+// --- v6 layout ----------------------------------------------------------
+
+std::size_t config_wire_size() {
+  Writer w;
+  put_config(w, FleetConfig{});
+  return w.out.size();
+}
+
+std::size_t header_bytes_v6() {
+  // magic, version, fingerprint, config, shard index/count, window range,
+  // four record-count u64s, section directory.
+  return 4 + 4 + 8 + config_wire_size() + 4 + 4 + 8 + 8 + 4 * 8 +
+         kNumSections * 16;
+}
+
+V6Layout v6_layout(const SectionCounts& counts) {
+  struct Spec {
+    std::size_t n_cols;
+    const std::size_t* widths;
+    std::uint64_t count;
+  };
+  const Spec specs[] = {
+      {kWindowDirCols, kWindowDirWidths, counts.windows},
+      {kRackCols, kRackWidths, counts.racks},
+      {kRackRunCols, kRackRunWidths, counts.rack_runs},
+      {kServerRunCols, kServerRunWidths, counts.server_runs},
+      {kBurstCols, kBurstWidths, counts.bursts},
+  };
+  V6Layout lay;
+  lay.header_bytes = header_bytes_v6();
+  std::uint64_t cursor = lay.header_bytes;
+  for (std::size_t s = 0; s < std::size(specs); ++s) {
+    auto& cols = lay.columns[s];
+    cols.resize(specs[s].n_cols);
+    for (std::size_t c = 0; c < specs[s].n_cols; ++c) {
+      cursor = align_segment(cursor);
+      cols[c] = cursor;
+      cursor += specs[s].count * specs[s].widths[c];
+    }
+    lay.dir[s].offset = cols.front();
+    lay.dir[s].bytes = cursor - cols.front();
+  }
+  cursor = align_segment(cursor);
+  lay.columns[kSecExemplars] = {cursor};
+  lay.dir[kSecExemplars] = {cursor, counts.exemplar_bytes};
+  lay.file_bytes = cursor + counts.exemplar_bytes;
+  return lay;
+}
+
+void put_header_v6(Writer& w, const V6Header& h) {
   w.put(kMagic);
   w.put(kVersion);
+  w.put(h.fingerprint);
+  put_config(w, h.config);
+  w.put(h.shard.index);
+  w.put(h.shard.count);
+  w.put(h.window_begin);
+  w.put(h.window_end);
+  w.put(h.counts.racks);
+  w.put(h.counts.rack_runs);
+  w.put(h.counts.server_runs);
+  w.put(h.counts.bursts);
+  for (const auto& d : h.dir) {
+    w.put(d.offset);
+    w.put(d.bytes);
+  }
+}
+
+util::Status read_header_v6(const std::uint8_t* data, std::size_t available,
+                            std::uint64_t file_size, V6Header* h,
+                            V6Layout* layout) {
+  const std::size_t need = header_bytes_v6();
+  if (available < need || file_size < need) {
+    return util::Status::error(
+        "truncated header: need " + std::to_string(need) + " bytes, have " +
+            std::to_string(file_size < available ? file_size : available),
+        {}, static_cast<std::int64_t>(file_size));
+  }
+  Reader r(data, need);
+  std::uint32_t magic = 0, version = 0;
+  if (!r.get(&magic) || magic != kMagic) {
+    return util::Status::error("not a dataset file (bad magic)", {}, 0);
+  }
+  if (!r.get(&version)) return util::Status::error("truncated header", {}, 4);
+  if (version >= kLegacyVersionMin && version <= kLegacyVersionMax) {
+    return util::Status::error(
+        "legacy v" + std::to_string(version) +
+            " row-wise dataset; rewrite it with `msampctl migrate` (or read "
+            "it with the legacy Dataset::load)",
+        {}, 4);
+  }
+  if (version != kVersion) {
+    return util::Status::error(
+        "unsupported dataset version " + std::to_string(version), {}, 4);
+  }
+  if (!r.get(&h->fingerprint)) {
+    return util::Status::error("truncated header", {}, 8);
+  }
+  if (!get_config(r, &h->config)) {
+    return util::Status::error("corrupt serialized FleetConfig", {}, 16);
+  }
+  if (!r.get(&h->shard.index) || !r.get(&h->shard.count) ||
+      !h->shard.valid()) {
+    return util::Status::error("invalid shard header", {},
+                               static_cast<std::int64_t>(r.pos));
+  }
+  if (!r.get(&h->window_begin) || !r.get(&h->window_end)) {
+    return util::Status::error("truncated header", {},
+                               static_cast<std::int64_t>(r.pos));
+  }
+  // The shard's window range must be exactly what the canonical balanced
+  // partition assigns it for this config's day.
+  const std::uint64_t total =
+      2ull * static_cast<std::uint64_t>(h->config.racks_per_region) *
+      static_cast<std::uint64_t>(h->config.hours);
+  if (h->window_begin !=
+          h->shard.begin(static_cast<std::size_t>(total)) ||
+      h->window_end != h->shard.end(static_cast<std::size_t>(total))) {
+    return util::Status::error(
+        "window range is not the canonical slice for shard " +
+            std::to_string(h->shard.index) + "/" +
+            std::to_string(h->shard.count),
+        {}, static_cast<std::int64_t>(r.pos));
+  }
+  h->counts.windows = h->window_end - h->window_begin;
+  if (!r.get(&h->counts.racks) || !r.get(&h->counts.rack_runs) ||
+      !r.get(&h->counts.server_runs) || !r.get(&h->counts.bursts)) {
+    return util::Status::error("truncated header", {},
+                               static_cast<std::int64_t>(r.pos));
+  }
+  // Every shard carries the complete rack table; the window keying of the
+  // view (rack = index % total_racks) depends on it.
+  if (h->counts.racks !=
+      2ull * static_cast<std::uint64_t>(h->config.racks_per_region)) {
+    return util::Status::error(
+        "rack table has " + std::to_string(h->counts.racks) +
+            " entries, expected " +
+            std::to_string(2ull * static_cast<std::uint64_t>(
+                                      h->config.racks_per_region)),
+        {}, static_cast<std::int64_t>(r.pos));
+  }
+  // Each record type has at least one 1-byte column, so any genuine count
+  // is bounded by the file size; reject hostile counts before they can
+  // overflow the layout arithmetic below.
+  if (h->counts.windows > file_size || h->counts.racks > file_size ||
+      h->counts.rack_runs > file_size || h->counts.server_runs > file_size ||
+      h->counts.bursts > file_size) {
+    return util::Status::error("record count exceeds file size", {},
+                               static_cast<std::int64_t>(r.pos));
+  }
+  const std::int64_t dir_pos = static_cast<std::int64_t>(r.pos);
+  for (auto& d : h->dir) {
+    if (!r.get(&d.offset) || !r.get(&d.bytes)) {
+      return util::Status::error("truncated header", {},
+                                 static_cast<std::int64_t>(r.pos));
+    }
+  }
+  h->counts.exemplar_bytes = h->dir[kSecExemplars].bytes;
+  if (h->counts.exemplar_bytes > file_size) {
+    return util::Status::error("exemplar section exceeds file size", {},
+                               dir_pos);
+  }
+  // The directory must match the layout the counts imply — v6 layout is a
+  // pure function of the counts, so any disagreement is corruption.
+  *layout = v6_layout(h->counts);
+  for (std::size_t s = 0; s < kNumSections; ++s) {
+    if (h->dir[s].offset != layout->dir[s].offset ||
+        h->dir[s].bytes != layout->dir[s].bytes) {
+      return util::Status::error(
+          "section directory entry " + std::to_string(s) +
+              " disagrees with the layout implied by the record counts",
+          {}, dir_pos);
+    }
+  }
+  if (layout->file_bytes != file_size) {
+    return util::Status::error(
+        "file is " + std::to_string(file_size) + " bytes, layout needs " +
+            std::to_string(layout->file_bytes),
+        {}, static_cast<std::int64_t>(file_size));
+  }
+  return util::Status::ok();
+}
+
+std::vector<std::uint8_t> legacy_serialize(const Dataset& ds,
+                                           std::uint32_t version) {
+  Writer w;
+  w.put(kMagic);
+  w.put(version);
   w.put(ds.fingerprint);
-  put_config(w, ds.config);
+  put_config_legacy(w, ds.config, version);
   w.put(ds.shard.index);
   w.put(ds.shard.count);
   w.put(ds.window_begin);
   w.put(ds.window_end);
+  put_records(w, ds.window_counts);
+  put_records(w, ds.racks);
+  put_records(w, ds.rack_runs);
+  put_records(w, ds.server_runs);
+  put_records(w, ds.bursts);
+  put_exemplar(w, ds.low_contention_example);
+  put_exemplar(w, ds.high_contention_example);
+  return std::move(w.out);
 }
 
 }  // namespace msamp::fleet::wire

@@ -1,35 +1,57 @@
 // Internal wire-format codecs for the dataset file format, shared by
 // three writers that must produce byte-identical output by construction:
-// `Dataset::serialize`/`deserialize` (whole-blob, fleet/dataset.cc), the
-// disk-backed `fleet::SpillSink` (streaming append, fleet/spill_sink.cc),
-// and the streaming `fleet::merge_shards` (section-at-a-time copy,
-// fleet/merge.cc).  Every record is written member by member so the file
-// never contains compiler-inserted padding bytes: that is what lets shards
-// generated in different processes merge into bytes identical to a
-// single-process run.
+// `Dataset::serialize` (whole-blob, fleet/dataset.cc), the disk-backed
+// `fleet::SpillSink` (streaming append, fleet/spill_sink.cc), and the
+// streaming `fleet::merge_shards` (column-at-a-time copy, fleet/merge.cc).
+//
+// v6 is columnar: the file is a fixed header plus six sections (window
+// directory, racks, rack runs, server runs, bursts, exemplars).  Each
+// record section stores one page-aligned, fixed-width little-endian column
+// per field, so `Dataset::open_mapped` can hand out typed spans straight
+// over the mapping — zero copies, bounded RSS — while the window directory
+// (per-window counts plus running record offsets) gives O(1) window
+// slicing.  Every column value is written member by member: the file never
+// contains compiler-inserted padding, which is what lets shards generated
+// in different processes merge into bytes identical to a single-process
+// run.  Gap bytes between columns are always zero.
 //
 // This header is wire-format code for msamp_lint purposes: whole-struct
 // `sizeof(<RecordType>)` copies are banned here exactly as in dataset.cc
 // (the codec templates' `sizeof(T)` is guarded by the static_asserts).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstring>
+#include <iterator>
 #include <type_traits>
 #include <vector>
 
 #include "fleet/dataset.h"
+#include "util/status.h"
 
 namespace msamp::fleet::wire {
 
 inline constexpr std::uint32_t kMagic = 0x4d464c54;  // "MFLT"
 // Wire-format version.  Bump whenever the serialized layout changes (new
 // fields, reordered fields, record shape changes): old cache files then
-// fail to parse and are regenerated.  v4: field-wise records (no struct
-// padding on the wire), serialized FleetConfig, and the shard header.
-// v5: kDelayDriven policy parameters (SharedBufferConfig::delay) in the
-// serialized config.
-inline constexpr std::uint32_t kVersion = 5;
+// fail to parse and are regenerated.  v4: field-wise row records, serialized
+// FleetConfig, and the shard header.  v5: kDelayDriven policy parameters
+// (SharedBufferConfig::delay) in the serialized config.  v6: columnar
+// sections with page-aligned columns and a per-window directory; the
+// legacy row layouts (v4/v5) are still readable by `Dataset::load` so
+// `msampctl migrate` can rewrite old files.
+inline constexpr std::uint32_t kVersion = 6;
+inline constexpr std::uint32_t kLegacyVersionMin = 4;
+inline constexpr std::uint32_t kLegacyVersionMax = 5;
+
+/// Every column starts on a page boundary: mmap'd spans are naturally
+/// aligned for their element type and readahead streams whole columns.
+inline constexpr std::uint64_t kSegmentAlign = 4096;
+
+constexpr std::uint64_t align_segment(std::uint64_t off) {
+  return (off + kSegmentAlign - 1) / kSegmentAlign * kSegmentAlign;
+}
 
 struct Writer {
   std::vector<std::uint8_t> out;
@@ -50,6 +72,10 @@ struct Writer {
     if (!v.empty()) std::memcpy(out.data() + old, v.data(), v.size() * sizeof(T));
   }
 };
+
+/// Appends zero bytes until the writer's absolute position is `abs_offset`
+/// (used to place the next column on its page boundary).
+void pad_to(Writer& w, std::uint64_t abs_offset);
 
 /// Bounds-checked reader over a byte range (a whole serialized blob, or
 /// one section of a shard file streamed through a bounded buffer).
@@ -86,9 +112,116 @@ struct Reader {
   std::size_t remaining() const { return size - pos; }
 };
 
-// --- field-wise record codecs ------------------------------------------
-// `wire_size` is the serialized size of one record, used to bound hostile
-// counts before any allocation and to locate sections when streaming.
+// --- v6 columnar layout ------------------------------------------------
+
+/// v6 sections, in file order.
+enum Section : std::size_t {
+  kSecWindows = 0,   ///< per-window counts + running record offsets
+  kSecRacks = 1,     ///< RackInfo columns (full rack table, every shard)
+  kSecRackRuns = 2,  ///< RackRunRecord columns
+  kSecServerRuns = 3,  ///< ServerRunRecord columns
+  kSecBursts = 4,    ///< BurstRecord columns
+  kSecExemplars = 5,  ///< two row-encoded ExemplarRun payloads (tiny)
+  kNumSections = 6,
+};
+
+// Per-section column byte widths, in field order (matching the row codecs
+// below and the `put_column` overloads).  The window directory's columns
+// are: has_run u8, server_runs u32, bursts u32, then the shard-local
+// running record offsets run_off/server_off/burst_off u64 (prefix sums of
+// the counts; first window is 0), which give O(1) window slicing.
+inline constexpr std::size_t kWindowDirWidths[] = {1, 4, 4, 8, 8, 8};
+inline constexpr std::size_t kRackWidths[] = {4, 1, 1, 2, 4, 4, 4, 1};
+inline constexpr std::size_t kRackRunWidths[] = {4, 1, 1, 1, 4, 2, 2, 2,
+                                                 8, 8, 8};
+inline constexpr std::size_t kServerRunWidths[] = {4, 1, 1, 1, 4,
+                                                   4, 4, 4, 4, 4};
+inline constexpr std::size_t kBurstWidths[] = {4, 1, 1, 2, 4, 2, 4, 1, 1};
+
+inline constexpr std::size_t kWindowDirCols = std::size(kWindowDirWidths);
+inline constexpr std::size_t kRackCols = std::size(kRackWidths);
+inline constexpr std::size_t kRackRunCols = std::size(kRackRunWidths);
+inline constexpr std::size_t kServerRunCols = std::size(kServerRunWidths);
+inline constexpr std::size_t kBurstCols = std::size(kBurstWidths);
+
+/// Record counts that fully determine a v6 file's layout (plus the byte
+/// length of the row-encoded exemplar section, which is data-dependent).
+struct SectionCounts {
+  std::uint64_t windows = 0;
+  std::uint64_t racks = 0;
+  std::uint64_t rack_runs = 0;
+  std::uint64_t server_runs = 0;
+  std::uint64_t bursts = 0;
+  std::uint64_t exemplar_bytes = 0;
+};
+
+/// One section-directory entry: absolute offset of the section's first
+/// column and total section bytes (last column end minus first offset).
+struct SectionExtent {
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// The complete byte layout of a v6 file, derived deterministically from
+/// the section counts: column offsets are assigned in section/field order,
+/// each aligned up to kSegmentAlign.
+struct V6Layout {
+  std::uint64_t header_bytes = 0;
+  std::array<std::vector<std::uint64_t>, kNumSections> columns;
+  std::array<SectionExtent, kNumSections> dir{};
+  std::uint64_t file_bytes = 0;
+};
+
+/// Size of the fixed v6 prefix: magic, version, fingerprint, config,
+/// shard index/count, window range, four record-count u64s, and the
+/// section directory.
+std::size_t header_bytes_v6();
+
+/// Serialized size of the FleetConfig codec (version-independent part of
+/// the header arithmetic; the v4 codec is this minus the delay fields).
+std::size_t config_wire_size();
+
+V6Layout v6_layout(const SectionCounts& counts);
+
+/// Everything in the fixed v6 prefix.  `counts.exemplar_bytes` mirrors
+/// `dir[kSecExemplars].bytes` (the count fields on the wire are only the
+/// four record counts; the window count is `window_end - window_begin`).
+struct V6Header {
+  std::uint64_t fingerprint = 0;
+  FleetConfig config;
+  ShardSpec shard;
+  std::uint64_t window_begin = 0;
+  std::uint64_t window_end = 0;
+  SectionCounts counts;
+  std::array<SectionExtent, kNumSections> dir{};
+};
+
+void put_header_v6(Writer& w, const V6Header& h);
+
+/// Parses and validates a v6 fixed prefix from the first `available` bytes
+/// of a file whose total size is `file_size`.  On success fills `h` and
+/// `layout` (recomputed from the counts) after checking: magic/version (a
+/// v4/v5 file gets a "run msampctl migrate" error), config decode, a
+/// canonical shard window range, a complete rack table
+/// (2 * racks_per_region entries), directory == recomputed layout, and
+/// `file_size` == layout end.  The error Status carries the failing byte
+/// offset; the caller attaches the path.
+util::Status read_header_v6(const std::uint8_t* data, std::size_t available,
+                            std::uint64_t file_size, V6Header* h,
+                            V6Layout* layout);
+
+// Columnar field appenders: append column `col` (field order as in the
+// width tables above) of one record to `w`.
+void put_column(Writer& w, const RackInfo& v, std::size_t col);
+void put_column(Writer& w, const RackRunRecord& v, std::size_t col);
+void put_column(Writer& w, const ServerRunRecord& v, std::size_t col);
+void put_column(Writer& w, const BurstRecord& v, std::size_t col);
+
+// --- field-wise row codecs ---------------------------------------------
+// Still used by: the legacy (v4/v5) reader in `Dataset::load`, the
+// exemplar section of v6 (tiny, variable-length), and `legacy_serialize`
+// below.  `wire_size` is the serialized row size of one record, used to
+// bound hostile counts before any allocation.
 
 void put_record(Writer& w, const WindowCounts& c);
 bool get_record(Reader& r, WindowCounts* c);
@@ -135,19 +268,26 @@ bool get_records(Reader& r, std::vector<T>* v) {
   return true;
 }
 
-/// FleetConfig travels with the dataset so a merge (and `report`) can see
-/// the scale and classification knobs without re-supplying them.
+/// FleetConfig travels with the dataset so a merge (and `report`/`query`)
+/// can see the scale and classification knobs without re-supplying them.
 /// `threads` is deliberately not serialized: it is execution detail,
-/// never data.
+/// never data.  The legacy variants read/write the v4 codec (no
+/// SharedBufferConfig::delay fields) when `version` is 4.
 void put_config(Writer& w, const FleetConfig& c);
 bool get_config(Reader& r, FleetConfig* c);
+void put_config_legacy(Writer& w, const FleetConfig& c, std::uint32_t version);
+bool get_config_legacy(Reader& r, FleetConfig* c, std::uint32_t version);
 
 void put_exemplar(Writer& w, const ExemplarRun& e);
 bool get_exemplar(Reader& r, ExemplarRun* e);
 
-/// The fixed-size file prefix up to (and including) the shard header, as
-/// written by every producer: magic, version, fingerprint, config, shard
-/// index/count, window_begin, window_end.
-void put_header(Writer& w, const Dataset& ds);
+/// Serialized size of one exemplar payload (row codec above).
+std::size_t exemplar_wire_bytes(const ExemplarRun& e);
+
+/// Serializes `ds` in the legacy row-wise whole-blob layout (version 4 or
+/// 5).  Kept only so tests and `msampctl migrate` can exercise the legacy
+/// reader; every production writer emits v6.
+std::vector<std::uint8_t> legacy_serialize(const Dataset& ds,
+                                           std::uint32_t version);
 
 }  // namespace msamp::fleet::wire

@@ -1,0 +1,71 @@
+// util::Status: the error type of the dataset file APIs.  A bare `bool`
+// told an operator *that* a 2GB merged day failed to open, never *why* or
+// *where*; Status carries the path, the byte offset where parsing gave up
+// (when known), and a human-readable reason, so `msampctl` can print
+// "day.bin: corrupt burst section (at byte 73728)" instead of a generic
+// failure.
+//
+// Deliberately minimal: no error codes, no payloads.  Callers branch on
+// ok()/operator bool and print to_string(); the reason text is the
+// contract with the human, not with other code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace msamp::util {
+
+class [[nodiscard]] Status {
+ public:
+  /// Default-constructed Status is success.
+  Status() = default;
+
+  static Status ok() { return Status(); }
+
+  /// Failure with a reason, an optional subject path, and an optional
+  /// byte offset into that file (-1 = no offset).
+  static Status error(std::string reason, std::string path = {},
+                      std::int64_t offset = -1) {
+    Status s;
+    s.failed_ = true;
+    s.reason_ = std::move(reason);
+    s.path_ = std::move(path);
+    s.offset_ = offset;
+    return s;
+  }
+
+  bool is_ok() const { return !failed_; }
+  explicit operator bool() const { return !failed_; }
+
+  const std::string& reason() const { return reason_; }
+  const std::string& path() const { return path_; }
+  bool has_offset() const { return offset_ >= 0; }
+  std::int64_t offset() const { return offset_; }
+
+  /// Returns a copy of this Status with `path` filled in (keeps call
+  /// sites that discover the path after the failure terse).
+  Status with_path(std::string path) const {
+    Status s = *this;
+    s.path_ = std::move(path);
+    return s;
+  }
+
+  /// "path: reason (at byte N)" — the one-line operator-facing message.
+  std::string to_string() const {
+    if (!failed_) return "ok";
+    std::string out;
+    if (!path_.empty()) out += path_ + ": ";
+    out += reason_;
+    if (offset_ >= 0) out += " (at byte " + std::to_string(offset_) + ")";
+    return out;
+  }
+
+ private:
+  bool failed_ = false;
+  std::string reason_;
+  std::string path_;
+  std::int64_t offset_ = -1;
+};
+
+}  // namespace msamp::util

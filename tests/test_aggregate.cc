@@ -1,4 +1,7 @@
 // Tests for the dataset-level aggregation library (fleet/aggregate).
+// Aggregations consume a DatasetView, so the hand-rolled fixture is
+// serialized to a v6 blob and attached — the same read path production
+// uses.
 #include "fleet/aggregate.h"
 
 #include <gtest/gtest.h>
@@ -21,14 +24,20 @@ BurstRecord burst(std::uint32_t rack, int region, int len, double conns,
 
 Dataset make_dataset() {
   Dataset ds;
-  // Rack 1: RegA typical; rack 2: RegA high; rack 3: RegB.
-  for (std::uint32_t id : {1u, 2u, 3u}) {
+  // Canonical scale so the v6 blob validates: 2 racks per region x 2
+  // hours = 8 windows, 4 racks.
+  ds.config.racks_per_region = 2;
+  ds.config.hours = 2;
+  ds.window_begin = 0;
+  ds.window_end = 8;
+  // Rack 1: RegA typical; rack 2: RegA high; racks 3-4: RegB.
+  for (std::uint32_t id : {1u, 2u, 3u, 4u}) {
     RackInfo info;
     info.rack_id = id;
-    info.region = id == 3 ? 1 : 0;
+    info.region = id >= 3 ? 1 : 0;
     info.rack_class = static_cast<std::uint8_t>(
         id == 2 ? analysis::RackClass::kRegAHigh
-                : (id == 3 ? analysis::RackClass::kRegB
+                : (id >= 3 ? analysis::RackClass::kRegB
                            : analysis::RackClass::kRegATypical));
     ds.racks.push_back(info);
   }
@@ -54,28 +63,49 @@ Dataset make_dataset() {
       ds.rack_runs.push_back(rr);
     }
   }
+
+  // Window directory: 8 windows; the first 6 carry the rack runs (one
+  // each, vector order), window 0 carries every burst.  The aggregations
+  // scan whole columns, so the partition is free-form as long as the
+  // totals tie out.
+  ds.window_counts.assign(8, WindowCounts{});
+  for (int w = 0; w < 6; ++w) ds.window_counts[w].has_run = 1;
+  ds.window_counts[0].bursts = static_cast<std::uint32_t>(ds.bursts.size());
   return ds;
 }
 
+/// The fixture every test reads through: the dataset above, serialized
+/// to v6 and attached as a zero-copy view.
+struct Fixture {
+  Dataset ds = make_dataset();
+  std::vector<std::uint8_t> blob = ds.serialize();
+  DatasetView view;
+
+  Fixture() {
+    const auto st = DatasetView::attach(blob.data(), blob.size(), &view);
+    EXPECT_TRUE(st) << st.to_string();
+  }
+};
+
 TEST(Aggregate, ClassMapAndBurstClass) {
-  const Dataset ds = make_dataset();
-  const ClassMap classes = build_class_map(ds);
+  const Fixture f;
+  const ClassMap classes = build_class_map(f.view);
   EXPECT_EQ(classes.at(1), analysis::RackClass::kRegATypical);
   EXPECT_EQ(classes.at(2), analysis::RackClass::kRegAHigh);
-  EXPECT_EQ(burst_class(ds.bursts[0], classes),
+  EXPECT_EQ(burst_class(f.ds.bursts[0], classes),
             analysis::RackClass::kRegATypical);
-  EXPECT_EQ(burst_class(ds.bursts[4], classes),
+  EXPECT_EQ(burst_class(f.ds.bursts[4], classes),
             analysis::RackClass::kRegAHigh);
-  EXPECT_EQ(burst_class(ds.bursts[6], classes), analysis::RackClass::kRegB);
+  EXPECT_EQ(burst_class(f.ds.bursts[6], classes), analysis::RackClass::kRegB);
   // Unknown RegA rack defaults to typical.
-  BurstRecord stray = ds.bursts[0];
+  BurstRecord stray = f.ds.bursts[0];
   stray.rack_id = 999;
   EXPECT_EQ(burst_class(stray, classes), analysis::RackClass::kRegATypical);
 }
 
 TEST(Aggregate, Table2Summary) {
-  const Dataset ds = make_dataset();
-  const auto summary = table2_summary(ds, build_class_map(ds));
+  const Fixture f;
+  const auto summary = table2_summary(f.view, build_class_map(f.view));
   const auto& typical =
       summary[static_cast<std::size_t>(analysis::RackClass::kRegATypical)];
   EXPECT_EQ(typical.bursts, 4);
@@ -101,8 +131,8 @@ TEST(Aggregate, EmptyStatsAreZero) {
 }
 
 TEST(Aggregate, LossByContention) {
-  const Dataset ds = make_dataset();
-  const auto curve = loss_by_contention(ds, build_class_map(ds),
+  const Fixture f;
+  const auto curve = loss_by_contention(f.view, build_class_map(f.view),
                                         analysis::RackClass::kRegATypical,
                                         /*bin_width=*/3, /*max=*/9);
   ASSERT_EQ(curve.size(), 3u);
@@ -116,18 +146,18 @@ TEST(Aggregate, LossByContention) {
 }
 
 TEST(Aggregate, LossByContentionClampsOverflow) {
-  const Dataset ds = make_dataset();
+  const Fixture f;
   const auto curve =
-      loss_by_contention(ds, build_class_map(ds),
+      loss_by_contention(f.view, build_class_map(f.view),
                          analysis::RackClass::kRegAHigh, 3, 9);
   // Contentions 12 and 15 clamp into the last bin.
   EXPECT_EQ(curve.back().bursts, 2);
 }
 
 TEST(Aggregate, LossByLengthAndFilter) {
-  const Dataset ds = make_dataset();
-  const ClassMap classes = build_class_map(ds);
-  const auto all = loss_by_length(ds, classes,
+  const Fixture f;
+  const ClassMap classes = build_class_map(f.view);
+  const auto all = loss_by_length(f.view, classes,
                                   analysis::RackClass::kRegATypical,
                                   BurstFilter::kAll, 10);
   ASSERT_EQ(all.size(), 10u);
@@ -136,12 +166,12 @@ TEST(Aggregate, LossByLengthAndFilter) {
   EXPECT_EQ(all[2].lossy, 1);
 
   const auto contended = loss_by_length(
-      ds, classes, analysis::RackClass::kRegATypical,
+      f.view, classes, analysis::RackClass::kRegATypical,
       BurstFilter::kContended, 10);
   EXPECT_EQ(contended[0].bursts, 0);  // the 1ms burst was not contended
   EXPECT_EQ(contended[2].bursts, 1);
 
-  const auto non = loss_by_length(ds, classes,
+  const auto non = loss_by_length(f.view, classes,
                                   analysis::RackClass::kRegATypical,
                                   BurstFilter::kNonContended, 10);
   EXPECT_EQ(non[0].bursts, 1);
@@ -149,9 +179,9 @@ TEST(Aggregate, LossByLengthAndFilter) {
 }
 
 TEST(Aggregate, LossByConnections) {
-  const Dataset ds = make_dataset();
+  const Fixture f;
   const auto curve = loss_by_connections(
-      ds, build_class_map(ds), analysis::RackClass::kRegATypical,
+      f.view, build_class_map(f.view), analysis::RackClass::kRegATypical,
       BurstFilter::kAll, /*bin_width=*/10, /*num_bins=*/6);
   ASSERT_EQ(curve.size(), 6u);
   EXPECT_EQ(curve[0].bursts, 1);  // conns 5
@@ -162,14 +192,14 @@ TEST(Aggregate, LossByConnections) {
 }
 
 TEST(Aggregate, BusyHourContention) {
-  const Dataset ds = make_dataset();
+  const Fixture f;
   const auto rega =
-      busy_hour_contention(ds, workload::RegionId::kRegA, 6);
+      busy_hour_contention(f.view, workload::RegionId::kRegA, 6);
   ASSERT_EQ(rega.size(), 2u);  // racks 1 and 2
   EXPECT_FLOAT_EQ(static_cast<float>(rega[0]), 1.5f);
   EXPECT_FLOAT_EQ(static_cast<float>(rega[1]), 2.5f);
   const auto regb =
-      busy_hour_contention(ds, workload::RegionId::kRegB, 6);
+      busy_hour_contention(f.view, workload::RegionId::kRegB, 6);
   ASSERT_EQ(regb.size(), 1u);
   EXPECT_FLOAT_EQ(static_cast<float>(regb[0]), 3.5f);
 }

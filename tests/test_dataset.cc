@@ -5,10 +5,13 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 
 #include <gtest/gtest.h>
 
+#include "fleet/dataset_view.h"
 #include "fleet/fleet_runner.h"
+#include "fleet/wire.h"
 
 namespace msamp::fleet {
 namespace {
@@ -34,6 +37,13 @@ Dataset sample_dataset() {
   rack.busy_hour_avg_contention = 7.5f;
   rack.rack_class = static_cast<std::uint8_t>(analysis::RackClass::kRegAHigh);
   ds.racks.push_back(rack);
+  // v6 requires the complete canonical table: one RegB rack rounds out
+  // the 2 * racks_per_region entries.
+  RackInfo regb;
+  regb.rack_id = 4;
+  regb.region = 1;
+  regb.rack_class = static_cast<std::uint8_t>(analysis::RackClass::kRegB);
+  ds.racks.push_back(regb);
 
   RackRunRecord rr;
   rr.rack_id = 3;
@@ -74,7 +84,7 @@ TEST(Dataset, SerializeRoundTrip) {
   Dataset copy;
   ASSERT_TRUE(copy.deserialize(ds.serialize()));
   EXPECT_EQ(copy.fingerprint, ds.fingerprint);
-  ASSERT_EQ(copy.racks.size(), 1u);
+  ASSERT_EQ(copy.racks.size(), 2u);
   EXPECT_EQ(copy.racks[0].rack_id, 3u);
   EXPECT_EQ(copy.racks[0].ml_dense, 1);
   EXPECT_FLOAT_EQ(copy.racks[0].busy_hour_avg_contention, 7.5f);
@@ -129,15 +139,54 @@ TEST(Dataset, RejectsTrailingGarbage) {
   EXPECT_FALSE(ds.deserialize(blob));
 }
 
-TEST(Dataset, SaveLoadFile) {
+TEST(Dataset, SaveThenOpenMapped) {
   const std::string path = "test_dataset_tmp/ds.bin";
   const Dataset ds = sample_dataset();
   ASSERT_TRUE(ds.save(path));
-  Dataset loaded;
-  ASSERT_TRUE(loaded.load(path));
+  DatasetView view;
+  const auto st = Dataset::open_mapped(path, &view);
+  ASSERT_TRUE(st) << st.to_string();
+  EXPECT_EQ(view.fingerprint(), ds.fingerprint);
+  EXPECT_EQ(view.bursts().size(), ds.bursts.size());
+  const Dataset loaded = Dataset::from_view(view);
   EXPECT_EQ(loaded.fingerprint, ds.fingerprint);
   EXPECT_EQ(loaded.bursts.size(), ds.bursts.size());
+  view.close();
   std::filesystem::remove_all("test_dataset_tmp");
+}
+
+TEST(Dataset, LoadRejectsV6WithMigrationHint) {
+  // The legacy row-wise loader refuses a v6 file and tells the operator
+  // how to proceed instead of failing opaquely.
+  const std::string path = "test_dataset_reject_tmp/ds6.bin";
+  ASSERT_TRUE(sample_dataset().save(path));
+  Dataset loaded;
+  const auto st = loaded.load(path);
+  EXPECT_FALSE(st);
+  EXPECT_NE(st.to_string().find("migrate"), std::string::npos)
+      << st.to_string();
+  std::filesystem::remove_all("test_dataset_reject_tmp");
+}
+
+TEST(Dataset, LoadReadsLegacyV4AndV5) {
+  const Dataset ds = sample_dataset();
+  for (std::uint32_t version : {4u, 5u}) {
+    const std::string path = "test_dataset_legacy_tmp/legacy.bin";
+    std::filesystem::create_directories("test_dataset_legacy_tmp");
+    const auto blob = wire::legacy_serialize(ds, version);
+    {
+      std::ofstream out(path, std::ios::binary);
+      out.write(reinterpret_cast<const char*>(blob.data()),
+                static_cast<std::streamsize>(blob.size()));
+    }
+    Dataset loaded;
+    const auto st = loaded.load(path);
+    ASSERT_TRUE(st) << "v" << version << ": " << st.to_string();
+    EXPECT_EQ(loaded.fingerprint, ds.fingerprint);
+    EXPECT_EQ(loaded.bursts.size(), ds.bursts.size());
+    EXPECT_EQ(loaded.racks.size(), ds.racks.size());
+    std::filesystem::remove_all("test_dataset_legacy_tmp");
+  }
 }
 
 TEST(Dataset, LoadMissingFileFails) {
@@ -192,33 +241,34 @@ TEST(Dataset, RejectsWrongMagicAndVersion) {
   }
 }
 
-/// Byte offset of the first u64 vector length (the window-count table),
-/// i.e. the size of the fixed-width header (magic + version + fingerprint
-/// + config + shard).  Derived from an all-empty dataset, whose blob is
-/// exactly header + 5 empty vector lengths + 2 empty exemplars (28 bytes
-/// each), so the test keeps working when the header grows.
-std::size_t header_bytes() {
-  static const std::size_t n = Dataset{}.serialize().size() - 5 * 8 - 2 * 28;
-  return n;
-}
+/// Byte offset of the shard header in a v6 fixed prefix: it follows
+/// magic u32, version u32, fingerprint u64, and the serialized config.
+std::size_t shard_header_off() { return 16 + wire::config_wire_size(); }
 
-TEST(Dataset, RejectsOversizedVectorLengths) {
-  // An adversarial or corrupted count must fail the bounds check, not
-  // drive a huge resize/memcpy.
-  for (std::uint64_t hostile :
-       {std::uint64_t{0x7fffffffffffffffULL}, std::uint64_t{1} << 32,
-        std::uint64_t{0xffffffffffffffffULL}}) {
-    auto blob = real_blob();
-    std::memcpy(blob.data() + header_bytes(), &hostile, sizeof(hostile));
-    Dataset ds;
-    EXPECT_FALSE(ds.deserialize(blob)) << "len=" << hostile;
+TEST(Dataset, RejectsOversizedRecordCounts) {
+  // An adversarial or corrupted record count must fail the layout check
+  // (the recomputed column offsets no longer match the section directory
+  // or the file size), not drive a huge resize/memcpy.  The four record
+  // counts sit right after the shard header's window range.
+  const std::size_t counts_off = shard_header_off() + 4 + 4 + 8 + 8;
+  for (std::size_t field = 0; field < 4; ++field) {
+    for (std::uint64_t hostile :
+         {std::uint64_t{0x7fffffffffffffffULL}, std::uint64_t{1} << 32,
+          std::uint64_t{0xffffffffffffffffULL}}) {
+      auto blob = real_blob();
+      std::memcpy(blob.data() + counts_off + 8 * field, &hostile,
+                  sizeof(hostile));
+      Dataset ds;
+      EXPECT_FALSE(ds.deserialize(blob))
+          << "field=" << field << " len=" << hostile;
+    }
   }
 }
 
 TEST(Dataset, RejectsTamperedShardHeader) {
-  // The shard header is the last 24 bytes of the fixed-width prefix:
-  // index u32, count u32, window_begin u64, window_end u64.
-  const std::size_t shard_off = header_bytes() - 24;
+  // The shard header: index u32, count u32, window_begin u64,
+  // window_end u64.
+  const std::size_t shard_off = shard_header_off();
   {
     // count = 0 is never a valid spec.
     auto blob = real_blob();
@@ -248,14 +298,19 @@ TEST(Dataset, RejectsTamperedShardHeader) {
 }
 
 TEST(Dataset, RejectsWindowCountRecordMismatch) {
-  // Inflate one window's burst count: the record vectors no longer agree
-  // with the count table and the parse must fail.
+  // Inflate one window's burst count in the window directory: the
+  // per-window counts no longer sum to the section's record count and
+  // the parse must fail.
   auto blob = real_blob();
-  const std::size_t counts_off = header_bytes() + 8;  // first WindowCounts
+  wire::V6Header h;
+  wire::V6Layout lay;
+  ASSERT_TRUE(wire::read_header_v6(blob.data(), blob.size(), blob.size(),
+                                   &h, &lay));
+  const std::uint64_t bursts_col = lay.columns[wire::kSecWindows][2];
   std::uint32_t bursts = 0;
-  std::memcpy(&bursts, blob.data() + counts_off + 5, sizeof(bursts));
+  std::memcpy(&bursts, blob.data() + bursts_col, sizeof(bursts));
   ++bursts;
-  std::memcpy(blob.data() + counts_off + 5, &bursts, sizeof(bursts));
+  std::memcpy(blob.data() + bursts_col, &bursts, sizeof(bursts));
   Dataset ds;
   EXPECT_FALSE(ds.deserialize(blob));
 }

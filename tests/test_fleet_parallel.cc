@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fleet/dataset_view.h"
 #include "fleet/merge.h"
 #include "workload/diurnal.h"
 
@@ -181,9 +182,11 @@ TEST(FleetParallel, SharedDatasetRacedFirstCallersReturnOneInstance) {
   EXPECT_EQ(seen[0]->fingerprint, cfg.fingerprint());
   // The cache landed via atomic rename: the final file parses, and no
   // temp file is left behind.
-  Dataset from_disk;
-  ASSERT_TRUE(from_disk.load(cache));
-  EXPECT_EQ(from_disk.fingerprint, cfg.fingerprint());
+  DatasetView from_disk;
+  const auto st = Dataset::open_mapped(cache, &from_disk);
+  ASSERT_TRUE(st) << st.to_string();
+  EXPECT_EQ(from_disk.fingerprint(), cfg.fingerprint());
+  from_disk.close();
   EXPECT_FALSE(std::filesystem::exists(cache + ".tmp"));
   std::filesystem::remove_all("test_fleet_parallel_cache");
 }

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fleet/dataset_view.h"
 #include "workload/diurnal.h"
 
 namespace msamp::fleet {
@@ -147,11 +148,13 @@ TEST(FleetRunner, SharedDatasetCachesToDisk) {
   EXPECT_TRUE(std::filesystem::exists(cache));
   const Dataset& second = shared_dataset(cfg, cache);
   EXPECT_EQ(&first, &second);  // in-process cache hit
-  // A fresh load from disk parses and fingerprint-matches.
-  Dataset from_disk;
-  ASSERT_TRUE(from_disk.load(cache));
-  EXPECT_EQ(from_disk.fingerprint, cfg.fingerprint());
-  EXPECT_EQ(from_disk.bursts.size(), first.bursts.size());
+  // A fresh mapped open from disk parses and fingerprint-matches.
+  DatasetView from_disk;
+  const auto st = Dataset::open_mapped(cache, &from_disk);
+  ASSERT_TRUE(st) << st.to_string();
+  EXPECT_EQ(from_disk.fingerprint(), cfg.fingerprint());
+  EXPECT_EQ(from_disk.bursts().size(), first.bursts.size());
+  from_disk.close();
   std::filesystem::remove_all("test_fleet_cache");
 }
 

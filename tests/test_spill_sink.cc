@@ -60,8 +60,8 @@ std::pair<std::string, std::string> both_paths(const FleetConfig& config,
 
   SpillSink sink(config, shard, via_spill.string(), chunk_bytes);
   run_fleet(config, shard, sink);
-  std::string why;
-  EXPECT_TRUE(sink.finalize(&why)) << why;
+  const auto st = sink.finalize();
+  EXPECT_TRUE(st) << st.to_string();
 
   return {file_bytes(via_builder), file_bytes(via_spill)};
 }
@@ -191,15 +191,14 @@ TEST(SpillSink, VanishedSpillFileFailsFinalizeInsteadOfThrowing) {
   sink.on_window(0, WindowRecords{});
   sink.on_window(1, WindowRecords{});
 
-  const fs::path runs_spill = dir / "out.bin.spill-runs";
+  const fs::path runs_spill = dir / "out.bin.spill-runs-c0";
   fs::remove(runs_spill);
   fs::create_directory(runs_spill);  // file_size on this sets error_code
 
-  std::string why;
-  bool ok = true;
-  EXPECT_NO_THROW(ok = sink.finalize(&why));
-  EXPECT_FALSE(ok);
-  EXPECT_FALSE(why.empty());
+  util::Status st;
+  EXPECT_NO_THROW(st = sink.finalize());
+  EXPECT_FALSE(st);
+  EXPECT_FALSE(st.to_string().empty());
   EXPECT_FALSE(fs::exists(out));
   EXPECT_FALSE(fs::exists(dir / "out.bin.tmp"));  // tmp cleaned up
   fs::remove_all(dir);
@@ -213,7 +212,8 @@ TEST(SpillSink, TruncatesSpillTempsLeftByAKilledAttempt) {
   config.hours = 1;
   const fs::path dir = fresh_dir("retry");
   const fs::path out = dir / "out.bin";
-  std::ofstream(dir / "out.bin.spill-runs") << "stale garbage from attempt 0";
+  std::ofstream(dir / "out.bin.spill-runs-c0")
+      << "stale garbage from attempt 0";
 
   std::string clean_bytes;
   {

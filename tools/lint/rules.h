@@ -18,6 +18,13 @@
 //                         and execution must never reach emitted bytes;
 //                         the one sanctioned reader is
 //                         bench/bench_pool_contention.cc
+//   no-load-in-analysis   materializing dataset reads (`.load(`/`->load(`
+//                         member calls, `shared_dataset`) in view-only
+//                         read paths (src/analysis/, bench/) — analysis
+//                         consumes the zero-copy DatasetView
+//                         (Dataset::open_mapped / fleet::shared_view);
+//                         writers and `msampctl migrate` keep the legacy
+//                         loader
 //
 // A finding on line L is suppressed by a comment on that line containing
 // `msamp-lint: allow(<rule-id>)` (or `allow(all)`).
@@ -65,6 +72,10 @@ struct FileRole {
   /// is banned, so an execution-dependent tally can never be folded into
   /// emitted bytes (docs/OBSERVABILITY.md).
   bool counters_banned = false;
+  /// View-only read path (src/analysis/, bench/): materializing dataset
+  /// loads are banned — these consumers must scale to cluster-size days,
+  /// so they read through the mmap-backed DatasetView (docs/DATASET.md).
+  bool views_only = false;
 };
 
 /// Derives the role from a repo-relative path (forward slashes).

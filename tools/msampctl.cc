@@ -65,13 +65,34 @@
 //       has a worked walkthrough.
 //
 //   msampctl report --dataset dataset.bin
-//       Print the §7/§8 headline statistics of a saved dataset.
+//       Print the §7/§8 headline statistics of a saved dataset.  The file
+//       is mapped read-only (zero-copy), never loaded.
+//
+//   msampctl query --dataset dataset.bin [--region A|B] [--hour H]
+//                  [--racks LO-HI] [--class typical|high|regb]
+//                  [--what summary|windows|bursts] [--limit N]
+//       Select observation windows of a mapped v6 dataset by region,
+//       hour, rack-id range, and measured rack class, and print either a
+//       per-window table (--what windows), the selected windows' burst
+//       records (--what bursts; --limit rows, default 20, 0 = all), or an
+//       aggregate summary (--what summary, the default).  Reads stream
+//       from the mapping, so querying a cluster-scale day stays at a
+//       bounded RSS.
+//
+//   msampctl migrate --in old.bin [--out new.bin]
+//       Rewrite a legacy v4/v5 row-wise dataset file as v6 columnar
+//       (--out defaults to --in, an in-place rewrite).  The stored
+//       fingerprint is preserved and the rewritten file is re-opened and
+//       cross-checked (fingerprint + record counts) before success.
 //
 // Every command is deterministic for a given --seed.
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "analysis/burst_stats.h"
@@ -83,6 +104,7 @@
 #include "cluster/worker.h"
 #include "net/buffer_policy.h"
 #include "fleet/aggregate.h"
+#include "fleet/dataset_view.h"
 #include "fleet/fleet_runner.h"
 #include "fleet/fluid_rack.h"
 #include "fleet/merge.h"
@@ -277,8 +299,8 @@ int cmd_fleet(const Flags& flags) {
   });
   const fleet::Dataset ds = builder.take();
   const std::string out = flags.str("out", "dataset.bin");
-  if (!ds.save(out)) {
-    std::cerr << "error: cannot write " << out << "\n";
+  if (auto st = ds.save(out); !st) {
+    std::cerr << "error: " << st.to_string() << "\n";
     return 1;
   }
   std::cout << "\nwrote " << out << ": " << ds.rack_runs.size()
@@ -300,12 +322,12 @@ int cmd_merge(const Flags& flags) {
               "(msampctl merge shard0.bin shard1.bin ... --out dataset.bin)");
   }
   const std::string out = flags.str("out", "dataset.bin");
-  std::string err;
   fleet::MergeStats stats;
-  // Streaming merge: the bulky record sections are copied file-to-file
-  // through a bounded buffer, so this never loads a whole day.
-  if (!fleet::merge_shards(paths, out, &err, &stats)) {
-    std::cerr << "error: " << err << "\n";
+  // Streaming merge: the bulky record sections are copied
+  // mapping-to-file through a bounded buffer, so this never loads a
+  // whole day.
+  if (auto st = fleet::merge_shards(paths, out, &stats); !st) {
+    std::cerr << "error: " << st.to_string() << "\n";
     return 1;
   }
   std::cout << "merged " << stats.shards << " shard(s) into " << out << ": "
@@ -469,15 +491,16 @@ int cmd_sweep(const Flags& flags) {
 
 int cmd_report(const Flags& flags) {
   const std::string path = flags.str("dataset", "dataset.bin");
-  fleet::Dataset ds;
-  if (!ds.load(path)) {
-    std::cerr << "error: cannot load " << path << "\n";
+  fleet::DatasetView ds;
+  if (auto st = fleet::Dataset::open_mapped(path, &ds); !st) {
+    std::cerr << "error: " << st.to_string() << "\n";
     return 1;
   }
-  if (!ds.shard.full_range()) {
-    std::cout << "note: " << path << " is shard " << ds.shard.index << "/"
-              << ds.shard.count << " (windows [" << ds.window_begin << ", "
-              << ds.window_end << ")); rack classes are computed at merge, "
+  if (!ds.shard().full_range()) {
+    std::cout << "note: " << path << " is shard " << ds.shard().index << "/"
+              << ds.shard().count << " (windows [" << ds.window_begin()
+              << ", " << ds.window_end()
+              << ")); rack classes are computed at merge, "
               << "so class rows below reflect partial data\n";
   }
   const auto classes = fleet::build_class_map(ds);
@@ -506,10 +529,210 @@ int cmd_report(const Flags& flags) {
   return 0;
 }
 
+/// Parses "--racks LO-HI" (or a single "N") into an inclusive rack-id
+/// range; throws UsageError on malformed input.
+std::pair<std::uint32_t, std::uint32_t> parse_rack_range(
+    const std::string& text) {
+  const auto parse_u32 = [&](const std::string& tok) {
+    std::size_t used = 0;
+    unsigned long v = 0;
+    try {
+      v = std::stoul(tok, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != tok.size() || tok.empty()) {
+      throw util::UsageError("bad --racks range '" + text +
+                             "' (expected LO-HI or a single rack id)");
+    }
+    return static_cast<std::uint32_t>(v);
+  };
+  const std::size_t dash = text.find('-');
+  if (dash == std::string::npos) {
+    const std::uint32_t v = parse_u32(text);
+    return {v, v};
+  }
+  const auto lo = parse_u32(text.substr(0, dash));
+  const auto hi = parse_u32(text.substr(dash + 1));
+  if (lo > hi) {
+    throw util::UsageError("bad --racks range '" + text + "' (LO > HI)");
+  }
+  return {lo, hi};
+}
+
+int cmd_query(const Flags& flags) {
+  const std::string path = flags.str("dataset", "dataset.bin");
+  fleet::DatasetView view;
+  if (auto st = fleet::Dataset::open_mapped(path, &view); !st) {
+    std::cerr << "error: " << st.to_string() << "\n";
+    return 1;
+  }
+
+  // Window filters.  -1 (or the full id range) means "no filter".
+  int region = -1;
+  if (flags.has("region")) {
+    const std::string r = flags.str("region", "");
+    if (r == "A" || r == "a") {
+      region = 0;
+    } else if (r == "B" || r == "b") {
+      region = 1;
+    } else {
+      die_usage("unknown --region '" + r + "' (A|B)");
+    }
+  }
+  const int hour = flags.has("hour")
+                       ? static_cast<int>(flags.num("hour", 0))
+                       : -1;
+  std::uint32_t rack_lo = 0, rack_hi = ~std::uint32_t{0};
+  if (flags.has("racks")) {
+    std::tie(rack_lo, rack_hi) = parse_rack_range(flags.str("racks", ""));
+  }
+  int want_class = -1;
+  if (flags.has("class")) {
+    const std::string c = flags.str("class", "");
+    if (c == "typical") {
+      want_class = static_cast<int>(analysis::RackClass::kRegATypical);
+    } else if (c == "high") {
+      want_class = static_cast<int>(analysis::RackClass::kRegAHigh);
+    } else if (c == "regb") {
+      want_class = static_cast<int>(analysis::RackClass::kRegB);
+    } else {
+      die_usage("unknown --class '" + c + "' (typical|high|regb)");
+    }
+  }
+  const std::string what = flags.str("what", "summary");
+  if (what != "summary" && what != "windows" && what != "bursts") {
+    die_usage("unknown --what '" + what + "' (summary|windows|bursts)");
+  }
+  const long limit = static_cast<long>(flags.num("limit", 20));
+
+  const auto matches = [&](const fleet::WindowView& w) {
+    if (region >= 0 && w.key.region != region) return false;
+    if (hour >= 0 && w.key.hour != hour) return false;
+    if (w.key.rack_id < rack_lo || w.key.rack_id > rack_hi) return false;
+    if (want_class >= 0 &&
+        static_cast<int>(view.class_of(w.key.rack_id)) != want_class) {
+      return false;
+    }
+    return true;
+  };
+  const auto class_name = [&](std::uint32_t rack_id) {
+    return std::string(analysis::rack_class_name(view.class_of(rack_id)));
+  };
+
+  long matched = 0, rows = 0, truncated = 0;
+  if (what == "windows") {
+    util::Table table({"window", "region", "hour", "rack", "class", "runs",
+                       "server runs", "bursts", "avg contention"});
+    for (std::size_t i = 0; i < view.num_windows(); ++i) {
+      const fleet::WindowView w = view.window(i);
+      if (!matches(w)) continue;
+      ++matched;
+      if (limit > 0 && rows >= limit) {
+        ++truncated;
+        continue;
+      }
+      ++rows;
+      table.row()
+          .cell(static_cast<long long>(w.index))
+          .cell(w.key.region == 0 ? "RegA" : "RegB")
+          .cell(static_cast<long long>(w.key.hour))
+          .cell(static_cast<long long>(w.key.rack_id))
+          .cell(class_name(w.key.rack_id))
+          .cell(static_cast<long long>(w.rack_run.size()))
+          .cell(static_cast<long long>(w.server_runs.size()))
+          .cell(static_cast<long long>(w.bursts.size()))
+          .cell(w.has_run ? util::format_double(w.rack_run.avg_contention[0],
+                                                2)
+                          : std::string("-"));
+    }
+    table.print(std::cout);
+  } else if (what == "bursts") {
+    util::Table table({"window", "rack", "class", "hour", "len (ms)",
+                       "volume (B)", "max contention", "avg conns",
+                       "contended", "lossy"});
+    for (std::size_t i = 0; i < view.num_windows(); ++i) {
+      const fleet::WindowView w = view.window(i);
+      if (!matches(w)) continue;
+      ++matched;
+      for (std::size_t b = 0; b < w.bursts.size(); ++b) {
+        if (limit > 0 && rows >= limit) {
+          ++truncated;
+          continue;
+        }
+        ++rows;
+        table.row()
+            .cell(static_cast<long long>(w.index))
+            .cell(static_cast<long long>(w.bursts.rack_id[b]))
+            .cell(class_name(w.bursts.rack_id[b]))
+            .cell(static_cast<long long>(w.bursts.hour[b]))
+            .cell(static_cast<long long>(w.bursts.len_ms[b]))
+            .cell(w.bursts.volume_bytes[b], 0)
+            .cell(static_cast<long long>(w.bursts.max_contention[b]))
+            .cell(w.bursts.avg_conns[b], 1)
+            .cell(w.bursts.contended[b] ? "yes" : "no")
+            .cell(w.bursts.lossy[b] ? "yes" : "no");
+      }
+    }
+    table.print(std::cout);
+  } else {
+    long runs = 0, server_runs = 0, bursts = 0, contended = 0, lossy = 0;
+    double contention_sum = 0.0;
+    for (std::size_t i = 0; i < view.num_windows(); ++i) {
+      const fleet::WindowView w = view.window(i);
+      if (!matches(w)) continue;
+      ++matched;
+      runs += static_cast<long>(w.rack_run.size());
+      server_runs += static_cast<long>(w.server_runs.size());
+      bursts += static_cast<long>(w.bursts.size());
+      for (auto c : w.bursts.contended) contended += c ? 1 : 0;
+      for (auto l : w.bursts.lossy) lossy += l ? 1 : 0;
+      if (w.has_run) contention_sum += w.rack_run.avg_contention[0];
+    }
+    util::Table table({"metric", "value"});
+    table.add_row({"windows selected", std::to_string(matched)});
+    table.add_row({"rack runs", std::to_string(runs)});
+    table.add_row({"server runs", std::to_string(server_runs)});
+    table.add_row({"bursts", std::to_string(bursts)});
+    table.add_row(
+        {"% contended",
+         util::format_double(
+             100.0 * static_cast<double>(contended) /
+                 static_cast<double>(std::max(bursts, 1L)),
+             1)});
+    table.add_row(
+        {"% lossy", util::format_double(
+                        100.0 * static_cast<double>(lossy) /
+                            static_cast<double>(std::max(bursts, 1L)),
+                        2)});
+    table.add_row(
+        {"mean window avg contention",
+         util::format_double(
+             contention_sum / static_cast<double>(std::max(runs, 1L)), 2)});
+    table.print(std::cout);
+  }
+  if (truncated > 0) {
+    std::cout << "(+" << truncated << " more row(s); raise --limit or pass "
+              << "--limit 0 for all)\n";
+  }
+  return 0;
+}
+
+int cmd_migrate(const Flags& flags) {
+  const std::string in = flags.str("in", "dataset.bin");
+  const std::string out = flags.str("out", in);
+  if (auto st = fleet::migrate_dataset_file(in, out); !st) {
+    std::cerr << "error: " << st.to_string() << "\n";
+    return 1;
+  }
+  std::cout << "migrated " << in << " -> " << out << " (v6 columnar)\n";
+  return 0;
+}
+
 void usage() {
   std::cout << "usage: msampctl "
                "<simulate-rack|analyze|fleet|merge|cluster|worker|sweep|"
-               "report> [--flag value ...]\n"
+               "report|query|migrate> [--flag value ...]\n"
                "see the header of tools/msampctl.cc for full flag lists\n";
 }
 
@@ -545,6 +768,9 @@ int main(int argc, char** argv) {
                      "chunk-bytes", "stall-ms", "max-parallel", "retry-max",
                      "retry-base-ms"})},
       {"report", {"dataset"}},
+      {"query", {"dataset", "region", "hour", "racks", "class", "what",
+                 "limit"}},
+      {"migrate", {"in", "out"}},
   };
   const auto it = known_flags.find(cmd);
   if (it == known_flags.end()) {
@@ -561,6 +787,8 @@ int main(int argc, char** argv) {
     if (cmd == "cluster") return cmd_cluster(flags);
     if (cmd == "worker") return cmd_worker(flags);
     if (cmd == "sweep") return cmd_sweep(flags);
+    if (cmd == "query") return cmd_query(flags);
+    if (cmd == "migrate") return cmd_migrate(flags);
     return cmd_report(flags);
   } catch (const util::UsageError& e) {
     die_usage(e.what());
