@@ -4,10 +4,12 @@
 // have larger buffers and faster links and congest less.  We run the same
 // workload against three ASIC presets and confirm that design choice.
 #include <iostream>
+#include <span>
 
 #include "analysis/contention.h"
 #include "common.h"
 #include "fleet/fluid_rack.h"
+#include "util/stats.h"
 
 using namespace msamp;
 
@@ -62,13 +64,14 @@ SeedTotals run_seed(const Asic& asic, std::uint64_t seed) {
 
 /// Sums the three per-seed windows in canonical seed order.
 Outcome reduce(const SeedTotals* seeds) {
-  double contention = 0, drops = 0, ecn = 0, bytes = 0;
-  for (int s = 0; s < 3; ++s) {
-    contention += seeds[s].contention;
-    drops += seeds[s].drops;
-    ecn += seeds[s].ecn;
-    bytes += seeds[s].bytes;
-  }
+  const std::span<const SeedTotals> s(seeds, 3);
+  const auto sum = [&](double SeedTotals::*field) {
+    return util::canonical_sum_over(s, [=](const SeedTotals& t) { return t.*field; });
+  };
+  const double contention = sum(&SeedTotals::contention);
+  const double drops = sum(&SeedTotals::drops);
+  const double ecn = sum(&SeedTotals::ecn);
+  const double bytes = sum(&SeedTotals::bytes);
   return {contention / 3, drops / (bytes / 1e9) / 1e3,
           ecn / (bytes / 1e9) / 1e6};
 }

@@ -11,9 +11,11 @@
 // contended adaptive racks are far less sensitive — supporting
 // per-rack-group buffer configurations.
 #include <iostream>
+#include <span>
 #include <string>
 
 #include "common.h"
+#include "util/stats.h"
 #include "fleet/fluid_rack.h"
 #include "net/buffer_policy.h"
 
@@ -118,12 +120,13 @@ SeedTotals run_seed(const workload::RackMeta& rack,
 /// doubles — and therefore the printed table — do not depend on the
 /// parallel completion order.
 Outcome reduce(const SeedTotals* seeds) {
-  double drops = 0, ecn = 0, bytes = 0;
-  for (int s = 0; s < 3; ++s) {
-    drops += seeds[s].drops;
-    ecn += seeds[s].ecn;
-    bytes += seeds[s].bytes;
-  }
+  const std::span<const SeedTotals> s(seeds, 3);
+  const auto sum = [&](double SeedTotals::*field) {
+    return util::canonical_sum_over(s, [=](const SeedTotals& t) { return t.*field; });
+  };
+  const double drops = sum(&SeedTotals::drops);
+  const double ecn = sum(&SeedTotals::ecn);
+  const double bytes = sum(&SeedTotals::bytes);
   return {drops / (bytes / 1e9) / 1e3, ecn / (bytes / 1e9) / 1e6};
 }
 

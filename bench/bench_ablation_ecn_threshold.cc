@@ -5,9 +5,11 @@
 // higher thresholds let queues grow into the DT limit and lose more.
 #include <iostream>
 #include <iterator>
+#include <span>
 
 #include "common.h"
 #include "fleet/fluid_rack.h"
+#include "util/stats.h"
 
 using namespace msamp;
 
@@ -48,12 +50,14 @@ int main() {
                 static_cast<double>(res.delivered_bytes)};
       });
   for (std::size_t t = 0; t < std::size(kThresholdsKb); ++t) {
-    double drops = 0, ecn = 0, bytes = 0;
-    for (std::size_t s = 0; s < 3; ++s) {
-      drops += windows[t * 3 + s].drops;
-      ecn += windows[t * 3 + s].ecn;
-      bytes += windows[t * 3 + s].bytes;
-    }
+    const std::span<const SeedTotals> seeds(&windows[t * 3], 3);
+    const auto sum = [&](double SeedTotals::*field) {
+      return util::canonical_sum_over(
+          seeds, [=](const SeedTotals& w) { return w.*field; });
+    };
+    const double drops = sum(&SeedTotals::drops);
+    const double ecn = sum(&SeedTotals::ecn);
+    const double bytes = sum(&SeedTotals::bytes);
     table.row()
         .cell(static_cast<long long>(kThresholdsKb[t]))
         .cell(drops / (bytes / 1e9) / 1e3, 2)

@@ -4,9 +4,11 @@
 // the bursts arriving at the ToR.  We enable the fabric stage on an
 // ML-dense rack and a typical rack and compare where the losses land.
 #include <iostream>
+#include <span>
 
 #include "common.h"
 #include "fleet/fluid_rack.h"
+#include "util/stats.h"
 
 using namespace msamp;
 
@@ -44,12 +46,13 @@ SeedTotals run_seed(workload::TaskKind kind, double intensity, bool fabric,
 
 /// Sums the three per-seed windows in canonical seed order.
 Outcome reduce(const SeedTotals* seeds) {
-  double tor = 0, fab = 0, bytes = 0;
-  for (int s = 0; s < 3; ++s) {
-    tor += seeds[s].tor;
-    fab += seeds[s].fab;
-    bytes += seeds[s].bytes;
-  }
+  const std::span<const SeedTotals> s(seeds, 3);
+  const auto sum = [&](double SeedTotals::*field) {
+    return util::canonical_sum_over(s, [=](const SeedTotals& t) { return t.*field; });
+  };
+  const double tor = sum(&SeedTotals::tor);
+  const double fab = sum(&SeedTotals::fab);
+  const double bytes = sum(&SeedTotals::bytes);
   return {tor / (bytes / 1e9) / 1e3, fab / (bytes / 1e9) / 1e3};
 }
 

@@ -56,8 +56,8 @@ Observation run(bool gro, sim::SimDuration interval) {
       utils.push_back(record.ingress_utilization(i, 12.5));
     }
   }
-  double over = 0;
-  for (double u : utils) over += u > 1.05;  // clearly above line rate
+  const double over = util::canonical_sum_over(
+      utils, [](double u) { return u > 1.05; });  // clearly above line rate
   return {util::percentile(utils, 99), util::percentile(utils, 100),
           100.0 * over / std::max<double>(utils.size(), 1)};
 }

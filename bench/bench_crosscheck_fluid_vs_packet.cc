@@ -46,16 +46,18 @@ Stats analyze(const core::SyncRun& sync) {
                                         .interval = sim::kMillisecond};
   Stats out{};
   std::vector<double> bps, lens, utils;
+  long bursty_count = 0;  // integer tally: exact under any fold order
   for (const auto& series : sync.series) {
     const auto bursts = analysis::detect_bursts(series, cfg);
     const auto stats = analysis::server_run_stats(series, bursts, cfg);
-    out.bursty_servers += stats.bursty;
+    bursty_count += stats.bursty ? 1 : 0;
     if (stats.bursty) {
       bps.push_back(stats.bursts_per_sec);
       utils.push_back(stats.util_inside);
       for (const auto& b : bursts) lens.push_back(static_cast<double>(b.len));
     }
   }
+  out.bursty_servers = static_cast<double>(bursty_count);
   const auto contention = analysis::contention_series(sync, cfg);
   const auto summary = analysis::summarize_contention(contention);
   out.bursts_per_sec_median = util::percentile(bps, 50);

@@ -36,8 +36,8 @@ int main() {
        bench::cdf_series("contended", contended),
        bench::cdf_series("non-contended", free_of_contention)});
 
-  double short_free = 0;
-  for (double l : free_of_contention) short_free += l < 3.0;
+  const double short_free = util::canonical_sum_over(
+      free_of_contention, [](double l) { return l < 3.0; });
   util::Table t({"metric", "measured", "paper"});
   t.row()
       .cell("% of RegA bursts contended")

@@ -31,13 +31,12 @@ int main() {
     };
     std::vector<Row> rows;
     for (auto& [rack, values] : by_rack) {
-      double sum = 0, lo = 1e9, hi = -1e9;
+      double lo = 1e9, hi = -1e9;
       for (double v : values) {
-        sum += v;
         lo = std::min(lo, v);
         hi = std::max(hi, v);
       }
-      rows.push_back({sum / static_cast<double>(values.size()), lo, hi});
+      rows.push_back({util::canonical_mean(values), lo, hi});
     }
     std::sort(rows.begin(), rows.end(),
               [](const Row& a, const Row& b) { return a.mean < b.mean; });
@@ -63,16 +62,13 @@ int main() {
 
     // Average day-range per contention group (RegA only has the split).
     if (region == 0) {
-      double low_var = 0, high_var = 0;
+      const double high_var = util::canonical_sum_over(
+          rows, [](const Row& r) { return r.mean > 5.0 ? r.max - r.min : 0.0; });
+      const double low_var = util::canonical_sum_over(
+          rows, [](const Row& r) { return r.mean > 5.0 ? 0.0 : r.max - r.min; });
       int low_n = 0, high_n = 0;
       for (const auto& r : rows) {
-        if (r.mean > 5.0) {
-          high_var += r.max - r.min;
-          ++high_n;
-        } else {
-          low_var += r.max - r.min;
-          ++low_n;
-        }
+        ++(r.mean > 5.0 ? high_n : low_n);
       }
       util::Table t({"group", "racks", "avg day range", "paper"});
       t.row()

@@ -16,8 +16,7 @@ void diurnal_panel(const fleet::RackRunColumns& rrs, const std::string& label,
   util::Table table(
       {"hour", "min", "p25", "median", "p75", "p90", "max", "mean"});
   util::Series med{"median", {}, {}}, p90{"p90", {}, {}};
-  double peak_sum = 0, off_sum = 0;
-  int peak_n = 0, off_n = 0;
+  std::vector<double> peak_means, off_means;
   for (int hour = 0; hour < 24; ++hour) {
     std::vector<double> values;
     for (std::size_t i = 0; i < rrs.size(); ++i) {
@@ -40,13 +39,7 @@ void diurnal_panel(const fleet::RackRunColumns& rrs, const std::string& label,
     med.y.push_back(box.median);
     p90.x.push_back(hour);
     p90.y.push_back(box.p90);
-    if (hour >= 4 && hour <= 10) {
-      peak_sum += box.mean;
-      ++peak_n;
-    } else {
-      off_sum += box.mean;
-      ++off_n;
-    }
+    (hour >= 4 && hour <= 10 ? peak_means : off_means).push_back(box.mean);
   }
   util::PlotOptions opt;
   opt.title = label + ": avg contention by hour (median and p90 of the box)";
@@ -55,12 +48,11 @@ void diurnal_panel(const fleet::RackRunColumns& rrs, const std::string& label,
   opt.y_min = 0;
   util::ascii_plot(std::cout, {med, p90}, opt);
   bench::emit_table(csv_name, table);
-  if (peak_n > 0 && off_n > 0) {
+  if (!peak_means.empty() && !off_means.empty()) {
+    const double peak = util::canonical_mean(peak_means);
+    const double off = util::canonical_mean(off_means);
     std::cout << "hours 4-10 vs rest: +"
-              << util::format_double(
-                     100.0 * (peak_sum / peak_n - off_sum / off_n) /
-                         (off_sum / off_n),
-                     1)
+              << util::format_double(100.0 * (peak - off) / off, 1)
               << "% mean contention (paper: +27.6% for RegA-High)\n\n";
   }
 }

@@ -65,19 +65,22 @@ int main() {
   bench::emit_table("fig14_volume_correlation", table);
 
   // Spearman-ish check: correlation of volume and contention.
-  double mean_x = 0, mean_y = 0;
-  for (const auto& p : points) {
-    mean_x += p.first;
-    mean_y += p.second;
-  }
-  mean_x /= static_cast<double>(points.size());
-  mean_y /= static_cast<double>(points.size());
-  double sxy = 0, sxx = 0, syy = 0;
-  for (const auto& p : points) {
-    sxy += (p.first - mean_x) * (p.second - mean_y);
-    sxx += (p.first - mean_x) * (p.first - mean_x);
-    syy += (p.second - mean_y) * (p.second - mean_y);
-  }
+  const double n = static_cast<double>(points.size());
+  const double mean_x =
+      util::canonical_sum_over(points, [](const auto& p) { return p.first; }) /
+      n;
+  const double mean_y =
+      util::canonical_sum_over(points, [](const auto& p) { return p.second; }) /
+      n;
+  const double sxy = util::canonical_sum_over(points, [&](const auto& p) {
+    return (p.first - mean_x) * (p.second - mean_y);
+  });
+  const double sxx = util::canonical_sum_over(points, [&](const auto& p) {
+    return (p.first - mean_x) * (p.first - mean_x);
+  });
+  const double syy = util::canonical_sum_over(points, [&](const auto& p) {
+    return (p.second - mean_y) * (p.second - mean_y);
+  });
   std::cout << "\nPearson correlation (volume, contention): "
             << util::format_double(sxy / std::sqrt(sxx * syy), 3)
             << " (paper: clear positive correlation)\n";

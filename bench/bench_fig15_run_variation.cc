@@ -74,8 +74,8 @@ int main() {
   b.y_max = 55;
   util::ascii_plot(std::cout, {min_share, p90_share}, b);
 
-  double ge70 = 0;
-  for (double d : drops) ge70 += d >= 70.0;
+  const double ge70 = util::canonical_sum_over(
+      drops, [](double d) { return d >= 70.0; });
   util::Table t({"metric", "measured", "paper"});
   t.row()
       .cell("median buffer-share drop within a run (%)")

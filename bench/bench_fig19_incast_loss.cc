@@ -27,8 +27,7 @@ int main() {
   util::Table table({"avg connections", "non-contended", "% lossy",
                      "contended", "% lossy "});
   util::Series nc{"non-contended", {}, {}}, co{"contended", {}, {}};
-  double ratio_sum = 0;
-  int ratio_n = 0;
+  std::vector<double> ratios;
   for (int bin = 0; bin < kBins; ++bin) {
     const auto& b0 = non_contended[static_cast<std::size_t>(bin)];
     const auto& b1 = contended[static_cast<std::size_t>(bin)];
@@ -50,8 +49,7 @@ int main() {
       co.y.push_back(b1.pct_lossy());
     }
     if (b0.bursts >= 30 && b1.bursts >= 30 && b0.pct_lossy() > 0) {
-      ratio_sum += b1.pct_lossy() / b0.pct_lossy();
-      ++ratio_n;
+      ratios.push_back(b1.pct_lossy() / b0.pct_lossy());
     }
   }
   util::PlotOptions opt;
@@ -61,9 +59,9 @@ int main() {
   opt.y_min = 0;
   util::ascii_plot(std::cout, {nc, co}, opt);
   bench::emit_table("fig19_incast_loss", table);
-  if (ratio_n > 0) {
+  if (!ratios.empty()) {
     std::cout << "\nmean contended/non-contended loss ratio: "
-              << util::format_double(ratio_sum / ratio_n, 2)
+              << util::format_double(util::canonical_mean(ratios), 2)
               << "x (paper: 3-4x)\n";
   }
   return 0;

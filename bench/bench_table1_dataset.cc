@@ -42,10 +42,10 @@ int main() {
 
   // §5 companion stats: fraction of ingress transferred in bursts and the
   // average trimmed run length.
-  double burst_bytes = 0;
-  for (auto v : ds.bursts().volume_bytes) burst_bytes += v;
-  double total_bytes = 0;
-  for (auto v : ds.rack_runs().in_bytes) total_bytes += v;
+  const double burst_bytes = util::canonical_sum_over(
+      ds.bursts().volume_bytes, [](auto v) { return v; });
+  const double total_bytes = util::canonical_sum_over(
+      ds.rack_runs().in_bytes, [](auto v) { return v; });
   std::cout << "\ningress bytes carried in bursts: "
             << util::format_double(100.0 * burst_bytes / total_bytes, 1)
             << "% (paper: 49.7% of server-link ingress)\n"

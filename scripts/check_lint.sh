@@ -28,7 +28,12 @@ if [ "$MODE" != "tidy" ]; then
     echo "[check_lint] MSAMP_SKIP_LINT=1 — skipping msamp_lint"
   else
     cmake --build "$BUILD" --target msamp_lint
-    "$BUILD"/tools/msamp_lint --root .
+    # Machine-readable report for CI artifacts; per-rule counts land on
+    # stderr.  Exit status still gates the lane (findings -> non-zero).
+    mkdir -p "$BUILD"
+    "$BUILD"/tools/msamp_lint --root . --format=json \
+      --baseline tools/lint/baseline.txt > "$BUILD"/lint_report.json
+    echo "[check_lint] report: $BUILD/lint_report.json"
   fi
 fi
 

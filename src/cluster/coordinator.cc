@@ -10,6 +10,7 @@
 
 #include "cluster/protocol.h"
 #include "net/buffer_policy.h"
+#include "util/stats.h"
 
 namespace msamp::cluster {
 namespace {
@@ -115,12 +116,12 @@ bool Coordinator::run(std::function<void(double)> progress, std::ostream* log,
   double emitted = 0.0;
   const auto emit_progress = [&] {
     if (progress == nullptr || total == 0) return;
-    double done_windows = 0.0;
-    for (const Slot& s : slots) {
-      const auto w = static_cast<double>(s.shard.end(total) -
-                                         s.shard.begin(total));
-      done_windows += w * (s.state == Slot::State::kDone ? 1.0 : s.fraction);
-    }
+    const double done_windows =
+        util::canonical_sum_over(slots, [&](const Slot& s) {
+          const auto w = static_cast<double>(s.shard.end(total) -
+                                             s.shard.begin(total));
+          return w * (s.state == Slot::State::kDone ? 1.0 : s.fraction);
+        });
     const double agg = done_windows / static_cast<double>(total);
     if (agg > emitted && agg < 1.0) {
       progress(agg);

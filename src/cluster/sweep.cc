@@ -79,13 +79,15 @@ CellSummary summarize_cell(const std::string& name,
   s.bursts = static_cast<long>(bursts.size());
   for (auto c : bursts.contended) s.contended += c ? 1 : 0;
   for (auto l : bursts.lossy) s.lossy += l ? 1 : 0;
-  double in_bytes = 0.0, drop_bytes = 0.0, ecn_bytes = 0.0;
   std::vector<double> contention;
   const auto& runs = view.rack_runs();
+  const double in_bytes =
+      util::canonical_sum(runs.in_bytes.data(), runs.in_bytes.size());
+  const double drop_bytes =
+      util::canonical_sum(runs.drop_bytes.data(), runs.drop_bytes.size());
+  const double ecn_bytes =
+      util::canonical_sum(runs.ecn_bytes.data(), runs.ecn_bytes.size());
   for (std::size_t i = 0; i < runs.size(); ++i) {
-    in_bytes += runs.in_bytes[i];
-    drop_bytes += runs.drop_bytes[i];
-    ecn_bytes += runs.ecn_bytes[i];
     if (runs.usable[i]) contention.push_back(runs.avg_contention[i]);
   }
   if (in_bytes > 0.0) {

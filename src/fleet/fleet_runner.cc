@@ -4,6 +4,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <ranges>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -16,6 +17,7 @@
 #include "fleet/fluid_rack.h"
 #include "fleet/spill_sink.h"
 #include "util/spsc_ring.h"
+#include "util/stats.h"
 #include "util/thread_pool.h"
 #include "workload/diurnal.h"
 #include "workload/placement.h"
@@ -113,14 +115,16 @@ WindowRecords simulate_window(const FleetConfig& config,
       rec.hour = rr.hour;
       rec.len_ms = static_cast<std::uint16_t>(bursts[b].len);
       rec.volume_bytes = static_cast<float>(bursts[b].volume_bytes);
+      const std::size_t b_lo = bursts[b].start;
+      const std::size_t b_hi =
+          std::min(bursts[b].start + bursts[b].len, contention.size());
       int max_cont = 0;
-      double conns = 0.0;
-      for (std::size_t k = bursts[b].start;
-           k < bursts[b].start + bursts[b].len && k < contention.size();
-           ++k) {
+      for (std::size_t k = b_lo; k < b_hi; ++k) {
         max_cont = std::max(max_cont, contention[k]);
-        conns += series[k].connections;
       }
+      const double conns = util::canonical_sum_over(
+          std::views::iota(b_lo, b_hi),
+          [&](std::size_t k) { return series[k].connections; });
       rec.max_contention = static_cast<std::uint16_t>(max_cont);
       rec.avg_conns =
           static_cast<float>(conns / static_cast<double>(bursts[b].len));

@@ -6,6 +6,7 @@
 
 #include "analysis/rack_classify.h"
 #include "util/rng.h"
+#include "util/stats.h"
 #include "workload/diurnal.h"
 
 namespace msamp::fleet {
@@ -101,14 +102,19 @@ Dataset DatasetBuilder::take() {
 void finalize_classification(Dataset& ds) {
   // Busy-hour classification (RegA bimodal split, §7.1).
   for (auto& info : ds.racks) {
-    double sum = 0.0;
+    const auto busy_run = [&](const RackRunRecord& rr) {
+      return rr.rack_id == info.rack_id &&
+             rr.hour == static_cast<std::uint8_t>(workload::kBusyHour);
+    };
+    // Adding 0.0 for filtered-out runs leaves the fold bytes unchanged
+    // (IEEE: x + 0.0 == x for the non-negative contention values).
+    const double sum =
+        util::canonical_sum_over(ds.rack_runs, [&](const RackRunRecord& rr) {
+          return busy_run(rr) ? static_cast<double>(rr.avg_contention) : 0.0;
+        });
     int n = 0;
     for (const auto& rr : ds.rack_runs) {
-      if (rr.rack_id == info.rack_id &&
-          rr.hour == static_cast<std::uint8_t>(workload::kBusyHour)) {
-        sum += rr.avg_contention;
-        ++n;
-      }
+      if (busy_run(rr)) ++n;
     }
     info.busy_hour_avg_contention =
         n > 0 ? static_cast<float>(sum / n) : 0.0f;

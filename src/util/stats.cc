@@ -127,4 +127,23 @@ double safe_ratio(double num, double den) noexcept {
   return den == 0.0 ? 0.0 : num / den;
 }
 
+double canonical_sum(const double* data, std::size_t n) noexcept {
+  // The explicit `acc = acc + x` left-fold is the contract: any future
+  // vectorized implementation must reproduce these exact bytes.
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc = acc + data[i];
+  }
+  return acc;
+}
+
+double canonical_sum(const std::vector<double>& data) noexcept {
+  return canonical_sum(data.data(), data.size());
+}
+
+double canonical_mean(const std::vector<double>& data) noexcept {
+  if (data.empty()) return 0.0;
+  return canonical_sum(data) / static_cast<double>(data.size());
+}
+
 }  // namespace msamp::util

@@ -103,4 +103,36 @@ class Histogram {
 /// Ratio helper that is 0 when the denominator is 0 (loss-percentage math).
 double safe_ratio(double num, double den) noexcept;
 
+// --- canonical-order reductions ----------------------------------------
+//
+// Floating-point addition is not associative, so the order a reduction
+// runs in reaches the emitted bytes the moment a compiler vectorizes,
+// contracts into FMA, or a thread pool interleaves partial sums.  Every
+// float/double reduction on an output path therefore goes through one of
+// these helpers, which fix the order to "index 0, 1, 2, ..." — exactly
+// what a scalar left-fold produces today — and give the planned SIMD
+// kernels one named contract to reproduce (docs/PERFORMANCE.md).
+// msamp_lint's `float-accum-order` rule flags ad-hoc `+=` loops.
+
+/// Left-to-right sum of n doubles in index order.
+double canonical_sum(const double* data, std::size_t n) noexcept;
+
+/// Left-to-right sum of a vector in index order.
+double canonical_sum(const std::vector<double>& data) noexcept;
+
+/// canonical_sum(data) / data.size(); 0 for an empty vector.
+double canonical_mean(const std::vector<double>& data) noexcept;
+
+/// Left-to-right sum of `proj(element)` over any forward range, in range
+/// order: `canonical_sum_over(bursts, [](const Burst& b) { return
+/// b.bytes; })`.  The one-liner that replaces an ad-hoc `+=` loop.
+template <typename Range, typename Proj>
+double canonical_sum_over(const Range& range, Proj&& proj) {
+  double acc = 0.0;
+  for (const auto& x : range) {
+    acc = acc + static_cast<double>(proj(x));
+  }
+  return acc;
+}
+
 }  // namespace msamp::util

@@ -10,14 +10,22 @@
 #include <string>
 #include <vector>
 
+#include "lint/index.h"
+#include "lint/report.h"
+
 namespace {
 
 using msamp::lint::check_fingerprint_coverage;
+using msamp::lint::check_include_layering;
 using msamp::lint::FileRole;
 using msamp::lint::Finding;
+using msamp::lint::index_source;
+using msamp::lint::layer_rank;
 using msamp::lint::lint_source;
 using msamp::lint::parse_struct_fields;
 using msamp::lint::StructSource;
+using msamp::lint::TreeIndex;
+using msamp::lint::TypeCat;
 
 std::vector<std::string> locations(const std::vector<Finding>& findings) {
   std::vector<std::string> out;
@@ -538,6 +546,405 @@ TEST(LintFingerprint, MissingDefinitionIsItselfAFinding) {
       structs, "TestConfig", "fixture/impl.cc", "int unrelated() { return 1; }");
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule, "fingerprint-coverage");
+}
+
+// --- lexer regressions (v2) --------------------------------------------
+
+TEST(LintLexer, DigitSeparatorsDoNotOpenCharLiterals) {
+  // `1'000` once lexed as the number 1 followed by an unterminated char
+  // literal, which swallowed the rest of the line — including real
+  // findings after it.
+  const char* src = R"(long f() {
+  const long usec = 1'000; return usec + rand();
+}
+)";
+  const auto findings = lint_source("src/core/fixture.cc", src);
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::string>{"src/core/fixture.cc:2: nondet-random"}));
+}
+
+TEST(LintLexer, MultiSeparatorLiteralsStayOneNumber) {
+  const char* src = R"(constexpr long kNsPerMs = 1'000'000;
+int noisy = rand();
+)";
+  const auto findings = lint_source("src/core/fixture.cc", src);
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::string>{"src/core/fixture.cc:2: nondet-random"}));
+}
+
+TEST(LintLexer, RawStringCustomDelimitersAreHonored) {
+  // `R"del(...)del"` must close at its custom delimiter, not at the first
+  // `)"` — and the nondet calls inside it are string bytes, not code.
+  const char* src =
+      R"outer(const char* s = R"del(rand() time(nullptr) )" )del";
+int noisy = rand();
+)outer";
+  const auto findings = lint_source("src/core/fixture.cc", src);
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::string>{"src/core/fixture.cc:2: nondet-random"}));
+}
+
+TEST(LintLexer, LineContinuationExtendsLineComments) {
+  // Phase-2 splicing joins a `//` comment ending in a backslash with the
+  // next line, so the spliced code is comment text, not tokens.
+  const char* continued =
+      "int f() {\n"
+      "  // this comment continues \\\n"
+      "  int x = rand();\n"
+      "  return 0;\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/core/fixture.cc", continued).empty());
+  // Without the backslash the identical call is real code again.
+  const char* plain =
+      "int f() {\n"
+      "  // this comment does not continue\n"
+      "  int x = rand();\n"
+      "  return x;\n"
+      "}\n";
+  const auto findings = lint_source("src/core/fixture.cc", plain);
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::string>{"src/core/fixture.cc:3: nondet-random"}));
+}
+
+// --- float-accum-order -------------------------------------------------
+
+TEST(LintFloatAccum, CompoundAdditionInLoopInOutputPathIsFlagged) {
+  const char* src = R"(double total(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+  }
+  return sum;
+}
+)";
+  const auto findings = lint_source("bench/fixture.cc", src);
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::string>{"bench/fixture.cc:4: float-accum-order"}));
+}
+
+TEST(LintFloatAccum, CanonicalHelpersAndIntegerTalliesAreClean) {
+  const char* src = R"(double total(const std::vector<double>& xs) {
+  long over = 0;
+  for (double x : xs) {
+    over += x > 0.5 ? 1 : 0;
+  }
+  const double sum = msamp::util::canonical_sum(xs);
+  return sum + static_cast<double>(over);
+}
+)";
+  EXPECT_TRUE(lint_source("bench/fixture.cc", src).empty());
+}
+
+TEST(LintFloatAccum, LoopHeaderInductionAndOneShotAdditionsAreClean) {
+  // Flow-aware: the `t += step` induction lives in the loop *header*, and
+  // the `acc += step` below is a one-shot addition outside any loop —
+  // neither is an order-sensitive reduction.
+  const char* src = R"(double ramp(double step) {
+  double acc = 0.0;
+  for (double t = 0.0; t < 1.0; t += step) {
+    use(t);
+  }
+  acc += step;
+  return acc;
+}
+)";
+  EXPECT_TRUE(lint_source("bench/fixture.cc", src).empty());
+}
+
+TEST(LintFloatAccum, RuleOnlyAppliesToOutputPaths) {
+  const char* src = R"(double f(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum;
+}
+)";
+  EXPECT_FALSE(lint_source("bench/fixture.cc", src).empty());
+  // Simulation-internal state never reaches emitted bytes directly.
+  EXPECT_TRUE(lint_source("src/net/fixture.cc", src).empty());
+}
+
+TEST(LintFloatAccum, SuppressionCommentSilencesTheRule) {
+  const char* src = R"(double f(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;  // msamp-lint: allow(float-accum-order) -- fixture
+  }
+  return sum;
+}
+)";
+  EXPECT_TRUE(lint_source("bench/fixture.cc", src).empty());
+}
+
+TEST(LintFloatAccum, HeaderDeclaredMemberResolvesThroughTheIndex) {
+  const char* header = R"(#pragma once
+#include <vector>
+struct Reducer {
+  double acc = 0.0;
+  void fold(const std::vector<double>& xs);
+};
+)";
+  const char* impl = R"(#include "fleet/reducer.h"
+void Reducer::fold(const std::vector<double>& xs) {
+  for (double x : xs) {
+    acc += x;
+  }
+}
+)";
+  // Single-file view (the v1 limit): the type of `acc` is invisible from
+  // the .cc alone, so nothing fires.
+  EXPECT_TRUE(lint_source("src/fleet/reducer.cc", impl).empty());
+  // With the pass-1 index the header's `double acc` resolves.
+  TreeIndex index;
+  index.add(index_source("src/fleet/reducer.h", header));
+  index.add(index_source("src/fleet/reducer.cc", impl));
+  index.link();
+  const auto findings =
+      lint_source("src/fleet/reducer.cc", impl, nullptr, &index);
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::string>{
+                "src/fleet/reducer.cc:4: float-accum-order"}));
+}
+
+// --- unordered-iter v2: cross-header resolution ------------------------
+
+TEST(LintUnordered, CrossHeaderMemberResolvesThroughTheIndex) {
+  const char* header = R"(#pragma once
+#include <unordered_map>
+struct Agg {
+  std::unordered_map<int, double> per_rack;
+};
+)";
+  const char* impl = R"(#include "fleet/agg.h"
+void emit(const Agg& a, std::ostream& os) {
+  for (const auto& kv : a.per_rack) {
+    os << kv.second;
+  }
+}
+)";
+  // The documented v1 known-limit: per-file analysis provably misses the
+  // member declared in another header...
+  EXPECT_TRUE(lint_source("src/fleet/agg.cc", impl).empty());
+  // ...and the tree index closes it.
+  TreeIndex index;
+  index.add(index_source("src/fleet/agg.h", header));
+  index.add(index_source("src/fleet/agg.cc", impl));
+  index.link();
+  const auto findings = lint_source("src/fleet/agg.cc", impl, nullptr, &index);
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::string>{"src/fleet/agg.cc:3: unordered-iter"}));
+}
+
+TEST(LintIndex, AliasesChaseAcrossHeadersAndCategoriesResolve) {
+  const char* base = R"(#pragma once
+#include <unordered_map>
+using RackMap = std::unordered_map<int, double>;
+)";
+  const char* mid = R"(#pragma once
+#include "fleet/base.h"
+using ClassMap = RackMap;
+)";
+  const char* user = R"(#include "fleet/mid.h"
+ClassMap classes;
+double weight;
+int* counter;
+)";
+  TreeIndex index;
+  index.add(index_source("src/fleet/base.h", base));
+  index.add(index_source("src/fleet/mid.h", mid));
+  index.add(index_source("src/fleet/user.cc", user));
+  index.link();
+  // Two alias hops across two headers end at an unordered container.
+  EXPECT_EQ(index.category_of("src/fleet/user.cc", "classes"),
+            TypeCat::kUnordered);
+  EXPECT_EQ(index.category_of("src/fleet/user.cc", "weight"), TypeCat::kFloat);
+  // Pointer declarators are not float accumulators (pointer arithmetic).
+  EXPECT_EQ(index.category_of("src/fleet/user.cc", "counter"),
+            TypeCat::kOther);
+  EXPECT_EQ(index.category_of("src/fleet/user.cc", "unknown"),
+            TypeCat::kOther);
+}
+
+// --- table-output ------------------------------------------------------
+
+TEST(LintTableOutput, RawStreamsInBenchBinariesAreFlagged) {
+  const char* src = R"(#include <fstream>
+int main() {
+  std::ofstream out("series.csv");
+  printf("%d\n", 1);
+  return 0;
+}
+)";
+  const auto findings = lint_source("bench/bench_fixture.cc", src);
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::string>{"bench/bench_fixture.cc:3: table-output",
+                                      "bench/bench_fixture.cc:4: table-output"}));
+}
+
+TEST(LintTableOutput, TableAndCoutAreClean) {
+  const char* src = R"(int main() {
+  msamp::util::Table t({"a", "b"});
+  t.row().cell(1).cell(2);
+  bench::emit_table("fixture", t);
+  std::cout << "done\n";
+  return 0;
+}
+)";
+  EXPECT_TRUE(lint_source("bench/bench_fixture.cc", src).empty());
+}
+
+TEST(LintTableOutput, RuleIsScopedToBenchBinaries) {
+  const char* src = R"(#include <fstream>
+void dump() { std::ofstream out("x.csv"); }
+)";
+  EXPECT_FALSE(lint_source("bench/bench_fixture.cc", src).empty());
+  // The dataset writer, the CLI, and shared bench infrastructure write
+  // real files legitimately.
+  EXPECT_TRUE(lint_source("src/fleet/dataset.cc", src).empty());
+  EXPECT_TRUE(lint_source("tools/msampctl.cc", src).empty());
+  EXPECT_TRUE(lint_source("bench/common.cc", src).empty());
+}
+
+TEST(LintTableOutput, MemberCallsNamedLikeWritersAreClean) {
+  const char* src = R"(void f(Logger& log) {
+  log.printf("not the libc printf");
+}
+)";
+  EXPECT_TRUE(lint_source("bench/bench_fixture.cc", src).empty());
+}
+
+// --- include-layering --------------------------------------------------
+
+TEST(LintLayering, LayerRanksMatchTheMeasuredDag) {
+  EXPECT_LT(layer_rank("src/util/stats.h"), layer_rank("src/net/rack.h"));
+  EXPECT_EQ(layer_rank("src/net/rack.h"), layer_rank("src/core/sampler.h"));
+  EXPECT_LT(layer_rank("src/net/rack.h"),
+            layer_rank("src/workload/diurnal.h"));
+  EXPECT_LT(layer_rank("src/workload/diurnal.h"),
+            layer_rank("src/analysis/contention.h"));
+  EXPECT_LT(layer_rank("src/analysis/contention.h"),
+            layer_rank("src/fleet/config.h"));
+  EXPECT_LT(layer_rank("src/fleet/config.h"),
+            layer_rank("src/cluster/sweep.h"));
+  EXPECT_LT(layer_rank("src/cluster/sweep.h"), layer_rank("bench/common.h"));
+}
+
+TEST(LintLayering, UpwardIncludeIsFlagged) {
+  TreeIndex index;
+  index.add(index_source("src/util/helper.h", R"(#pragma once
+#include "fleet/config.h"
+)"));
+  index.add(index_source("src/fleet/config.h", "#pragma once\n"));
+  index.link();
+  const auto findings = check_include_layering(index);
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::string>{
+                "src/util/helper.h:2: include-layering"}));
+}
+
+TEST(LintLayering, DownwardAndSameLayerIncludesAreClean) {
+  TreeIndex index;
+  index.add(index_source("src/fleet/config.h", R"(#pragma once
+#include "analysis/contention.h"
+#include "util/stats.h"
+)"));
+  index.add(index_source("src/analysis/contention.h", R"(#pragma once
+#include "util/stats.h"
+)"));
+  index.add(index_source("src/util/stats.h", "#pragma once\n"));
+  index.add(index_source("src/net/rack.h", R"(#pragma once
+#include "core/sampler.h"
+)"));
+  index.add(index_source("src/core/sampler.h", "#pragma once\n"));
+  index.link();
+  EXPECT_TRUE(check_include_layering(index).empty());
+}
+
+TEST(LintLayering, IncludeCycleIsFlaggedOnceAtSmallestMember) {
+  TreeIndex index;
+  index.add(index_source("src/core/a.h", R"(#pragma once
+#include "core/b.h"
+)"));
+  index.add(index_source("src/core/b.h", R"(#pragma once
+#include "core/a.h"
+)"));
+  index.link();
+  const auto findings = check_include_layering(index);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/core/a.h");
+  EXPECT_EQ(findings[0].rule, "include-layering");
+  EXPECT_NE(findings[0].message.find("src/core/a.h <-> src/core/b.h"),
+            std::string::npos);
+}
+
+// --- nondet coverage of tests/ and examples/ ---------------------------
+
+TEST(LintNondet, TestsAndExamplesAreCovered) {
+  const char* src = R"(int f() { return rand(); }
+)";
+  EXPECT_FALSE(lint_source("tests/test_fixture.cc", src).empty());
+  EXPECT_FALSE(lint_source("examples/demo.cc", src).empty());
+}
+
+TEST(LintNondet, EnvReaderTestsAreTheDocumentedAllowlist) {
+  const char* src = R"(const char* v = std::getenv("MSAMP_THREADS");
+)";
+  // The allowlist names exactly the tests that exercise the documented
+  // MSAMP_* readers (docs/STATIC_ANALYSIS.md).
+  EXPECT_TRUE(lint_source("tests/test_thread_pool.cc", src).empty());
+  EXPECT_TRUE(lint_source("tests/test_fleet_parallel.cc", src).empty());
+  EXPECT_TRUE(lint_source("tests/test_buffer_policy.cc", src).empty());
+  EXPECT_FALSE(lint_source("tests/test_stats.cc", src).empty());
+  EXPECT_FALSE(lint_source("examples/demo.cc", src).empty());
+}
+
+// --- report: JSON + baseline -------------------------------------------
+
+TEST(LintReport, JsonSchemaAndEscaping) {
+  const std::vector<Finding> fs = {
+      {"src/a.cc", 3, "nondet-random", "uses \"rand\"\nhere"},
+      {"src/b.cc", 1, "float-accum-order", "tab\there"}};
+  const std::string json = msamp::lint::to_json(fs, 2);
+  EXPECT_NE(json.find("\"schema\": \"msamp-lint-report/2\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"files\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"float-accum-order\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"nondet-random\": 1"), std::string::npos);
+  EXPECT_NE(json.find("uses \\\"rand\\\"\\nhere"), std::string::npos);
+  EXPECT_NE(json.find("tab\\there"), std::string::npos);
+}
+
+TEST(LintReport, EmptyReportHasExactBytes) {
+  // The determinism ctest compares raw report files, so even the empty
+  // report's bytes are part of the contract.
+  EXPECT_EQ(msamp::lint::to_json({}, 0),
+            "{\n  \"schema\": \"msamp-lint-report/2\",\n  \"files\": 0,\n"
+            "  \"counts\": {},\n  \"findings\": []\n}\n");
+}
+
+TEST(LintReport, BaselineRoundTripAndStaleDetection) {
+  const std::vector<Finding> fs = {
+      {"src/a.cc", 3, "nondet-random", "m1"},
+      {"src/a.cc", 3, "nondet-random", "m1"},  // duplicate: multiset
+      {"src/b.cc", 9, "unordered-iter", "m2"}};
+  const std::string text = msamp::lint::to_baseline(fs);
+  const auto entries = msamp::lint::parse_baseline(text);
+  ASSERT_EQ(entries.size(), 3u);  // the header comments are dropped
+  auto work = fs;
+  EXPECT_TRUE(msamp::lint::apply_baseline(work, entries).empty());
+  EXPECT_TRUE(work.empty());
+  // After one duplicate is fixed, its baseline entry is reported stale.
+  work = {fs[0], fs[2]};
+  const auto stale = msamp::lint::apply_baseline(work, entries);
+  EXPECT_TRUE(work.empty());
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0], msamp::lint::to_string(fs[0]));
+}
+
+TEST(LintReport, BaselineIgnoresCommentsAndBlankLines) {
+  const auto entries = msamp::lint::parse_baseline(
+      "# comment\n\nsrc/a.cc:1: r: m\n   \n# another\n");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0], "src/a.cc:1: r: m");
 }
 
 }  // namespace

@@ -59,10 +59,26 @@ void skip_quoted(Cursor& c, char quote) {
 }
 
 // Consumes R"delim( ... )delim" with the cursor on the opening quote.
+// Custom delimiters are honored; an invalid delimiter character (quote,
+// paren, backslash, whitespace — or a delimiter past the standard's 16
+// chars) means this was not a raw string after all, and the already-open
+// quote degrades to an ordinary string so the lexer never eats the rest
+// of the file on mid-edit sources.
 void skip_raw_string(Cursor& c) {
   c.take();  // opening quote
   std::string delim;
-  while (!c.done() && c.peek() != '(') delim.push_back(c.take());
+  while (!c.done() && c.peek() != '(') {
+    const char d = c.peek();
+    if (d == '"' || d == ')' || d == '\\' ||
+        std::isspace(static_cast<unsigned char>(d)) || delim.size() >= 16) {
+      while (!c.done()) {
+        const char e = c.take();
+        if (e == '"' || e == '\n') return;
+      }
+      return;
+    }
+    delim.push_back(c.take());
+  }
   if (c.done()) return;
   c.take();  // '('
   const std::string closer = ")" + delim + "\"";
@@ -111,9 +127,23 @@ LexOutput lex(std::string_view src) {
     line_start = false;
 
     if (ch == '/' && c.peek(1) == '/') {
-      const int line = c.line();
-      const std::size_t from = c.pos();
-      while (!c.done() && c.peek() != '\n') c.take();
+      int line = c.line();
+      std::size_t from = c.pos();
+      while (!c.done()) {
+        // Phase-2 line splicing happens before comment removal: a `//`
+        // comment ending in a backslash continues onto the next line, so
+        // code there must never reach the rules.
+        if (c.peek() == '\\' && c.peek(1) == '\n') {
+          note_comment(out, line, c.slice(from));
+          c.take();  // backslash
+          c.take();  // newline
+          line = c.line();
+          from = c.pos();
+          continue;
+        }
+        if (c.peek() == '\n') break;
+        c.take();
+      }
       note_comment(out, line, c.slice(from));
       continue;
     }
@@ -181,6 +211,13 @@ LexOutput lex(std::string_view src) {
       // letters, digit separators, dots, and exponent signs.
       while (!c.done()) {
         const char d = c.peek();
+        // A digit separator is only part of the number when flanked by
+        // digit characters (1'000'000); a bare `'` after a number opens a
+        // char literal and must be left for the quote path.
+        if (d == '\'' &&
+            !std::isalnum(static_cast<unsigned char>(c.peek(1)))) {
+          break;
+        }
         if (ident_char(d) || d == '.' || d == '\'') {
           c.take();
         } else if ((d == '+' || d == '-') &&

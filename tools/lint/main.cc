@@ -1,13 +1,36 @@
 // msamp_lint — project-invariant static analysis for the msamp tree.
 //
-//   msamp_lint [--root DIR] [FILE...]
+//   msamp_lint [--root DIR] [--jobs N] [--format=text|json]
+//              [--baseline FILE] [--write-baseline FILE] [FILE...]
 //
-// With no FILE arguments, scans src/ tools/ bench/ examples/ tests/ under
-// the root (default: current directory) plus the fingerprint-coverage
-// check over src/fleet/config.h vs src/fleet/fleet_runner.cc.  Findings
-// print to stdout as `file:line: rule-id: message`; exit code is 1 when
-// anything was found, 2 on usage/IO errors, 0 on a clean tree.
+// Two passes (docs/STATIC_ANALYSIS.md):
+//
+//   pass 1  index every file under src/ tools/ bench/ examples/ tests/
+//           (declarations, using-aliases, the #include graph) and link
+//           the include closures — lint/index.h;
+//   pass 2  run the per-file rules over each file's token stream plus
+//           the tree index — lint/rules.cc.
+//
+// With FILE arguments, only those files are linted in pass 2, but pass 1
+// still indexes the whole tree so cross-header types resolve; the
+// tree-level rules (fingerprint-coverage, include-layering) run only on
+// full-tree invocations, where their findings are actionable.
+//
+// Both passes run on a util::ThreadPool (--jobs N, default MSAMP_THREADS
+// or all cores).  Results land in per-file slots and are merged in
+// sorted-path order, and the file list is sorted and deduplicated first,
+// so the output bytes are identical for any --jobs value and any
+// file-argument order (ctest LintParallelDeterminism).
+//
+// Findings print to stdout — `file:line: rule-id: message` lines for
+// --format=text (the default), the msamp-lint-report/2 JSON document for
+// --format=json (lint/report.h).  A per-rule count summary goes to
+// stderr.  --baseline FILE subtracts the committed baseline
+// (tools/lint/baseline.txt) before reporting; stale entries are warned
+// about on stderr.  Exit code: 0 clean, 1 findings remain, 2 usage/IO
+// errors.
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -15,7 +38,10 @@
 #include <string>
 #include <vector>
 
+#include "lint/index.h"
+#include "lint/report.h"
 #include "lint/rules.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -42,27 +68,59 @@ std::string rel(const fs::path& root, const fs::path& p) {
 }
 
 int usage() {
-  std::cerr << "usage: msamp_lint [--root DIR] [FILE...]\n";
+  std::cerr << "usage: msamp_lint [--root DIR] [--jobs N] "
+               "[--format=text|json] [--baseline FILE] "
+               "[--write-baseline FILE] [FILE...]\n";
   return 2;
+}
+
+struct SourceFile {
+  std::string rel;  ///< repo-relative, forward slashes
+  std::string src;
+};
+
+void append(std::vector<Finding>& to, std::vector<Finding>&& from) {
+  to.insert(to.end(), std::make_move_iterator(from.begin()),
+            std::make_move_iterator(from.end()));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
-  std::vector<fs::path> files;
+  std::vector<fs::path> file_args;
+  std::string format = "text";
+  std::string baseline_path;
+  std::string write_baseline_path;
+  int jobs = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root") {
       if (i + 1 >= argc) return usage();
       root = argv[++i];
+    } else if (arg == "--jobs") {
+      if (i + 1 >= argc) return usage();
+      jobs = std::atoi(argv[++i]);
+      if (jobs < 1) {
+        std::cerr << "msamp_lint: --jobs wants a positive integer\n";
+        return 2;
+      }
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") return usage();
+    } else if (arg == "--baseline") {
+      if (i + 1 >= argc) return usage();
+      baseline_path = argv[++i];
+    } else if (arg == "--write-baseline") {
+      if (i + 1 >= argc) return usage();
+      write_baseline_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
-      files.emplace_back(arg);
+      file_args.emplace_back(arg);
     }
   }
   std::error_code ec;
@@ -72,95 +130,176 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (files.empty()) {
-    for (const char* dir : {"src", "tools", "bench", "examples", "tests"}) {
-      const fs::path base = root / dir;
-      if (!fs::is_directory(base, ec)) continue;
-      for (auto it = fs::recursive_directory_iterator(base, ec);
-           it != fs::recursive_directory_iterator(); ++it) {
-        if (it->is_regular_file(ec) && lintable(it->path())) {
-          files.push_back(it->path());
-        }
+  // The index always covers the whole tree; explicit FILE args only
+  // narrow which files pass 2 lints.
+  std::vector<fs::path> tree_files;
+  for (const char* dir : {"src", "tools", "bench", "examples", "tests"}) {
+    const fs::path base = root / dir;
+    if (!fs::is_directory(base, ec)) continue;
+    for (auto it = fs::recursive_directory_iterator(base, ec);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_regular_file(ec) && lintable(it->path())) {
+        tree_files.push_back(it->path());
       }
     }
-  } else {
-    for (auto& f : files) {
-      if (f.is_relative()) f = root / f;
-    }
   }
-  std::sort(files.begin(), files.end());
+  const bool full_tree = file_args.empty();
+  for (auto& f : file_args) {
+    if (f.is_relative()) f = root / f;
+  }
+  std::vector<fs::path> lint_paths = full_tree ? tree_files : file_args;
+  for (const fs::path& f : lint_paths) tree_files.push_back(f);
 
-  std::vector<Finding> findings;
+  // Sort + dedup by repo-relative path: slot order (and therefore output
+  // byte order) must not depend on argv order or directory enumeration.
   int io_errors = 0;
-  for (const fs::path& f : files) {
-    std::string src;
-    if (!read_file(f, &src)) {
-      std::cerr << "msamp_lint: cannot read " << f.string() << "\n";
-      ++io_errors;
-      continue;
-    }
-    auto file_findings = msamp::lint::lint_source(rel(root, f), src);
-    findings.insert(findings.end(),
-                    std::make_move_iterator(file_findings.begin()),
-                    std::make_move_iterator(file_findings.end()));
-  }
-
-  // Fingerprint coverage: FleetConfig (and every config struct reachable
-  // from it) vs the fingerprint() definition.  Runs whenever the root
-  // looks like the msamp tree.
-  struct Header {
-    const char* struct_name;
-    const char* path;
-  };
-  const Header headers[] = {
-      {"FleetConfig", "src/fleet/config.h"},
-      {"FabricConfig", "src/fleet/config.h"},
-      {"SharedBufferConfig", "src/net/buffer_policy.h"},
-      {"DelayDrivenConfig", "src/net/buffer_policy.h"},
-      {"ClockModelConfig", "src/core/clock_model.h"},
-      {"LossAssocConfig", "src/analysis/loss_assoc.h"},
-      {"ClassifyConfig", "src/analysis/rack_classify.h"},
-  };
-  const char* impl_path = "src/fleet/fleet_runner.cc";
-  if (fs::is_regular_file(root / "src/fleet/config.h", ec)) {
-    std::vector<msamp::lint::StructSource> structs;
-    bool ok = true;
-    for (const Header& h : headers) {
-      std::string src;
-      if (!read_file(root / h.path, &src)) {
-        std::cerr << "msamp_lint: cannot read " << h.path << "\n";
+  const auto load = [&](std::vector<fs::path>& paths) {
+    std::vector<SourceFile> out;
+    std::sort(paths.begin(), paths.end());
+    paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+    for (const fs::path& f : paths) {
+      SourceFile sf;
+      sf.rel = rel(root, f);
+      if (!read_file(f, &sf.src)) {
+        std::cerr << "msamp_lint: cannot read " << f.string() << "\n";
         ++io_errors;
-        ok = false;
         continue;
       }
-      structs.push_back({h.struct_name, h.path, std::move(src)});
+      out.push_back(std::move(sf));
     }
-    std::string impl_src;
-    if (ok && read_file(root / impl_path, &impl_src)) {
-      auto fp = msamp::lint::check_fingerprint_coverage(
-          structs, "FleetConfig", impl_path, impl_src);
-      findings.insert(findings.end(), std::make_move_iterator(fp.begin()),
-                      std::make_move_iterator(fp.end()));
-    } else if (ok) {
-      std::cerr << "msamp_lint: cannot read " << impl_path << "\n";
-      ++io_errors;
+    std::sort(out.begin(), out.end(),
+              [](const SourceFile& a, const SourceFile& b) {
+                return a.rel < b.rel;
+              });
+    out.erase(std::unique(out.begin(), out.end(),
+                          [](const SourceFile& a, const SourceFile& b) {
+                            return a.rel == b.rel;
+                          }),
+              out.end());
+    return out;
+  };
+  std::vector<SourceFile> tree = load(tree_files);
+  std::vector<SourceFile> to_lint = full_tree ? tree : load(lint_paths);
+
+  msamp::util::ThreadPool pool(jobs);
+
+  // Pass 1: index every tree file in parallel (slot per file), then link
+  // single-threaded.  After link() the index is immutable and safe to
+  // share across pass-2 workers.
+  msamp::lint::TreeIndex index;
+  {
+    std::vector<msamp::lint::FileIndex> slots(tree.size());
+    pool.parallel_for(tree.size(), [&](std::size_t i) {
+      slots[i] = msamp::lint::index_source(tree[i].rel, tree[i].src);
+    });
+    for (auto& fi : slots) index.add(std::move(fi));
+    index.link();
+  }
+
+  // Pass 2: per-file rules, merged in sorted-path slot order.
+  std::vector<Finding> findings;
+  {
+    std::vector<std::vector<Finding>> slots(to_lint.size());
+    pool.parallel_for(to_lint.size(), [&](std::size_t i) {
+      slots[i] = msamp::lint::lint_source(to_lint[i].rel, to_lint[i].src,
+                                          nullptr, &index);
+    });
+    for (auto& s : slots) append(findings, std::move(s));
+  }
+
+  // Tree-level rules: include layering over the linked graph, and
+  // fingerprint coverage of FleetConfig vs fleet_runner.cc.
+  if (full_tree) {
+    append(findings, msamp::lint::check_include_layering(index));
+
+    struct Header {
+      const char* struct_name;
+      const char* path;
+    };
+    const Header headers[] = {
+        {"FleetConfig", "src/fleet/config.h"},
+        {"FabricConfig", "src/fleet/config.h"},
+        {"SharedBufferConfig", "src/net/buffer_policy.h"},
+        {"DelayDrivenConfig", "src/net/buffer_policy.h"},
+        {"ClockModelConfig", "src/core/clock_model.h"},
+        {"LossAssocConfig", "src/analysis/loss_assoc.h"},
+        {"ClassifyConfig", "src/analysis/rack_classify.h"},
+    };
+    const char* impl_path = "src/fleet/fleet_runner.cc";
+    if (fs::is_regular_file(root / "src/fleet/config.h", ec)) {
+      std::vector<msamp::lint::StructSource> structs;
+      bool ok = true;
+      for (const Header& h : headers) {
+        std::string src;
+        if (!read_file(root / h.path, &src)) {
+          std::cerr << "msamp_lint: cannot read " << h.path << "\n";
+          ++io_errors;
+          ok = false;
+          continue;
+        }
+        structs.push_back({h.struct_name, h.path, std::move(src)});
+      }
+      std::string impl_src;
+      if (ok && read_file(root / impl_path, &impl_src)) {
+        append(findings,
+               msamp::lint::check_fingerprint_coverage(
+                   structs, "FleetConfig", impl_path, impl_src));
+      } else if (ok) {
+        std::cerr << "msamp_lint: cannot read " << impl_path << "\n";
+        ++io_errors;
+      }
     }
   }
 
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
-              return std::tie(a.file, a.line, a.rule) <
-                     std::tie(b.file, b.line, b.rule);
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
             });
-  for (const Finding& f : findings) {
-    std::cout << msamp::lint::to_string(f) << "\n";
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "msamp_lint: cannot write " << write_baseline_path << "\n";
+      return 2;
+    }
+    out << msamp::lint::to_baseline(findings);
+    std::cerr << "msamp_lint: wrote " << findings.size()
+              << " finding(s) to baseline " << write_baseline_path << "\n";
+    return io_errors != 0 ? 2 : 0;
+  }
+
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_file(baseline_path, &text)) {
+      std::cerr << "msamp_lint: cannot read baseline " << baseline_path
+                << "\n";
+      return 2;
+    }
+    const auto stale = msamp::lint::apply_baseline(
+        findings, msamp::lint::parse_baseline(text));
+    for (const std::string& s : stale) {
+      std::cerr << "msamp_lint: stale baseline entry: " << s << "\n";
+    }
+  }
+
+  if (format == "json") {
+    std::cout << msamp::lint::to_json(findings, to_lint.size());
+  } else {
+    for (const Finding& f : findings) {
+      std::cout << msamp::lint::to_string(f) << "\n";
+    }
+  }
+
+  for (const auto& [rule, n] : msamp::lint::count_by_rule(findings)) {
+    std::cerr << "msamp_lint: " << rule << ": " << n << "\n";
   }
   if (io_errors != 0) return 2;
   if (!findings.empty()) {
     std::cerr << "msamp_lint: " << findings.size() << " finding(s) in "
-              << files.size() << " file(s)\n";
+              << to_lint.size() << " file(s)\n";
     return 1;
   }
-  std::cerr << "msamp_lint: clean (" << files.size() << " files)\n";
+  std::cerr << "msamp_lint: clean (" << to_lint.size() << " files)\n";
   return 0;
 }

@@ -1,0 +1,112 @@
+#include "lint/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace msamp::lint {
+
+std::map<std::string, std::size_t> count_by_rule(
+    const std::vector<Finding>& findings) {
+  std::map<std::string, std::size_t> counts;
+  for (const Finding& f : findings) ++counts[f.rule];
+  return counts;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const std::vector<Finding>& findings,
+                    std::size_t files_linted) {
+  std::string out = "{\n  \"schema\": \"msamp-lint-report/2\",\n  \"files\": ";
+  out += std::to_string(files_linted);
+  out += ",\n  \"counts\": {";
+  const auto counts = count_by_rule(findings);
+  bool first = true;
+  for (const auto& [rule, n] : counts) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(rule) + "\": " + std::to_string(n);
+    first = false;
+  }
+  out += counts.empty() ? "},\n" : "\n  },\n";
+  out += "  \"findings\": [";
+  first = true;
+  for (const Finding& f : findings) {
+    out += first ? "\n" : ",\n";
+    out += "    {\"file\": \"" + json_escape(f.file) +
+           "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"" +
+           json_escape(f.rule) + "\", \"message\": \"" +
+           json_escape(f.message) + "\"}";
+    first = false;
+  }
+  out += findings.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string to_baseline(const std::vector<Finding>& findings) {
+  std::string out =
+      "# msamp_lint baseline — accepted findings, subtracted by\n"
+      "# `msamp_lint --baseline <this file>` (see docs/STATIC_ANALYSIS.md).\n"
+      "# Regenerate with `msamp_lint --root . --write-baseline <this file>`.\n";
+  for (const Finding& f : findings) out += to_string(f) + "\n";
+  return out;
+}
+
+std::vector<std::string> parse_baseline(std::string_view text) {
+  std::vector<std::string> entries;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.remove_suffix(1);
+    }
+    if (!line.empty() && line.front() != '#') {
+      entries.emplace_back(line);
+    }
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  return entries;
+}
+
+std::vector<std::string> apply_baseline(
+    std::vector<Finding>& findings,
+    const std::vector<std::string>& baseline) {
+  std::map<std::string, std::size_t> budget;
+  for (const std::string& e : baseline) ++budget[e];
+  std::erase_if(findings, [&](const Finding& f) {
+    const auto it = budget.find(to_string(f));
+    if (it == budget.end() || it->second == 0) return false;
+    --it->second;
+    return true;
+  });
+  std::vector<std::string> stale;
+  for (const auto& [entry, left] : budget) {
+    for (std::size_t i = 0; i < left; ++i) stale.push_back(entry);
+  }
+  return stale;
+}
+
+}  // namespace msamp::lint

@@ -1,0 +1,63 @@
+// msamp_lint report formats: the machine-readable JSON report and the
+// baseline file used for incremental adoption of new rules.
+//
+// JSON schema (stable; asserted by tests/test_lint.cc):
+//
+//   {
+//     "schema": "msamp-lint-report/2",
+//     "files": <number of files linted>,
+//     "counts": {"<rule-id>": <n>, ...},          // sorted by rule id
+//     "findings": [
+//       {"file": "...", "line": N, "rule": "...", "message": "..."},
+//       ...                                        // sorted by the driver
+//     ]
+//   }
+//
+// Byte-stability contract: given the same sorted findings, to_json()
+// returns the same bytes — no timestamps, no absolute paths, no map
+// iteration surprises — so `--format=json --jobs N` is comparable with
+// `cmp` across any N and any file-argument order (ctest
+// LintParallelDeterminism).
+//
+// A baseline file holds one finding per line in `to_string()` format
+// (`file:line: rule: message`); `#` comments and blank lines are
+// ignored.  `--baseline FILE` subtracts it from the findings (multiset
+// semantics) so a new rule can land before the tree is fully clean;
+// `--write-baseline FILE` regenerates it.  Entries that no longer match
+// anything are reported as stale so a shrinking baseline stays honest.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rules.h"
+
+namespace msamp::lint {
+
+/// Per-rule finding counts (std::map: iteration sorted by rule id).
+std::map<std::string, std::size_t> count_by_rule(
+    const std::vector<Finding>& findings);
+
+/// Escapes a string for a JSON string literal (exposed for tests).
+std::string json_escape(std::string_view s);
+
+/// Serializes the report.  `findings` must already be sorted by the
+/// driver's canonical order (file, line, rule, message).
+std::string to_json(const std::vector<Finding>& findings,
+                    std::size_t files_linted);
+
+/// Serializes findings as a baseline file (with a header comment).
+std::string to_baseline(const std::vector<Finding>& findings);
+
+/// Parses a baseline file into finding keys (comments/blanks dropped).
+std::vector<std::string> parse_baseline(std::string_view text);
+
+/// Removes findings whose `to_string()` matches a baseline entry
+/// (multiset semantics: one entry absorbs one finding).  Returns the
+/// stale baseline entries that matched nothing.
+std::vector<std::string> apply_baseline(
+    std::vector<Finding>& findings, const std::vector<std::string>& baseline);
+
+}  // namespace msamp::lint

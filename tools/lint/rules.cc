@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <optional>
 #include <set>
 #include <string>
+
+#include "lint/index.h"
 
 namespace msamp::lint {
 namespace {
@@ -45,6 +48,10 @@ const std::set<std::string, std::less<>> kKeyedContainers = {
     "multiset",      "unordered_map", "unordered_set",
     "unordered_multimap", "unordered_multiset"};
 const std::set<std::string, std::less<>> kFloatTypes = {"float", "double"};
+// Raw output primitives a bench_* binary must not touch: CSV and stdout
+// bytes flow through util::Table so the determinism checks see them all.
+const std::set<std::string, std::less<>> kRawWriteCalls = {
+    "printf", "fprintf", "fputs", "fputc", "fwrite", "fopen", "puts"};
 // The contention-observability surface (util/contention_counters.h).
 // Merely *naming* any of these in an output-path file is a finding: the
 // counters tally execution (which lane won a CAS, how often a trylock
@@ -118,7 +125,115 @@ std::size_t skip_angles(const Tokens& toks, std::size_t i) {
   return i;
 }
 
+// Marks every token inside a loop *body* (not the `for`/`while` header —
+// an induction-variable `t += step` there is iteration control, not a
+// reduction).  Brace bodies mark to the matching `}`; brace-less bodies
+// mark to the statement's `;` at paren depth 0.
+std::vector<char> mark_loop_bodies(const Tokens& toks) {
+  std::vector<char> in_loop(toks.size(), 0);
+  const auto matching_brace = [&](std::size_t open) {
+    int depth = 0;
+    for (std::size_t j = open; j < toks.size(); ++j) {
+      if (is_punct(toks[j], "{")) ++depth;
+      if (is_punct(toks[j], "}") && --depth == 0) return j;
+    }
+    return toks.size();
+  };
+  const auto mark = [&](std::size_t a, std::size_t b) {
+    for (std::size_t k = a; k < b && k < toks.size(); ++k) in_loop[k] = 1;
+  };
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    std::size_t body = 0;
+    if ((is_ident(toks[i], "for") || is_ident(toks[i], "while")) &&
+        is_punct(toks[i + 1], "(")) {
+      int depth = 1;
+      std::size_t j = i + 2;
+      while (j < toks.size() && depth > 0) {
+        if (is_punct(toks[j], "(")) ++depth;
+        if (is_punct(toks[j], ")")) --depth;
+        ++j;
+      }
+      body = j;  // one past the closing `)`
+    } else if (is_ident(toks[i], "do") && is_punct(toks[i + 1], "{")) {
+      body = i + 1;
+    } else {
+      continue;
+    }
+    if (body >= toks.size()) continue;
+    if (is_punct(toks[body], "{")) {
+      mark(body + 1, matching_brace(body));
+    } else {
+      int parens = 0;
+      for (std::size_t k = body; k < toks.size(); ++k) {
+        if (is_punct(toks[k], "(")) ++parens;
+        if (is_punct(toks[k], ")")) --parens;
+        if (parens == 0 && is_punct(toks[k], ";")) {
+          mark(body, k);
+          break;
+        }
+      }
+    }
+  }
+  return in_loop;
+}
+
+// float-accum-order: a compound accumulation (`+=`, `-=`, `*=`) whose
+// target resolves to float/double — through the cross-file index, so a
+// `double` member declared in a header is seen from its .cc — inside a
+// loop body.  Sequential source order is only canonical until the
+// compiler's vectorization or FMA-contraction choices differ; reductions
+// that reach emitted bytes go through the util::stats canonical-order
+// helpers instead (docs/STATIC_ANALYSIS.md, docs/PERFORMANCE.md).
+void check_float_accumulation(const Tokens& toks, std::string_view path,
+                              const TreeIndex& index,
+                              std::vector<Finding>& out) {
+  const std::vector<char> in_loop = mark_loop_bodies(toks);
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    const bool compound = (is_punct(toks[i], "+") || is_punct(toks[i], "-") ||
+                           is_punct(toks[i], "*")) &&
+                          is_punct(toks[i + 1], "=");
+    if (!compound || !in_loop[i]) continue;
+    const Token& lhs = toks[i - 1];
+    if (lhs.kind != TokKind::kIdentifier) continue;  // e.g. `x++ == y`
+    // `==` after the operator means comparison (`a +== b` cannot occur,
+    // but `a *= =` never does either; guard anyway).
+    if (const Token* n = at(toks, i + 2); n && is_punct(*n, "=")) continue;
+    if (index.category_of(path, lhs.text) != TypeCat::kFloat) continue;
+    flag(out, path, lhs.line, "float-accum-order",
+         "float accumulation '" + lhs.text +
+             " " + toks[i].text + "=' in a loop in an output path — the "
+             "accumulation order reaches the emitted bytes once "
+             "vectorization/FMA choices differ; reduce through the "
+             "util::stats canonical-order helpers (canonical_sum / "
+             "canonical_sum_over / StreamingStats)");
+  }
+}
+
+// table-output: bench binaries write their CSVs and tables through
+// util::Table (bench::emit_table), never raw streams — that is how the
+// byte-identity checks can diff every emitted file.
+void check_table_output(const Tokens& toks, std::string_view path,
+                        std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    if (t.text == "ofstream") {
+      flag(out, path, t.line, "table-output",
+           "raw 'ofstream' in a bench binary — emit CSV through "
+           "util::Table (bench::emit_table / Table::write_csv_file) so the "
+           "determinism checks see the bytes");
+    } else if (kRawWriteCalls.count(t.text) && is_free_call(toks, i)) {
+      flag(out, path, t.line, "table-output",
+           "raw '" + t.text +
+               "' in a bench binary — tables and CSVs go through "
+               "util::Table (bench::emit_table), stdout prose through "
+               "std::cout");
+    }
+  }
+}
+
 void check_unordered_iteration(const Tokens& toks, std::string_view path,
+                               const TreeIndex& index,
                                std::vector<Finding>& out) {
   // Pass A: using-aliases whose target is an unordered container
   // (e.g. `using ClassMap = std::unordered_map<...>;`).
@@ -188,8 +303,13 @@ void check_unordered_iteration(const Tokens& toks, std::string_view path,
     for (std::size_t k = colon + 1; k < j - 1; ++k) {
       const Token& r = toks[k];
       if (r.kind != TokKind::kIdentifier) continue;
+      // The per-file passes above see declarations in this file; the
+      // tree index additionally resolves members and aliases declared in
+      // any header of this file's include closure (the v1 known-limit).
       if (kUnorderedTypes.count(r.text) || alias_types.count(r.text) ||
-          unordered_vars.count(r.text)) {
+          unordered_vars.count(r.text) ||
+          index.category_of(path, r.text) == TypeCat::kUnordered ||
+          index.head_category(path, r.text) == TypeCat::kUnordered) {
         flag(out, path, toks[i].line, "unordered-iter",
              "range-for over unordered container '" + r.text +
                  "' in an output path — iteration order is unspecified and "
@@ -370,20 +490,38 @@ FileRole classify_path(std::string_view path) {
   // bench.  Writers, the merge, `msampctl migrate`, and tests keep the
   // materializing loader (it is the legacy v4/v5 reader).
   role.views_only = under("src/analysis/") || under("bench/");
+  // Every bench binary routes its tables and CSVs through util::Table;
+  // common.cc is shared infrastructure (its stderr diagnostics are not
+  // table bytes) and the contention bench prints through Table already.
+  role.table_output = under("bench/bench_");
   return role;
 }
 
 std::vector<Finding> lint_source(std::string_view path, std::string_view src,
-                                 const FileRole* role) {
+                                 const FileRole* role,
+                                 const TreeIndex* index) {
   const FileRole derived = role ? *role : classify_path(path);
   const LexOutput lexed = lex(src);
+  // Without a tree-wide index, resolve against this file alone (local
+  // declarations and aliases still work; cross-header ones do not).
+  std::optional<TreeIndex> own;
+  if (!index) {
+    own.emplace();
+    own->add(index_source(path, src));
+    own->link();
+    index = &*own;
+  }
   std::vector<Finding> findings;
   if (!derived.nondet_exempt) {
     check_nondeterminism(lexed.tokens, path, derived, findings);
   }
   if (derived.output_path) {
-    check_unordered_iteration(lexed.tokens, path, findings);
+    check_unordered_iteration(lexed.tokens, path, *index, findings);
     check_float_keys(lexed.tokens, path, findings);
+    check_float_accumulation(lexed.tokens, path, *index, findings);
+  }
+  if (derived.table_output) {
+    check_table_output(lexed.tokens, path, findings);
   }
   if (derived.wire_format) {
     check_wire_format(lexed.tokens, path, findings);
@@ -397,6 +535,11 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view src,
   std::erase_if(findings, [&](const Finding& f) {
     return comment_suppresses(lexed, f.line, f.rule);
   });
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule, a.message) <
+                     std::tie(b.line, b.rule, b.message);
+            });
   return findings;
 }
 

@@ -25,9 +25,35 @@
 //                         (Dataset::open_mapped / fleet::shared_view);
 //                         writers and `msampctl migrate` keep the legacy
 //                         loader
+//   float-accum-order     float/double compound accumulation (`+=`, `-=`,
+//                         `*=`) inside a loop in an output path — the
+//                         accumulation order reaches the emitted bytes
+//                         the moment vectorization or FMA contraction
+//                         differs, so reductions go through the
+//                         util::stats canonical-order helpers
+//                         (canonical_sum / canonical_sum_over /
+//                         StreamingStats).  Flow-aware: only loop bodies
+//                         count (loop headers and one-shot additions do
+//                         not), and the accumulator's type resolves
+//                         through the cross-file index, so a `double`
+//                         member declared in a header is seen from its
+//                         .cc.
+//   table-output          raw output primitives (ofstream, printf/fprintf/
+//                         fopen/fwrite/puts) in a bench_* binary — every
+//                         bench emits its CSV through util::Table
+//                         (bench::emit_table), so the byte-identity checks
+//                         see every emitted file
+//   include-layering      tree-level rule (lint/index.h): an include of a
+//                         higher layer, or any include cycle
+//
+// unordered-iter is index-aware since v2: a member declared
+// `std::unordered_map` (possibly behind a `using` alias) in one header
+// and iterated in another file resolves through the TreeIndex — the v1
+// per-file known-limit.
 //
 // A finding on line L is suppressed by a comment on that line containing
-// `msamp-lint: allow(<rule-id>)` (or `allow(all)`).
+// `msamp-lint: allow(<rule-id>)` (or `allow(all)`), with a one-line
+// justification after the marker.
 #pragma once
 
 #include <string>
@@ -37,6 +63,8 @@
 #include "lint/lexer.h"
 
 namespace msamp::lint {
+
+class TreeIndex;  // lint/index.h — the pass-1 cross-file symbol index
 
 struct Finding {
   std::string file;
@@ -76,15 +104,22 @@ struct FileRole {
   /// loads are banned — these consumers must scale to cluster-size days,
   /// so they read through the mmap-backed DatasetView (docs/DATASET.md).
   bool views_only = false;
+  /// bench_* binary: CSV/stdout bytes must flow through util::Table, so
+  /// raw ofstream/printf emitters are banned (`table-output`).
+  bool table_output = false;
 };
 
 /// Derives the role from a repo-relative path (forward slashes).
 FileRole classify_path(std::string_view path);
 
 /// Runs every per-file rule over `src`.  `path` is used for reporting and,
-/// when `role` is null, for classification.
+/// when `role` is null, for classification.  `index` is the pass-1
+/// tree-wide symbol index; when null, a single-file index is built from
+/// `src` alone (local declarations still resolve, cross-header ones do
+/// not).  When provided, the index must already contain `path`.
 std::vector<Finding> lint_source(std::string_view path, std::string_view src,
-                                 const FileRole* role = nullptr);
+                                 const FileRole* role = nullptr,
+                                 const TreeIndex* index = nullptr);
 
 // --- fingerprint coverage ----------------------------------------------
 

@@ -677,7 +677,7 @@ int cmd_query(const Flags& flags) {
     table.print(std::cout);
   } else {
     long runs = 0, server_runs = 0, bursts = 0, contended = 0, lossy = 0;
-    double contention_sum = 0.0;
+    std::vector<double> contentions;
     for (std::size_t i = 0; i < view.num_windows(); ++i) {
       const fleet::WindowView w = view.window(i);
       if (!matches(w)) continue;
@@ -687,8 +687,9 @@ int cmd_query(const Flags& flags) {
       bursts += static_cast<long>(w.bursts.size());
       for (auto c : w.bursts.contended) contended += c ? 1 : 0;
       for (auto l : w.bursts.lossy) lossy += l ? 1 : 0;
-      if (w.has_run) contention_sum += w.rack_run.avg_contention[0];
+      if (w.has_run) contentions.push_back(w.rack_run.avg_contention[0]);
     }
+    const double contention_sum = util::canonical_sum(contentions);
     util::Table table({"metric", "value"});
     table.add_row({"windows selected", std::to_string(matched)});
     table.add_row({"rack runs", std::to_string(runs)});
