@@ -1,0 +1,156 @@
+// bench_simd_kernels: throughput of every util::simd kernel on every ISA
+// path compiled into the binary, measured against the scalar reference.
+// scripts/check_simd_determinism.sh parses the CSV and asserts the vector
+// paths actually pay for themselves (>= 2x on the u64 tally and
+// threshold-scan kernels when AVX2 is available); the byte-identity of the
+// *results* across paths is enforced separately by the same script and by
+// tests/test_simd.cc.
+//
+// This bench measures wall time, so its CSV is inherently nondeterministic
+// and scripts/check_bench_determinism.sh excludes it from the byte-identity
+// sweep (like bench_pool_contention's counters).
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "util/rng.h"
+#include "util/simd/simd.h"
+#include "util/table.h"
+
+namespace {
+
+using msamp::util::simd::IsaPath;
+
+// Keeps the compiler from proving a kernel's output dead and deleting the
+// timed loop.
+inline void keep(const void* p) {
+  asm volatile("" : : "g"(p) : "memory");  // NOLINT
+}
+
+std::int64_t now_ns() {
+  // Wall time on purpose: this bench measures throughput, and its CSV is
+  // excluded from the byte-identity checks like bench_pool_contention's.
+  using Clock =
+      std::chrono::steady_clock;  // msamp-lint: allow(nondet-time) perf bench
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-`kMeasures` wall time for `iters` calls of `fn`, in ns per call.
+std::int64_t best_ns_per_call(const std::function<void()>& fn) {
+  constexpr int kMeasures = 5;
+  constexpr int kIters = 512;
+  fn();  // warm caches and the dispatch table before the first measurement
+  std::int64_t best = 0;
+  for (int m = 0; m < kMeasures; ++m) {
+    const std::int64_t t0 = now_ns();
+    for (int i = 0; i < kIters; ++i) fn();
+    const std::int64_t dt = now_ns() - t0;
+    if (m == 0 || dt < best) best = dt;
+  }
+  const std::int64_t per_call = best / kIters;
+  return per_call > 0 ? per_call : 1;
+}
+
+struct KernelCase {
+  std::string name;
+  std::size_t elems;
+  std::function<void()> run;
+};
+
+}  // namespace
+
+int main() {
+  namespace simd = msamp::util::simd;
+  msamp::bench::header(
+      "simd_kernels",
+      "util::simd dispatch: vector paths vs the scalar reference on the "
+      "sampler tally, burst threshold-scan, and fluid-rack kernels");
+
+  // 16 KiB per u64 array: a src+dst pair stays L1-resident, so the numbers
+  // measure kernel arithmetic, not cache bandwidth — which matches how the
+  // call sites use these kernels (TcFilter rows and rack arrays are small).
+  constexpr std::size_t kN = 1u << 11;
+  msamp::util::Rng rng(42);
+
+  std::vector<std::uint64_t> u_dst(kN), u_src(kN);
+  std::vector<std::int64_t> i_src(kN), i_aux(kN), i_out(kN);
+  std::vector<std::uint64_t> mask((kN + 63) / 64);
+  std::vector<double> d_src(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    u_dst[i] = rng.next() >> 1;
+    u_src[i] = rng.next() >> 20;
+    i_src[i] = static_cast<std::int64_t>(rng.uniform_int(1u << 20));
+    i_aux[i] = static_cast<std::int64_t>(rng.uniform_int(1u << 20));
+    d_src[i] = rng.uniform(-1.0, 1.0);
+  }
+  const std::size_t tally_words = (kN / simd::kRowWords) * simd::kRowWords;
+
+  std::vector<KernelCase> cases;
+  cases.push_back({"add_u64", kN, [&] {
+                     simd::add_u64(u_dst.data(), u_src.data(), kN);
+                     keep(u_dst.data());
+                   }});
+  cases.push_back({"saturating_add_u64", kN, [&] {
+                     simd::saturating_add_u64(u_dst.data(), u_src.data(), kN);
+                     keep(u_dst.data());
+                   }});
+  cases.push_back({"tally_rows_u64", tally_words, [&] {
+                     simd::tally_rows_u64(u_dst.data(), u_src.data(),
+                                          tally_words);
+                     keep(u_dst.data());
+                   }});
+  cases.push_back({"sum_i64", kN, [&] {
+                     std::int64_t s = simd::sum_i64(i_src.data(), kN);
+                     keep(&s);
+                   }});
+  cases.push_back({"threshold_mask_i64", kN, [&] {
+                     simd::threshold_mask_i64(i_src.data(), kN, 1 << 19,
+                                              mask.data());
+                     keep(mask.data());
+                   }});
+  cases.push_back({"dt_admit_i64", kN, [&] {
+                     simd::dt_admit_i64(i_src.data(), i_aux.data(),
+                                        i_aux.data(), 1 << 10, i_out.data(),
+                                        kN);
+                     keep(i_out.data());
+                   }});
+  cases.push_back({"sum_f64", kN, [&] {
+                     double s = simd::sum_f64(d_src.data(), kN);
+                     keep(&s);
+                   }});
+
+  const IsaPath original = simd::active_path();
+  const auto paths = simd::available_paths();
+
+  msamp::util::Table table({"kernel", "path", "elems", "ns_per_call",
+                            "melems_per_s", "speedup_vs_scalar"});
+  for (const auto& kc : cases) {
+    std::int64_t scalar_ns = 0;
+    for (IsaPath p : paths) {
+      simd::force_path(p);
+      const std::int64_t ns = best_ns_per_call(kc.run);
+      if (p == IsaPath::kScalar) scalar_ns = ns;
+      const double melems =
+          static_cast<double>(kc.elems) * 1e3 / static_cast<double>(ns);
+      const double speedup =
+          static_cast<double>(scalar_ns) / static_cast<double>(ns);
+      table.row()
+          .cell(kc.name)
+          .cell(simd::path_name(p))
+          .cell(kc.elems)
+          .cell(ns)
+          .cell(melems, 1)
+          .cell(speedup, 2);
+    }
+  }
+  simd::force_path(original);
+
+  msamp::bench::emit_table("simd_kernels", table);
+  return 0;
+}

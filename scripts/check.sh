@@ -37,7 +37,11 @@ if [ "${MSAMP_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan "${GEN[@]}" -DMSAMP_TSAN=ON
   cmake --build build-tsan --target msamp_tests msamp_lint
   ctest --test-dir build-tsan --output-on-failure \
-    -R '^(ThreadPool|SpscRing|FleetParallel|FleetRunner|FleetConfig|FluidRack|Dataset|DatasetView|Shard|SpillSink|Merge|Aggregate|Worker|Coordinator|Rng|Lint|BufferPolicy)'
+    -R '^(ThreadPool|SpscRing|FleetParallel|FleetRunner|FleetConfig|FluidRack|Dataset|DatasetView|Shard|SpillSink|Merge|Aggregate|Worker|Coordinator|Rng|Lint|BufferPolicy|Simd)'
+  # Cross-check: the scalar SIMD path must pass the same suites (the vector
+  # kernels' scalar twins are what every other host falls back to).
+  MSAMP_SIMD=scalar ctest --test-dir build-tsan --output-on-failure \
+    -R '^(FluidRack|FleetParallel|FleetRunner|Simd)'
 fi
 
 # ASan+UBSan lane: a third build tree with -DMSAMP_ASAN=ON, running the
@@ -49,7 +53,11 @@ if [ "${MSAMP_SKIP_ASAN:-0}" != "1" ]; then
   cmake -B build-asan "${GEN[@]}" -DMSAMP_ASAN=ON
   cmake --build build-asan --target msamp_tests msampctl msamp_lint
   ctest --test-dir build-asan --output-on-failure \
-    -R '^(Dataset|DatasetView|FleetConfig|Shard|SpillSink|SpscRing|ThreadPool|Merge|Protocol|Flags|cli_usage|cli_pipeline|cli_cluster|cli_query|cli_sweep|Lint)'
+    -R '^(Dataset|DatasetView|FleetConfig|Shard|SpillSink|SpscRing|ThreadPool|Merge|Protocol|Flags|cli_usage|cli_pipeline|cli_cluster|cli_query|cli_sweep|cli_version|Lint|Simd)'
+  # Cross-check: the unaligned-load/store forms in every vector kernel run
+  # under ASan via the Simd suites above; the scalar path gets the same run.
+  MSAMP_SIMD=scalar ctest --test-dir build-asan --output-on-failure \
+    -R '^(Simd|DatasetView)'
 fi
 
 # Bench-parallelism determinism: the parallelized benches must emit
@@ -71,6 +79,11 @@ scripts/check_cluster_determinism.sh build
 # and fleet-vs-merged-shards, and the mapped readers (`msampctl report`,
 # `msampctl query`) emit byte-identical tables over every copy.
 scripts/check_view_determinism.sh build
+
+# SIMD determinism: every ISA path this host can run (MSAMP_SIMD=scalar/
+# sse4/avx2/neon) must produce byte-identical dataset bytes, reader tables,
+# and bench CSVs — and the vector kernels must actually beat scalar.
+scripts/check_simd_determinism.sh build
 
 for b in build/bench/bench_*; do
   echo "== $b"

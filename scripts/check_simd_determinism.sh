@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Verifies the util::simd determinism contract end to end with the real
+# binaries: every ISA path compiled into the build (and supported by this
+# CPU) must produce byte-identical fleet dataset bytes, byte-identical
+# mapped-reader tables, and byte-identical bench stdout/CSVs; and the
+# vector paths must actually pay for themselves on the kernels the paper's
+# hot loops run (>= MIN_SPEEDUP over scalar on the u64 tally and the
+# threshold scan when AVX2 is available).
+#
+#   scripts/check_simd_determinism.sh [build-dir]     # default: build
+#   ARGS="--racks 8 --hours 4" scripts/check_simd_determinism.sh
+#   BENCHES="bench_fig01_queue_share" MIN_SPEEDUP=1.5 ...
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${1:-build}
+ARGS=${ARGS:-"--racks 4 --hours 3 --samples 120"}
+BENCHES=${BENCHES:-"bench_fig01_queue_share bench_fig06_burst_frequency"}
+MIN_SPEEDUP=${MIN_SPEEDUP:-2.0}
+MSAMPCTL="$PWD/$BUILD/tools/msampctl"
+[ -x "$MSAMPCTL" ] || { echo "error: $MSAMPCTL not built"; exit 1; }
+for bench in $BENCHES bench_simd_kernels; do
+  [ -x "$PWD/$BUILD/bench/$bench" ] || { echo "error: $bench not built"; exit 1; }
+done
+
+PATHS=$("$MSAMPCTL" version | awk '$1 == "simd-available" { $1 = ""; print }')
+case " $PATHS " in
+  *" scalar "*) ;;
+  *) echo "error: 'msampctl version' lists no scalar path: $PATHS"; exit 1 ;;
+esac
+echo "== simd paths on this host:$PATHS"
+
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+repo=$PWD
+cd "$scratch"
+
+echo "== MSAMP_SIMD routing is honored"
+for p in $PATHS; do
+  active=$(MSAMP_SIMD="$p" "$MSAMPCTL" version |
+    awk '$1 == "simd-active" { print $2 }')
+  if [ "$active" != "$p" ]; then
+    echo "MISMATCH: MSAMP_SIMD=$p routed to '$active'"
+    exit 1
+  fi
+done
+
+echo "== fleet dataset bytes across paths ($ARGS)"
+for p in $PATHS; do
+  MSAMP_SIMD="$p" MSAMP_THREADS=2 "$MSAMPCTL" fleet $ARGS \
+    --out "ds_$p.bin" > /dev/null
+  if ! cmp "ds_scalar.bin" "ds_$p.bin"; then
+    echo "MISMATCH: dataset bytes differ between scalar and $p"
+    exit 1
+  fi
+done
+
+echo "== mapped readers across paths"
+for cmd in "report" "query --what windows --limit 0" \
+           "query --what bursts --limit 0"; do
+  MSAMP_SIMD=scalar "$MSAMPCTL" $cmd --dataset ds_scalar.bin > ref.txt
+  for p in $PATHS; do
+    MSAMP_SIMD="$p" "$MSAMPCTL" $cmd --dataset ds_scalar.bin > got.txt
+    if ! cmp -s ref.txt got.txt; then
+      echo "MISMATCH: '$cmd' output differs between scalar and $p"
+      diff ref.txt got.txt | head -10
+      exit 1
+    fi
+  done
+done
+
+echo "== bench stdout + CSVs across paths ($BENCHES)"
+for bench in $BENCHES; do
+  bin="$repo/$BUILD/bench/$bench"
+  ref=""
+  for p in $PATHS; do
+    dir="$scratch/${bench}_$p"
+    mkdir -p "$dir"
+    (cd "$dir" && MSAMP_SIMD="$p" MSAMP_THREADS=2 "$bin" > stdout.txt)
+    if [ -z "$ref" ]; then
+      ref="$dir"
+    elif ! diff -r "$ref" "$dir" > /dev/null; then
+      echo "MISMATCH: $bench differs between scalar and $p"
+      diff -r "$ref" "$dir" | head -20
+      exit 1
+    fi
+  done
+  echo "ok: $bench byte-identical for MSAMP_SIMD in {$PATHS }"
+done
+
+case " $PATHS " in
+  *" avx2 "*|*" neon "*)
+    best=$(echo "$PATHS" | tr ' ' '\n' | grep -E '^(avx2|neon)$' | head -1)
+    echo "== kernel speedups ($best vs scalar, floor ${MIN_SPEEDUP}x)"
+    (cd "$scratch" && "$repo/$BUILD/bench/bench_simd_kernels" > /dev/null)
+    csv="$scratch/bench_out/simd_kernels.csv"
+    [ -f "$csv" ] || { echo "error: $csv missing"; exit 1; }
+    for kernel in tally_rows_u64 threshold_mask_i64; do
+      speedup=$(awk -F, -v k="$kernel" -v p="$best" \
+        '$1 == k && $2 == p { print $6 }' "$csv")
+      [ -n "$speedup" ] || { echo "error: no $best row for $kernel"; exit 1; }
+      echo "   $kernel: ${speedup}x"
+      ok=$(awk -v s="$speedup" -v m="$MIN_SPEEDUP" \
+        'BEGIN { print (s + 0 >= m + 0) ? 1 : 0 }')
+      if [ "$ok" != "1" ]; then
+        echo "TOO SLOW: $kernel $best speedup ${speedup}x < ${MIN_SPEEDUP}x"
+        exit 1
+      fi
+    done
+    ;;
+  *)
+    echo "== no avx2/neon path on this host; skipping speedup floor"
+    ;;
+esac
+
+echo "SIMD DETERMINISM OK (paths:$PATHS)"

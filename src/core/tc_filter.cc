@@ -1,8 +1,25 @@
 #include "core/tc_filter.h"
 
 #include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "util/simd/simd.h"
 
 namespace msamp::core {
+
+// The SIMD row fold reads the per-CPU RawBucket arrays as flat u64 words:
+// kRowTallyWords counter words to saturating-add followed by the sketch
+// words to OR. Pin the layout so a struct edit cannot silently desync the
+// kernel's word schedule.
+static_assert(std::is_standard_layout_v<RawBucket>);
+static_assert(sizeof(RawBucket) == util::simd::kRowWords * sizeof(std::uint64_t),
+              "RawBucket word count drifted from util::simd::kRowWords");
+static_assert(offsetof(RawBucket, sketch) ==
+                  util::simd::kRowTallyWords * sizeof(std::uint64_t),
+              "RawBucket sketch words must follow the counter words");
 
 TcFilter::TcFilter(const TcFilterConfig& config)
     : config_(config),
@@ -86,21 +103,31 @@ bool TcFilter::process_batch(int cpu, const SegmentBatch& batch,
 }
 
 std::vector<BucketSample> TcFilter::read_aggregated() const {
-  std::vector<BucketSample> out(static_cast<std::size_t>(config_.num_buckets));
-  for (int b = 0; b < config_.num_buckets; ++b) {
-    BucketSample& s = out[static_cast<std::size_t>(b)];
+  const auto buckets = static_cast<std::size_t>(config_.num_buckets);
+  const std::size_t row_words = buckets * util::simd::kRowWords;
+  // Fold every CPU's bucket array into one accumulator in a single strided
+  // pass per CPU: counter words saturating-add, sketch words OR. Counter
+  // sums never approach 2^63 (a full day of line-rate bytes is < 2^50), so
+  // the saturating u64 fold and the previous int64 += produce identical
+  // bytes; the sketch OR is associative.
+  std::vector<std::uint64_t> acc(row_words, 0);
+  const auto* words = reinterpret_cast<const std::uint64_t*>(percpu_.data());
+  for (int c = 0; c < config_.num_cpus; ++c) {
+    util::simd::tally_rows_u64(
+        acc.data(), words + static_cast<std::size_t>(c) * row_words,
+        row_words);
+  }
+  std::vector<BucketSample> out(buckets);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    BucketSample& s = out[b];
+    const std::uint64_t* row = acc.data() + b * util::simd::kRowWords;
+    s.in_bytes = static_cast<std::int64_t>(row[0]);
+    s.in_retx_bytes = static_cast<std::int64_t>(row[1]);
+    s.out_bytes = static_cast<std::int64_t>(row[2]);
+    s.out_retx_bytes = static_cast<std::int64_t>(row[3]);
+    s.in_ecn_bytes = static_cast<std::int64_t>(row[4]);
     FlowSketch sketch;
-    for (int c = 0; c < config_.num_cpus; ++c) {
-      const RawBucket& row = raw(c, b);
-      s.in_bytes += static_cast<std::int64_t>(row.in_bytes);
-      s.in_retx_bytes += static_cast<std::int64_t>(row.in_retx_bytes);
-      s.out_bytes += static_cast<std::int64_t>(row.out_bytes);
-      s.out_retx_bytes += static_cast<std::int64_t>(row.out_retx_bytes);
-      s.in_ecn_bytes += static_cast<std::int64_t>(row.in_ecn_bytes);
-      FlowSketch part;
-      part.set_words(row.sketch[0], row.sketch[1]);
-      sketch.merge(part);
-    }
+    sketch.set_words(row[5], row[6]);
     s.connections = sketch.empty() ? 0.0 : sketch.estimate();
   }
   return out;

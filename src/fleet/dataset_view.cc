@@ -17,9 +17,14 @@ namespace {
 template <typename T>
 std::span<const T> col_span(const std::uint8_t* base, std::uint64_t offset,
                             std::uint64_t count) {
-  // v6 columns are page-aligned relative to the file start and the base is
-  // either a page-aligned mapping or a heap allocation (>= 16-byte
-  // aligned), so the cast pointer is always properly aligned for T.
+  // v6 columns are kSegmentAlign-aligned relative to the file start
+  // (enforced below and by the static_asserts in wire.h) and init()
+  // rejects a base pointer that is not kMaxColumnAlign-aligned, so the
+  // cast pointer is always properly aligned for T — a precondition the
+  // SIMD kernels reading these spans rely on.
+  static_assert(alignof(T) <= wire::kMaxColumnAlign,
+                "column element alignment exceeds the v6 guarantee");
+  static_assert(std::is_trivially_copyable_v<T>);
   return {reinterpret_cast<const T*>(base + offset),
           static_cast<std::size_t>(count)};
 }
@@ -236,10 +241,33 @@ util::Status DatasetView::attach(const std::uint8_t* data, std::size_t size,
 
 util::Status DatasetView::init(const std::uint8_t* data, std::size_t size,
                                std::string path) {
+  // The zero-copy column spans reinterpret the mapping as u64/double
+  // arrays; a misaligned base (possible via attach() on an arbitrary
+  // buffer, never via mmap) must fail closed, not hand out UB spans.
+  if (reinterpret_cast<std::uintptr_t>(data) % wire::kMaxColumnAlign != 0) {
+    return util::Status::error(
+        "dataset base pointer is not 8-byte aligned (zero-copy column "
+        "access needs an aligned mapping)",
+        path);
+  }
   wire::V6Header h;
   wire::V6Layout lay;
   if (auto st = wire::read_header_v6(data, size, size, &h, &lay); !st) {
     return st.with_path(path);
+  }
+  // Layout recomputation guarantees page-aligned column offsets today;
+  // keep a cheap runtime tie-out so a future layout change (or a
+  // hand-corrupted directory accepted by a weakened header check) can
+  // never surface as a misaligned load.
+  for (const auto& section : lay.columns) {
+    for (const std::uint64_t off : section) {
+      if (off % wire::kMaxColumnAlign != 0) {
+        return util::Status::error(
+            "column offset " + std::to_string(off) +
+                " is not aligned for zero-copy access",
+            path);
+      }
+    }
   }
   data_ = data;
   size_ = size;

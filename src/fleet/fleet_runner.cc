@@ -406,4 +406,6 @@ const Dataset& shared_dataset(const FleetConfig& config,
   return *cached;
 }
 
+std::uint64_t model_version() noexcept { return kModelVersion; }
+
 }  // namespace msamp::fleet

@@ -65,4 +65,9 @@ const Dataset& shared_dataset(const FleetConfig& config = {},
                               const std::string& cache_path =
                                   "bench_out/fleet_dataset.bin");
 
+/// The generator's model version (the kModelVersion constant folded into
+/// every FleetConfig fingerprint).  Exposed for `msampctl version` so bug
+/// reports pin the exact behavior revision a dataset came from.
+std::uint64_t model_version() noexcept;
+
 }  // namespace msamp::fleet

@@ -1,10 +1,21 @@
 #include "fleet/fluid_rack.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <type_traits>
 
+#include "util/simd/simd.h"
 #include "workload/diurnal.h"
 
 namespace msamp::fleet {
+
+// The SIMD stages below read StepDemand::bytes as a strided i64 column; pin
+// the layout so a struct edit cannot silently skew the gather.
+static_assert(std::is_standard_layout_v<workload::StepDemand>);
+static_assert(offsetof(workload::StepDemand, bytes) == 0,
+              "bytes must be the first StepDemand field");
+static_assert(sizeof(workload::StepDemand) % sizeof(std::int64_t) == 0,
+              "StepDemand must be a whole number of 64-bit words");
 
 FluidRack::FluidRack(const workload::RackMeta& rack, const FleetConfig& config,
                      int hour, util::Rng rng)
@@ -117,8 +128,14 @@ void FluidRack::step(sim::SimTime now, bool sampling, FluidRackResult* result) {
     //    retransmitted by the senders like any other loss.
     const auto uplink_per_ms = static_cast<std::int64_t>(
         config_.fabric.uplink_gbps * 1e9 / 8.0 / 1000.0);
-    std::int64_t aggregate = 0;
-    for (const auto& d : demands) aggregate += d.bytes;
+    constexpr std::size_t kDemandStride =
+        sizeof(workload::StepDemand) / sizeof(std::int64_t);
+    std::vector<std::int64_t> demand_col(demands.size());
+    util::simd::gather_stride_i64(
+        reinterpret_cast<const std::int64_t*>(demands.data()), kDemandStride,
+        demands.size(), demand_col.data());
+    const std::int64_t aggregate =
+        util::simd::sum_i64(demand_col.data(), demand_col.size());
     if (aggregate > uplink_per_ms) {
       const double keep = static_cast<double>(uplink_per_ms) /
                           static_cast<double>(aggregate);
@@ -137,6 +154,51 @@ void FluidRack::step(sim::SimTime now, bool sampling, FluidRackResult* result) {
     }
   }
 
+  // --- admission limits under the configured sharing policy ---
+  // Phase 1 walks the servers in order making the policy calls (their
+  // internal-state update sequence must match the old fused loop exactly),
+  // phase 2 hands the admission arithmetic to the element-wise SIMD kernel,
+  // and phase 3 below replays the rest of the per-server pipeline. All the
+  // math between the phases is integer, so the split is byte-identical.
+  const auto n_servers = static_cast<std::size_t>(num_servers_);
+  std::vector<std::int64_t> demand_bytes(n_servers);
+  std::vector<std::int64_t> limit_v(n_servers);
+  std::vector<std::int64_t> qlen_v(n_servers);
+  std::vector<std::int64_t> free_shared_v(n_servers);
+  std::vector<std::int64_t> accepted_v(n_servers);
+  constexpr std::size_t kDemandStride =
+      sizeof(workload::StepDemand) / sizeof(std::int64_t);
+  util::simd::gather_stride_i64(
+      reinterpret_cast<const std::int64_t*>(demands.data()), kDemandStride,
+      n_servers, demand_bytes.data());
+  for (int s = 0; s < num_servers_; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    const Queue& q = queues_[si];
+    const int quad = s % quads;
+    const workload::StepDemand& d = demands[si];
+    free_shared_v[si] = std::max<std::int64_t>(
+        shared_capacity_per_quadrant_ -
+            shared_snapshot[static_cast<std::size_t>(quad)],
+        0);
+    net::PolicyQueueState ps;
+    ps.queue_len = q.len;
+    ps.shared_len = std::max<std::int64_t>(q.len - reserve_, 0);
+    ps.free_shared = free_shared_v[si];
+    ps.shared_capacity = shared_capacity_per_quadrant_;
+    ps.queues_in_quadrant = queues_per_quadrant_[static_cast<std::size_t>(quad)];
+    ps.arriving_bytes = d.bytes;
+    ps.drain_bytes_per_ms = drain_per_ms_;
+    limit_v[si] = reserve_ + policy_->policy_limit(s, ps);
+    // The whole step's demand is one arrival observation, accepted or not
+    // (kBurstAbsorbDt keys burst freshness off offered demand).
+    policy_->on_enqueue(s, d.bytes);
+    qlen_v[si] = q.len;
+  }
+  // The queue drains while it fills, so up to (limit - len) + drain bytes
+  // fit within the step: accepted = min(demand, max(limit - len, 0) + drain).
+  util::simd::dt_admit_i64(demand_bytes.data(), limit_v.data(), qlen_v.data(),
+                           drain_per_ms_, accepted_v.data(), n_servers);
+
   for (int s = 0; s < num_servers_; ++s) {
     auto& proc = processes_[static_cast<std::size_t>(s)];
     Queue& q = queues_[static_cast<std::size_t>(s)];
@@ -144,27 +206,10 @@ void FluidRack::step(sim::SimTime now, bool sampling, FluidRackResult* result) {
 
     const workload::StepDemand& d = demands[static_cast<std::size_t>(s)];
 
-    // --- admission limit under the configured sharing policy ---
-    const std::int64_t free_shared = std::max<std::int64_t>(
-        shared_capacity_per_quadrant_ -
-            shared_snapshot[static_cast<std::size_t>(quad)],
-        0);
-    net::PolicyQueueState ps;
-    ps.queue_len = q.len;
-    ps.shared_len = std::max<std::int64_t>(q.len - reserve_, 0);
-    ps.free_shared = free_shared;
-    ps.shared_capacity = shared_capacity_per_quadrant_;
-    ps.queues_in_quadrant = queues_per_quadrant_[static_cast<std::size_t>(quad)];
-    ps.arriving_bytes = d.bytes;
-    ps.drain_bytes_per_ms = drain_per_ms_;
-    const std::int64_t limit = reserve_ + policy_->policy_limit(s, ps);
-    // The whole step's demand is one arrival observation, accepted or not
-    // (kBurstAbsorbDt keys burst freshness off offered demand).
-    policy_->on_enqueue(s, d.bytes);
-    // The queue drains while it fills, so up to (limit - len) + drain bytes
-    // fit within the step.
-    const std::int64_t room = std::max<std::int64_t>(0, limit - q.len) + drain_per_ms_;
-    std::int64_t accepted = std::min(d.bytes, room);
+    const std::int64_t free_shared =
+        free_shared_v[static_cast<std::size_t>(s)];
+    const std::int64_t limit = limit_v[static_cast<std::size_t>(s)];
+    std::int64_t accepted = accepted_v[static_cast<std::size_t>(s)];
     std::int64_t dropped = d.bytes - accepted;
 
     // Sub-millisecond collision drops: when several bursts share a

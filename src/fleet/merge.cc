@@ -196,7 +196,7 @@ util::Status merge_shards(const std::vector<std::string>& paths,
       return util::Status::error("cannot open temp file for writing",
                                  tmp.string());
     }
-    StreamOut out{file};
+    StreamOut out{file, 0, wire::Writer{}};
 
     bool ok = true;
     {

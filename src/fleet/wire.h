@@ -49,6 +49,17 @@ inline constexpr std::uint32_t kLegacyVersionMax = 5;
 /// aligned for their element type and readahead streams whole columns.
 inline constexpr std::uint64_t kSegmentAlign = 4096;
 
+/// Widest column element the v6 format stores (u64/i64/double). SIMD loads
+/// over mapped columns rely on column offsets — and the mapping base —
+/// being at least this aligned; DatasetView::init rejects a misaligned
+/// base with a util::Status instead of handing out UB spans.
+inline constexpr std::uint64_t kMaxColumnAlign = 8;
+static_assert(kSegmentAlign % kMaxColumnAlign == 0,
+              "page-aligned columns must imply element alignment");
+static_assert(kMaxColumnAlign >= alignof(double) &&
+                  kMaxColumnAlign >= alignof(std::uint64_t),
+              "kMaxColumnAlign must cover the widest column element");
+
 constexpr std::uint64_t align_segment(std::uint64_t off) {
   return (off + kSegmentAlign - 1) / kSegmentAlign * kSegmentAlign;
 }

@@ -1,0 +1,265 @@
+// util::simd dispatcher: one-time CPU feature detection, the MSAMP_SIMD
+// environment override, and the function-pointer indirection every public
+// kernel entry point goes through.
+//
+// MSAMP_SIMD is read exactly once, at first dispatch; like MSAMP_THREADS it
+// is a startup knob, not a runtime control (see docs/REPRODUCING.md). Tests
+// and benches switch paths with force_path() instead of mutating the
+// environment.
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/simd/simd_internal.h"
+
+namespace msamp::util::simd {
+namespace {
+
+using internal::KernelTable;
+
+struct DispatchState {
+  const KernelTable* active = nullptr;
+  IsaPath detected = IsaPath::kScalar;
+  std::string env;
+  bool env_honored = true;
+};
+
+const KernelTable* table_for(IsaPath p) noexcept {
+  switch (p) {
+    case IsaPath::kScalar:
+      return &internal::scalar_table();
+    case IsaPath::kSse4:
+#if defined(MSAMP_SIMD_HAVE_SSE4)
+      return &internal::sse4_table();
+#else
+      return nullptr;
+#endif
+    case IsaPath::kAvx2:
+#if defined(MSAMP_SIMD_HAVE_AVX2)
+      return &internal::avx2_table();
+#else
+      return nullptr;
+#endif
+    case IsaPath::kNeon:
+#if defined(MSAMP_SIMD_HAVE_NEON)
+      return &internal::neon_table();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+bool cpu_supports(IsaPath p) noexcept {
+  switch (p) {
+    case IsaPath::kScalar:
+      return true;
+    case IsaPath::kSse4:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("sse4.2") != 0;
+#else
+      return false;
+#endif
+    case IsaPath::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case IsaPath::kNeon:
+      // AArch64 NEON is architecturally mandatory; if the translation unit
+      // was compiled, the CPU has it.
+#if defined(MSAMP_SIMD_HAVE_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool path_available(IsaPath p) noexcept {
+  return table_for(p) != nullptr && cpu_supports(p);
+}
+
+bool parse_path(const char* s, IsaPath* out) noexcept {
+  if (std::strcmp(s, "scalar") == 0) {
+    *out = IsaPath::kScalar;
+  } else if (std::strcmp(s, "sse4") == 0) {
+    *out = IsaPath::kSse4;
+  } else if (std::strcmp(s, "avx2") == 0) {
+    *out = IsaPath::kAvx2;
+  } else if (std::strcmp(s, "neon") == 0) {
+    *out = IsaPath::kNeon;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+DispatchState& state() {
+  static DispatchState s = [] {
+    DispatchState st;
+    st.detected = IsaPath::kScalar;
+    for (IsaPath p : {IsaPath::kSse4, IsaPath::kAvx2, IsaPath::kNeon}) {
+      if (path_available(p)) st.detected = p;
+    }
+    IsaPath chosen = st.detected;
+    // msamp-lint: allow(nondet-getenv) startup-only SIMD path override,
+    // documented in docs/REPRODUCING.md; every path is byte-identical.
+    if (const char* env = std::getenv("MSAMP_SIMD")) {
+      st.env = env;
+      IsaPath forced;
+      if (st.env == "auto" || st.env.empty()) {
+        st.env_honored = true;
+      } else if (parse_path(env, &forced) && path_available(forced)) {
+        chosen = forced;
+        st.env_honored = true;
+      } else {
+        st.env_honored = false;  // unknown or unavailable: keep detected
+      }
+    }
+    st.active = table_for(chosen);
+    return st;
+  }();
+  return s;
+}
+
+std::atomic<const KernelTable*> g_forced{nullptr};
+
+inline const KernelTable& active_table() noexcept {
+  if (const KernelTable* t = g_forced.load(std::memory_order_acquire)) {
+    return *t;
+  }
+  return *state().active;
+}
+
+}  // namespace
+
+const char* path_name(IsaPath p) noexcept {
+  switch (p) {
+    case IsaPath::kScalar:
+      return "scalar";
+    case IsaPath::kSse4:
+      return "sse4";
+    case IsaPath::kAvx2:
+      return "avx2";
+    case IsaPath::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+IsaPath active_path() noexcept { return active_table().path; }
+
+IsaPath detected_path() noexcept { return state().detected; }
+
+std::vector<IsaPath> available_paths() {
+  std::vector<IsaPath> out;
+  for (IsaPath p :
+       {IsaPath::kScalar, IsaPath::kSse4, IsaPath::kAvx2, IsaPath::kNeon}) {
+    if (path_available(p)) out.push_back(p);
+  }
+  return out;
+}
+
+bool force_path(IsaPath p) noexcept {
+  if (!path_available(p)) return false;
+  state();  // ensure detection ran so force/unforce is well ordered
+  g_forced.store(table_for(p), std::memory_order_release);
+  return true;
+}
+
+const char* env_request() noexcept { return state().env.c_str(); }
+
+bool env_honored() noexcept { return state().env_honored; }
+
+void add_u64(std::uint64_t* dst, const std::uint64_t* src,
+             std::size_t n) noexcept {
+  active_table().add_u64(dst, src, n);
+}
+
+void saturating_add_u64(std::uint64_t* dst, const std::uint64_t* src,
+                        std::size_t n) noexcept {
+  active_table().saturating_add_u64(dst, src, n);
+}
+
+void or_u64(std::uint64_t* dst, const std::uint64_t* src,
+            std::size_t n) noexcept {
+  active_table().or_u64(dst, src, n);
+}
+
+void tally_rows_u64(std::uint64_t* dst, const std::uint64_t* src,
+                    std::size_t n_words) noexcept {
+  active_table().tally_rows_u64(dst, src, n_words);
+}
+
+std::int64_t sum_i64(const std::int64_t* v, std::size_t n) noexcept {
+  return active_table().sum_i64(v, n);
+}
+
+void threshold_mask_i64(const std::int64_t* v, std::size_t n,
+                        std::int64_t threshold,
+                        std::uint64_t* mask_words) noexcept {
+  active_table().threshold_mask_i64(v, n, threshold, mask_words);
+}
+
+std::vector<Run> extract_runs(const std::uint64_t* mask_words, std::size_t n) {
+  // Shared scalar pass over the mask words: identical on every path, so run
+  // boundaries can never diverge between ISAs.
+  std::vector<Run> runs;
+  bool open = false;
+  std::size_t start = 0;
+  const std::size_t words = (n + 63) / 64;
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t word = mask_words[w];
+    const std::size_t base = w * 64;
+    if (word == 0) {
+      if (open) {
+        runs.push_back({start, base - start});
+        open = false;
+      }
+      continue;
+    }
+    if (word == ~std::uint64_t{0} && base + 64 <= n) {
+      if (!open) {
+        start = base;
+        open = true;
+      }
+      continue;
+    }
+    for (std::size_t b = 0; b < 64 && base + b < n; ++b) {
+      if ((word >> b) & 1u) {
+        if (!open) {
+          start = base + b;
+          open = true;
+        }
+      } else if (open) {
+        runs.push_back({start, base + b - start});
+        open = false;
+      }
+    }
+  }
+  if (open) runs.push_back({start, n - start});
+  return runs;
+}
+
+void gather_stride_i64(const std::int64_t* base, std::size_t stride_words,
+                       std::size_t n, std::int64_t* out) noexcept {
+  active_table().gather_stride_i64(base, stride_words, n, out);
+}
+
+void dt_admit_i64(const std::int64_t* demand, const std::int64_t* limit,
+                  const std::int64_t* queue_len, std::int64_t drain,
+                  std::int64_t* accepted, std::size_t n) noexcept {
+  active_table().dt_admit_i64(demand, limit, queue_len, drain, accepted, n);
+}
+
+double sum_f64(const double* v, std::size_t n) noexcept {
+  return active_table().sum_f64(v, n);
+}
+
+}  // namespace msamp::util::simd

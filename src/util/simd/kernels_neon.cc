@@ -1,0 +1,174 @@
+// NEON kernel implementations for AArch64 (128-bit lanes, 2x u64/i64/f64 per
+// vector). NEON is architecturally mandatory on AArch64, so this path needs
+// no runtime feature check — it is compiled in (and becomes the detected
+// path) whenever CMAKE_SYSTEM_PROCESSOR is aarch64/arm64.
+#include <arm_neon.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/simd/simd_internal.h"
+
+namespace msamp::util::simd::internal {
+namespace {
+
+inline std::uint64_t sat_add_word(std::uint64_t a, std::uint64_t b) noexcept {
+  const std::uint64_t s = a + b;
+  return s < a ? ~std::uint64_t{0} : s;
+}
+
+void add_u64_neon(std::uint64_t* dst, const std::uint64_t* src,
+                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vaddq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+void saturating_add_u64_neon(std::uint64_t* dst, const std::uint64_t* src,
+                             std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // vqaddq_u64 is a native unsigned saturating add.
+    vst1q_u64(dst + i, vqaddq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = sat_add_word(dst[i], src[i]);
+}
+
+void or_u64_neon(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vorrq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+void tally_rows_u64_neon(std::uint64_t* dst, const std::uint64_t* src,
+                         std::size_t n_words) {
+  // Same phase scheme as the SSE path: 2 words per vector over 7-word rows,
+  // mask selects OR (all-ones lane) over saturating add.
+  static constexpr std::uint64_t kO = ~std::uint64_t{0};
+  alignas(16) static constexpr std::uint64_t kOrMask[kRowWords][2] = {
+      {0, 0}, {0, 0}, {0, kO}, {kO, 0}, {0, 0}, {0, 0}, {kO, kO},
+  };
+  std::size_t i = 0;
+  std::size_t phase = 0;
+  for (; i + 2 <= n_words; i += 2) {
+    const uint64x2_t d = vld1q_u64(dst + i);
+    const uint64x2_t s = vld1q_u64(src + i);
+    const uint64x2_t m = vld1q_u64(kOrMask[phase]);
+    vst1q_u64(dst + i, vbslq_u64(m, vorrq_u64(d, s), vqaddq_u64(d, s)));
+    if (++phase == kRowWords) phase = 0;
+  }
+  for (; i < n_words; ++i) {
+    if (i % kRowWords < kRowTallyWords) {
+      dst[i] = sat_add_word(dst[i], src[i]);
+    } else {
+      dst[i] |= src[i];
+    }
+  }
+}
+
+std::int64_t sum_i64_neon(const std::int64_t* v, std::size_t n) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    acc = vaddq_u64(acc,
+                    vreinterpretq_u64_s64(vld1q_s64(v + i)));
+  }
+  std::uint64_t total = vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+  for (; i < n; ++i) total += static_cast<std::uint64_t>(v[i]);
+  return static_cast<std::int64_t>(total);
+}
+
+void threshold_mask_i64_neon(const std::int64_t* v, std::size_t n,
+                             std::int64_t threshold,
+                             std::uint64_t* mask_words) {
+  const int64x2_t thr = vdupq_n_s64(threshold);
+  const std::size_t words = (n + 63) / 64;
+  for (std::size_t w = 0; w < words; ++w) mask_words[w] = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t gt = vcgtq_s64(vld1q_s64(v + i), thr);
+    const std::uint64_t bits = (vgetq_lane_u64(gt, 0) & 1u) |
+                               ((vgetq_lane_u64(gt, 1) & 1u) << 1);
+    mask_words[i / 64] |= bits << (i % 64);
+  }
+  for (; i < n; ++i) {
+    if (v[i] > threshold) {
+      mask_words[i / 64] |= std::uint64_t{1} << (i % 64);
+    }
+  }
+}
+
+void gather_stride_i64_neon(const std::int64_t* base, std::size_t stride_words,
+                            std::size_t n, std::int64_t* out) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    out[i] = base[i * stride_words];
+    out[i + 1] = base[(i + 1) * stride_words];
+  }
+  for (; i < n; ++i) out[i] = base[i * stride_words];
+}
+
+void dt_admit_i64_neon(const std::int64_t* demand, const std::int64_t* limit,
+                       const std::int64_t* queue_len, std::int64_t drain,
+                       std::int64_t* accepted, std::size_t n) {
+  const int64x2_t drain_v = vdupq_n_s64(drain);
+  const int64x2_t zero = vdupq_n_s64(0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const int64x2_t dem = vld1q_s64(demand + i);
+    const int64x2_t lim = vld1q_s64(limit + i);
+    const int64x2_t ql = vld1q_s64(queue_len + i);
+    int64x2_t room = vsubq_s64(lim, ql);
+    room = vbslq_s64(vcgtq_s64(zero, room), zero, room);
+    room = vaddq_s64(room, drain_v);
+    const int64x2_t acc = vbslq_s64(vcgtq_s64(dem, room), room, dem);
+    vst1q_s64(accepted + i, acc);
+  }
+  for (; i < n; ++i) {
+    std::int64_t room = limit[i] - queue_len[i];
+    if (room < 0) room = 0;
+    room += drain;
+    accepted[i] = demand[i] < room ? demand[i] : room;
+  }
+}
+
+double sum_f64_neon(const double* v, std::size_t n) {
+  // Pinned DAG, NEON realization: accA = lanes {0,1}, accB = lanes {2,3};
+  // accA + accB = {acc0+acc2, acc1+acc3}; final low+high add is the tree
+  // root — identical to the scalar reference.
+  float64x2_t acc_a = vdupq_n_f64(0.0);
+  float64x2_t acc_b = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + kFoldLanes <= n; i += kFoldLanes) {
+    acc_a = vaddq_f64(acc_a, vld1q_f64(v + i));
+    acc_b = vaddq_f64(acc_b, vld1q_f64(v + i + 2));
+  }
+  const float64x2_t pair = vaddq_f64(acc_a, acc_b);
+  double r = vgetq_lane_f64(pair, 0) + vgetq_lane_f64(pair, 1);
+  for (; i < n; ++i) r += v[i];
+  return r;
+}
+
+}  // namespace
+
+const KernelTable& neon_table() noexcept {
+  static constexpr KernelTable kTable = {
+      IsaPath::kNeon,
+      add_u64_neon,
+      saturating_add_u64_neon,
+      or_u64_neon,
+      tally_rows_u64_neon,
+      sum_i64_neon,
+      threshold_mask_i64_neon,
+      gather_stride_i64_neon,
+      dt_admit_i64_neon,
+      sum_f64_neon,
+  };
+  return kTable;
+}
+
+}  // namespace msamp::util::simd::internal

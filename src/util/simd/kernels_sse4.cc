@@ -1,0 +1,208 @@
+// SSE4.2 kernel implementations (128-bit lanes, 2x u64/i64/f64 per vector).
+// Compiled with -msse4.2 only in this translation unit; nothing here runs
+// unless the dispatcher verified CPUID support first. SSE4.2 is the floor
+// (not SSE2) because the overflow/threshold compares need pcmpgtq
+// (_mm_cmpgt_epi64) and the tally blend needs pblendvb.
+#include <smmintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/simd/simd_internal.h"
+
+namespace msamp::util::simd::internal {
+namespace {
+
+inline std::uint64_t sat_add_word(std::uint64_t a, std::uint64_t b) noexcept {
+  const std::uint64_t s = a + b;
+  return s < a ? ~std::uint64_t{0} : s;
+}
+
+// Unsigned u64 overflow detection with signed compares: carry out of
+// a + b happened iff (a ^ sign) >s (s ^ sign) where sign flips to a biased
+// signed ordering.
+inline __m128i sat_add_epi64(__m128i a, __m128i b) noexcept {
+  const __m128i sign = _mm_set1_epi64x(static_cast<long long>(0x8000000000000000ull));
+  const __m128i sum = _mm_add_epi64(a, b);
+  const __m128i ovf =
+      _mm_cmpgt_epi64(_mm_xor_si128(a, sign), _mm_xor_si128(sum, sign));
+  return _mm_or_si128(sum, ovf);
+}
+
+void add_u64_sse4(std::uint64_t* dst, const std::uint64_t* src,
+                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_add_epi64(d, s));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+void saturating_add_u64_sse4(std::uint64_t* dst, const std::uint64_t* src,
+                             std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), sat_add_epi64(d, s));
+  }
+  for (; i < n; ++i) dst[i] = sat_add_word(dst[i], src[i]);
+}
+
+void or_u64_sse4(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_or_si128(d, s));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+void tally_rows_u64_sse4(std::uint64_t* dst, const std::uint64_t* src,
+                         std::size_t n_words) {
+  // Per-word select between saturating-add (counter words, row position
+  // < kRowTallyWords) and OR (bitmap words). With 2 words per vector and
+  // 7-word rows, the row phase of a vector cycles with period 7; blend
+  // masks are precomputed per phase (all-ones lane => OR).
+  alignas(16) static constexpr std::uint64_t kOrMask[kRowWords][2] = {
+      {0, 0},   // phase 0: words 0,1
+      {0, 0},   // phase 1: words 2,3
+      {0, ~std::uint64_t{0}},  // phase 2: words 4,5
+      {~std::uint64_t{0}, 0},  // phase 3: words 6,7(next row word 0)
+      {0, 0},   // phase 4: words 1,2
+      {0, 0},   // phase 5: words 3,4
+      {~std::uint64_t{0}, ~std::uint64_t{0}},  // phase 6: words 5,6
+  };
+  std::size_t i = 0;
+  std::size_t phase = 0;
+  for (; i + 2 <= n_words; i += 2) {
+    __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i m =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(kOrMask[phase]));
+    const __m128i tallied =
+        _mm_blendv_epi8(sat_add_epi64(d, s), _mm_or_si128(d, s), m);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), tallied);
+    if (++phase == kRowWords) phase = 0;
+  }
+  for (; i < n_words; ++i) {
+    if (i % kRowWords < kRowTallyWords) {
+      dst[i] = sat_add_word(dst[i], src[i]);
+    } else {
+      dst[i] |= src[i];
+    }
+  }
+}
+
+std::int64_t sum_i64_sse4(const std::int64_t* v, std::size_t n) {
+  __m128i acc = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    acc = _mm_add_epi64(
+        acc, _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i)));
+  }
+  std::uint64_t lanes[2];
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  std::uint64_t total = lanes[0] + lanes[1];
+  for (; i < n; ++i) total += static_cast<std::uint64_t>(v[i]);
+  return static_cast<std::int64_t>(total);
+}
+
+void threshold_mask_i64_sse4(const std::int64_t* v, std::size_t n,
+                             std::int64_t threshold,
+                             std::uint64_t* mask_words) {
+  const __m128i thr = _mm_set1_epi64x(threshold);
+  const std::size_t words = (n + 63) / 64;
+  for (std::size_t w = 0; w < words; ++w) mask_words[w] = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+    const int bits = _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpgt_epi64(x, thr)));
+    mask_words[i / 64] |= static_cast<std::uint64_t>(bits) << (i % 64);
+  }
+  for (; i < n; ++i) {
+    if (v[i] > threshold) {
+      mask_words[i / 64] |= std::uint64_t{1} << (i % 64);
+    }
+  }
+}
+
+void gather_stride_i64_sse4(const std::int64_t* base, std::size_t stride_words,
+                            std::size_t n, std::int64_t* out) {
+  // No gather instruction before AVX2; a 2x-unrolled scalar copy keeps the
+  // loads pipelined without pretending to vectorize.
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    out[i] = base[i * stride_words];
+    out[i + 1] = base[(i + 1) * stride_words];
+  }
+  for (; i < n; ++i) out[i] = base[i * stride_words];
+}
+
+void dt_admit_i64_sse4(const std::int64_t* demand, const std::int64_t* limit,
+                       const std::int64_t* queue_len, std::int64_t drain,
+                       std::int64_t* accepted, std::size_t n) {
+  const __m128i drain_v = _mm_set1_epi64x(drain);
+  const __m128i zero = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i dem =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(demand + i));
+    const __m128i lim =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(limit + i));
+    const __m128i ql =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(queue_len + i));
+    __m128i room = _mm_sub_epi64(lim, ql);
+    room = _mm_blendv_epi8(room, zero, _mm_cmpgt_epi64(zero, room));
+    room = _mm_add_epi64(room, drain_v);
+    const __m128i acc = _mm_blendv_epi8(dem, room, _mm_cmpgt_epi64(dem, room));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(accepted + i), acc);
+  }
+  for (; i < n; ++i) {
+    std::int64_t room = limit[i] - queue_len[i];
+    if (room < 0) room = 0;
+    room += drain;
+    accepted[i] = demand[i] < room ? demand[i] : room;
+  }
+}
+
+double sum_f64_sse4(const double* v, std::size_t n) {
+  // Pinned DAG, SSE realization: accA holds lanes {0,1}, accB lanes {2,3}.
+  // accA + accB = {acc0+acc2, acc1+acc3}; the final low+high add is the
+  // outer node of the tree combine — identical to the scalar reference.
+  __m128d acc_a = _mm_setzero_pd();
+  __m128d acc_b = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + kFoldLanes <= n; i += kFoldLanes) {
+    acc_a = _mm_add_pd(acc_a, _mm_loadu_pd(v + i));
+    acc_b = _mm_add_pd(acc_b, _mm_loadu_pd(v + i + 2));
+  }
+  const __m128d pair = _mm_add_pd(acc_a, acc_b);
+  double r = _mm_cvtsd_f64(pair) + _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+  for (; i < n; ++i) r += v[i];
+  return r;
+}
+
+}  // namespace
+
+const KernelTable& sse4_table() noexcept {
+  static constexpr KernelTable kTable = {
+      IsaPath::kSse4,
+      add_u64_sse4,
+      saturating_add_u64_sse4,
+      or_u64_sse4,
+      tally_rows_u64_sse4,
+      sum_i64_sse4,
+      threshold_mask_i64_sse4,
+      gather_stride_i64_sse4,
+      dt_admit_i64_sse4,
+      sum_f64_sse4,
+  };
+  return kTable;
+}
+
+}  // namespace msamp::util::simd::internal

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/simd/simd.h"
+
 namespace msamp::util {
 
 void StreamingStats::add(double x) noexcept {
@@ -128,13 +130,10 @@ double safe_ratio(double num, double den) noexcept {
 }
 
 double canonical_sum(const double* data, std::size_t n) noexcept {
-  // The explicit `acc = acc + x` left-fold is the contract: any future
-  // vectorized implementation must reproduce these exact bytes.
-  double acc = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    acc = acc + data[i];
-  }
-  return acc;
+  // The contract is the fixed-width lane-then-tree DAG pinned in
+  // util::simd::sum_f64; every ISA path must reproduce those exact bytes
+  // (proven by tests/test_simd.cc and scripts/check_simd_determinism.sh).
+  return simd::sum_f64(data, n);
 }
 
 double canonical_sum(const std::vector<double>& data) noexcept {

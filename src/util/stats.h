@@ -109,15 +109,20 @@ double safe_ratio(double num, double den) noexcept;
 // runs in reaches the emitted bytes the moment a compiler vectorizes,
 // contracts into FMA, or a thread pool interleaves partial sums.  Every
 // float/double reduction on an output path therefore goes through one of
-// these helpers, which fix the order to "index 0, 1, 2, ..." — exactly
-// what a scalar left-fold produces today — and give the planned SIMD
-// kernels one named contract to reproduce (docs/PERFORMANCE.md).
-// msamp_lint's `float-accum-order` rule flags ad-hoc `+=` loops.
+// these helpers, each of which pins a single named addition DAG.
+// `canonical_sum_over` (the form every fleet-dataset byte goes through)
+// stays a strict left fold.  The contiguous `canonical_sum` is pinned to
+// the fixed-width lane-then-tree fold implemented by `util::simd::sum_f64`
+// (4 serial accumulator lanes, tree combine `(l0+l2)+(l1+l3)`, serial
+// tail), which every ISA path reproduces byte-identically —
+// scripts/check_simd_determinism.sh enforces it (docs/SIMD.md,
+// docs/PERFORMANCE.md).  msamp_lint's `float-accum-order` rule flags
+// ad-hoc `+=` loops.
 
-/// Left-to-right sum of n doubles in index order.
+/// Sum of n doubles in the pinned lane-then-tree order (simd::sum_f64).
 double canonical_sum(const double* data, std::size_t n) noexcept;
 
-/// Left-to-right sum of a vector in index order.
+/// Sum of a vector in the pinned lane-then-tree order.
 double canonical_sum(const std::vector<double>& data) noexcept;
 
 /// canonical_sum(data) / data.size(); 0 for an empty vector.

@@ -10,10 +10,12 @@ namespace {
 
 TEST(AsciiPlot, RendersSeriesGlyphsAndLegend) {
   Series s{"line", {0, 1, 2, 3}, {0, 1, 2, 3}};
+  // Assign through std::string temporaries: GCC 12's -Wrestrict emits a
+  // false positive (PR 105329) on operator=(const char*) here under -O2.
   PlotOptions opt;
-  opt.title = "ramp";
-  opt.x_label = "x";
-  opt.y_label = "y";
+  opt.title = std::string("ramp");
+  opt.x_label = std::string("x");
+  opt.y_label = std::string("y");
   std::ostringstream os;
   ascii_plot(os, {s}, opt);
   const std::string out = os.str();

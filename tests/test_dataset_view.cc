@@ -3,6 +3,7 @@
 // parity, per-window iteration, and the legacy migration entry point.
 #include "fleet/dataset_view.h"
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -286,6 +287,23 @@ TEST(DatasetView, IteratesWindowsLargerThanTheSpillChunk) {
   EXPECT_EQ(bursts, small_dataset().bursts.size());
   view.close();
   fs::remove_all(dir);
+}
+
+TEST(DatasetView, AttachRejectsMisalignedBase) {
+  // The zero-copy column spans reinterpret the base as u64/double arrays;
+  // a deliberately offset copy of a valid blob must fail closed with a
+  // Status (not UB), since no alignment can be assumed for attach().
+  const auto& blob = small_blob();
+  std::vector<std::uint8_t> shifted(blob.size() + 1);
+  std::copy(blob.begin(), blob.end(), shifted.begin() + 1);
+  DatasetView view;
+  const auto st = DatasetView::attach(shifted.data() + 1, blob.size(), &view);
+  EXPECT_FALSE(st);
+  EXPECT_NE(st.to_string().find("aligned"), std::string::npos)
+      << st.to_string();
+  // The same bytes at an aligned base still open fine.
+  DatasetView ok;
+  EXPECT_TRUE(DatasetView::attach(blob.data(), blob.size(), &ok));
 }
 
 TEST(DatasetView, AttachRejectsLegacyBlobWithMigrateHint) {

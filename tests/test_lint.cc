@@ -947,4 +947,77 @@ TEST(LintReport, BaselineIgnoresCommentsAndBlankLines) {
   EXPECT_EQ(entries[0], "src/a.cc:1: r: m");
 }
 
+TEST(LintIntrinsics, RawIntrinsicsOutsideSimdAreFlagged) {
+  const char* src = R"(#include <immintrin.h>
+void f(long long* d) {
+  __m256i v = _mm256_loadu_si256((const __m256i*)d);
+  (void)v;
+}
+)";
+  const auto findings = lint_source("src/core/fixture.cc", src);
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::string>{
+                "src/core/fixture.cc:1: intrinsics-only-in-simd",
+                "src/core/fixture.cc:3: intrinsics-only-in-simd",
+                "src/core/fixture.cc:3: intrinsics-only-in-simd",
+                "src/core/fixture.cc:3: intrinsics-only-in-simd"}));
+}
+
+TEST(LintIntrinsics, NeonHeaderAndIdentifiersAreFlagged) {
+  const char* src = R"(#include <arm_neon.h>
+void f(unsigned long long* d) {
+  vst1q_u64(d, vld1q_u64(d));
+}
+)";
+  const auto findings = lint_source("bench/fixture.cc", src);
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::string>{
+                "bench/fixture.cc:1: intrinsics-only-in-simd",
+                "bench/fixture.cc:3: intrinsics-only-in-simd",
+                "bench/fixture.cc:3: intrinsics-only-in-simd"}));
+}
+
+TEST(LintIntrinsics, SimdSubsystemIsTheAllowlist) {
+  const char* src = R"(#include <smmintrin.h>
+void g(unsigned long long* d) {
+  __m128i v = _mm_loadu_si128((const __m128i*)d);
+  _mm_storeu_si128((__m128i*)d, v);
+}
+)";
+  EXPECT_TRUE(lint_source("src/util/simd/kernels_sse4.cc", src).empty());
+  EXPECT_TRUE(lint_source("src/util/simd/simd_internal.h", src).empty());
+}
+
+TEST(LintIntrinsics, CleanCodeAndLookalikeIdentifiersPass) {
+  // Identifiers that merely resemble intrinsic names (no reserved
+  // prefix) and ordinary vector code must not trip the rule.
+  const char* src = R"(#include <vector>
+int vaddr = 0;
+int mm_total(const std::vector<int>& v) {
+  int acc = 0;
+  for (int x : v) acc += x;
+  return acc + vaddr;
+}
+)";
+  EXPECT_TRUE(lint_source("src/core/fixture.cc", src).empty());
+}
+
+TEST(LintIntrinsics, SuppressionCommentIsHonored) {
+  const char* src = R"(void f() {
+  __m128i v;  // msamp-lint: allow(intrinsics-only-in-simd) doc example
+}
+)";
+  EXPECT_TRUE(lint_source("src/core/fixture.cc", src).empty());
+}
+
+TEST(LintIntrinsics, GetenvAllowedInSimdDispatch) {
+  const char* src = R"(#include <cstdlib>
+const char* f() { return std::getenv("MSAMP_SIMD"); }
+)";
+  EXPECT_TRUE(lint_source("src/util/simd/dispatch.cc", src).empty());
+  const auto findings = lint_source("src/core/fixture.cc", src);
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::string>{"src/core/fixture.cc:2: nondet-getenv"}));
+}
+
 }  // namespace

@@ -52,6 +52,31 @@ const std::set<std::string, std::less<>> kFloatTypes = {"float", "double"};
 // bytes flow through util::Table so the determinism checks see them all.
 const std::set<std::string, std::less<>> kRawWriteCalls = {
     "printf", "fprintf", "fputs", "fputc", "fwrite", "fopen", "puts"};
+// Vendor intrinsic headers (x86 *mmintrin family + Arm NEON/SVE): outside
+// src/util/simd/ these mean a vector loop with no scalar twin, no forced-
+// path test, and no byte-identity check — see docs/SIMD.md.
+const std::set<std::string, std::less<>> kIntrinsicHeaders = {
+    "immintrin.h", "x86intrin.h", "xmmintrin.h", "emmintrin.h",
+    "pmmintrin.h", "tmmintrin.h", "smmintrin.h", "nmmintrin.h",
+    "wmmintrin.h", "ammintrin.h", "arm_neon.h",  "arm_sve.h"};
+// Common intrinsic identifier prefixes: the x86 `_mm`/`_mm256`/`_mm512`
+// families and vector types, plus the NEON q-register operation names.
+const char* const kIntrinsicPrefixes[] = {
+    "_mm_",   "_mm256_", "_mm512_", "__m128", "__m256",  "__m512",
+    "vld1",   "vst1",    "vaddq",   "vsubq",  "vmulq",   "vandq",
+    "vorrq",  "veorq",   "vceqq",   "vcgtq",  "vcgeq",   "vcltq",
+    "vminq",  "vmaxq",   "vdupq",   "vgetq",  "vsetq",   "vbslq",
+    "vqaddq", "vqsubq",  "vshlq",   "vshrq",  "vpaddq",  "vaddvq",
+    "vreinterpretq", "vmovq", "vcntq"};
+
+bool is_intrinsic_ident(std::string_view text) {
+  for (const char* prefix : kIntrinsicPrefixes) {
+    const std::string_view p(prefix);
+    if (text.size() >= p.size() && text.substr(0, p.size()) == p) return true;
+  }
+  return false;
+}
+
 // The contention-observability surface (util/contention_counters.h).
 // Merely *naming* any of these in an output-path file is a finding: the
 // counters tally execution (which lane won a CAS, how often a trylock
@@ -105,7 +130,57 @@ void check_nondeterminism(const Tokens& toks, std::string_view path,
       flag(out, path, t.line, "nondet-getenv",
            "call to '" + t.text +
                "' outside the documented MSAMP_* readers "
-               "(util/thread_pool.cc, bench/common.cc)");
+               "(util/thread_pool.cc, util/simd/dispatch.cc, "
+               "bench/common.cc)");
+    }
+  }
+}
+
+// Raw intrinsics outside src/util/simd/. Two scans: the lexer strips
+// preprocessor lines from the token stream, so banned `#include <...>`
+// directives are found by a raw line scan (the `#` must be the first
+// non-blank character, exactly like index.cc's include scan, so an
+// include spelled inside a string literal never matches); identifiers are
+// matched from the token stream, where string/comment contents are
+// already invisible.
+void check_intrinsics(std::string_view src, const Tokens& toks,
+                      std::string_view path, std::vector<Finding>& out) {
+  int line = 1;
+  std::size_t pos = 0;
+  while (pos < src.size()) {
+    std::size_t eol = src.find('\n', pos);
+    if (eol == std::string_view::npos) eol = src.size();
+    std::string_view l = src.substr(pos, eol - pos);
+    std::size_t i = 0;
+    while (i < l.size() && (l[i] == ' ' || l[i] == '\t')) ++i;
+    if (i < l.size() && l[i] == '#') {
+      ++i;
+      while (i < l.size() && (l[i] == ' ' || l[i] == '\t')) ++i;
+      if (l.substr(i, 7) == "include") {
+        const std::size_t open = l.find('<', i + 7);
+        const std::size_t close =
+            open == std::string_view::npos ? open : l.find('>', open + 1);
+        if (close != std::string_view::npos) {
+          const std::string_view header =
+              l.substr(open + 1, close - open - 1);
+          if (kIntrinsicHeaders.count(header)) {
+            flag(out, path, line, "intrinsics-only-in-simd",
+                 "#include <" + std::string(header) +
+                     "> outside src/util/simd/ — go through the "
+                     "util::simd dispatch layer (docs/SIMD.md)");
+          }
+        }
+      }
+    }
+    pos = eol + 1;
+    ++line;
+  }
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kIdentifier && is_intrinsic_ident(t.text)) {
+      flag(out, path, t.line, "intrinsics-only-in-simd",
+           "raw intrinsic '" + t.text +
+               "' outside src/util/simd/ — go through the util::simd "
+               "dispatch layer (docs/SIMD.md)");
     }
   }
 }
@@ -452,9 +527,10 @@ FileRole classify_path(std::string_view path) {
   // sim/time.h defines simulated time.
   role.nondet_exempt =
       is("src/sim/time.h") || is("src/util/rng.h") || is("src/util/rng.cc");
-  // The documented MSAMP_* environment readers (MSAMP_THREADS and
-  // MSAMP_DATASET) plus the tests that exercise them.
+  // The documented MSAMP_* environment readers (MSAMP_THREADS,
+  // MSAMP_DATASET, and MSAMP_SIMD) plus the tests that exercise them.
   role.getenv_allowed = is("src/util/thread_pool.cc") ||
+                        is("src/util/simd/dispatch.cc") ||
                         is("bench/common.cc") ||
                         is("tests/test_thread_pool.cc") ||
                         is("tests/test_fleet_parallel.cc") ||
@@ -494,6 +570,9 @@ FileRole classify_path(std::string_view path) {
   // common.cc is shared infrastructure (its stderr diagnostics are not
   // table bytes) and the contention bench prints through Table already.
   role.table_output = under("bench/bench_");
+  // The one home for raw intrinsics: the dispatch layer's per-ISA kernel
+  // translation units.
+  role.intrinsics_allowed = under("src/util/simd/");
   return role;
 }
 
@@ -531,6 +610,9 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view src,
   }
   if (derived.views_only) {
     check_view_only_reads(lexed.tokens, path, findings);
+  }
+  if (!derived.intrinsics_allowed) {
+    check_intrinsics(src, lexed.tokens, path, findings);
   }
   std::erase_if(findings, [&](const Finding& f) {
     return comment_suppresses(lexed, f.line, f.rule);

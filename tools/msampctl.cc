@@ -85,6 +85,15 @@
 //       fingerprint is preserved and the rewritten file is re-opened and
 //       cross-checked (fingerprint + record counts) before success.
 //
+//   msampctl version
+//       Print the build's identity: dataset wire-format version, model
+//       (generator behavior) version, compiler and build flags, and the
+//       SIMD dispatch state — compiled+supported paths, the detected
+//       best path, the active path, and whether an MSAMP_SIMD override
+//       was honored.  The first thing a bug report needs; the output is
+//       one `field value` table, so scripts can awk out single fields
+//       (scripts/check_simd_determinism.sh and bench_fleet_scaling.sh do).
+//
 // Every command is deterministic for a given --seed.
 #include <algorithm>
 #include <cstdlib>
@@ -109,7 +118,9 @@
 #include "fleet/fluid_rack.h"
 #include "fleet/merge.h"
 #include "fleet/spill_sink.h"
+#include "fleet/wire.h"
 #include "util/flags.h"
+#include "util/simd/simd.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -471,8 +482,11 @@ int cmd_sweep(const Flags& flags) {
   util::Table cdf(cdf_headers);
   for (std::size_t i = 0;
        i < sizeof(cluster::kSweepPercentiles) / sizeof(int); ++i) {
-    auto& row = cdf.row().cell("p" + std::to_string(
-                                         cluster::kSweepPercentiles[i]));
+    // Built with += rather than "p" + ...: GCC 12's -Wrestrict false
+    // positive (PR 105329) fires on the operator+ form under -O2.
+    std::string label = "p";
+    label += std::to_string(cluster::kSweepPercentiles[i]);
+    auto& row = cdf.row().cell(label);
     for (const auto& c : result.cells) row.cell(c.contention_pct[i], 2);
   }
   std::cout << "\nrack avg contention CDF (usable busy racks):\n";
@@ -730,10 +744,44 @@ int cmd_migrate(const Flags& flags) {
   return 0;
 }
 
+int cmd_version(const Flags&) {
+  util::Table table({"field", "value"});
+  table.add_row({"wire-version", std::to_string(fleet::wire::kVersion)});
+  table.add_row({"model-version", std::to_string(fleet::model_version())});
+  table.add_row({"compiler", __VERSION__});
+#if defined(__OPTIMIZE__)
+  table.add_row({"optimized", "yes"});
+#else
+  table.add_row({"optimized", "no"});
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+  table.add_row({"sanitizer", "address"});
+#elif defined(__SANITIZE_THREAD__)
+  table.add_row({"sanitizer", "thread"});
+#else
+  table.add_row({"sanitizer", "none"});
+#endif
+  std::string avail;
+  for (util::simd::IsaPath p : util::simd::available_paths()) {
+    if (!avail.empty()) avail += ' ';
+    avail += util::simd::path_name(p);
+  }
+  table.add_row({"simd-available", avail});
+  table.add_row(
+      {"simd-detected", util::simd::path_name(util::simd::detected_path())});
+  table.add_row(
+      {"simd-active", util::simd::path_name(util::simd::active_path())});
+  const std::string env = util::simd::env_request();
+  table.add_row({"simd-env", env.empty() ? "(unset)" : env});
+  table.add_row({"simd-env-honored", util::simd::env_honored() ? "yes" : "no"});
+  table.print(std::cout);
+  return 0;
+}
+
 void usage() {
   std::cout << "usage: msampctl "
                "<simulate-rack|analyze|fleet|merge|cluster|worker|sweep|"
-               "report|query|migrate> [--flag value ...]\n"
+               "report|query|migrate|version> [--flag value ...]\n"
                "see the header of tools/msampctl.cc for full flag lists\n";
 }
 
@@ -772,6 +820,7 @@ int main(int argc, char** argv) {
       {"query", {"dataset", "region", "hour", "racks", "class", "what",
                  "limit"}},
       {"migrate", {"in", "out"}},
+      {"version", {}},
   };
   const auto it = known_flags.find(cmd);
   if (it == known_flags.end()) {
@@ -790,6 +839,7 @@ int main(int argc, char** argv) {
     if (cmd == "sweep") return cmd_sweep(flags);
     if (cmd == "query") return cmd_query(flags);
     if (cmd == "migrate") return cmd_migrate(flags);
+    if (cmd == "version") return cmd_version(flags);
     return cmd_report(flags);
   } catch (const util::UsageError& e) {
     die_usage(e.what());
